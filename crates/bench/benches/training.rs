@@ -1,0 +1,31 @@
+//! Per-estimator training/construction cost (the Figure 3 training axis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cardbench_estimators::EstimatorKind;
+use cardbench_harness::{build_estimator, Bench, BenchConfig};
+
+fn bench_training(c: &mut Criterion) {
+    let bench = Bench::build(BenchConfig::fast(6));
+    let mut group = c.benchmark_group("training_time");
+    group.sample_size(10);
+    for kind in [
+        EstimatorKind::Postgres,
+        EstimatorKind::MultiHist,
+        EstimatorKind::PessEst,
+        EstimatorKind::LwXgb,
+        EstimatorKind::LwNn,
+        EstimatorKind::Mscn,
+        EstimatorKind::BayesCard,
+        EstimatorKind::DeepDb,
+        EstimatorKind::Flat,
+    ] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| build_estimator(kind, &bench.stats_db, &bench.stats_train, &bench.config.settings))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

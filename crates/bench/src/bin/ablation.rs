@@ -1,0 +1,122 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! - A1: FSPN multi-leaves on/off (FLAT vs DeepDB structure) — accuracy
+//!   and model size on correlated data.
+//! - A2: fanout join estimation vs join-uniformity, holding the
+//!   per-table model exact — isolates what the fanout framework buys.
+//! - A3: NeuroCard FOJ sample-size sweep — how much of its error is
+//!   sample starvation (paper O3).
+//! - A4: discretization budget sweep for BayesCard.
+
+use cardbench_datagen::{stats_catalog, StatsConfig};
+use cardbench_engine::{exact_cardinality, Database};
+use cardbench_estimators::bayescard::BayesCard;
+use cardbench_estimators::deepdb::DeepDb;
+use cardbench_estimators::fanout::{exact_fanout_estimator, uniform_join_card, exact_selectivity};
+use cardbench_estimators::flat::Flat;
+use cardbench_estimators::neurocard::{NeuroCardConfig, NeuroCardE};
+use cardbench_estimators::CardEst;
+use cardbench_metrics::{percentile, q_error};
+use cardbench_ml::autoreg::ArConfig;
+use cardbench_query::{connected_subsets, BoundQuery, Region, SubPlanQuery};
+use cardbench_workload::{stats_ceb, Workload, WorkloadConfig};
+
+/// Median sub-plan Q-Error of a closure-estimator over the workload.
+fn median_q_error(
+    db: &Database,
+    wl: &Workload,
+    mut estimate: impl FnMut(&SubPlanQuery) -> f64,
+) -> f64 {
+    let mut errs = Vec::new();
+    for wq in &wl.queries {
+        for mask in connected_subsets(&wq.query) {
+            let sp = SubPlanQuery::project(&wq.query, mask);
+            let t = exact_cardinality(db, &sp.query).unwrap();
+            errs.push(q_error(estimate(&sp), t));
+        }
+    }
+    percentile(&errs, 0.5)
+}
+
+fn main() {
+    let cfg = StatsConfig {
+        scale: 0.01,
+        coupling: 0.8,
+        ..StatsConfig::default()
+    };
+    let db = Database::new(stats_catalog(&cfg));
+    let wl = stats_ceb(
+        &db,
+        &WorkloadConfig {
+            templates: 30,
+            queries: 40,
+            ..WorkloadConfig::stats_ceb(17)
+        },
+    );
+    println!(
+        "Ablations on STATS scale {} ({} queries, {} rows)\n",
+        cfg.scale,
+        wl.queries.len(),
+        db.catalog().total_rows()
+    );
+
+    // A1: multi-leaves.
+    let mut deep = DeepDb::fit(&db, 24, 0);
+    let mut flat = Flat::fit(&db, 24, 0);
+    let q_deep = median_q_error(&db, &wl, |sp| deep.estimate(&db, sp));
+    let q_flat = median_q_error(&db, &wl, |sp| flat.estimate(&db, sp));
+    println!("A1  SPN plain (DeepDB): median q-error {q_deep:.3}, {} nodes, {}B", deep.node_count(), deep.model_size_bytes());
+    println!("A1  SPN+multileaf (FLAT): median q-error {q_flat:.3}, {} nodes, {}B\n", flat.node_count(), flat.model_size_bytes());
+
+    // A2: fanout framework vs join uniformity with exact per-table info.
+    let fanout = exact_fanout_estimator(&db, 24);
+    let q_fanout = median_q_error(&db, &wl, |sp| fanout.estimate(&db, sp));
+    let q_uniform = median_q_error(&db, &wl, |sp| {
+        let bound = BoundQuery::bind(&sp.query, db.catalog()).unwrap();
+        let sels: Vec<f64> = bound
+            .tables
+            .iter()
+            .map(|bt| {
+                let preds: Vec<(usize, Region)> = bt
+                    .predicates
+                    .iter()
+                    .map(|p| (p.column, p.region.clone()))
+                    .collect();
+                exact_selectivity(&db, bt.id, &preds)
+            })
+            .collect();
+        uniform_join_card(&db, &bound, &sels)
+    });
+    println!("A2  exact sel + join uniformity: median q-error {q_uniform:.3}");
+    println!("A2  exact sel + fanout framework: median q-error {q_fanout:.3}\n");
+
+    // A3: NeuroCard sample-size sweep.
+    for sample_rows in [500usize, 2000, 8000] {
+        let mut nc = NeuroCardE::fit(
+            &db,
+            &NeuroCardConfig {
+                sample_rows,
+                max_bins: 16,
+                ar: ArConfig {
+                    epochs: 2,
+                    samples: 150,
+                    ..ArConfig::default()
+                },
+                seed: 3,
+            },
+        );
+        let q = median_q_error(&db, &wl, |sp| nc.estimate(&db, sp));
+        println!("A3  NeuroCard^E FOJ sample {sample_rows:>5}: median q-error {q:.3}");
+    }
+    println!();
+
+    // A4: BayesCard bin budget.
+    for bins in [8usize, 24, 64] {
+        let mut bc = BayesCard::fit(&db, bins);
+        let q = median_q_error(&db, &wl, |sp| bc.estimate(&db, sp));
+        println!(
+            "A4  BayesCard bins {bins:>3}: median q-error {q:.3}, size {}B",
+            bc.model_size_bytes()
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Runs the full evaluation once and prints every table and figure —
+//! the recommended entry point (one training pass, all outputs). Also
+//! writes machine-readable summaries to `cardbench_results.json`.
+
+use cardbench_datagen::dataset_profile;
+use cardbench_engine::{CostModel, TrueCardService};
+use cardbench_estimators::EstimatorKind;
+use cardbench_harness::case_study::{case_study, pick_case_query};
+use cardbench_harness::report::{figure1_dot, figure3, table1, table2, table3, table4, table4_qerrors, table5, table7};
+use cardbench_harness::update_exp::{run_update_experiment, table6};
+use cardbench_harness::{build_estimator, RunResults};
+
+fn main() {
+    let cfg = cardbench_bench::config_from_env();
+    let r = cardbench_bench::run_full(cfg.clone());
+    let imdb_prof = dataset_profile("IMDB", r.bench.imdb_db.catalog());
+    let stats_prof = dataset_profile("STATS", r.bench.stats_db.catalog());
+    println!("{}", table1(&imdb_prof, &stats_prof));
+    println!(
+        "{}",
+        table2(&r.bench.imdb_db, &r.bench.imdb_wl, &r.bench.stats_db, &r.bench.stats_wl)
+    );
+    println!("{}", table3(&r.imdb_runs, &r.stats_runs));
+    println!("{}", table4(&r.stats_runs));
+    println!("{}", table4_qerrors(&r.stats_runs));
+    println!("{}", table5(&r.stats_runs));
+    let updates = run_update_experiment(
+        &cfg.stats,
+        &r.bench.stats_wl,
+        &cfg.settings,
+        &CostModel::default(),
+    );
+    println!("{}", table6(&updates));
+    println!("{}", table7(&r.imdb_runs, "JOB-LIGHT"));
+    println!("{}", table7(&r.stats_runs, "STATS-CEB"));
+    println!("Figure 1 (DOT):\n{}", figure1_dot(&r.bench.stats_db));
+    let truth = TrueCardService::new();
+    let wq = pick_case_query(&r.bench.stats_wl);
+    println!("Figure 2 case study: Q{}", wq.id);
+    for kind in [EstimatorKind::TrueCard, EstimatorKind::Flat, EstimatorKind::BayesCard] {
+        let mut built = build_estimator(
+            kind,
+            &r.bench.stats_db,
+            &r.bench.stats_train,
+            &r.bench.config.settings,
+        );
+        println!(
+            "{}",
+            case_study(&r.bench.stats_db, wq, built.est.as_mut(), &truth, &CostModel::default())
+        );
+    }
+    println!("{}", figure3(&r.imdb_runs, "JOB-LIGHT"));
+    println!("{}", figure3(&r.stats_runs, "STATS-CEB"));
+    let json = RunResults::collect(&r.imdb_runs, &r.stats_runs);
+    let path = std::path::Path::new("cardbench_results.json");
+    match json.write_json(path) {
+        Ok(()) => eprintln!("[cardbench] wrote {}", path.display()),
+        Err(e) => eprintln!("[cardbench] could not write {}: {e}", path.display()),
+    }
+}

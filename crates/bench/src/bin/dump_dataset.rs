@@ -1,0 +1,36 @@
+//! Exports the synthetic benchmark to plain files: one CSV per table of
+//! both datasets and one `.sql` file per workload, under `./cardbench_export/`.
+//! Useful for loading the benchmark into an external DBMS.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use cardbench_harness::Bench;
+use cardbench_query::sql::to_sql;
+use cardbench_storage::csv::write_table;
+
+fn main() -> std::io::Result<()> {
+    let bench = Bench::build(cardbench_bench::config_from_env());
+    let root = PathBuf::from("cardbench_export");
+    for (dir, db, wl) in [
+        ("stats", &bench.stats_db, &bench.stats_wl),
+        ("imdb", &bench.imdb_db, &bench.imdb_wl),
+    ] {
+        let d = root.join(dir);
+        std::fs::create_dir_all(&d)?;
+        for table in db.catalog().tables() {
+            let path = d.join(format!("{}.csv", table.name()));
+            write_table(table, &path).map_err(std::io::Error::other)?;
+            println!("wrote {} ({} rows)", path.display(), table.row_count());
+        }
+        let mut sql = String::new();
+        for wq in &wl.queries {
+            writeln!(sql, "-- Q{} (template {}, true card {})", wq.id, wq.template_id, wq.true_card).unwrap();
+            writeln!(sql, "{}", to_sql(&wq.query)).unwrap();
+        }
+        let path = d.join(format!("{}.sql", wl.name.to_lowercase()));
+        std::fs::write(&path, sql)?;
+        println!("wrote {} ({} queries)", path.display(), wl.queries.len());
+    }
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Regenerates paper Figure 1: the STATS schema join graph (DOT format).
+
+use cardbench_datagen::stats_catalog;
+use cardbench_engine::Database;
+use cardbench_harness::report::figure1_dot;
+
+fn main() {
+    let cfg = cardbench_bench::config_from_env();
+    let db = Database::new(stats_catalog(&cfg.stats));
+    print!("{}", figure1_dot(&db));
+}

@@ -1,0 +1,38 @@
+//! Regenerates the paper Figure 2 case study: annotated plan trees of
+//! contrasting estimators on the largest-cardinality STATS-CEB query.
+
+use cardbench_engine::{CostModel, TrueCardService};
+use cardbench_estimators::EstimatorKind;
+use cardbench_harness::case_study::{case_study, pick_case_query};
+use cardbench_harness::{build_estimator, Bench};
+
+fn main() {
+    let bench = Bench::build(cardbench_bench::config_from_env());
+    let truth = TrueCardService::new();
+    let wq = pick_case_query(&bench.stats_wl);
+    println!("Figure 2 case study: Q{} (largest true cardinality)", wq.id);
+    println!("SQL: {}", cardbench_query::sql::to_sql(&wq.query));
+    println!();
+    for kind in [
+        EstimatorKind::TrueCard,
+        EstimatorKind::Flat,
+        EstimatorKind::BayesCard,
+    ] {
+        let mut built = build_estimator(
+            kind,
+            &bench.stats_db,
+            &bench.stats_train,
+            &bench.config.settings,
+        );
+        println!(
+            "{}",
+            case_study(
+                &bench.stats_db,
+                wq,
+                built.est.as_mut(),
+                &truth,
+                &CostModel::default()
+            )
+        );
+    }
+}

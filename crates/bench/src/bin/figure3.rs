@@ -1,0 +1,12 @@
+//! Regenerates paper Figure 3: practicality aspects (inference latency,
+//! model size, training time) per estimator on both workloads.
+
+use cardbench_bench::{config_from_env, run_full};
+use cardbench_harness::report::figure3;
+
+fn main() {
+    let r = run_full(config_from_env());
+    print!("{}", figure3(&r.imdb_runs, "JOB-LIGHT"));
+    println!();
+    print!("{}", figure3(&r.stats_runs, "STATS-CEB"));
+}

@@ -1,0 +1,22 @@
+//! Checks the paper's observations (O1-O14 shape assertions) against a
+//! results file produced by `all_tables` (`cardbench_results.json`), or
+//! runs the full evaluation first when the file is absent.
+
+use cardbench_harness::{check_observations, render_checks, RunResults};
+
+fn main() {
+    let path = std::path::Path::new("cardbench_results.json");
+    let results = if path.exists() {
+        let text = std::fs::read_to_string(path).expect("readable results file");
+        RunResults::from_json(&text).expect("valid results JSON")
+    } else {
+        eprintln!("[observations] {} not found; running the full evaluation", path.display());
+        let r = cardbench_bench::run_full(cardbench_bench::config_from_env());
+        RunResults::collect(&r.imdb_runs, &r.stats_runs)
+    };
+    let checks = check_observations(&results);
+    print!("{}", render_checks(&checks));
+    if checks.iter().any(|c| !c.pass) {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,54 @@
+//! RD3 demo: optimizing an estimator toward P-Error (the paper's
+//! proposed research direction) instead of Q-Error.
+//!
+//! Wraps MSCN in the `PErrorCalibrated` adapter, calibrated on a held-out
+//! validation slice of the training workload, and compares P-Error and
+//! end-to-end time before/after on STATS-CEB.
+
+use cardbench_engine::{CostModel, TrueCardService};
+use cardbench_estimators::calibrate::PErrorCalibrated;
+use cardbench_estimators::mscn::Mscn;
+use cardbench_estimators::EstimatorKind;
+use cardbench_harness::{run_workload, Bench, MethodRun};
+use cardbench_metrics::percentile_triple;
+
+fn summarize(name: &str, queries: Vec<cardbench_harness::QueryRun>) {
+    let run = MethodRun {
+        kind: EstimatorKind::Mscn,
+        train_time: std::time::Duration::ZERO,
+        model_size: 0,
+        queries,
+    };
+    let (p50, p90, p99) = percentile_triple(&run.all_p_errors());
+    println!(
+        "{name:<22} e2e {:>10.3?}  P-Error 50/90/99%: {p50:.3}/{p90:.3}/{p99:.3}",
+        run.e2e_total()
+    );
+}
+
+fn main() {
+    let bench = Bench::build(cardbench_bench::config_from_env());
+    let db = &bench.stats_db;
+    let cost = CostModel::default();
+    let truth = TrueCardService::new();
+
+    let raw = Mscn::fit(db, &bench.stats_train, &bench.config.settings.mscn);
+    let mut raw_for_run = Mscn::fit(db, &bench.stats_train, &bench.config.settings.mscn);
+    let runs = run_workload(db, &bench.stats_wl, &mut raw_for_run, &truth, &cost);
+    summarize("MSCN (raw)", runs);
+
+    // Calibrate on a validation slice of the *training* workload — the
+    // benchmark queries stay unseen.
+    let validation: Vec<_> = bench
+        .stats_train
+        .queries
+        .iter()
+        .filter(|q| q.table_count() >= 2)
+        .take(40)
+        .cloned()
+        .collect();
+    let mut calibrated = PErrorCalibrated::calibrate(raw, db, &validation, &truth, &cost);
+    println!("learned per-join-count factors: {:?}", calibrated.factors());
+    let runs = run_workload(db, &bench.stats_wl, &mut calibrated, &truth, &cost);
+    summarize("MSCN (P-calibrated)", runs);
+}

@@ -1,0 +1,11 @@
+//! Regenerates paper Table 1: dataset statistics (IMDB vs STATS).
+
+use cardbench_datagen::{dataset_profile, imdb_catalog, stats_catalog};
+use cardbench_harness::report::table1;
+
+fn main() {
+    let cfg = cardbench_bench::config_from_env();
+    let imdb = dataset_profile("IMDB", &imdb_catalog(&cfg.imdb));
+    let stats = dataset_profile("STATS", &stats_catalog(&cfg.stats));
+    print!("{}", table1(&imdb, &stats));
+}

@@ -1,0 +1,13 @@
+//! Regenerates paper Table 2: workload statistics (JOB-LIGHT vs
+//! STATS-CEB).
+
+use cardbench_harness::report::table2;
+use cardbench_harness::Bench;
+
+fn main() {
+    let bench = Bench::build(cardbench_bench::config_from_env());
+    print!(
+        "{}",
+        table2(&bench.imdb_db, &bench.imdb_wl, &bench.stats_db, &bench.stats_wl)
+    );
+}

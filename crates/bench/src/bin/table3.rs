@@ -1,0 +1,10 @@
+//! Regenerates paper Table 3: overall end-to-end performance of every
+//! estimator on both workloads.
+
+use cardbench_bench::{config_from_env, run_full};
+use cardbench_harness::report::table3;
+
+fn main() {
+    let r = run_full(config_from_env());
+    print!("{}", table3(&r.imdb_runs, &r.stats_runs));
+}

@@ -1,0 +1,10 @@
+//! Regenerates paper Table 4: end-to-end improvement by number of joined
+//! tables on STATS-CEB.
+
+use cardbench_bench::{config_from_env, run_full};
+use cardbench_harness::report::table4;
+
+fn main() {
+    let r = run_full(config_from_env());
+    print!("{}", table4(&r.stats_runs));
+}

@@ -1,0 +1,10 @@
+//! Regenerates paper Table 5: OLTP/OLAP split of execution and planning
+//! time on STATS-CEB.
+
+use cardbench_bench::{config_from_env, run_full};
+use cardbench_harness::report::table5;
+
+fn main() {
+    let r = run_full(config_from_env());
+    print!("{}", table5(&r.stats_runs));
+}

@@ -1,0 +1,17 @@
+//! Regenerates paper Table 6: the dynamic-update experiment on STATS.
+
+use cardbench_engine::CostModel;
+use cardbench_harness::update_exp::{run_update_experiment, table6};
+use cardbench_harness::Bench;
+
+fn main() {
+    let cfg = cardbench_bench::config_from_env();
+    let bench = Bench::build(cfg.clone());
+    let results = run_update_experiment(
+        &cfg.stats,
+        &bench.stats_wl,
+        &cfg.settings,
+        &CostModel::default(),
+    );
+    print!("{}", table6(&results));
+}

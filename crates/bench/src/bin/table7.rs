@@ -1,0 +1,12 @@
+//! Regenerates paper Table 7: Q-Error vs P-Error distributions and their
+//! correlation with execution time, on both workloads.
+
+use cardbench_bench::{config_from_env, run_full};
+use cardbench_harness::report::table7;
+
+fn main() {
+    let r = run_full(config_from_env());
+    print!("{}", table7(&r.imdb_runs, "JOB-LIGHT"));
+    println!();
+    print!("{}", table7(&r.stats_runs, "STATS-CEB"));
+}

@@ -1,0 +1,63 @@
+//! Update-latency scaling: how each updatable estimator's refresh cost
+//! grows with the insert batch size (extends paper Table 6 with the
+//! batch-size axis that matters for OLTP deployments).
+
+use std::time::Instant;
+
+use cardbench_datagen::stats::{temporal_split, DAYS_MAX};
+use cardbench_datagen::stats_catalog;
+use cardbench_engine::Database;
+use cardbench_estimators::lw::TrainingSet;
+use cardbench_harness::build_estimator;
+use cardbench_estimators::EstimatorKind;
+use cardbench_harness::update_exp::UPDATABLE;
+use cardbench_storage::TableId;
+
+fn main() {
+    let cfg = cardbench_bench::config_from_env();
+    let settings = &cfg.settings;
+    let empty = TrainingSet::default();
+    // Include one query-driven method to quantify O9: its "update" must
+    // re-execute the whole training workload.
+    let bench = cardbench_harness::Bench::build(cfg.clone());
+    let methods: Vec<EstimatorKind> = UPDATABLE
+        .into_iter()
+        .chain([EstimatorKind::Mscn])
+        .collect();
+    println!("{:<14} {:>10} {:>12} {:>12}", "method", "batch rows", "update", "per krow");
+    // Cut at increasing dates: bigger cutoff ⇒ bigger stale part, smaller
+    // batch; sweep the insert batch from ~10% to ~60% of the data.
+    for cutoff_frac in [0.9, 0.7, 0.4] {
+        let cutoff = (DAYS_MAX as f64 * cutoff_frac) as i64;
+        let full = stats_catalog(&cfg.stats);
+        let (stale, inserts) = temporal_split(&full, cutoff);
+        let batch: usize = inserts.iter().map(|t| t.row_count()).sum();
+        for &kind in &methods {
+            let train = if kind == EstimatorKind::Mscn {
+                &bench.stats_train
+            } else {
+                &empty
+            };
+            let stale_db = Database::new(stale.clone());
+            let mut built = build_estimator(kind, &stale_db, train, settings);
+            let mut db = stale_db;
+            for (t, d) in inserts.iter().enumerate() {
+                db.catalog_mut()
+                    .table_mut(TableId(t))
+                    .append_rows(d)
+                    .expect("aligned schemas");
+            }
+            db.refresh();
+            let t0 = Instant::now();
+            built.est.apply_inserts(&db, &inserts);
+            let dt = t0.elapsed();
+            println!(
+                "{:<14} {batch:>10} {:>12.3?} {:>12.3?}",
+                kind.name(),
+                dt,
+                dt / (batch as u32 / 1000).max(1)
+            );
+        }
+        println!();
+    }
+}

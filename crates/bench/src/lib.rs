@@ -1,0 +1,108 @@
+//! Benchmark entry points: a shared full-evaluation runner used by the
+//! `table1`–`table7` and `figure1`–`figure3` binaries, plus criterion
+//! micro-benchmarks under `benches/`.
+//!
+//! Scale knobs (environment variables):
+//! - `CARDBENCH_FAST=1` — tiny datasets/workloads (CI-sized, seconds).
+//! - `CARDBENCH_SEED`   — global seed (default 7).
+//! - `CARDBENCH_SCALE`  — STATS row-count multiplier override.
+
+use std::time::Instant;
+
+use cardbench_engine::{CostModel, TrueCardService};
+use cardbench_estimators::EstimatorKind;
+use cardbench_harness::{build_estimator, run_workload, Bench, BenchConfig, MethodRun};
+
+/// Full evaluation output: every method run on both workloads.
+pub struct FullResults {
+    /// The materialized benchmark.
+    pub bench: Bench,
+    /// Per-method runs on JOB-LIGHT.
+    pub imdb_runs: Vec<MethodRun>,
+    /// Per-method runs on STATS-CEB.
+    pub stats_runs: Vec<MethodRun>,
+}
+
+/// Reads the benchmark configuration from the environment.
+pub fn config_from_env() -> BenchConfig {
+    let seed: u64 = std::env::var("CARDBENCH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let fast = std::env::var("CARDBENCH_FAST").is_ok_and(|v| v == "1");
+    let mut cfg = if fast {
+        BenchConfig::fast(seed)
+    } else {
+        BenchConfig::standard(seed)
+    };
+    if let Ok(scale) = std::env::var("CARDBENCH_SCALE") {
+        if let Ok(scale) = scale.parse::<f64>() {
+            cfg.stats.scale = scale;
+        }
+    }
+    cfg
+}
+
+/// Runs every estimator on both workloads, printing progress to stderr.
+pub fn run_full(cfg: BenchConfig) -> FullResults {
+    eprintln!(
+        "[cardbench] building datasets (STATS scale {}, seed {})...",
+        cfg.stats.scale, cfg.settings.seed
+    );
+    let t0 = Instant::now();
+    let bench = Bench::build(cfg);
+    eprintln!(
+        "[cardbench] built: STATS {} rows / {} queries, IMDB {} rows / {} queries ({:.1?})",
+        bench.stats_db.catalog().total_rows(),
+        bench.stats_wl.queries.len(),
+        bench.imdb_db.catalog().total_rows(),
+        bench.imdb_wl.queries.len(),
+        t0.elapsed()
+    );
+    let cost = CostModel::default();
+    let mut imdb_runs = Vec::new();
+    let mut stats_runs = Vec::new();
+    for kind in EstimatorKind::ALL {
+        for (label, db, wl, train, out) in [
+            (
+                "JOB-LIGHT",
+                &bench.imdb_db,
+                &bench.imdb_wl,
+                &bench.imdb_train,
+                &mut imdb_runs,
+            ),
+            (
+                "STATS-CEB",
+                &bench.stats_db,
+                &bench.stats_wl,
+                &bench.stats_train,
+                &mut stats_runs,
+            ),
+        ] {
+            let t0 = Instant::now();
+            let mut built = build_estimator(kind, db, train, &bench.config.settings);
+            let truth = TrueCardService::new();
+            let queries = run_workload(db, wl, built.est.as_mut(), &truth, &cost);
+            let run = MethodRun {
+                kind,
+                train_time: built.train_time,
+                model_size: built.model_size,
+                queries,
+            };
+            eprintln!(
+                "[cardbench] {:<12} {:<10} train {:>9.2?} e2e {:>9.2?} (total {:.1?})",
+                kind.name(),
+                label,
+                run.train_time,
+                run.e2e_total(),
+                t0.elapsed()
+            );
+            out.push(run);
+        }
+    }
+    FullResults {
+        bench,
+        imdb_runs,
+        stats_runs,
+    }
+}

@@ -1,0 +1,40 @@
+//! Generated datasets survive CSV persistence byte-for-byte.
+
+use cardbench_datagen::{imdb_catalog, stats_catalog, ImdbConfig, StatsConfig};
+use cardbench_storage::csv::{read_table, write_table};
+
+#[test]
+fn stats_tables_roundtrip_through_csv() {
+    let catalog = stats_catalog(&StatsConfig::tiny(77));
+    let dir = std::env::temp_dir().join("cardbench_csv_roundtrip_stats");
+    std::fs::create_dir_all(&dir).unwrap();
+    for table in catalog.tables() {
+        let path = dir.join(format!("{}.csv", table.name()));
+        write_table(table, &path).unwrap();
+        let back = read_table(table.schema().clone(), &path).unwrap();
+        assert_eq!(back.row_count(), table.row_count(), "{}", table.name());
+        for r in (0..table.row_count()).step_by(7) {
+            assert_eq!(back.row(r), table.row(r), "{} row {r}", table.name());
+        }
+    }
+}
+
+#[test]
+fn imdb_tables_roundtrip_through_csv() {
+    let catalog = imdb_catalog(&ImdbConfig::tiny(78));
+    let dir = std::env::temp_dir().join("cardbench_csv_roundtrip_imdb");
+    std::fs::create_dir_all(&dir).unwrap();
+    for table in catalog.tables() {
+        let path = dir.join(format!("{}.csv", table.name()));
+        write_table(table, &path).unwrap();
+        let back = read_table(table.schema().clone(), &path).unwrap();
+        assert_eq!(back.row_count(), table.row_count());
+        if table.row_count() > 0 {
+            assert_eq!(back.row(0), table.row(0));
+            assert_eq!(
+                back.row(table.row_count() - 1),
+                table.row(table.row_count() - 1)
+            );
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! A catalog wrapped with per-column sorted indexes and cached statistics.
+
+use cardbench_query::{BoundPredicate, Region};
+use cardbench_storage::{Catalog, ColumnStats, Table, TableId};
+
+/// A sorted index over one column: `(value, row)` pairs ordered by value.
+/// NULL rows are excluded (no predicate or join matches NULL).
+#[derive(Debug, Clone, Default)]
+pub struct SortedIndex {
+    entries: Vec<(i64, u32)>,
+}
+
+impl SortedIndex {
+    /// Builds the index for `column` of `table`.
+    fn build(table: &Table, column: usize) -> SortedIndex {
+        let col = table.column(column);
+        let mut entries: Vec<(i64, u32)> = (0..table.row_count())
+            .filter_map(|r| col.get(r).map(|v| (v, r as u32)))
+            .collect();
+        entries.sort_unstable();
+        SortedIndex { entries }
+    }
+
+    /// Rows whose value lies in `[lo, hi]`, in value order.
+    pub fn range(&self, lo: i64, hi: i64) -> impl Iterator<Item = u32> + '_ {
+        let start = self.entries.partition_point(|&(v, _)| v < lo);
+        self.entries[start..]
+            .iter()
+            .take_while(move |&&(v, _)| v <= hi)
+            .map(|&(_, r)| r)
+    }
+
+    /// Rows with exactly `value`.
+    pub fn equal(&self, value: i64) -> impl Iterator<Item = u32> + '_ {
+        self.range(value, value)
+    }
+
+    /// Number of rows with exactly `value` (O(log n)).
+    pub fn count_equal(&self, value: i64) -> usize {
+        let start = self.entries.partition_point(|&(v, _)| v < value);
+        let end = self.entries.partition_point(|&(v, _)| v <= value);
+        end - start
+    }
+
+    /// All `(value, row)` entries in value order.
+    pub fn entries(&self) -> &[(i64, u32)] {
+        &self.entries
+    }
+
+    /// `k`-th entry of the rows with `value` (for wander-join random
+    /// neighbour picks): returns the row, or `None` if `k >= count`.
+    pub fn kth_equal(&self, value: i64, k: usize) -> Option<u32> {
+        let start = self.entries.partition_point(|&(v, _)| v < value);
+        match self.entries.get(start + k) {
+            Some(&(v, r)) if v == value => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// An indexed database: the catalog plus sorted indexes and cached column
+/// statistics for every column of every table.
+#[derive(Debug)]
+pub struct Database {
+    catalog: Catalog,
+    /// `indexes[table][column]`.
+    indexes: Vec<Vec<SortedIndex>>,
+    /// `stats[table][column]`.
+    stats: Vec<Vec<ColumnStats>>,
+}
+
+impl Database {
+    /// Builds indexes and statistics for every column.
+    pub fn new(catalog: Catalog) -> Database {
+        let mut indexes = Vec::with_capacity(catalog.table_count());
+        let mut stats = Vec::with_capacity(catalog.table_count());
+        for t in catalog.tables() {
+            let per_col_idx: Vec<SortedIndex> = (0..t.column_count())
+                .map(|c| SortedIndex::build(t, c))
+                .collect();
+            let per_col_stats: Vec<ColumnStats> = (0..t.column_count())
+                .map(|c| t.column(c).compute_stats())
+                .collect();
+            indexes.push(per_col_idx);
+            stats.push(per_col_stats);
+        }
+        Database {
+            catalog,
+            indexes,
+            stats,
+        }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Index of `column` on `table`.
+    pub fn index(&self, table: TableId, column: usize) -> &SortedIndex {
+        &self.indexes[table.0][column]
+    }
+
+    /// Cached statistics of `column` on `table`.
+    pub fn stats(&self, table: TableId, column: usize) -> &ColumnStats {
+        &self.stats[table.0][column]
+    }
+
+    /// Row count of a table.
+    pub fn row_count(&self, table: TableId) -> usize {
+        self.catalog.table(table).row_count()
+    }
+
+    /// Evaluates `predicates` on one row of a base table.
+    #[inline]
+    pub fn row_matches(&self, table: TableId, row: u32, predicates: &[BoundPredicate]) -> bool {
+        let t = self.catalog.table(table);
+        predicates.iter().all(|p| {
+            t.column(p.column)
+                .get(row as usize)
+                .is_some_and(|v| p.region.contains(v))
+        })
+    }
+
+    /// Row ids of a base table matching all `predicates`, via a full scan.
+    pub fn scan_filtered(&self, table: TableId, predicates: &[BoundPredicate]) -> Vec<u32> {
+        let n = self.row_count(table);
+        (0..n as u32)
+            .filter(|&r| self.row_matches(table, r, predicates))
+            .collect()
+    }
+
+    /// Row ids matching all `predicates`, using the index on the first
+    /// range predicate to avoid the full scan.
+    pub fn index_filtered(&self, table: TableId, predicates: &[BoundPredicate]) -> Vec<u32> {
+        let Some((drive, rest)) = split_driving_predicate(predicates) else {
+            return self.scan_filtered(table, predicates);
+        };
+        let idx = self.index(table, drive.column);
+        let mut rows: Vec<u32> = match &drive.region {
+            Region::Range { lo, hi } => idx.range(*lo, *hi).collect(),
+            Region::In(vals) => {
+                let mut out = Vec::new();
+                for &v in vals {
+                    out.extend(idx.equal(v));
+                }
+                out
+            }
+        };
+        rows.retain(|&r| self.row_matches(table, r, rest));
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Per-table "fanout" degree of a key value: how many rows of
+    /// `table.column` equal `value` (used by join estimation and the
+    /// true-cardinality service).
+    pub fn degree(&self, table: TableId, column: usize, value: i64) -> usize {
+        self.index(table, column).count_equal(value)
+    }
+
+    /// Rebuilds indexes and statistics (after bulk inserts).
+    pub fn refresh(&mut self) {
+        let catalog = std::mem::take(&mut self.catalog);
+        *self = Database::new(catalog);
+    }
+
+    /// Mutable catalog access for bulk inserts; call [`Database::refresh`]
+    /// afterwards.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+}
+
+/// Picks the driving predicate for an index scan (first predicate) and
+/// returns it with the remaining residual predicates.
+fn split_driving_predicate(
+    predicates: &[BoundPredicate],
+) -> Option<(&BoundPredicate, &[BoundPredicate])> {
+    predicates.split_first()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardbench_storage::{Column, ColumnDef, ColumnKind, TableSchema};
+
+    fn db() -> Database {
+        let mut c = Catalog::new();
+        let t = Table::from_columns(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnKind::PrimaryKey),
+                    ColumnDef::new("v", ColumnKind::Numeric),
+                ],
+            ),
+            vec![
+                Column::from_values(vec![1, 2, 3, 4, 5]),
+                Column::from_datums([Some(10), Some(20), Some(20), None, Some(40)]),
+            ],
+        )
+        .unwrap();
+        c.add_table(t);
+        Database::new(c)
+    }
+
+    #[test]
+    fn index_range_and_equal() {
+        let db = db();
+        let idx = db.index(TableId(0), 1);
+        assert_eq!(idx.range(15, 25).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(idx.equal(20).count(), 2);
+        assert_eq!(idx.count_equal(20), 2);
+        assert_eq!(idx.count_equal(99), 0);
+        // NULL row excluded.
+        assert_eq!(idx.entries().len(), 4);
+    }
+
+    #[test]
+    fn kth_equal() {
+        let db = db();
+        let idx = db.index(TableId(0), 1);
+        assert_eq!(idx.kth_equal(20, 0), Some(1));
+        assert_eq!(idx.kth_equal(20, 1), Some(2));
+        assert_eq!(idx.kth_equal(20, 2), None);
+    }
+
+    #[test]
+    fn scan_and_index_filter_agree() {
+        let db = db();
+        let preds = vec![BoundPredicate {
+            column: 1,
+            region: Region::between(15, 45),
+        }];
+        let a = db.scan_filtered(TableId(0), &preds);
+        let b = db.index_filtered(TableId(0), &preds);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn null_never_matches() {
+        let db = db();
+        let preds = vec![BoundPredicate {
+            column: 1,
+            region: Region::between(i64::MIN, i64::MAX),
+        }];
+        // Row 3 has NULL v and must not match even an unbounded range.
+        assert_eq!(db.scan_filtered(TableId(0), &preds), vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn degree_counts_matches() {
+        let db = db();
+        assert_eq!(db.degree(TableId(0), 1, 20), 2);
+        assert_eq!(db.degree(TableId(0), 1, 10), 1);
+        assert_eq!(db.degree(TableId(0), 1, 999), 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! The query-engine substrate: what the paper uses PostgreSQL for.
+//!
+//! The paper's integration point with PostgreSQL is narrow and explicit:
+//! *inject a cardinality for every sub-plan query; the optimizer chooses
+//! join order and physical operators from those numbers; the plan is then
+//! executed*. This crate reproduces that pipeline end to end:
+//!
+//! - [`database`]: a catalog wrapped with per-column sorted indexes.
+//! - [`cost`]: a PostgreSQL-shaped cost model (seq/index scan, hash /
+//!   merge / indexed-nested-loop join, hash spill penalty).
+//! - [`plan`]: physical plan trees annotated with masks and row estimates.
+//! - [`optimizer`]: exact dynamic-programming join enumeration (DPsub)
+//!   driven by an injected cardinality map — the analogue of overriding
+//!   `calc_joinrel_size_estimate`.
+//! - [`executor`]: real execution of physical plans over column data.
+//! - [`explain`]: EXPLAIN-style plan rendering with costs.
+//! - [`truecard`]: exact sub-plan cardinalities via join-tree message
+//!   passing (the oracle behind TrueCard, Q-Error and P-Error).
+
+pub mod cost;
+pub mod database;
+pub mod executor;
+pub mod explain;
+pub mod optimizer;
+pub mod plan;
+pub mod truecard;
+
+pub use cost::CostModel;
+pub use database::Database;
+pub use executor::{execute, ExecStats};
+pub use explain::explain;
+pub use optimizer::{optimize, optimize_with, plan_cost, CardMap};
+pub use plan::{JoinAlgo, PhysicalPlan, ScanMethod};
+pub use truecard::{exact_cardinality, TrueCardService};
+
+/// A convenience facade bundling a database with a cost model.
+#[derive(Debug)]
+pub struct Engine {
+    /// The indexed database.
+    pub db: Database,
+    /// Cost model used for planning and P-Error costing.
+    pub cost: CostModel,
+}
+
+impl Engine {
+    /// Creates an engine with the default cost model.
+    pub fn new(db: Database) -> Engine {
+        Engine {
+            db,
+            cost: CostModel::default(),
+        }
+    }
+}

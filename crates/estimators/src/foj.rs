@@ -1,0 +1,462 @@
+//! Uniform sampling of the full outer join of a tree-structured schema
+//! partition — the training substrate of NeuroCard.
+//!
+//! For a tree of tables, the FOJ factorizes per row: a row's *subtree
+//! weight* `W` is the product over child edges of `max(matched child
+//! weight, 1)` (an unmatched branch survives as one NULL-padded way), and
+//! child rows matching no parent are *dangling* FOJ rows. Exact uniform
+//! FOJ samples are drawn by picking an anchor (root row or dangling row)
+//! proportional to its weight and descending each matched branch
+//! proportional to child weights.
+//!
+//! Each sample also records, per table, the *downward multiplicity* `D`
+//! (how many FOJ rows share this base row, contributed by everything
+//! outside its subtree) and per edge the *branch factor* `g` — the
+//! quantities NeuroCard's scaling columns divide out to answer queries on
+//! table subsets.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cardbench_engine::Database;
+use cardbench_storage::TableId;
+
+/// A tree-structured partition of the schema.
+#[derive(Debug, Clone)]
+pub struct TreePartition {
+    /// Partition tables; index 0 is the root.
+    pub tables: Vec<TableId>,
+    /// `parent[i] = (parent local idx, my join col, parent join col)` for
+    /// `i > 0`; `parent[0]` is `None`.
+    pub parent: Vec<Option<(usize, usize, usize)>>,
+}
+
+impl TreePartition {
+    /// BFS depth of each local table.
+    pub fn depths(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.tables.len()];
+        for i in 1..self.tables.len() {
+            let p = self.parent[i].expect("non-root").0;
+            d[i] = d[p] + 1;
+        }
+        d
+    }
+}
+
+/// Partitions the schema into tree sub-schemas: one BFS spanning tree per
+/// connected component, plus a two-table partition for every leftover
+/// (cycle-closing) edge — the paper's NeuroCard^E extension builds one
+/// model per tree.
+pub fn partition_schema(db: &Database) -> Vec<TreePartition> {
+    let nt = db.catalog().table_count();
+    // Resolve all schema edges to ids/col indices.
+    let mut edges = Vec::new();
+    for j in db.catalog().joins() {
+        let lt = db.catalog().table_id(&j.left_table).expect("table");
+        let rt = db.catalog().table_id(&j.right_table).expect("table");
+        let lc = db
+            .catalog()
+            .table(lt)
+            .schema()
+            .column_index(&j.left_column)
+            .expect("col");
+        let rc = db
+            .catalog()
+            .table(rt)
+            .schema()
+            .column_index(&j.right_column)
+            .expect("col");
+        edges.push((lt, lc, rt, rc));
+    }
+    let mut used = vec![false; edges.len()];
+    let mut visited = vec![false; nt];
+    let mut partitions = Vec::new();
+    // Spanning tree per component; root at the table with most edges.
+    let degree = |t: TableId| {
+        edges
+            .iter()
+            .filter(|&&(a, _, b, _)| a == t || b == t)
+            .count()
+    };
+    let mut order: Vec<usize> = (0..nt).collect();
+    order.sort_by_key(|&t| std::cmp::Reverse(degree(TableId(t))));
+    for &start in &order {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        let mut tables = vec![TableId(start)];
+        let mut parent: Vec<Option<(usize, usize, usize)>> = vec![None];
+        let mut qi = 0;
+        while qi < tables.len() {
+            let cur = tables[qi];
+            let cur_local = qi;
+            qi += 1;
+            for (ei, &(lt, lc, rt, rc)) in edges.iter().enumerate() {
+                if used[ei] {
+                    continue;
+                }
+                let (other, my_col, parent_col) = if lt == cur && !visited[rt.0] {
+                    (rt, rc, lc)
+                } else if rt == cur && !visited[lt.0] {
+                    (lt, lc, rc)
+                } else {
+                    continue;
+                };
+                used[ei] = true;
+                visited[other.0] = true;
+                tables.push(other);
+                parent.push(Some((cur_local, my_col, parent_col)));
+            }
+        }
+        partitions.push(TreePartition { tables, parent });
+    }
+    // Leftover edges become two-table partitions.
+    for (ei, &(lt, lc, rt, rc)) in edges.iter().enumerate() {
+        if !used[ei] {
+            partitions.push(TreePartition {
+                tables: vec![lt, rt],
+                parent: vec![None, Some((0, rc, lc))],
+            });
+        }
+    }
+    partitions
+}
+
+/// Per-table FOJ bookkeeping built bottom-up.
+struct TableWeights {
+    /// Subtree weight per base row.
+    w: Vec<f64>,
+    /// Matched child-weight sum per base row and child edge
+    /// (`m[child_slot][row]`).
+    m: Vec<Vec<f64>>,
+    /// Child local indices aligned with `m`.
+    child_locals: Vec<usize>,
+    /// Downward multiplicity per base row (filled top-down).
+    d: Vec<f64>,
+    /// True when some parent row matches this row (non-root only).
+    matched_up: Vec<bool>,
+}
+
+/// A materialized FOJ sample.
+pub struct FojSample {
+    /// The partition sampled.
+    pub partition: TreePartition,
+    /// Exact FOJ size.
+    pub total: f64,
+    /// Per sample, per local table: base row (`None` = NULL side).
+    pub rows: Vec<Vec<Option<u32>>>,
+    /// Per sample, per local table: downward multiplicity `D` (1 when the
+    /// table is NULL in the sample).
+    pub d_vals: Vec<Vec<f64>>,
+    /// Per sample, per local table (non-root): parent branch factor `g`
+    /// (1 when parent NULL).
+    pub g_vals: Vec<Vec<f64>>,
+}
+
+/// Draws `n_samples` exact-uniform FOJ rows.
+pub fn sample_foj(db: &Database, partition: &TreePartition, n_samples: usize, seed: u64) -> FojSample {
+    let k = partition.tables.len();
+    let mut tw: Vec<TableWeights> = partition
+        .tables
+        .iter()
+        .map(|&id| {
+            let n = db.row_count(id);
+            TableWeights {
+                w: vec![1.0; n],
+                m: Vec::new(),
+                child_locals: Vec::new(),
+                d: vec![0.0; n],
+                matched_up: vec![false; n],
+            }
+        })
+        .collect();
+    // Children lists.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for i in 1..k {
+        children[partition.parent[i].expect("non-root").0].push(i);
+    }
+
+    // Bottom-up: weights and per-edge matched sums.
+    for i in (0..k).rev() {
+        for &c in &children[i] {
+            let (_, c_col, p_col) = partition.parent[c].expect("child edge");
+            let child_table = db.catalog().table(partition.tables[c]);
+            let ccol = child_table.column(c_col);
+            let mut by_key: HashMap<i64, f64> = HashMap::new();
+            for (r, wv) in tw[c].w.iter().enumerate() {
+                if let Some(v) = ccol.get(r) {
+                    *by_key.entry(v).or_insert(0.0) += wv;
+                }
+            }
+            let parent_table = db.catalog().table(partition.tables[i]);
+            let pcol = parent_table.column(p_col);
+            let n_parent = parent_table.row_count();
+            let mut m_col = vec![0.0f64; n_parent];
+            for (r, slot) in m_col.iter_mut().enumerate() {
+                *slot = pcol
+                    .get(r)
+                    .and_then(|v| by_key.get(&v).copied())
+                    .unwrap_or(0.0);
+            }
+            // Mark matched child rows.
+            let mut parent_keys: std::collections::HashSet<i64> = std::collections::HashSet::new();
+            for r in 0..n_parent {
+                if let Some(v) = pcol.get(r) {
+                    parent_keys.insert(v);
+                }
+            }
+            for r in 0..child_table.row_count() {
+                if let Some(v) = ccol.get(r) {
+                    if parent_keys.contains(&v) {
+                        tw[c].matched_up[r] = true;
+                    }
+                }
+            }
+            for (r, &mv) in m_col.iter().enumerate() {
+                tw[i].w[r] *= mv.max(1.0);
+            }
+            tw[i].m.push(m_col);
+            tw[i].child_locals.push(c);
+        }
+    }
+
+    // Top-down: D values.
+    for r in 0..tw[0].d.len() {
+        tw[0].d[r] = 1.0;
+    }
+    for i in 0..k {
+        let child_list = children[i].clone();
+        for &c in &child_list {
+            let (_, c_col, p_col) = partition.parent[c].expect("child edge");
+            let slot = tw[i].child_locals.iter().position(|&x| x == c).expect("slot");
+            // contrib(parent row) = D_p · W_p / max(M_c, 1), grouped by key.
+            let parent_table = db.catalog().table(partition.tables[i]);
+            let pcol = parent_table.column(p_col);
+            let mut by_key: HashMap<i64, f64> = HashMap::new();
+            for r in 0..parent_table.row_count() {
+                if let Some(v) = pcol.get(r) {
+                    let contrib = tw[i].d[r] * tw[i].w[r] / tw[i].m[slot][r].max(1.0);
+                    *by_key.entry(v).or_insert(0.0) += contrib;
+                }
+            }
+            let child_table = db.catalog().table(partition.tables[c]);
+            let ccol = child_table.column(c_col);
+            for r in 0..child_table.row_count() {
+                tw[c].d[r] = match ccol.get(r).and_then(|v| by_key.get(&v)) {
+                    Some(&s) if tw[c].matched_up[r] => s,
+                    _ => 1.0, // dangling rows stand alone
+                };
+            }
+        }
+    }
+
+    // Total FOJ size = root weights + dangling weights.
+    let mut root_total: f64 = tw[0].w.iter().sum();
+    let mut dangling: Vec<(usize, u32, f64)> = Vec::new(); // (local table, row, weight)
+    for (i, t) in tw.iter().enumerate().skip(1) {
+        for (r, &wv) in t.w.iter().enumerate() {
+            if !t.matched_up[r] {
+                dangling.push((i, r as u32, wv));
+            }
+        }
+    }
+    let dangling_total: f64 = dangling.iter().map(|&(_, _, w)| w).sum();
+    let total = root_total + dangling_total;
+    if total <= 0.0 {
+        root_total = 1.0;
+    }
+
+    // Sampling.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n_samples);
+    let mut d_vals = Vec::with_capacity(n_samples);
+    let mut g_vals = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let mut srow: Vec<Option<u32>> = vec![None; k];
+        let mut sd = vec![1.0f64; k];
+        let mut sg = vec![1.0f64; k];
+        // Pick the anchor.
+        let u = rng.gen::<f64>() * total.max(1e-300);
+        let anchor: (usize, u32) = if u < root_total || dangling.is_empty() {
+            (0, weighted_pick(&tw[0].w, root_total, &mut rng))
+        } else {
+            let mut acc = root_total;
+            let mut pick = (dangling[0].0, dangling[0].1);
+            for &(i, r, w) in &dangling {
+                acc += w;
+                if u <= acc {
+                    pick = (i, r);
+                    break;
+                }
+            }
+            pick
+        };
+        // Descend the anchor's subtree.
+        let mut stack = vec![anchor];
+        srow[anchor.0] = Some(anchor.1);
+        sd[anchor.0] = tw[anchor.0].d[anchor.1 as usize];
+        while let Some((i, r)) = stack.pop() {
+            for (slot, &c) in tw[i].child_locals.iter().enumerate() {
+                let m = tw[i].m[slot][r as usize];
+                sg[c] = m.max(1.0);
+                if m <= 0.0 {
+                    continue; // branch NULL
+                }
+                let (_, c_col, p_col) = partition.parent[c].expect("edge");
+                let key = db
+                    .catalog()
+                    .table(partition.tables[i])
+                    .column(p_col)
+                    .get(r as usize)
+                    .expect("matched parent has key");
+                // Sample a matching child row ∝ its subtree weight.
+                let matches: Vec<u32> = db
+                    .index(partition.tables[c], c_col)
+                    .equal(key)
+                    .collect();
+                let weights: Vec<f64> = matches.iter().map(|&cr| tw[c].w[cr as usize]).collect();
+                let wsum: f64 = weights.iter().sum();
+                let cr = matches[weighted_pick_idx(&weights, wsum, &mut rng)];
+                srow[c] = Some(cr);
+                sd[c] = tw[c].d[cr as usize];
+                stack.push((c, cr));
+            }
+        }
+        rows.push(srow);
+        d_vals.push(sd);
+        g_vals.push(sg);
+    }
+    FojSample {
+        partition: partition.clone(),
+        total,
+        rows,
+        d_vals,
+        g_vals,
+    }
+}
+
+fn weighted_pick(weights: &[f64], total: f64, rng: &mut StdRng) -> u32 {
+    weighted_pick_idx(weights, total, rng) as u32
+}
+
+fn weighted_pick_idx(weights: &[f64], total: f64, rng: &mut StdRng) -> usize {
+    let u = rng.gen::<f64>() * total.max(1e-300);
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if u <= acc {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardbench_storage::{
+        Catalog, Column, ColumnDef, ColumnKind, JoinKind, JoinRelation, Table, TableSchema,
+    };
+
+    /// a(id): 1,2,3; b(aid): 1,1,2,9(dangling) → FOJ:
+    /// matched pairs (1,b1)(1,b2)(2,b3), a=3 NULL-padded, b=9 dangling → 5.
+    fn db() -> Database {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            Table::from_columns(
+                TableSchema::new("a", vec![ColumnDef::new("id", ColumnKind::PrimaryKey)]),
+                vec![Column::from_values(vec![1, 2, 3])],
+            )
+            .unwrap(),
+        );
+        cat.add_table(
+            Table::from_columns(
+                TableSchema::new("b", vec![ColumnDef::new("aid", ColumnKind::ForeignKey)]),
+                vec![Column::from_values(vec![1, 1, 2, 9])],
+            )
+            .unwrap(),
+        );
+        cat.add_join(JoinRelation::new("a", "id", "b", "aid", JoinKind::PkFk))
+            .unwrap();
+        Database::new(cat)
+    }
+
+    #[test]
+    fn partition_covers_schema() {
+        let db = db();
+        let parts = partition_schema(&db);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].tables.len(), 2);
+    }
+
+    #[test]
+    fn foj_total_exact() {
+        let db = db();
+        let parts = partition_schema(&db);
+        let s = sample_foj(&db, &parts[0], 50, 1);
+        assert_eq!(s.total, 5.0);
+    }
+
+    #[test]
+    fn sample_frequencies_match_foj() {
+        let db = db();
+        let parts = partition_schema(&db);
+        let s = sample_foj(&db, &parts[0], 8000, 2);
+        // b present in 4 of 5 FOJ rows.
+        let b_local = parts[0]
+            .tables
+            .iter()
+            .position(|&t| t == db.catalog().table_id("b").unwrap())
+            .unwrap();
+        let b_present = s.rows.iter().filter(|r| r[b_local].is_some()).count();
+        let frac = b_present as f64 / s.rows.len() as f64;
+        assert!((frac - 0.8).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn d_values_reconstruct_base_counts() {
+        // Σ over FOJ rows with b present of 1/D_b must equal |b| = 4.
+        let db = db();
+        let parts = partition_schema(&db);
+        let s = sample_foj(&db, &parts[0], 20000, 3);
+        let b_local = parts[0]
+            .tables
+            .iter()
+            .position(|&t| t == db.catalog().table_id("b").unwrap())
+            .unwrap();
+        let mut acc = 0.0;
+        for (row, d) in s.rows.iter().zip(&s.d_vals) {
+            if row[b_local].is_some() {
+                acc += 1.0 / d[b_local];
+            }
+        }
+        let est = s.total * acc / s.rows.len() as f64;
+        assert!((est - 4.0).abs() < 0.25, "est {est}");
+    }
+
+    #[test]
+    fn g_values_collapse_branches() {
+        // Σ over FOJ rows of [a present] / g_b ≈ |a| = 3 … g divides out
+        // the b branch: E[1(a)·(1/g_b)]·total = Σ_a rows 1 = 3.
+        let db = db();
+        let parts = partition_schema(&db);
+        let s = sample_foj(&db, &parts[0], 20000, 4);
+        let a_local = parts[0]
+            .tables
+            .iter()
+            .position(|&t| t == db.catalog().table_id("a").unwrap())
+            .unwrap();
+        let b_local = 1 - a_local;
+        let mut acc = 0.0;
+        for (row, g) in s.rows.iter().zip(&s.g_vals) {
+            if row[a_local].is_some() {
+                acc += 1.0 / g[b_local];
+            }
+        }
+        let est = s.total * acc / s.rows.len() as f64;
+        assert!((est - 3.0).abs() < 0.2, "est {est}");
+    }
+}

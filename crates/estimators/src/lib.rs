@@ -1,0 +1,173 @@
+//! The fifteen cardinality estimators of the paper's evaluation.
+//!
+//! | class | estimators |
+//! |---|---|
+//! | baselines | [`truecard::TrueCardEst`] |
+//! | traditional | [`postgres::PostgresEst`], [`multihist::MultiHist`], [`unisample::UniSample`], [`wjsample::WjSample`], [`pessest::PessEst`] |
+//! | query-driven | [`mscn::Mscn`], [`lw::LwXgb`], [`lw::LwNn`], [`uae::UaeQ`] |
+//! | data-driven | [`neurocard::NeuroCardE`], [`bayescard::BayesCard`], [`deepdb::DeepDb`], [`flat::Flat`] |
+//! | query+data | [`uae::Uae`] |
+//!
+//! Shared infrastructure: [`common`] (per-table coders: discretized
+//! attributes plus *fanout columns* toward every schema join edge),
+//! [`fanout`] (the divide-and-conquer join estimation the paper credits
+//! for BayesCard/DeepDB/FLAT), [`featurize`] (query featurization for the
+//! query-driven class), and [`foj`] (uniform full-outer-join sampling for
+//! NeuroCard). [`calibrate`] implements the paper's RD3 future direction:
+//! tuning any estimator toward P-Error.
+
+pub mod bayescard;
+pub mod calibrate;
+pub mod common;
+pub mod deepdb;
+pub mod fanout;
+pub mod featurize;
+pub mod flat;
+pub mod foj;
+pub mod lw;
+pub mod mscn;
+pub mod multihist;
+pub mod neurocard;
+pub mod pessest;
+pub mod postgres;
+pub mod truecard;
+pub mod uae;
+pub mod unisample;
+pub mod wjsample;
+
+use cardbench_engine::Database;
+use cardbench_query::SubPlanQuery;
+use cardbench_storage::Table;
+
+/// A cardinality estimator under test.
+///
+/// `estimate` receives the sub-plan query and the live database (sampling
+/// estimators read it at estimation time; model-based ones only at
+/// construction). Implementations must return a non-negative row count.
+pub trait CardEst: Send {
+    /// Stable display name (matches the paper's tables).
+    fn name(&self) -> &'static str;
+
+    /// Estimated cardinality of a sub-plan query.
+    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64;
+
+    /// Approximate model size in bytes (0 for model-free methods).
+    fn model_size_bytes(&self) -> usize {
+        0
+    }
+
+    /// True for the TrueCard oracle: the paper injects *precomputed* true
+    /// cardinalities, so its inference latency is excluded from planning
+    /// time (the harness times a warm cached call instead).
+    fn is_oracle(&self) -> bool {
+        false
+    }
+
+    /// Whether [`CardEst::apply_inserts`] is meaningful for this method.
+    fn supports_update(&self) -> bool {
+        false
+    }
+
+    /// Absorbs inserted rows (`delta[i]` aligns with catalog table `i`);
+    /// `db` already contains the new rows. Default: no-op.
+    fn apply_inserts(&mut self, db: &Database, delta: &[Table]) {
+        let _ = (db, delta);
+    }
+}
+
+/// Identifier for each evaluated method (the rows of paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EstimatorKind {
+    /// Oracle baseline.
+    TrueCard,
+    /// PostgreSQL-style 1-D histograms + MCVs.
+    Postgres,
+    /// Multi-dimensional histograms over correlated groups.
+    MultiHist,
+    /// Uniform per-table sampling.
+    UniSample,
+    /// Wander-join random walks.
+    WjSample,
+    /// Pessimistic bound sketch (never underestimates).
+    PessEst,
+    /// Multi-set convolutional network.
+    Mscn,
+    /// Lightweight gradient-boosted trees.
+    LwXgb,
+    /// Lightweight neural network.
+    LwNn,
+    /// Query-driven autoregressive (UAE-Q).
+    UaeQ,
+    /// Deep autoregressive over full-outer-join samples (NeuroCard^E).
+    NeuroCardE,
+    /// Chow-Liu tree Bayesian networks.
+    BayesCard,
+    /// Sum-product networks.
+    DeepDb,
+    /// FSPN (SPN + joint multi-leaves).
+    Flat,
+    /// Unified query+data autoregressive (UAE).
+    Uae,
+}
+
+impl EstimatorKind {
+    /// All kinds in the display order of paper Table 3.
+    pub const ALL: [EstimatorKind; 15] = [
+        EstimatorKind::Postgres,
+        EstimatorKind::TrueCard,
+        EstimatorKind::MultiHist,
+        EstimatorKind::UniSample,
+        EstimatorKind::WjSample,
+        EstimatorKind::PessEst,
+        EstimatorKind::Mscn,
+        EstimatorKind::LwXgb,
+        EstimatorKind::LwNn,
+        EstimatorKind::UaeQ,
+        EstimatorKind::NeuroCardE,
+        EstimatorKind::BayesCard,
+        EstimatorKind::DeepDb,
+        EstimatorKind::Flat,
+        EstimatorKind::Uae,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EstimatorKind::TrueCard => "TrueCard",
+            EstimatorKind::Postgres => "PostgreSQL",
+            EstimatorKind::MultiHist => "MultiHist",
+            EstimatorKind::UniSample => "UniSample",
+            EstimatorKind::WjSample => "WJSample",
+            EstimatorKind::PessEst => "PessEst",
+            EstimatorKind::Mscn => "MSCN",
+            EstimatorKind::LwXgb => "LW-XGB",
+            EstimatorKind::LwNn => "LW-NN",
+            EstimatorKind::UaeQ => "UAE-Q",
+            EstimatorKind::NeuroCardE => "NeuroCard^E",
+            EstimatorKind::BayesCard => "BayesCard",
+            EstimatorKind::DeepDb => "DeepDB",
+            EstimatorKind::Flat => "FLAT",
+            EstimatorKind::Uae => "UAE",
+        }
+    }
+
+    /// Method class (the "Category" column of paper Table 3).
+    pub fn class(self) -> &'static str {
+        match self {
+            EstimatorKind::TrueCard | EstimatorKind::Postgres => "Baseline",
+            EstimatorKind::MultiHist
+            | EstimatorKind::UniSample
+            | EstimatorKind::WjSample
+            | EstimatorKind::PessEst => "Traditional",
+            EstimatorKind::Mscn
+            | EstimatorKind::LwXgb
+            | EstimatorKind::LwNn
+            | EstimatorKind::UaeQ => "Query-driven",
+            EstimatorKind::NeuroCardE
+            | EstimatorKind::BayesCard
+            | EstimatorKind::DeepDb
+            | EstimatorKind::Flat => "Data-driven",
+            EstimatorKind::Uae => "Query+Data",
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! LW-XGB and LW-NN (Dutt et al.): lightweight regression models over
+//! featurized queries, extended to joins through the shared schema-wide
+//! featurization (the paper extends the original single-table models the
+//! same way).
+
+use cardbench_engine::Database;
+use cardbench_ml::gbdt::GbdtConfig;
+use cardbench_ml::{Gbdt, Matrix, Mlp};
+use cardbench_query::{JoinQuery, SubPlanQuery};
+
+use crate::featurize::{card_to_label, label_to_card, Featurizer};
+use crate::CardEst;
+
+/// A labelled training workload for the query-driven estimators.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingSet {
+    /// Training queries.
+    pub queries: Vec<JoinQuery>,
+    /// True cardinalities aligned with `queries`.
+    pub cards: Vec<f64>,
+}
+
+impl TrainingSet {
+    /// Featurizes the whole set.
+    pub fn features(&self, db: &Database, f: &Featurizer) -> (Matrix, Vec<f32>) {
+        let xs = Matrix::from_fn(self.queries.len(), f.dim(), |r, c| {
+            // Row-major fill below is cheaper; from_fn keeps it simple.
+            let _ = (r, c);
+            0.0
+        });
+        let mut xs = xs;
+        for (r, q) in self.queries.iter().enumerate() {
+            let v = f.features(db, q);
+            for (c, &val) in v.iter().enumerate() {
+                xs.set(r, c, val);
+            }
+        }
+        let ys: Vec<f32> = self.cards.iter().map(|&c| card_to_label(c)).collect();
+        (xs, ys)
+    }
+}
+
+/// LW-XGB: gradient-boosted trees on query features.
+pub struct LwXgb {
+    featurizer: Featurizer,
+    model: Gbdt,
+}
+
+impl LwXgb {
+    /// Trains on the workload.
+    pub fn fit(db: &Database, train: &TrainingSet, cfg: &GbdtConfig) -> LwXgb {
+        let featurizer = Featurizer::fit(db);
+        let (xs, ys) = train.features(db, &featurizer);
+        LwXgb {
+            model: Gbdt::fit(&xs, &ys, cfg),
+            featurizer,
+        }
+    }
+}
+
+impl CardEst for LwXgb {
+    fn name(&self) -> &'static str {
+        "LW-XGB"
+    }
+
+    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+        let v = self.featurizer.features(db, &sub.query);
+        label_to_card(self.model.predict(&v))
+    }
+
+    fn model_size_bytes(&self) -> usize {
+        self.model.size_bytes()
+    }
+}
+
+/// LW-NN: a plain MLP on query features.
+pub struct LwNn {
+    featurizer: Featurizer,
+    model: Mlp,
+    cfg: LwNnConfig,
+    /// Retained training workload (see [`crate::mscn::Mscn`]'s update).
+    train: TrainingSet,
+}
+
+/// LW-NN hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct LwNnConfig {
+    /// Hidden width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for LwNnConfig {
+    fn default() -> Self {
+        LwNnConfig {
+            hidden: 64,
+            epochs: 20,
+            lr: 0.003,
+            seed: 0,
+        }
+    }
+}
+
+impl LwNn {
+    /// Trains on the workload.
+    pub fn fit(db: &Database, train: &TrainingSet, cfg: &LwNnConfig) -> LwNn {
+        let featurizer = Featurizer::fit(db);
+        let (xs, ys) = train.features(db, &featurizer);
+        let mut model = Mlp::new(&[featurizer.dim(), cfg.hidden, 1], cfg.seed);
+        model.train_regression(&xs, &ys, cfg.epochs, cfg.lr, cfg.seed ^ 0xAB);
+        LwNn {
+            featurizer,
+            model,
+            cfg: cfg.clone(),
+            train: train.clone(),
+        }
+    }
+}
+
+impl CardEst for LwNn {
+    fn name(&self) -> &'static str {
+        "LW-NN"
+    }
+
+    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+        let v = self.featurizer.features(db, &sub.query);
+        label_to_card(self.model.forward(&v)[0])
+    }
+
+    fn model_size_bytes(&self) -> usize {
+        self.model.param_bytes()
+    }
+
+    fn supports_update(&self) -> bool {
+        true
+    }
+
+    /// Relabel the retained training workload by re-execution, then
+    /// retrain (the query-driven update cost of paper O9).
+    fn apply_inserts(&mut self, db: &Database, _delta: &[cardbench_storage::Table]) {
+        let mut train = self.train.clone();
+        for (q, card) in train.queries.iter().zip(train.cards.iter_mut()) {
+            *card = cardbench_engine::exact_cardinality(db, q).unwrap_or(*card);
+        }
+        *self = LwNn::fit(db, &train, &self.cfg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardbench_datagen::{stats_catalog, StatsConfig};
+    use cardbench_query::{Predicate, Region, TableMask};
+
+    /// Tiny single-table workload: count users with Reputation <= k.
+    fn training(db: &Database) -> TrainingSet {
+        let users = db.catalog().table_by_name("users").unwrap();
+        let rep = users.column_by_name("Reputation").unwrap();
+        let mut queries = Vec::new();
+        let mut cards = Vec::new();
+        for k in (0..60).map(|i| i * 25) {
+            let q = JoinQuery::single(
+                "users",
+                vec![Predicate::new(0, "Reputation", Region::le(k))],
+            );
+            let card = (0..users.row_count())
+                .filter(|&r| rep.get(r).is_some_and(|v| v <= k))
+                .count() as f64;
+            queries.push(q);
+            cards.push(card);
+        }
+        TrainingSet { queries, cards }
+    }
+
+    #[test]
+    fn xgb_learns_monotone_workload() {
+        let db = Database::new(stats_catalog(&StatsConfig::tiny(1)));
+        let train = training(&db);
+        let mut est = LwXgb::fit(&db, &train, &GbdtConfig { rounds: 30, ..GbdtConfig::default() });
+        // In-distribution prediction should be within 2× for mid-range k.
+        let q = &train.queries[30];
+        let truth = train.cards[30].max(1.0);
+        let sub = SubPlanQuery {
+            mask: TableMask::single(0),
+            query: q.clone(),
+        };
+        let e = est.estimate(&db, &sub).max(1.0);
+        let qerr = (e / truth).max(truth / e);
+        assert!(qerr < 2.5, "qerr {qerr} (est {e}, true {truth})");
+    }
+
+    #[test]
+    fn nn_learns_monotone_workload() {
+        let db = Database::new(stats_catalog(&StatsConfig::tiny(1)));
+        let train = training(&db);
+        let mut est = LwNn::fit(
+            &db,
+            &train,
+            &LwNnConfig {
+                epochs: 60,
+                ..LwNnConfig::default()
+            },
+        );
+        let q = &train.queries[40];
+        let truth = train.cards[40].max(1.0);
+        let sub = SubPlanQuery {
+            mask: TableMask::single(0),
+            query: q.clone(),
+        };
+        let e = est.estimate(&db, &sub).max(1.0);
+        let qerr = (e / truth).max(truth / e);
+        assert!(qerr < 3.0, "qerr {qerr} (est {e}, true {truth})");
+    }
+}

@@ -1,0 +1,140 @@
+//! UniSample: uniform per-table Bernoulli samples evaluated at estimation
+//! time, join uniformity across tables (MySQL/MariaDB style).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cardbench_engine::Database;
+use cardbench_query::{BoundQuery, SubPlanQuery};
+use cardbench_storage::TableId;
+
+use crate::fanout::uniform_join_card;
+use crate::CardEst;
+
+/// The uniform-sampling estimator.
+pub struct UniSample {
+    /// Sampled row ids per table.
+    samples: Vec<Vec<u32>>,
+}
+
+impl UniSample {
+    /// Draws `sample_size` rows per table (all rows when smaller).
+    pub fn fit(db: &Database, sample_size: usize, seed: u64) -> UniSample {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = (0..db.catalog().table_count())
+            .map(|t| {
+                let n = db.row_count(TableId(t));
+                if n <= sample_size {
+                    (0..n as u32).collect()
+                } else {
+                    // Floyd's algorithm would avoid duplicates; simple
+                    // rejection is fine at these sizes.
+                    let mut set = std::collections::HashSet::with_capacity(sample_size);
+                    while set.len() < sample_size {
+                        set.insert(rng.gen_range(0..n as u32));
+                    }
+                    let mut v: Vec<u32> = set.into_iter().collect();
+                    v.sort_unstable();
+                    v
+                }
+            })
+            .collect();
+        UniSample { samples }
+    }
+}
+
+impl CardEst for UniSample {
+    fn name(&self) -> &'static str {
+        "UniSample"
+    }
+
+    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+        let Ok(bound) = BoundQuery::bind(&sub.query, db.catalog()) else {
+            return 1.0;
+        };
+        let sels: Vec<f64> = bound
+            .tables
+            .iter()
+            .map(|bt| {
+                let sample = &self.samples[bt.id.0];
+                if sample.is_empty() {
+                    return 0.0;
+                }
+                let hits = sample
+                    .iter()
+                    .filter(|&&r| db.row_matches(bt.id, r, &bt.predicates))
+                    .count();
+                if hits == 0 {
+                    // Standard half-a-row correction for empty samples.
+                    0.5 / sample.len() as f64
+                } else {
+                    hits as f64 / sample.len() as f64
+                }
+            })
+            .collect();
+        uniform_join_card(db, &bound, &sels)
+    }
+
+    fn model_size_bytes(&self) -> usize {
+        self.samples.iter().map(|s| s.len() * 4).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardbench_query::{JoinQuery, Predicate, Region, TableMask};
+    use cardbench_storage::{Catalog, Column, ColumnDef, ColumnKind, Table, TableSchema};
+
+    fn db() -> Database {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            Table::from_columns(
+                TableSchema::new(
+                    "t",
+                    vec![
+                        ColumnDef::new("id", ColumnKind::PrimaryKey),
+                        ColumnDef::new("v", ColumnKind::Numeric),
+                    ],
+                ),
+                vec![
+                    Column::from_values((0..1000).collect()),
+                    Column::from_values((0..1000).map(|i| i % 10).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+        Database::new(cat)
+    }
+
+    fn single(pred: Predicate) -> SubPlanQuery {
+        SubPlanQuery {
+            query: JoinQuery::single("t", vec![pred]),
+            mask: TableMask::single(0),
+        }
+    }
+
+    #[test]
+    fn full_sample_is_exact() {
+        let db = db();
+        let mut est = UniSample::fit(&db, 10_000, 1);
+        let e = est.estimate(&db, &single(Predicate::new(0, "v", Region::eq(3))));
+        assert!((e - 100.0).abs() < 1e-9, "e = {e}");
+    }
+
+    #[test]
+    fn partial_sample_close() {
+        let db = db();
+        let mut est = UniSample::fit(&db, 200, 2);
+        let e = est.estimate(&db, &single(Predicate::new(0, "v", Region::le(4))));
+        assert!((e - 500.0).abs() < 120.0, "e = {e}");
+    }
+
+    #[test]
+    fn zero_hits_get_correction() {
+        let db = db();
+        let mut est = UniSample::fit(&db, 100, 3);
+        let e = est.estimate(&db, &single(Predicate::new(0, "v", Region::eq(99999))));
+        assert!(e > 0.0 && e < 10.0, "e = {e}");
+    }
+}

@@ -1,0 +1,218 @@
+//! WJSample: wander join (Li et al.) — random walks along join-key
+//! indexes with Horvitz–Thompson reweighting.
+//!
+//! Each walk starts at a uniformly random row of the first table and
+//! extends along the query's join tree by picking a uniformly random
+//! matching row in each next table via the index. A completed walk that
+//! passes all filters contributes `n_0 · Π degree_i`; failed walks
+//! contribute 0. The estimator is unbiased but high-variance for large
+//! joins — the behaviour the paper observes (O1: worse than PostgreSQL).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cardbench_engine::Database;
+use cardbench_query::{BoundQuery, SubPlanQuery};
+
+use crate::CardEst;
+
+/// The wander-join estimator.
+pub struct WjSample {
+    /// Walks per estimate.
+    pub walks: usize,
+    rng: StdRng,
+}
+
+impl WjSample {
+    /// Creates the estimator (model-free; walks happen at estimate time).
+    pub fn new(walks: usize, seed: u64) -> WjSample {
+        WjSample {
+            walks,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl CardEst for WjSample {
+    fn name(&self) -> &'static str {
+        "WJSample"
+    }
+
+    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+        let Ok(bound) = BoundQuery::bind(&sub.query, db.catalog()) else {
+            return 1.0;
+        };
+        let n = sub.query.table_count();
+        // Walk order: BFS from position 0 along the join tree, recording
+        // the edge used to reach each table.
+        let mut order: Vec<(usize, Option<usize>)> = vec![(0, None)];
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        let mut qi = 0;
+        while qi < order.len() {
+            let t = order[qi].0;
+            qi += 1;
+            for (ei, e) in bound.joins.iter().enumerate() {
+                let other = if e.left == t {
+                    e.right
+                } else if e.right == t {
+                    e.left
+                } else {
+                    continue;
+                };
+                if !seen[other] {
+                    seen[other] = true;
+                    order.push((other, Some(ei)));
+                }
+            }
+        }
+
+        let n0 = db.row_count(bound.tables[0].id);
+        if n0 == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0f64;
+        let mut rows = vec![0u32; n];
+        'walk: for _ in 0..self.walks {
+            let mut weight = n0 as f64;
+            for (step, &(t, via)) in order.iter().enumerate() {
+                let bt = &bound.tables[t];
+                if step == 0 {
+                    rows[t] = self.rng.gen_range(0..n0 as u32);
+                } else {
+                    let ei = via.expect("non-root has an edge");
+                    let e = &bound.joins[ei];
+                    // Which side is already placed?
+                    let (from, from_col, my_col) = if seen_before(&order, step, e.left) {
+                        (e.left, e.left_col, e.right_col)
+                    } else {
+                        (e.right, e.right_col, e.left_col)
+                    };
+                    let from_table = db.catalog().table(bound.tables[from].id);
+                    let Some(key) = from_table.column(from_col).get(rows[from] as usize) else {
+                        continue 'walk; // NULL key: walk dies
+                    };
+                    let idx = db.index(bt.id, my_col);
+                    let d = idx.count_equal(key);
+                    if d == 0 {
+                        continue 'walk;
+                    }
+                    let k = self.rng.gen_range(0..d);
+                    rows[t] = idx.kth_equal(key, k).expect("k < degree");
+                    weight *= d as f64;
+                }
+                if !db.row_matches(bt.id, rows[t], &bt.predicates) {
+                    continue 'walk;
+                }
+            }
+            total += weight;
+        }
+        total / self.walks as f64
+    }
+}
+
+/// True when table position `pos` appears in `order` before `step`.
+fn seen_before(order: &[(usize, Option<usize>)], step: usize, pos: usize) -> bool {
+    order[..step].iter().any(|&(t, _)| t == pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardbench_engine::exact_cardinality;
+    use cardbench_query::{JoinEdge, JoinQuery, Predicate, Region, TableMask};
+    use cardbench_storage::{
+        Catalog, Column, ColumnDef, ColumnKind, Table, TableSchema,
+    };
+
+    fn db() -> Database {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            Table::from_columns(
+                TableSchema::new(
+                    "a",
+                    vec![
+                        ColumnDef::new("id", ColumnKind::PrimaryKey),
+                        ColumnDef::new("x", ColumnKind::Numeric),
+                    ],
+                ),
+                vec![
+                    Column::from_values((0..50).collect()),
+                    Column::from_values((0..50).map(|i| i % 5).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+        cat.add_table(
+            Table::from_columns(
+                TableSchema::new(
+                    "b",
+                    vec![
+                        ColumnDef::new("aid", ColumnKind::ForeignKey),
+                        ColumnDef::new("y", ColumnKind::Numeric),
+                    ],
+                ),
+                vec![
+                    Column::from_values((0..200).map(|i| i % 50).collect()),
+                    Column::from_values((0..200).map(|i| i % 3).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+        Database::new(cat)
+    }
+
+    fn join_query() -> JoinQuery {
+        JoinQuery {
+            tables: vec!["a".into(), "b".into()],
+            joins: vec![JoinEdge::new(0, "id", 1, "aid")],
+            predicates: vec![
+                Predicate::new(0, "x", Region::le(2)),
+                Predicate::new(1, "y", Region::eq(0)),
+            ],
+        }
+    }
+
+    #[test]
+    fn unbiased_on_uniform_join() {
+        let db = db();
+        let q = join_query();
+        let exact = exact_cardinality(&db, &q).unwrap();
+        let mut est = WjSample::new(4000, 7);
+        let sub = SubPlanQuery {
+            mask: TableMask::full(2),
+            query: q,
+        };
+        let e = est.estimate(&db, &sub);
+        assert!(
+            (e - exact).abs() / exact < 0.25,
+            "wj {e} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn single_table_estimate() {
+        let db = db();
+        let q = JoinQuery::single("a", vec![Predicate::new(0, "x", Region::eq(0))]);
+        let mut est = WjSample::new(2000, 8);
+        let sub = SubPlanQuery {
+            mask: TableMask::single(0),
+            query: q,
+        };
+        let e = est.estimate(&db, &sub);
+        assert!((e - 10.0).abs() < 3.0, "e = {e}");
+    }
+
+    #[test]
+    fn impossible_filter_returns_zero() {
+        let db = db();
+        let mut q = join_query();
+        q.predicates.push(Predicate::new(0, "x", Region::eq(999)));
+        let mut est = WjSample::new(500, 9);
+        let sub = SubPlanQuery {
+            mask: TableMask::full(2),
+            query: q,
+        };
+        assert_eq!(est.estimate(&db, &sub), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! The Figure-2 style case study: for the workload's largest query,
+//! render the plan trees chosen by contrasting estimators with estimated
+//! vs true cardinalities per node, plus measured execution times.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cardbench_engine::{execute, optimize, CardMap, CostModel, Database, TrueCardService};
+use cardbench_estimators::CardEst;
+use cardbench_query::{connected_subsets, BoundQuery, SubPlanQuery};
+use cardbench_workload::{Workload, WorkloadQuery};
+
+use crate::report::fmt_duration;
+
+/// Picks the workload query with the largest true cardinality — the
+/// regime where paper observations O5/O6 (big sub-plans dominate; the
+/// root operator choice matters more than join order) live.
+pub fn pick_case_query(wl: &Workload) -> &WorkloadQuery {
+    wl.queries
+        .iter()
+        .max_by(|a, b| a.true_card.partial_cmp(&b.true_card).unwrap())
+        .expect("non-empty workload")
+}
+
+/// Runs the case study for one estimator and renders its annotated plan.
+pub fn case_study(
+    db: &Database,
+    wq: &WorkloadQuery,
+    est: &mut dyn CardEst,
+    truth: &TrueCardService,
+    cost: &CostModel,
+) -> String {
+    let query = &wq.query;
+    let bound = BoundQuery::bind(query, db.catalog()).expect("query binds");
+    let mut est_cards = CardMap::new();
+    let mut true_cards = CardMap::new();
+    for mask in connected_subsets(query) {
+        let sp = SubPlanQuery::project(query, mask);
+        est_cards.insert(mask, est.estimate(db, &sp));
+        true_cards.insert(mask, truth.cardinality(db, &sp.query).expect("truth"));
+    }
+    let plan = optimize(query, &bound, db, &est_cards, cost);
+    let t0 = Instant::now();
+    let (rows, stats) = execute(&plan, &bound, db);
+    let exec = t0.elapsed();
+    let mut s = String::new();
+    writeln!(
+        s,
+        "{} on Q{} (true card {}, result {rows} rows, exec {}, {} intermediate rows)",
+        est.name(),
+        wq.id,
+        wq.true_card,
+        fmt_duration(exec),
+        stats.intermediate_rows
+    )
+    .unwrap();
+    s.push_str(&plan.render(&query.tables, &|mask| {
+        format!(
+            "[est {:.0} | true {:.0}]",
+            est_cards.rows(mask),
+            true_cards.rows(mask)
+        )
+    }));
+    // EXPLAIN view costed with the *true* cardinalities: the PPC the
+    // plan actually pays (the numerator of P-Error).
+    s.push_str("costed with true cardinalities:\n");
+    s.push_str(&cardbench_engine::explain(
+        &plan,
+        db,
+        &bound,
+        &query.tables,
+        cost,
+        &true_cards,
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Bench, BenchConfig};
+    use crate::factory::build_estimator;
+    use cardbench_estimators::EstimatorKind;
+
+    #[test]
+    fn case_study_renders_annotated_plans() {
+        let b = Bench::build(BenchConfig::fast(6));
+        let truth = TrueCardService::new();
+        let wq = pick_case_query(&b.stats_wl);
+        assert!(wq.true_card >= 1.0);
+        for kind in [EstimatorKind::TrueCard, EstimatorKind::Postgres] {
+            let mut built =
+                build_estimator(kind, &b.stats_db, &b.stats_train, &b.config.settings);
+            let s = case_study(
+                &b.stats_db,
+                wq,
+                built.est.as_mut(),
+                &truth,
+                &CostModel::default(),
+            );
+            assert!(s.contains("Scan"), "plan missing scans:\n{s}");
+            assert!(s.contains("| true "), "missing annotations:\n{s}");
+        }
+    }
+}

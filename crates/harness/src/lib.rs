@@ -1,0 +1,28 @@
+//! The end-to-end evaluation pipeline: build datasets and workloads,
+//! train every estimator, drive the optimizer with injected
+//! cardinalities, execute the chosen plans, and render each table and
+//! figure of the paper.
+//!
+//! - [`config`]: benchmark + estimator settings, dataset/workload setup.
+//! - [`factory`]: constructs any estimator by kind (timing its training).
+//! - [`endtoend`]: per-query runs (planning time, execution time,
+//!   Q-Errors, P-Error).
+//! - [`report`]: text renderers for Tables 1–7.
+//! - [`results`]: serializable JSON results for downstream analysis.
+//! - [`update_exp`]: the dynamic-data experiment (Table 6).
+//! - [`case_study`]: the Figure-2 style plan-tree case study.
+
+pub mod case_study;
+pub mod config;
+pub mod endtoend;
+pub mod factory;
+pub mod observations;
+pub mod report;
+pub mod results;
+pub mod update_exp;
+
+pub use config::{Bench, BenchConfig, EstimatorSettings};
+pub use endtoend::{run_workload, MethodRun, QueryRun};
+pub use factory::{build_estimator, BuiltEstimator};
+pub use observations::{check_observations, render_checks, ObservationCheck};
+pub use results::{MethodSummary, QueryRecord, RunResults};

@@ -1,0 +1,171 @@
+//! Serializable benchmark results: a stable JSON schema for downstream
+//! analysis, plotting, and regression tracking across runs.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use cardbench_metrics::percentile_triple;
+
+use crate::endtoend::MethodRun;
+
+/// One method's summary on one workload.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct MethodSummary {
+    /// Method display name.
+    pub method: String,
+    /// Method class.
+    pub class: String,
+    /// Workload name.
+    pub workload: String,
+    /// Total execution seconds.
+    pub exec_secs: f64,
+    /// Total planning seconds.
+    pub plan_secs: f64,
+    /// Training seconds.
+    pub train_secs: f64,
+    /// Model size in bytes.
+    pub model_bytes: usize,
+    /// Mean inference latency per sub-plan, seconds.
+    pub avg_inference_secs: f64,
+    /// Q-Error percentiles (50/90/99).
+    pub q_error: (f64, f64, f64),
+    /// P-Error percentiles (50/90/99).
+    pub p_error: (f64, f64, f64),
+    /// Per-query records.
+    pub queries: Vec<QueryRecord>,
+}
+
+/// One query's record.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct QueryRecord {
+    /// Workload query id.
+    pub id: usize,
+    /// Joined tables.
+    pub tables: usize,
+    /// True cardinality.
+    pub true_card: f64,
+    /// Execution seconds.
+    pub exec_secs: f64,
+    /// Planning seconds.
+    pub plan_secs: f64,
+    /// P-Error.
+    pub p_error: f64,
+    /// Median sub-plan Q-Error.
+    pub q_error_median: f64,
+}
+
+impl MethodSummary {
+    /// Builds the summary from a run.
+    pub fn from_run(run: &MethodRun, workload: &str) -> MethodSummary {
+        let queries = run
+            .queries
+            .iter()
+            .map(|q| QueryRecord {
+                id: q.id,
+                tables: q.n_tables,
+                true_card: q.true_card,
+                exec_secs: q.exec.as_secs_f64(),
+                plan_secs: q.plan.as_secs_f64(),
+                p_error: q.p_error,
+                q_error_median: cardbench_metrics::percentile(&q.q_errors, 0.5),
+            })
+            .collect();
+        MethodSummary {
+            method: run.kind.name().to_string(),
+            class: run.kind.class().to_string(),
+            workload: workload.to_string(),
+            exec_secs: run.exec_total().as_secs_f64(),
+            plan_secs: run.plan_total().as_secs_f64(),
+            train_secs: run.train_time.as_secs_f64(),
+            model_bytes: run.model_size,
+            avg_inference_secs: run.avg_inference().as_secs_f64(),
+            q_error: percentile_triple(&run.all_q_errors()),
+            p_error: percentile_triple(&run.all_p_errors()),
+            queries,
+        }
+    }
+}
+
+/// A whole benchmark run's results.
+#[derive(Debug, Clone, Serialize, Deserialize, Default, PartialEq)]
+pub struct RunResults {
+    /// Summaries for every (method, workload) pair.
+    pub summaries: Vec<MethodSummary>,
+}
+
+impl RunResults {
+    /// Collects summaries from per-workload runs.
+    pub fn collect(imdb_runs: &[MethodRun], stats_runs: &[MethodRun]) -> RunResults {
+        let mut summaries = Vec::new();
+        for r in imdb_runs {
+            summaries.push(MethodSummary::from_run(r, "JOB-LIGHT"));
+        }
+        for r in stats_runs {
+            summaries.push(MethodSummary::from_run(r, "STATS-CEB"));
+        }
+        RunResults { summaries }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serializable")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> Result<RunResults, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes JSON to a file.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardbench_estimators::EstimatorKind;
+    use std::time::Duration;
+
+    fn sample_run() -> MethodRun {
+        MethodRun {
+            kind: EstimatorKind::Postgres,
+            train_time: Duration::from_millis(5),
+            model_size: 1024,
+            queries: vec![crate::endtoend::QueryRun {
+                id: 1,
+                n_tables: 3,
+                true_card: 42.0,
+                exec: Duration::from_millis(7),
+                plan: Duration::from_micros(30),
+                subplans: 6,
+                p_error: 1.5,
+                q_errors: vec![1.0, 2.0, 4.0],
+                result_rows: 42,
+            }],
+        }
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = MethodSummary::from_run(&sample_run(), "STATS-CEB");
+        assert_eq!(s.method, "PostgreSQL");
+        assert_eq!(s.workload, "STATS-CEB");
+        assert_eq!(s.queries.len(), 1);
+        assert!((s.queries[0].q_error_median - 2.0).abs() < 1e-9);
+        assert!((s.q_error.0 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = RunResults::collect(&[sample_run()], &[sample_run()]);
+        let json = r.to_json();
+        let back = RunResults::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.summaries.len(), 2);
+    }
+}

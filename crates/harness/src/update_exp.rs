@@ -1,0 +1,175 @@
+//! The dynamic-data experiment (paper Table 6): train stale models on the
+//! pre-cutoff half of STATS, bulk-insert the rest, measure update time
+//! and post-update end-to-end performance.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use cardbench_datagen::stats::{temporal_split, SPLIT_DAY};
+use cardbench_datagen::{stats_catalog, StatsConfig};
+use cardbench_engine::{CostModel, Database, TrueCardService};
+use cardbench_estimators::EstimatorKind;
+use cardbench_storage::TableId;
+use cardbench_workload::Workload;
+
+use crate::config::EstimatorSettings;
+use crate::endtoend::{run_workload, MethodRun};
+use crate::factory::build_estimator;
+use crate::report::fmt_duration;
+
+/// Result of the update experiment for one method.
+#[derive(Debug, Clone)]
+pub struct UpdateResult {
+    /// Which estimator.
+    pub kind: EstimatorKind,
+    /// Time to absorb the inserts.
+    pub update_time: Duration,
+    /// End-to-end time of the *fresh* model on the full data (Table 3
+    /// comparison baseline).
+    pub e2e_fresh: Duration,
+    /// End-to-end time of the *updated stale* model on the full data.
+    pub e2e_updated: Duration,
+}
+
+/// The data-driven methods the paper updates (query-driven methods are
+/// impractical for dynamic data — observation O9).
+pub const UPDATABLE: [EstimatorKind; 4] = [
+    EstimatorKind::NeuroCardE,
+    EstimatorKind::BayesCard,
+    EstimatorKind::DeepDb,
+    EstimatorKind::Flat,
+];
+
+/// Runs the full update experiment: returns one [`UpdateResult`] per
+/// updatable method. `stats_cfg` regenerates the same full dataset the
+/// workload was built on.
+pub fn run_update_experiment(
+    stats_cfg: &StatsConfig,
+    wl: &Workload,
+    settings: &EstimatorSettings,
+    cost: &CostModel,
+) -> Vec<UpdateResult> {
+    let full = stats_catalog(stats_cfg);
+    let (stale_catalog, inserts) = temporal_split(&full, SPLIT_DAY);
+    let full_db = Database::new(full);
+    let truth = TrueCardService::new();
+    // Query-driven training set unused by the updatable (data-driven)
+    // methods.
+    let empty_train = cardbench_estimators::lw::TrainingSet::default();
+
+    let mut results = Vec::new();
+    for kind in UPDATABLE {
+        // Fresh model on the full data (the Table 3 number).
+        let mut fresh = build_estimator(kind, &full_db, &empty_train, settings);
+        let fresh_runs = run_workload(&full_db, wl, fresh.est.as_mut(), &truth, cost);
+        let e2e_fresh = MethodRun {
+            kind,
+            train_time: fresh.train_time,
+            model_size: fresh.model_size,
+            queries: fresh_runs,
+        }
+        .e2e_total();
+
+        // Stale model + inserts + update.
+        let stale_db = Database::new(stale_catalog.clone());
+        let mut stale = build_estimator(kind, &stale_db, &empty_train, settings);
+        let mut updated_db = stale_db;
+        for (t, d) in inserts.iter().enumerate() {
+            updated_db
+                .catalog_mut()
+                .table_mut(TableId(t))
+                .append_rows(d)
+                .expect("aligned schemas");
+        }
+        updated_db.refresh();
+        let t0 = Instant::now();
+        stale.est.apply_inserts(&updated_db, &inserts);
+        let update_time = t0.elapsed();
+        let updated_runs = run_workload(&updated_db, wl, stale.est.as_mut(), &truth, cost);
+        let e2e_updated = MethodRun {
+            kind,
+            train_time: stale.train_time,
+            model_size: stale.model_size,
+            queries: updated_runs,
+        }
+        .e2e_total();
+
+        results.push(UpdateResult {
+            kind,
+            update_time,
+            e2e_fresh,
+            e2e_updated,
+        });
+    }
+    results
+}
+
+/// Renders paper Table 6.
+pub fn table6(results: &[UpdateResult]) -> String {
+    let mut s = String::new();
+    writeln!(s, "Table 6: Update performance of CardEst algorithms").unwrap();
+    write!(s, "{:<28}", "Criteria").unwrap();
+    for r in results {
+        write!(s, " {:>12}", r.kind.name()).unwrap();
+    }
+    writeln!(s).unwrap();
+    write!(s, "{:<28}", "Update time").unwrap();
+    for r in results {
+        write!(s, " {:>12}", fmt_duration(r.update_time)).unwrap();
+    }
+    writeln!(s).unwrap();
+    write!(s, "{:<28}", "Original E2E time (fresh)").unwrap();
+    for r in results {
+        write!(s, " {:>12}", fmt_duration(r.e2e_fresh)).unwrap();
+    }
+    writeln!(s).unwrap();
+    write!(s, "{:<28}", "E2E time after update").unwrap();
+    for r in results {
+        write!(s, " {:>12}", fmt_duration(r.e2e_updated)).unwrap();
+    }
+    writeln!(s).unwrap();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardbench_workload::{stats_ceb, WorkloadConfig};
+
+    #[test]
+    fn update_experiment_runs() {
+        let stats_cfg = StatsConfig::tiny(4);
+        let db = Database::new(stats_catalog(&stats_cfg));
+        let wl = stats_ceb(
+            &db,
+            &WorkloadConfig {
+                templates: 6,
+                queries: 6,
+                max_tables: 4,
+                ..WorkloadConfig::stats_ceb(4)
+            },
+        );
+        let settings = EstimatorSettings::fast(4);
+        let results =
+            run_update_experiment(&stats_cfg, &wl, &settings, &CostModel::default());
+        assert_eq!(results.len(), 4);
+        // BayesCard's incremental count update beats NeuroCard's retrain.
+        let bc = results
+            .iter()
+            .find(|r| r.kind == EstimatorKind::BayesCard)
+            .unwrap();
+        let nc = results
+            .iter()
+            .find(|r| r.kind == EstimatorKind::NeuroCardE)
+            .unwrap();
+        assert!(
+            bc.update_time < nc.update_time,
+            "BayesCard {:?} vs NeuroCard {:?}",
+            bc.update_time,
+            nc.update_time
+        );
+        let rendered = table6(&results);
+        assert!(rendered.contains("Update time"));
+        assert!(rendered.contains("BayesCard"));
+    }
+}

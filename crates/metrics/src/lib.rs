@@ -1,0 +1,251 @@
+//! Evaluation metrics: Q-Error, the paper's proposed P-Error, and the
+//! percentile / correlation machinery behind Table 7.
+
+use cardbench_engine::{optimize, plan_cost, CardMap, CostModel, Database, PhysicalPlan};
+use cardbench_query::{BoundQuery, JoinQuery};
+
+/// Q-Error of one estimate: `max(est/true, true/est)` with both sides
+/// clamped to at least one row (PostgreSQL's clamp), so Q-Error ≥ 1.
+pub fn q_error(estimate: f64, truth: f64) -> f64 {
+    let e = estimate.max(1.0);
+    let t = truth.max(1.0);
+    (e / t).max(t / e)
+}
+
+/// PostgreSQL plan cost (PPC): the cost of plan `plan` when every node's
+/// input/output rows come from `cards` — the paper's
+/// `PPC(P(·), C^T)` primitive.
+pub fn ppc(
+    plan: &PhysicalPlan,
+    db: &Database,
+    bound: &BoundQuery,
+    cost: &CostModel,
+    cards: &CardMap,
+) -> f64 {
+    plan_cost(plan, db, bound, cost, &|m| cards.rows(m))
+}
+
+/// P-Error of one query:
+/// `PPC(P(C^E), C^T) / PPC(P(C^T), C^T)` — the plan chosen from the
+/// estimates, costed with the truth, relative to the truth-chosen plan.
+/// ≥ 1 whenever the optimizer is exact over its own cost model.
+pub fn p_error(
+    db: &Database,
+    cost: &CostModel,
+    query: &JoinQuery,
+    bound: &BoundQuery,
+    est_cards: &CardMap,
+    true_cards: &CardMap,
+) -> f64 {
+    let plan_e = optimize(query, bound, db, est_cards, cost);
+    let plan_t = optimize(query, bound, db, true_cards, cost);
+    let ppc_e = ppc(&plan_e, db, bound, cost, true_cards);
+    let ppc_t = ppc(&plan_t, db, bound, cost, true_cards);
+    if ppc_t <= 0.0 {
+        1.0
+    } else {
+        ppc_e / ppc_t
+    }
+}
+
+/// The `p`-th percentile (0..=1) of a sample, by linear interpolation on
+/// the sorted values. Empty input yields NaN.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = p.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// The 50/90/99-percentile triple reported throughout paper Table 7.
+pub fn percentile_triple(values: &[f64]) -> (f64, f64, f64) {
+    (
+        percentile(values, 0.50),
+        percentile(values, 0.90),
+        percentile(values, 0.99),
+    )
+}
+
+/// Pearson correlation coefficient.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// Spearman rank correlation (Pearson over ranks, mean rank for ties).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap());
+    let mut r = vec![0.0; v.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let mean_rank = (i + j) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            r[k] = mean_rank;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardbench_query::{connected_subsets, JoinEdge, Predicate, Region, TableMask};
+    use cardbench_storage::{Catalog, Column, ColumnDef, ColumnKind, Table, TableSchema};
+
+    #[test]
+    fn q_error_symmetric_and_clamped() {
+        assert_eq!(q_error(10.0, 100.0), 10.0);
+        assert_eq!(q_error(100.0, 10.0), 10.0);
+        assert_eq!(q_error(0.0, 0.5), 1.0);
+        assert!(q_error(1.0, 1.0) >= 1.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert!((percentile(&v, 0.5) - 50.5).abs() < 1e-9);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        let (p50, p90, p99) = percentile_triple(&v);
+        assert!(p50 < p90 && p90 < p99);
+    }
+
+    #[test]
+    fn pearson_and_spearman_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 4.0, 6.0, 8.0, 10.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-9);
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-9);
+        // Monotone but non-linear: Spearman 1, Pearson < 1.
+        let zs = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&xs, &zs) - 1.0).abs() < 1e-9);
+        assert!(pearson(&xs, &zs) < 1.0);
+    }
+
+    fn db() -> Database {
+        let mut cat = Catalog::new();
+        for (name, rows, modulus) in [("a", 2000usize, 20i64), ("b", 400, 10), ("c", 50, 5)] {
+            cat.add_table(
+                Table::from_columns(
+                    TableSchema::new(
+                        name,
+                        vec![
+                            ColumnDef::new("k", ColumnKind::ForeignKey),
+                            ColumnDef::new("v", ColumnKind::Numeric),
+                        ],
+                    ),
+                    vec![
+                        Column::from_values((0..rows as i64).map(|i| i % 50).collect()),
+                        Column::from_values((0..rows as i64).map(|i| i % modulus).collect()),
+                    ],
+                )
+                .unwrap(),
+            );
+        }
+        Database::new(cat)
+    }
+
+    fn query() -> JoinQuery {
+        JoinQuery {
+            tables: vec!["a".into(), "b".into(), "c".into()],
+            joins: vec![JoinEdge::new(0, "k", 1, "k"), JoinEdge::new(1, "k", 2, "k")],
+            predicates: vec![Predicate::new(0, "v", Region::le(5))],
+        }
+    }
+
+    fn true_cards(db: &Database, q: &JoinQuery) -> CardMap {
+        use cardbench_engine::exact_cardinality;
+        use cardbench_query::SubPlanQuery;
+        let mut m = CardMap::new();
+        for mask in connected_subsets(q) {
+            let sp = SubPlanQuery::project(q, mask);
+            m.insert(mask, exact_cardinality(db, &sp.query).unwrap());
+        }
+        m
+    }
+
+    #[test]
+    fn p_error_is_one_for_true_cards() {
+        let db = db();
+        let q = query();
+        let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+        let cards = true_cards(&db, &q);
+        let pe = p_error(&db, &CostModel::default(), &q, &bound, &cards, &cards);
+        assert!((pe - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_error_at_least_one_for_any_estimates() {
+        let db = db();
+        let q = query();
+        let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+        let truth = true_cards(&db, &q);
+        for factor in [0.001, 0.1, 10.0, 1000.0] {
+            let mut est = CardMap::new();
+            for mask in connected_subsets(&q) {
+                est.insert(TableMask(mask.0), truth.rows(mask) * factor);
+            }
+            let pe = p_error(&db, &CostModel::default(), &q, &bound, &est, &truth);
+            assert!(pe >= 1.0 - 1e-9, "factor {factor}: p_error {pe}");
+        }
+    }
+
+    #[test]
+    fn bad_estimates_can_raise_p_error() {
+        let db = db();
+        let q = query();
+        let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+        let truth = true_cards(&db, &q);
+        // Invert the relative sizes of the two join pairs to force a bad
+        // join order.
+        let mut est = CardMap::new();
+        for mask in connected_subsets(&q) {
+            let t = truth.rows(mask);
+            let skew = if mask.count() == 2 { 1.0 / (t * t).max(1.0) } else { t };
+            est.insert(TableMask(mask.0), skew);
+        }
+        let pe = p_error(&db, &CostModel::default(), &q, &bound, &est, &truth);
+        assert!(pe >= 1.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Discrete autoregressive density model with progressive sampling (the
+//! NeuroCard/Naru/UAE substrate).
+//!
+//! The joint over binned columns factorizes by the chain rule
+//! `P(x) = P(x_1) Π P(x_i | x_<i)`; each conditional is a small MLP with
+//! a softmax head taking the normalized prefix bins as input. Range
+//! queries are answered by progressive sampling (Naru/Liang et al.):
+//! walk the columns in order, multiply in the constrained mass of each
+//! conditional, and sample a concrete bin to condition the next column.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::matrix::Matrix;
+use crate::mlp::Mlp;
+
+/// Autoregressive model configuration.
+#[derive(Debug, Clone)]
+pub struct ArConfig {
+    /// Hidden width of each conditional MLP.
+    pub hidden: usize,
+    /// Training epochs over the data sample.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Progressive samples per query.
+    pub samples: usize,
+    /// RNG seed for weight init and training order.
+    pub seed: u64,
+}
+
+impl Default for ArConfig {
+    fn default() -> Self {
+        ArConfig {
+            hidden: 32,
+            epochs: 2,
+            lr: 0.01,
+            samples: 200,
+            seed: 0,
+        }
+    }
+}
+
+/// The learned model.
+#[derive(Debug, Clone)]
+pub struct AutoRegModel {
+    bins: Vec<usize>,
+    /// Marginal counts of the first column.
+    marginal0: Vec<f64>,
+    /// `mlps[i-1]` models `P(x_i | x_<i)` for `i >= 1`.
+    mlps: Vec<Mlp>,
+    cfg: ArConfig,
+}
+
+impl AutoRegModel {
+    /// Fits the model to binned columns.
+    pub fn fit(cols: &[Vec<u16>], bins: &[usize], cfg: ArConfig) -> AutoRegModel {
+        assert_eq!(cols.len(), bins.len());
+        assert!(!cols.is_empty());
+        let n = cols[0].len();
+        let mut marginal0 = vec![0.0; bins[0]];
+        for &b in &cols[0] {
+            marginal0[b as usize] += 1.0;
+        }
+        let mut mlps = Vec::with_capacity(cols.len().saturating_sub(1));
+        for i in 1..cols.len() {
+            let xs = Matrix::from_fn(n, i, |r, c| {
+                cols[c][r] as f32 / bins[c].max(1) as f32
+            });
+            let labels: Vec<usize> = cols[i].iter().map(|&b| b as usize).collect();
+            let mut net = Mlp::new(&[i, cfg.hidden, bins[i]], cfg.seed.wrapping_add(i as u64));
+            net.train_softmax(&xs, &labels, cfg.epochs, cfg.lr, cfg.seed ^ 0x5eed);
+            mlps.push(net);
+        }
+        AutoRegModel {
+            bins: bins.to_vec(),
+            marginal0,
+            mlps,
+            cfg,
+        }
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// `E[Π_i w_i(X_i)]` by progressive sampling; `weights[i]` is a
+    /// per-bin weight vector (`None` = constant 1).
+    pub fn query(&self, weights: &[Option<Vec<f64>>], rng: &mut StdRng) -> f64 {
+        assert_eq!(weights.len(), self.bins.len());
+        let mut total = 0.0;
+        for _ in 0..self.cfg.samples {
+            total += self.one_sample(weights, rng);
+        }
+        total / self.cfg.samples as f64
+    }
+
+    fn one_sample(&self, weights: &[Option<Vec<f64>>], rng: &mut StdRng) -> f64 {
+        let k = self.bins.len();
+        let mut prefix = Vec::with_capacity(k);
+        let mut w = 1.0f64;
+        let mut scratch: Vec<f64> = Vec::new();
+        for i in 0..k {
+            // Conditional distribution of column i.
+            scratch.clear();
+            if i == 0 {
+                let total: f64 = self.marginal0.iter().sum();
+                scratch.extend(self.marginal0.iter().map(|&c| (c + 0.1) / (total + 0.1 * self.bins[0] as f64)));
+            } else {
+                let probs = self.mlps[i - 1].forward_softmax(&prefix);
+                scratch.extend(probs.iter().map(|&p| p as f64));
+            }
+            // Constrained (weighted) mass.
+            let mass: f64 = match &weights[i] {
+                None => 1.0,
+                Some(wv) => scratch.iter().zip(wv).map(|(p, wv)| p * wv).sum(),
+            };
+            if mass <= 0.0 {
+                return 0.0;
+            }
+            w *= mass;
+            // Sample the next bin ∝ p·w (importance sampling keeps the
+            // estimator unbiased for the product of weights).
+            let bin = match &weights[i] {
+                None => sample_from(&scratch, 1.0, rng),
+                Some(wv) => {
+                    for (p, wv) in scratch.iter_mut().zip(wv) {
+                        *p *= wv;
+                    }
+                    sample_from(&scratch, mass, rng)
+                }
+            };
+            prefix.push(bin as f32 / self.bins[i].max(1) as f32);
+        }
+        w
+    }
+
+    /// Approximate model size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.marginal0.len() * 8 + self.mlps.iter().map(Mlp::param_bytes).sum::<usize>()
+    }
+}
+
+fn sample_from(weights: &[f64], total: f64, rng: &mut StdRng) -> usize {
+    let u = rng.gen::<f64>() * total;
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if u <= acc {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn fit_simple() -> AutoRegModel {
+        // Two perfectly correlated ternary columns.
+        let a: Vec<u16> = (0..600).map(|i| (i % 3) as u16).collect();
+        let b = a.clone();
+        AutoRegModel::fit(
+            &[a, b],
+            &[3, 3],
+            ArConfig {
+                epochs: 12,
+                samples: 400,
+                ..ArConfig::default()
+            },
+        )
+    }
+
+    fn indicator(bins: usize, allowed: &[usize]) -> Option<Vec<f64>> {
+        let mut w = vec![0.0; bins];
+        for &a in allowed {
+            w[a] = 1.0;
+        }
+        Some(w)
+    }
+
+    #[test]
+    fn marginal_close_to_third() {
+        let m = fit_simple();
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = m.query(&[indicator(3, &[0]), None], &mut rng);
+        assert!((p - 1.0 / 3.0).abs() < 0.05, "p = {p}");
+    }
+
+    #[test]
+    fn learns_correlation() {
+        let m = fit_simple();
+        let mut rng = StdRng::seed_from_u64(6);
+        // P(a=0 ∧ b=0) ≈ 1/3 (not 1/9) because b == a.
+        let p_same = m.query(&[indicator(3, &[0]), indicator(3, &[0])], &mut rng);
+        let p_diff = m.query(&[indicator(3, &[0]), indicator(3, &[1])], &mut rng);
+        assert!(p_same > 3.0 * p_diff, "same {p_same} diff {p_diff}");
+    }
+
+    #[test]
+    fn unconstrained_query_is_one() {
+        let m = fit_simple();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!((m.query(&[None, None], &mut rng) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impossible_region_is_zero() {
+        let m = fit_simple();
+        let mut rng = StdRng::seed_from_u64(8);
+        let w = vec![Some(vec![0.0, 0.0, 0.0]), None];
+        assert_eq!(m.query(&w, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let m = fit_simple();
+        assert!(m.size_bytes() > 100);
+    }
+}

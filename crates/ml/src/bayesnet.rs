@@ -1,0 +1,229 @@
+//! Tree-structured Bayesian network over discretized columns with exact
+//! weighted-query inference (the BayesCard substrate).
+//!
+//! The network stores *counts* (not probabilities) so it supports the
+//! paper's incremental update: new rows only bump counts, the structure —
+//! which Chow-Liu learned from the stale data — is preserved.
+
+use crate::chowliu::chow_liu_tree;
+use crate::depmat::dependence_matrix;
+
+/// A tree BN: per-node bin counts conditioned on the parent's bin.
+#[derive(Debug, Clone)]
+pub struct TreeBayesNet {
+    /// `parent[i]` — `None` for the root.
+    parent: Vec<Option<usize>>,
+    /// Children lists derived from `parent`.
+    children: Vec<Vec<usize>>,
+    /// `cpt[i][pb][cb]` = count of rows with node `i` in bin `cb` and its
+    /// parent in bin `pb`. The root uses a single pseudo parent bin.
+    cpt: Vec<Vec<Vec<f64>>>,
+    /// Bin count per node.
+    bins: Vec<usize>,
+    /// Total training rows.
+    rows: f64,
+    /// Laplace smoothing mass.
+    alpha: f64,
+}
+
+impl TreeBayesNet {
+    /// Learns structure (Chow-Liu over normalized MI) and parameters from
+    /// binned columns (`cols[i][r]` = bin of row `r` in column `i`).
+    pub fn fit(cols: &[Vec<u16>], bins: &[usize]) -> TreeBayesNet {
+        assert_eq!(cols.len(), bins.len());
+        let dep = dependence_matrix(cols);
+        let parent = chow_liu_tree(&dep);
+        let mut net = TreeBayesNet::with_structure(parent, bins.to_vec());
+        net.observe(cols);
+        net
+    }
+
+    /// Creates an empty network with a fixed structure.
+    pub fn with_structure(parent: Vec<Option<usize>>, bins: Vec<usize>) -> TreeBayesNet {
+        let k = parent.len();
+        let mut children = vec![Vec::new(); k];
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[*p].push(i);
+            }
+        }
+        let cpt = (0..k)
+            .map(|i| {
+                let pb = parent[i].map_or(1, |p| bins[p]);
+                vec![vec![0.0; bins[i]]; pb]
+            })
+            .collect();
+        TreeBayesNet {
+            parent,
+            children,
+            cpt,
+            bins,
+            rows: 0.0,
+            alpha: 0.02,
+        }
+    }
+
+    /// Adds observations (incremental update: counts only, structure
+    /// fixed).
+    pub fn observe(&mut self, cols: &[Vec<u16>]) {
+        let n = cols.first().map_or(0, Vec::len);
+        for r in 0..n {
+            for i in 0..self.parent.len() {
+                let cb = cols[i][r] as usize;
+                let pb = self.parent[i].map_or(0, |p| cols[p][r] as usize);
+                self.cpt[i][pb][cb] += 1.0;
+            }
+        }
+        self.rows += n as f64;
+    }
+
+    /// Number of training rows seen.
+    pub fn rows(&self) -> f64 {
+        self.rows
+    }
+
+    /// Smoothed conditional `P(node i in bin cb | parent bin pb)`.
+    fn cond(&self, i: usize, pb: usize, cb: usize) -> f64 {
+        let row = &self.cpt[i][pb];
+        let total: f64 = row.iter().sum();
+        (row[cb] + self.alpha) / (total + self.alpha * self.bins[i] as f64)
+    }
+
+    /// Exact `E[Π_i w_i(X_i)]` under the model. `weights[i]` gives a
+    /// per-bin weight for node `i`; `None` means the constant 1 (node
+    /// unconstrained). Indicator weights give probabilities; value
+    /// weights give expectations (e.g. join fanouts).
+    pub fn query(&self, weights: &[Option<Vec<f64>>]) -> f64 {
+        assert_eq!(weights.len(), self.parent.len());
+        // messages[i][pb] = E[Π w over i's subtree | parent bin pb].
+        let order = self.topo_order();
+        let mut messages: Vec<Vec<f64>> = vec![Vec::new(); self.parent.len()];
+        let mut result = 1.0;
+        for &i in order.iter().rev() {
+            let pbins = self.parent[i].map_or(1, |p| self.bins[p]);
+            let mut msg = vec![0.0; pbins];
+            for (pb, m) in msg.iter_mut().enumerate() {
+                for cb in 0..self.bins[i] {
+                    let w = weights[i].as_ref().map_or(1.0, |w| w[cb]);
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let mut term = self.cond(i, pb, cb) * w;
+                    for &c in &self.children[i] {
+                        term *= messages[c][cb];
+                    }
+                    *m += term;
+                }
+            }
+            if self.parent[i].is_none() {
+                result *= msg[0];
+            }
+            messages[i] = msg;
+        }
+        result
+    }
+
+    /// Probability that each constrained node falls in its allowed bins
+    /// (indicator-weight convenience over [`TreeBayesNet::query`]).
+    pub fn probability(&self, allowed: &[Option<Vec<f64>>]) -> f64 {
+        self.query(allowed)
+    }
+
+    /// Topological order (parents before children).
+    fn topo_order(&self) -> Vec<usize> {
+        let k = self.parent.len();
+        let mut order = Vec::with_capacity(k);
+        let mut stack: Vec<usize> = (0..k).filter(|&i| self.parent[i].is_none()).collect();
+        while let Some(i) = stack.pop() {
+            order.push(i);
+            stack.extend(self.children[i].iter().copied());
+        }
+        debug_assert_eq!(order.len(), k);
+        order
+    }
+
+    /// Approximate model size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.cpt
+            .iter()
+            .map(|t| t.iter().map(|r| r.len() * 8).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two perfectly correlated binary columns plus one independent.
+    fn cols() -> Vec<Vec<u16>> {
+        let a: Vec<u16> = (0..400).map(|i| (i % 2) as u16).collect();
+        let b = a.clone();
+        let c: Vec<u16> = (0..400).map(|i| ((i / 2) % 2) as u16).collect();
+        vec![a, b, c]
+    }
+
+    #[test]
+    fn marginal_probability() {
+        let net = TreeBayesNet::fit(&cols(), &[2, 2, 2]);
+        // P(a = 0) ≈ 0.5.
+        let w = vec![Some(vec![1.0, 0.0]), None, None];
+        let p = net.probability(&w);
+        assert!((p - 0.5).abs() < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn captures_correlation() {
+        let net = TreeBayesNet::fit(&cols(), &[2, 2, 2]);
+        // P(a=0 ∧ b=1) is ~0 because b == a, while independence would say 0.25.
+        let w = vec![Some(vec![1.0, 0.0]), Some(vec![0.0, 1.0]), None];
+        let p = net.probability(&w);
+        assert!(p < 0.05, "p = {p}");
+        // P(a=0 ∧ b=0) ≈ 0.5.
+        let w = vec![Some(vec![1.0, 0.0]), Some(vec![1.0, 0.0]), None];
+        assert!((net.probability(&w) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn independent_column_factorizes() {
+        let net = TreeBayesNet::fit(&cols(), &[2, 2, 2]);
+        let w = vec![Some(vec![1.0, 0.0]), None, Some(vec![1.0, 0.0])];
+        let p = net.probability(&w);
+        assert!((p - 0.25).abs() < 0.03, "p = {p}");
+    }
+
+    #[test]
+    fn expectation_weights() {
+        // E[f(a)] with f(0)=0, f(1)=10 and P(a=1)=0.5 → 5.
+        let net = TreeBayesNet::fit(&cols(), &[2, 2, 2]);
+        let w = vec![Some(vec![0.0, 10.0]), None, None];
+        let e = net.query(&w);
+        assert!((e - 5.0).abs() < 0.2, "e = {e}");
+    }
+
+    #[test]
+    fn unconstrained_query_is_one() {
+        let net = TreeBayesNet::fit(&cols(), &[2, 2, 2]);
+        let w = vec![None, None, None];
+        assert!((net.query(&w) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_observe_shifts_marginal() {
+        let mut net = TreeBayesNet::fit(&cols(), &[2, 2, 2]);
+        // Insert 400 rows that are all a=1.
+        let extra = vec![vec![1u16; 400], vec![1u16; 400], vec![0u16; 400]];
+        net.observe(&extra);
+        let w = vec![Some(vec![0.0, 1.0]), None, None];
+        let p = net.probability(&w);
+        assert!((p - 0.75).abs() < 0.02, "p = {p}");
+        assert_eq!(net.rows(), 800.0);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let net = TreeBayesNet::fit(&cols(), &[2, 2, 2]);
+        assert!(net.size_bytes() > 0);
+        assert!(net.size_bytes() < 1024);
+    }
+}

@@ -1,0 +1,103 @@
+//! Chow-Liu tree structure learning: the maximum-spanning-tree of the
+//! pairwise mutual-information graph (the structure learner BayesCard
+//! uses).
+
+/// Learns a tree over `k` nodes from a symmetric dependence matrix,
+/// returning `parent[i]` (`None` for the root, node 0). Prim's algorithm
+/// starting at node 0; ties broken by lower index so the result is
+/// deterministic.
+pub fn chow_liu_tree(dep: &[Vec<f64>]) -> Vec<Option<usize>> {
+    let k = dep.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut parent: Vec<Option<usize>> = vec![None; k];
+    let mut in_tree = vec![false; k];
+    let mut best_edge: Vec<(f64, usize)> = vec![(f64::NEG_INFINITY, 0); k];
+    in_tree[0] = true;
+    for j in 1..k {
+        best_edge[j] = (dep[0][j], 0);
+    }
+    for _ in 1..k {
+        // Pick the highest-scoring fringe node.
+        let mut pick = None;
+        for j in 0..k {
+            if !in_tree[j] {
+                match pick {
+                    None => pick = Some(j),
+                    Some(p) if best_edge[j].0 > best_edge[p].0 => pick = Some(j),
+                    _ => {}
+                }
+            }
+        }
+        let j = pick.expect("k nodes");
+        in_tree[j] = true;
+        parent[j] = Some(best_edge[j].1);
+        for m in 0..k {
+            if !in_tree[m] && dep[j][m] > best_edge[m].0 {
+                best_edge[m] = (dep[j][m], j);
+            }
+        }
+    }
+    parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_dependence_yields_chain() {
+        // 0-1 strong, 1-2 strong, 0-2 weak.
+        let dep = vec![
+            vec![1.0, 0.9, 0.1],
+            vec![0.9, 1.0, 0.8],
+            vec![0.1, 0.8, 1.0],
+        ];
+        let parent = chow_liu_tree(&dep);
+        assert_eq!(parent[0], None);
+        assert_eq!(parent[1], Some(0));
+        assert_eq!(parent[2], Some(1));
+    }
+
+    #[test]
+    fn star_dependence_yields_star() {
+        let dep = vec![
+            vec![1.0, 0.9, 0.9, 0.9],
+            vec![0.9, 1.0, 0.1, 0.1],
+            vec![0.9, 0.1, 1.0, 0.1],
+            vec![0.9, 0.1, 0.1, 1.0],
+        ];
+        let parent = chow_liu_tree(&dep);
+        assert_eq!(parent[0], None);
+        for j in 1..4 {
+            assert_eq!(parent[j], Some(0));
+        }
+    }
+
+    #[test]
+    fn tree_spans_all_nodes() {
+        let k = 6;
+        let dep: Vec<Vec<f64>> = (0..k)
+            .map(|i| (0..k).map(|j| 1.0 / (1.0 + (i as f64 - j as f64).abs())).collect())
+            .collect();
+        let parent = chow_liu_tree(&dep);
+        assert_eq!(parent.iter().filter(|p| p.is_none()).count(), 1);
+        // Every non-root reaches the root.
+        for mut j in 1..k {
+            let mut hops = 0;
+            while let Some(p) = parent[j] {
+                j = p;
+                hops += 1;
+                assert!(hops <= k, "cycle detected");
+            }
+            assert_eq!(j, 0);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(chow_liu_tree(&[]).is_empty());
+        assert_eq!(chow_liu_tree(&[vec![1.0]]), vec![None]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Gradient-boosted regression trees (the LW-XGB substrate).
+//!
+//! Squared-error boosting: each round fits a depth-limited regression
+//! tree to the residuals with exact greedy variance-reduction splits,
+//! then shrinks its predictions by the learning rate.
+
+use crate::matrix::Matrix;
+
+/// One node of a regression tree stored in an arena.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A depth-limited regression tree.
+#[derive(Debug, Clone)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn fit(
+        xs: &Matrix,
+        ys: &[f32],
+        rows: &[usize],
+        depth: usize,
+        min_rows: usize,
+    ) -> Tree {
+        let mut nodes = Vec::new();
+        Self::build(xs, ys, rows, depth, min_rows, &mut nodes);
+        Tree { nodes }
+    }
+
+    fn build(
+        xs: &Matrix,
+        ys: &[f32],
+        rows: &[usize],
+        depth: usize,
+        min_rows: usize,
+        nodes: &mut Vec<Node>,
+    ) -> usize {
+        let mean = rows.iter().map(|&r| ys[r]).sum::<f32>() / rows.len().max(1) as f32;
+        if depth == 0 || rows.len() < min_rows {
+            nodes.push(Node::Leaf { value: mean });
+            return nodes.len() - 1;
+        }
+        // Greedy best split by variance reduction.
+        let mut best: Option<(f32, usize, f32)> = None; // (score, feature, threshold)
+        for f in 0..xs.cols {
+            let mut vals: Vec<(f32, f32)> = rows.iter().map(|&r| (xs.get(r, f), ys[r])).collect();
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let total_sum: f32 = vals.iter().map(|v| v.1).sum();
+            let total_sq: f32 = vals.iter().map(|v| v.1 * v.1).sum();
+            let n = vals.len() as f32;
+            let mut lsum = 0.0f32;
+            let mut lsq = 0.0f32;
+            for i in 0..vals.len() - 1 {
+                lsum += vals[i].1;
+                lsq += vals[i].1 * vals[i].1;
+                if vals[i].0 == vals[i + 1].0 {
+                    continue; // can't split between equal values
+                }
+                let ln = (i + 1) as f32;
+                let rn = n - ln;
+                let lvar = lsq - lsum * lsum / ln;
+                let rsum = total_sum - lsum;
+                let rvar = (total_sq - lsq) - rsum * rsum / rn;
+                let score = lvar + rvar; // lower is better
+                if best.is_none_or(|(s, _, _)| score < s) {
+                    best = Some((score, f, (vals[i].0 + vals[i + 1].0) / 2.0));
+                }
+            }
+        }
+        let Some((_, feature, threshold)) = best else {
+            nodes.push(Node::Leaf { value: mean });
+            return nodes.len() - 1;
+        };
+        let (lrows, rrows): (Vec<usize>, Vec<usize>) =
+            rows.iter().partition(|&&r| xs.get(r, feature) <= threshold);
+        if lrows.is_empty() || rrows.is_empty() {
+            nodes.push(Node::Leaf { value: mean });
+            return nodes.len() - 1;
+        }
+        let left = Self::build(xs, ys, &lrows, depth - 1, min_rows, nodes);
+        let right = Self::build(xs, ys, &rrows, depth - 1, min_rows, nodes);
+        nodes.push(Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        });
+        nodes.len() - 1
+    }
+
+    fn predict(&self, x: &[f32]) -> f32 {
+        let mut i = self.nodes.len() - 1; // root is last
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+    }
+}
+
+/// Gradient-boosted regression-tree ensemble.
+#[derive(Debug, Clone)]
+pub struct Gbdt {
+    trees: Vec<Tree>,
+    base: f32,
+    shrinkage: f32,
+}
+
+/// GBDT hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct GbdtConfig {
+    /// Boosting rounds.
+    pub rounds: usize,
+    /// Maximum tree depth.
+    pub depth: usize,
+    /// Learning rate.
+    pub shrinkage: f32,
+    /// Minimum rows to split a node.
+    pub min_rows: usize,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        GbdtConfig {
+            rounds: 60,
+            depth: 5,
+            shrinkage: 0.2,
+            min_rows: 4,
+        }
+    }
+}
+
+impl Gbdt {
+    /// Fits the ensemble to `(xs, ys)`.
+    pub fn fit(xs: &Matrix, ys: &[f32], cfg: &GbdtConfig) -> Gbdt {
+        assert_eq!(xs.rows, ys.len());
+        assert!(xs.rows > 0);
+        let base = ys.iter().sum::<f32>() / ys.len() as f32;
+        let mut residual: Vec<f32> = ys.iter().map(|&y| y - base).collect();
+        let rows: Vec<usize> = (0..xs.rows).collect();
+        let mut trees = Vec::with_capacity(cfg.rounds);
+        for _ in 0..cfg.rounds {
+            let tree = Tree::fit(xs, &residual, &rows, cfg.depth, cfg.min_rows);
+            for (r, res) in residual.iter_mut().enumerate() {
+                *res -= cfg.shrinkage * tree.predict(xs.row(r));
+            }
+            trees.push(tree);
+        }
+        Gbdt {
+            trees,
+            base,
+            shrinkage: cfg.shrinkage,
+        }
+    }
+
+    /// Predicts one sample.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        self.base
+            + self.shrinkage
+                * self
+                    .trees
+                    .iter()
+                    .map(|t| t.predict(x))
+                    .sum::<f32>()
+    }
+
+    /// Approximate model size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.trees.iter().map(Tree::size_bytes).sum::<usize>() + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_step_function() {
+        let xs = Matrix::from_fn(100, 1, |r, _| r as f32 / 100.0);
+        let ys: Vec<f32> = (0..100).map(|r| if r < 50 { 1.0 } else { 5.0 }).collect();
+        let g = Gbdt::fit(&xs, &ys, &GbdtConfig::default());
+        assert!((g.predict(&[0.2]) - 1.0).abs() < 0.1);
+        assert!((g.predict(&[0.8]) - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn fits_additive_function() {
+        // y = x0 + 2*x1 over a grid.
+        let xs = Matrix::from_fn(64, 2, |r, c| if c == 0 { (r % 8) as f32 } else { (r / 8) as f32 });
+        let ys: Vec<f32> = (0..64).map(|r| xs.get(r, 0) + 2.0 * xs.get(r, 1)).collect();
+        let g = Gbdt::fit(&xs, &ys, &GbdtConfig::default());
+        let mut err = 0.0;
+        for r in 0..64 {
+            err += (g.predict(xs.row(r)) - ys[r]).abs();
+        }
+        assert!(err / 64.0 < 0.5, "mean abs err {}", err / 64.0);
+    }
+
+    #[test]
+    fn constant_target_gives_constant_model() {
+        let xs = Matrix::from_fn(10, 2, |r, c| (r + c) as f32);
+        let ys = vec![3.5f32; 10];
+        let g = Gbdt::fit(&xs, &ys, &GbdtConfig::default());
+        assert!((g.predict(&[100.0, -5.0]) - 3.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let xs = Matrix::from_fn(20, 1, |r, _| r as f32);
+        let ys: Vec<f32> = (0..20).map(|r| r as f32).collect();
+        let g = Gbdt::fit(&xs, &ys, &GbdtConfig { rounds: 3, ..GbdtConfig::default() });
+        assert!(g.size_bytes() > 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Lloyd's k-means over `f32` feature rows (row clustering for SPN sum
+//! nodes).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// Clusters the rows of `xs` into `k` groups; returns per-row assignments.
+/// Deterministic given `seed`. Degenerate inputs (fewer distinct rows than
+/// `k`) simply produce empty clusters, which callers should tolerate.
+pub fn kmeans(xs: &Matrix, k: usize, iters: usize, seed: u64) -> Vec<usize> {
+    assert!(k >= 1);
+    let n = xs.rows;
+    if n == 0 {
+        return Vec::new();
+    }
+    let d = xs.cols;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Initialize centroids from random distinct rows.
+    let mut centroids: Vec<Vec<f32>> = (0..k)
+        .map(|_| xs.row(rng.gen_range(0..n)).to_vec())
+        .collect();
+    let mut assign = vec![0usize; n];
+    for _ in 0..iters {
+        let mut changed = false;
+        for r in 0..n {
+            let row = xs.row(r);
+            let mut best = 0;
+            let mut best_d = f32::INFINITY;
+            for (c, cent) in centroids.iter().enumerate() {
+                let dist: f32 = row
+                    .iter()
+                    .zip(cent)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                if dist < best_d {
+                    best_d = dist;
+                    best = c;
+                }
+            }
+            if assign[r] != best {
+                assign[r] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Recompute centroids.
+        let mut sums = vec![vec![0.0f32; d]; k];
+        let mut counts = vec![0usize; k];
+        for r in 0..n {
+            counts[assign[r]] += 1;
+            for (s, &v) in sums[assign[r]].iter_mut().zip(xs.row(r)) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f32;
+                }
+                centroids[c] = sums[c].clone();
+            }
+        }
+    }
+    assign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_blobs() {
+        let xs = Matrix::from_fn(20, 1, |r, _| if r < 10 { r as f32 * 0.01 } else { 10.0 + r as f32 * 0.01 });
+        let assign = kmeans(&xs, 2, 20, 1);
+        // All of the first blob in one cluster, the second in the other.
+        let first = assign[0];
+        assert!(assign[..10].iter().all(|&a| a == first));
+        assert!(assign[10..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn single_cluster_assigns_all_zero() {
+        let xs = Matrix::from_fn(5, 2, |r, c| (r + c) as f32);
+        let assign = kmeans(&xs, 1, 5, 0);
+        assert!(assign.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs = Matrix::zeros(0, 3);
+        assert!(kmeans(&xs, 2, 5, 0).is_empty());
+    }
+}

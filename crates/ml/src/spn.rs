@@ -1,0 +1,532 @@
+//! Sum-product networks over discretized columns (the DeepDB substrate),
+//! with optional joint multi-leaves (the FLAT/FSPN substrate).
+//!
+//! Structure learning follows LearnSPN: recursively try an independence
+//! split of the columns (dependence below `dep_threshold` ⇒ product node);
+//! otherwise cluster the rows (k-means ⇒ sum node). In `multileaf` mode
+//! (FLAT), groups of highly correlated columns (pairwise dependence above
+//! `joint_threshold`) are modeled *exactly* by a joint count table instead
+//! of being chased down long sum-node chains — the FSPN factorize/multi-
+//! leaf idea, which is why FLAT is more accurate and compact than DeepDB
+//! on correlated data (paper O8).
+//!
+//! All parameters are stored as counts so the paper's incremental update
+//! (structure preserved, parameters updated) is supported.
+
+use std::collections::HashMap;
+
+use crate::depmat::dependence_matrix;
+use crate::kmeans::kmeans;
+use crate::matrix::Matrix;
+
+/// SPN learning configuration.
+#[derive(Debug, Clone)]
+pub struct SpnConfig {
+    /// Below this pairwise dependence, columns are split independently
+    /// (the paper uses RDC threshold 0.3).
+    pub dep_threshold: f64,
+    /// Above this pairwise dependence, columns are grouped into a joint
+    /// multi-leaf when `multileaf` is on (paper threshold 0.7).
+    pub joint_threshold: f64,
+    /// Stop recursing below this many rows (paper: 1% of input).
+    pub min_rows: usize,
+    /// Enable FSPN-style multi-leaves (FLAT) instead of pure SPN (DeepDB).
+    pub multileaf: bool,
+    /// Maximum columns a multi-leaf may cover.
+    pub max_multileaf_cols: usize,
+    /// Maximum recursion depth before forcing leaves.
+    pub max_depth: usize,
+    /// k-means iterations for row clustering.
+    pub cluster_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SpnConfig {
+    fn default() -> Self {
+        SpnConfig {
+            dep_threshold: 0.3,
+            joint_threshold: 0.7,
+            min_rows: 64,
+            multileaf: false,
+            max_multileaf_cols: 4,
+            max_depth: 24,
+            cluster_iters: 8,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Mixture over row clusters; weights are row counts.
+    Sum { children: Vec<(f64, usize)> },
+    /// Independent column groups.
+    Product { children: Vec<usize> },
+    /// Univariate histogram (counts per bin).
+    Leaf { col: usize, counts: Vec<f64> },
+    /// Exact joint count table over a few highly correlated columns.
+    MultiLeaf {
+        cols: Vec<usize>,
+        counts: HashMap<Vec<u16>, f64>,
+    },
+}
+
+/// A learned sum-product network.
+#[derive(Debug, Clone)]
+pub struct Spn {
+    nodes: Vec<Node>,
+    root: usize,
+    bins: Vec<usize>,
+    cfg: SpnConfig,
+    rows: f64,
+}
+
+impl Spn {
+    /// Learns an SPN from binned columns (`cols[i][r]` = bin of row `r`).
+    pub fn fit(cols: &[Vec<u16>], bins: &[usize], cfg: SpnConfig) -> Spn {
+        assert_eq!(cols.len(), bins.len());
+        assert!(!cols.is_empty());
+        let n = cols[0].len();
+        let mut spn = Spn {
+            nodes: Vec::new(),
+            root: 0,
+            bins: bins.to_vec(),
+            cfg,
+            rows: n as f64,
+        };
+        let rows: Vec<u32> = (0..n as u32).collect();
+        let scope: Vec<usize> = (0..cols.len()).collect();
+        spn.root = spn.build(cols, &rows, &scope, 0);
+        spn
+    }
+
+    /// Number of training rows.
+    pub fn rows(&self) -> f64 {
+        self.rows
+    }
+
+    /// Number of nodes (training/size diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn build(&mut self, cols: &[Vec<u16>], rows: &[u32], scope: &[usize], depth: usize) -> usize {
+        if scope.len() == 1 {
+            return self.push(self.make_leaf(cols, rows, scope[0]));
+        }
+        if rows.len() < self.cfg.min_rows || depth >= self.cfg.max_depth {
+            return self.fallback(cols, rows, scope);
+        }
+        // Dependence over the row subset.
+        let sub: Vec<Vec<u16>> = scope
+            .iter()
+            .map(|&c| rows.iter().map(|&r| cols[c][r as usize]).collect())
+            .collect();
+        let dep = dependence_matrix(&sub);
+        let comps = components(&dep, self.cfg.dep_threshold);
+        if comps.len() > 1 {
+            let children: Vec<usize> = comps
+                .iter()
+                .map(|comp| {
+                    let sub_scope: Vec<usize> = comp.iter().map(|&i| scope[i]).collect();
+                    self.build(cols, rows, &sub_scope, depth + 1)
+                })
+                .collect();
+            return self.push(Node::Product { children });
+        }
+        // FLAT: tightly coupled small groups become exact joint leaves.
+        if self.cfg.multileaf
+            && scope.len() <= self.cfg.max_multileaf_cols
+            && min_offdiag(&dep) >= self.cfg.joint_threshold
+        {
+            return self.push(self.make_multileaf(cols, rows, scope));
+        }
+        // Row clustering → sum node.
+        let feats = Matrix::from_fn(rows.len(), scope.len(), |r, c| {
+            let col = scope[c];
+            cols[col][rows[r] as usize] as f32 / self.bins[col].max(1) as f32
+        });
+        let assign = kmeans(&feats, 2, self.cfg.cluster_iters, self.cfg.seed ^ depth as u64);
+        let (a_rows, b_rows): (Vec<u32>, Vec<u32>) = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (assign[i], r))
+            .partition_map();
+        if a_rows.is_empty() || b_rows.is_empty() {
+            return self.fallback(cols, rows, scope);
+        }
+        let ca = self.build(cols, &a_rows, scope, depth + 1);
+        let cb = self.build(cols, &b_rows, scope, depth + 1);
+        self.push(Node::Sum {
+            children: vec![(a_rows.len() as f64, ca), (b_rows.len() as f64, cb)],
+        })
+    }
+
+    /// Independence fallback: product of univariate leaves, or a joint
+    /// multi-leaf when allowed and small.
+    fn fallback(&mut self, cols: &[Vec<u16>], rows: &[u32], scope: &[usize]) -> usize {
+        if self.cfg.multileaf && scope.len() <= self.cfg.max_multileaf_cols {
+            return self.push(self.make_multileaf(cols, rows, scope));
+        }
+        let children: Vec<usize> = scope
+            .iter()
+            .map(|&c| self.push(self.make_leaf(cols, rows, c)))
+            .collect();
+        self.push(Node::Product { children })
+    }
+
+    fn make_leaf(&self, cols: &[Vec<u16>], rows: &[u32], col: usize) -> Node {
+        let mut counts = vec![0.0; self.bins[col]];
+        for &r in rows {
+            counts[cols[col][r as usize] as usize] += 1.0;
+        }
+        Node::Leaf { col, counts }
+    }
+
+    fn make_multileaf(&self, cols: &[Vec<u16>], rows: &[u32], scope: &[usize]) -> Node {
+        let mut counts: HashMap<Vec<u16>, f64> = HashMap::new();
+        for &r in rows {
+            let key: Vec<u16> = scope.iter().map(|&c| cols[c][r as usize]).collect();
+            *counts.entry(key).or_insert(0.0) += 1.0;
+        }
+        Node::MultiLeaf {
+            cols: scope.to_vec(),
+            counts,
+        }
+    }
+
+    fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// `E[Π_i w_i(X_i)]` under the model; `weights[i]` is a per-bin weight
+    /// vector for column `i` (`None` = constant 1).
+    pub fn query(&self, weights: &[Option<Vec<f64>>]) -> f64 {
+        assert_eq!(weights.len(), self.bins.len());
+        self.eval(self.root, weights)
+    }
+
+    fn eval(&self, node: usize, weights: &[Option<Vec<f64>>]) -> f64 {
+        match &self.nodes[node] {
+            Node::Sum { children } => {
+                let total: f64 = children.iter().map(|(w, _)| w).sum();
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                children
+                    .iter()
+                    .map(|(w, c)| (w / total) * self.eval(*c, weights))
+                    .sum()
+            }
+            Node::Product { children } => children
+                .iter()
+                .map(|&c| self.eval(c, weights))
+                .product(),
+            Node::Leaf { col, counts } => {
+                let Some(w) = &weights[*col] else { return 1.0 };
+                let total: f64 = counts.iter().sum();
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                counts
+                    .iter()
+                    .zip(w)
+                    .map(|(c, wv)| c / total * wv)
+                    .sum()
+            }
+            Node::MultiLeaf { cols, counts } => {
+                if cols.iter().all(|&c| weights[c].is_none()) {
+                    return 1.0;
+                }
+                let total: f64 = counts.values().sum();
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                counts
+                    .iter()
+                    .map(|(key, cnt)| {
+                        let mut w = cnt / total;
+                        for (i, &c) in cols.iter().enumerate() {
+                            if let Some(wv) = &weights[c] {
+                                w *= wv[key[i] as usize];
+                            }
+                        }
+                        w
+                    })
+                    .sum()
+            }
+        }
+    }
+
+    /// Likelihood of a single fully observed row (used to route updates).
+    fn row_likelihood(&self, node: usize, row: &[u16]) -> f64 {
+        match &self.nodes[node] {
+            Node::Sum { children } => {
+                let total: f64 = children.iter().map(|(w, _)| w).sum();
+                children
+                    .iter()
+                    .map(|(w, c)| (w / total.max(1e-12)) * self.row_likelihood(*c, row))
+                    .sum()
+            }
+            Node::Product { children } => children
+                .iter()
+                .map(|&c| self.row_likelihood(c, row))
+                .product(),
+            Node::Leaf { col, counts } => {
+                let total: f64 = counts.iter().sum();
+                (counts[row[*col] as usize] + 0.1) / (total + 0.1 * counts.len() as f64)
+            }
+            Node::MultiLeaf { cols, counts } => {
+                let key: Vec<u16> = cols.iter().map(|&c| row[c]).collect();
+                let total: f64 = counts.values().sum();
+                (counts.get(&key).copied().unwrap_or(0.0) + 0.1) / (total + 1.0)
+            }
+        }
+    }
+
+    /// Incremental update: routes each new row down the fixed structure
+    /// (choosing the most likely sum branch) and bumps counts — DeepDB's
+    /// parameter-only update, with its accuracy caveat (paper O10).
+    pub fn update(&mut self, cols: &[Vec<u16>]) {
+        let n = cols.first().map_or(0, Vec::len);
+        for r in 0..n {
+            let row: Vec<u16> = cols.iter().map(|c| c[r]).collect();
+            self.update_row(self.root, &row);
+            self.rows += 1.0;
+        }
+    }
+
+    fn update_row(&mut self, node: usize, row: &[u16]) {
+        // Determine routing before mutating to appease the borrow checker.
+        enum Action {
+            Recurse(Vec<usize>),
+            Done,
+        }
+        let action = match &mut self.nodes[node] {
+            Node::Leaf { col, counts } => {
+                counts[row[*col] as usize] += 1.0;
+                Action::Done
+            }
+            Node::MultiLeaf { cols, counts } => {
+                let key: Vec<u16> = cols.iter().map(|&c| row[c]).collect();
+                *counts.entry(key).or_insert(0.0) += 1.0;
+                Action::Done
+            }
+            Node::Product { children } => Action::Recurse(children.clone()),
+            Node::Sum { children } => {
+                let ids: Vec<usize> = children.iter().map(|(_, c)| *c).collect();
+                Action::Recurse(ids)
+            }
+        };
+        match action {
+            Action::Done => {}
+            Action::Recurse(children) => {
+                if let Node::Sum { .. } = self.nodes[node] {
+                    // Route to the most likely branch and bump its weight.
+                    let best = children
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| (i, self.row_likelihood(c, row)))
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    if let Node::Sum { children: ch } = &mut self.nodes[node] {
+                        ch[best].0 += 1.0;
+                    }
+                    self.update_row(children[best], row);
+                } else {
+                    for c in children {
+                        self.update_row(c, row);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Approximate model size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Sum { children } => 16 + children.len() * 16,
+                Node::Product { children } => 16 + children.len() * 8,
+                Node::Leaf { counts, .. } => 16 + counts.len() * 8,
+                Node::MultiLeaf { cols, counts } => {
+                    16 + counts.len() * (cols.len() * 2 + 8)
+                }
+            })
+            .sum()
+    }
+}
+
+/// Connected components of the dependence graph thresholded at `thr`.
+fn components(dep: &[Vec<f64>], thr: f64) -> Vec<Vec<usize>> {
+    let k = dep.len();
+    let mut comp = vec![usize::MAX; k];
+    let mut n_comp = 0;
+    for start in 0..k {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp[start] = n_comp;
+        while let Some(i) = stack.pop() {
+            for j in 0..k {
+                if comp[j] == usize::MAX && dep[i][j] >= thr {
+                    comp[j] = n_comp;
+                    stack.push(j);
+                }
+            }
+        }
+        n_comp += 1;
+    }
+    let mut out = vec![Vec::new(); n_comp];
+    for (i, &c) in comp.iter().enumerate() {
+        out[c].push(i);
+    }
+    out
+}
+
+/// Minimum off-diagonal entry of a square matrix.
+fn min_offdiag(m: &[Vec<f64>]) -> f64 {
+    let mut best = f64::INFINITY;
+    for i in 0..m.len() {
+        for j in 0..m.len() {
+            if i != j {
+                best = best.min(m[i][j]);
+            }
+        }
+    }
+    best
+}
+
+/// Partition helper turning `(bucket, value)` pairs into two vectors.
+trait PartitionMap {
+    fn partition_map(self) -> (Vec<u32>, Vec<u32>);
+}
+
+impl<I: Iterator<Item = (usize, u32)>> PartitionMap for I {
+    fn partition_map(self) -> (Vec<u32>, Vec<u32>) {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for (bucket, v) in self {
+            if bucket == 0 {
+                a.push(v);
+            } else {
+                b.push(v);
+            }
+        }
+        (a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn correlated_data(n: usize) -> (Vec<Vec<u16>>, Vec<usize>) {
+        // a and b perfectly correlated; c independent.
+        let a: Vec<u16> = (0..n).map(|i| (i % 3) as u16).collect();
+        let b: Vec<u16> = a.iter().map(|&v| 2 - v).collect();
+        let c: Vec<u16> = (0..n).map(|i| ((i / 3) % 2) as u16).collect();
+        (vec![a, b, c], vec![3, 3, 2])
+    }
+
+    fn indicator(bins: usize, allowed: &[usize]) -> Option<Vec<f64>> {
+        let mut w = vec![0.0; bins];
+        for &a in allowed {
+            w[a] = 1.0;
+        }
+        Some(w)
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let (cols, bins) = correlated_data(600);
+        let spn = Spn::fit(&cols, &bins, SpnConfig::default());
+        for a in 0..3 {
+            let w = vec![indicator(3, &[a]), None, None];
+            let p = spn.query(&w);
+            assert!((0.0..=1.0).contains(&p), "p = {p}");
+            assert!((p - 1.0 / 3.0).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn unconstrained_is_one() {
+        let (cols, bins) = correlated_data(300);
+        let spn = Spn::fit(&cols, &bins, SpnConfig::default());
+        assert!((spn.query(&[None, None, None]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multileaf_captures_correlation_better() {
+        let (cols, bins) = correlated_data(900);
+        let plain = Spn::fit(&cols, &bins, SpnConfig { min_rows: 2000, ..SpnConfig::default() });
+        let flat = Spn::fit(
+            &cols,
+            &bins,
+            SpnConfig {
+                min_rows: 2000,
+                multileaf: true,
+                ..SpnConfig::default()
+            },
+        );
+        // P(a=0 ∧ b=0) is 0 in the data (b = 2-a). With forced-independent
+        // leaves plain SPN says ~1/9; the multi-leaf is exact.
+        let w = vec![indicator(3, &[0]), indicator(3, &[0]), None];
+        let p_plain = plain.query(&w);
+        let p_flat = flat.query(&w);
+        assert!(p_flat < 0.01, "flat p = {p_flat}");
+        assert!(p_plain > 0.05, "plain p = {p_plain}");
+    }
+
+    #[test]
+    fn sum_nodes_recover_correlation_with_enough_rows() {
+        let (cols, bins) = correlated_data(1200);
+        let spn = Spn::fit(
+            &cols,
+            &bins,
+            SpnConfig {
+                min_rows: 16,
+                ..SpnConfig::default()
+            },
+        );
+        let w = vec![indicator(3, &[0]), indicator(3, &[0]), None];
+        // Row clustering should reduce the independence error well below 1/9.
+        assert!(spn.query(&w) < 0.09, "p = {}", spn.query(&w));
+    }
+
+    #[test]
+    fn expectation_weights() {
+        let (cols, bins) = correlated_data(600);
+        let spn = Spn::fit(&cols, &bins, SpnConfig::default());
+        // E[f(c)] with f(0)=0, f(1)=6 and P(c=1)=0.5 → 3.
+        let w = vec![None, None, Some(vec![0.0, 6.0])];
+        assert!((spn.query(&w) - 3.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn update_shifts_marginals() {
+        let (cols, bins) = correlated_data(300);
+        let mut spn = Spn::fit(&cols, &bins, SpnConfig::default());
+        // Insert rows that are all a=1.
+        let extra = vec![vec![1u16; 300], vec![1u16; 300], vec![0u16; 300]];
+        spn.update(&extra);
+        let w = vec![indicator(3, &[1]), None, None];
+        let p = spn.query(&w);
+        assert!(p > 0.5, "p = {p}");
+        assert_eq!(spn.rows(), 600.0);
+    }
+
+    #[test]
+    fn size_grows_with_structure() {
+        let (cols, bins) = correlated_data(1200);
+        let small = Spn::fit(&cols, &bins, SpnConfig { min_rows: 5000, ..SpnConfig::default() });
+        let big = Spn::fit(&cols, &bins, SpnConfig { min_rows: 16, ..SpnConfig::default() });
+        assert!(big.node_count() >= small.node_count());
+        assert!(big.size_bytes() > 0);
+    }
+}

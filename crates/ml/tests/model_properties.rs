@@ -1,0 +1,112 @@
+//! Property tests over the probabilistic models: indicator-weight
+//! queries must behave like probabilities, and expectations must be
+//! consistent with marginals, for arbitrary discrete datasets.
+
+use proptest::prelude::*;
+
+use cardbench_ml::spn::SpnConfig;
+use cardbench_ml::{AutoRegModel, Spn, TreeBayesNet};
+use cardbench_ml::autoreg::ArConfig;
+
+/// Random binned dataset: 3 columns with small domains.
+fn dataset() -> impl Strategy<Value = (Vec<Vec<u16>>, Vec<usize>)> {
+    (2usize..5, 2usize..5, 2usize..4, 20usize..120, any::<u64>()).prop_map(
+        |(b0, b1, b2, n, seed)| {
+            // Deterministic pseudo-random rows from the seed.
+            let mut x = seed;
+            let mut next = move |m: usize| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 33) as usize % m) as u16
+            };
+            let mut cols = vec![Vec::new(), Vec::new(), Vec::new()];
+            for _ in 0..n {
+                let a = next(b0);
+                cols[0].push(a);
+                // Column 1 correlates with column 0.
+                cols[1].push(if next(2) == 0 { (a as usize % b1) as u16 } else { next(b1) });
+                cols[2].push(next(b2));
+            }
+            (cols, vec![b0, b1, b2])
+        },
+    )
+}
+
+fn indicator(bins: usize, allowed: u16) -> Option<Vec<f64>> {
+    let mut w = vec![0.0; bins];
+    w[allowed as usize] = 1.0;
+    Some(w)
+}
+
+/// Empirical probability for cross-checking.
+fn empirical(cols: &[Vec<u16>], constraint: &[(usize, u16)]) -> f64 {
+    let n = cols[0].len();
+    let hits = (0..n)
+        .filter(|&r| constraint.iter().all(|&(c, v)| cols[c][r] == v))
+        .count();
+    hits as f64 / n as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// BN probabilities are in [0,1]; unconstrained queries are 1; the
+    /// marginal matches the data within smoothing tolerance.
+    #[test]
+    fn bn_probabilities_behave((cols, bins) in dataset()) {
+        let net = TreeBayesNet::fit(&cols, &bins);
+        prop_assert!((net.query(&[None, None, None]) - 1.0).abs() < 1e-9);
+        for v in 0..bins[0] as u16 {
+            let p = net.probability(&[indicator(bins[0], v), None, None]);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+            let emp = empirical(&cols, &[(0, v)]);
+            prop_assert!((p - emp).abs() < 0.1, "p {p} vs emp {emp}");
+        }
+    }
+
+    /// SPN probabilities are in [0,1] and marginals track the data.
+    #[test]
+    fn spn_probabilities_behave((cols, bins) in dataset()) {
+        let spn = Spn::fit(&cols, &bins, SpnConfig { min_rows: 16, ..SpnConfig::default() });
+        prop_assert!((spn.query(&[None, None, None]) - 1.0).abs() < 1e-9);
+        let mut total = 0.0;
+        for v in 0..bins[1] as u16 {
+            let p = spn.query(&[None, indicator(bins[1], v), None]);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+            total += p;
+        }
+        // Marginals over all bins sum to (near) one.
+        prop_assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+    }
+
+    /// FLAT-mode SPNs (multi-leaves) obey the same laws.
+    #[test]
+    fn multileaf_spn_probabilities_behave((cols, bins) in dataset()) {
+        let spn = Spn::fit(
+            &cols,
+            &bins,
+            SpnConfig { min_rows: 16, multileaf: true, ..SpnConfig::default() },
+        );
+        for v in 0..bins[0] as u16 {
+            let p = spn.query(&[indicator(bins[0], v), None, None]);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+            let emp = empirical(&cols, &[(0, v)]);
+            prop_assert!((p - emp).abs() < 0.12, "p {p} vs emp {emp}");
+        }
+    }
+
+    /// AR progressive sampling returns probabilities; impossible regions
+    /// are exactly zero.
+    #[test]
+    fn autoreg_probabilities_behave((cols, bins) in dataset()) {
+        let ar = AutoRegModel::fit(
+            &cols,
+            &bins,
+            ArConfig { epochs: 1, samples: 80, ..ArConfig::default() },
+        );
+        let mut rng = rand::SeedableRng::seed_from_u64(5);
+        let p = ar.query(&[indicator(bins[0], 0), None, None], &mut rng);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+        let zero = ar.query(&[Some(vec![0.0; bins[0]]), None, None], &mut rng);
+        prop_assert_eq!(zero, 0.0);
+    }
+}

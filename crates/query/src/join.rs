@@ -1,0 +1,175 @@
+//! Join queries: tables + acyclic equi-join edges + filter predicates.
+
+use crate::predicate::Predicate;
+
+/// One equi-join edge between two tables of a query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JoinEdge {
+    /// Index of the left table in the query's table list.
+    pub left: usize,
+    /// Join column on the left table.
+    pub left_col: String,
+    /// Index of the right table.
+    pub right: usize,
+    /// Join column on the right table.
+    pub right_col: String,
+}
+
+impl JoinEdge {
+    /// Convenience constructor.
+    pub fn new(
+        left: usize,
+        left_col: impl Into<String>,
+        right: usize,
+        right_col: impl Into<String>,
+    ) -> Self {
+        JoinEdge {
+            left,
+            left_col: left_col.into(),
+            right,
+            right_col: right_col.into(),
+        }
+    }
+
+    /// True when the edge touches table position `t`.
+    pub fn touches(&self, t: usize) -> bool {
+        self.left == t || self.right == t
+    }
+}
+
+/// A (multi-table) selection query: `SELECT COUNT(*) FROM tables WHERE
+/// joins AND predicates`. Each table appears at most once (STATS-CEB and
+/// JOB-LIGHT contain no self-joins) and the join graph is acyclic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JoinQuery {
+    /// Distinct table names.
+    pub tables: Vec<String>,
+    /// Equi-join edges between table positions.
+    pub joins: Vec<JoinEdge>,
+    /// Filter predicates bound to table positions.
+    pub predicates: Vec<Predicate>,
+}
+
+impl JoinQuery {
+    /// Single-table query.
+    pub fn single(table: impl Into<String>, predicates: Vec<Predicate>) -> Self {
+        JoinQuery {
+            tables: vec![table.into()],
+            joins: vec![],
+            predicates,
+        }
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Predicates bound to table position `t`.
+    pub fn predicates_of(&self, t: usize) -> impl Iterator<Item = &Predicate> {
+        self.predicates.iter().filter(move |p| p.table == t)
+    }
+
+    /// True when the join graph connects all tables (spanning). A query
+    /// must be connected to be plannable without cross products.
+    pub fn is_connected(&self) -> bool {
+        let n = self.tables.len();
+        if n == 0 {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(t) = stack.pop() {
+            for e in &self.joins {
+                if e.touches(t) {
+                    let other = if e.left == t { e.right } else { e.left };
+                    if !seen[other] {
+                        seen[other] = true;
+                        stack.push(other);
+                    }
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// True when the join graph is acyclic (a join tree): exactly n-1 edges
+    /// and connected.
+    pub fn is_acyclic(&self) -> bool {
+        self.joins.len() + 1 == self.tables.len() && self.is_connected()
+    }
+
+    /// A stable canonical key for caching results keyed by query identity
+    /// (sorted tables/joins/predicates rendered to text).
+    pub fn canonical_key(&self) -> String {
+        let mut tabs: Vec<&str> = self.tables.iter().map(String::as_str).collect();
+        tabs.sort_unstable();
+        let mut joins: Vec<String> = self
+            .joins
+            .iter()
+            .map(|e| {
+                let a = format!("{}.{}", self.tables[e.left], e.left_col);
+                let b = format!("{}.{}", self.tables[e.right], e.right_col);
+                if a <= b {
+                    format!("{a}={b}")
+                } else {
+                    format!("{b}={a}")
+                }
+            })
+            .collect();
+        joins.sort_unstable();
+        let mut preds: Vec<String> = self
+            .predicates
+            .iter()
+            .map(|p| format!("{}.{}:{:?}", self.tables[p.table], p.column, p.region))
+            .collect();
+        preds.sort_unstable();
+        format!("T[{}] J[{}] P[{}]", tabs.join(","), joins.join(","), preds.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Region;
+
+    fn chain3() -> JoinQuery {
+        JoinQuery {
+            tables: vec!["a".into(), "b".into(), "c".into()],
+            joins: vec![JoinEdge::new(0, "id", 1, "aid"), JoinEdge::new(1, "id", 2, "bid")],
+            predicates: vec![Predicate::new(1, "x", Region::eq(1))],
+        }
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(chain3().is_connected());
+        let mut q = chain3();
+        q.joins.pop();
+        assert!(!q.is_connected());
+    }
+
+    #[test]
+    fn acyclicity() {
+        assert!(chain3().is_acyclic());
+        let mut q = chain3();
+        q.joins.push(JoinEdge::new(0, "id", 2, "aid"));
+        assert!(!q.is_acyclic());
+    }
+
+    #[test]
+    fn canonical_key_order_invariant() {
+        let q1 = chain3();
+        let mut q2 = chain3();
+        q2.joins.reverse();
+        assert_eq!(q1.canonical_key(), q2.canonical_key());
+    }
+
+    #[test]
+    fn predicates_of_filters_by_table() {
+        let q = chain3();
+        assert_eq!(q.predicates_of(1).count(), 1);
+        assert_eq!(q.predicates_of(0).count(), 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! A parser for the workload SQL dialect emitted by [`crate::sql`]:
+//! `SELECT COUNT(*) FROM t1, t2 WHERE t1.a = t2.b AND t1.x >= 5 AND ...`.
+//!
+//! Supported predicates: `=`, `<=`, `>=`, `BETWEEN x AND y`, `IN (…)`.
+//! Join conditions are equalities between two qualified columns.
+
+use crate::join::{JoinEdge, JoinQuery};
+use crate::predicate::{Predicate, Region};
+
+/// Parse errors with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SQL parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+/// Parses one `SELECT COUNT(*)` query.
+pub fn parse_sql(sql: &str) -> Result<JoinQuery> {
+    let s = sql.trim().trim_end_matches(';').trim();
+    let lower = s.to_ascii_lowercase();
+    let from_pos = lower
+        .find(" from ")
+        .ok_or_else(|| ParseError("missing FROM".into()))?;
+    let head = &s[..from_pos];
+    if !head.to_ascii_lowercase().starts_with("select") || !head.contains("COUNT(*)") && !head.to_ascii_lowercase().contains("count(*)") {
+        return Err(ParseError("expected SELECT COUNT(*)".into()));
+    }
+    let rest = &s[from_pos + 6..];
+    let (tables_part, where_part) = match rest.to_ascii_lowercase().find(" where ") {
+        Some(p) => (&rest[..p], Some(&rest[p + 7..])),
+        None => (rest, None),
+    };
+    let tables: Vec<String> = tables_part
+        .split(',')
+        .map(|t| t.trim().to_string())
+        .filter(|t| !t.is_empty())
+        .collect();
+    if tables.is_empty() {
+        return Err(ParseError("no tables in FROM".into()));
+    }
+    let table_pos = |name: &str| -> Result<usize> {
+        tables
+            .iter()
+            .position(|t| t == name)
+            .ok_or_else(|| ParseError(format!("unknown table alias {name}")))
+    };
+
+    let mut joins = Vec::new();
+    let mut predicates = Vec::new();
+    if let Some(w) = where_part {
+        for cond in split_top_level_and(w) {
+            let cond = cond.trim();
+            parse_condition(cond, &table_pos, &mut joins, &mut predicates)?;
+        }
+    }
+    Ok(JoinQuery {
+        tables,
+        joins,
+        predicates,
+    })
+}
+
+/// Splits on top-level ` AND ` (case-insensitive), respecting the
+/// `BETWEEN x AND y` construct and parentheses.
+fn split_top_level_and(s: &str) -> Vec<String> {
+    let upper = s.to_ascii_uppercase();
+    let bytes = upper.as_bytes();
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut between_pending = false;
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => depth = depth.saturating_sub(1),
+            b'B' if depth == 0 && upper[i..].starts_with("BETWEEN") && word_boundary(&upper, i, 7) => {
+                between_pending = true;
+                i += 6;
+            }
+            b'A' if depth == 0 && upper[i..].starts_with("AND") && word_boundary(&upper, i, 3) => {
+                if between_pending {
+                    between_pending = false;
+                } else {
+                    parts.push(s[start..i].to_string());
+                    start = i + 3;
+                }
+                i += 2;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    parts.push(s[start..].to_string());
+    parts
+}
+
+fn word_boundary(s: &str, start: usize, len: usize) -> bool {
+    let before_ok = start == 0 || !s.as_bytes()[start - 1].is_ascii_alphanumeric();
+    let after = start + len;
+    let after_ok = after >= s.len() || !s.as_bytes()[after].is_ascii_alphanumeric();
+    before_ok && after_ok
+}
+
+/// A qualified column `table.column`.
+fn parse_qualified(s: &str) -> Option<(String, String)> {
+    let (t, c) = s.trim().split_once('.')?;
+    let ok = |x: &str| {
+        !x.is_empty()
+            && x.chars()
+                .all(|ch| ch.is_ascii_alphanumeric() || ch == '_')
+    };
+    (ok(t) && ok(c)).then(|| (t.to_string(), c.to_string()))
+}
+
+fn parse_condition(
+    cond: &str,
+    table_pos: &impl Fn(&str) -> Result<usize>,
+    joins: &mut Vec<JoinEdge>,
+    predicates: &mut Vec<Predicate>,
+) -> Result<()> {
+    let upper = cond.to_ascii_uppercase();
+    // BETWEEN
+    if let Some(bp) = upper.find(" BETWEEN ") {
+        let col = parse_qualified(&cond[..bp])
+            .ok_or_else(|| ParseError(format!("bad column in {cond:?}")))?;
+        let rest = &cond[bp + 9..];
+        let and_pos = rest
+            .to_ascii_uppercase()
+            .find(" AND ")
+            .ok_or_else(|| ParseError(format!("BETWEEN without AND in {cond:?}")))?;
+        let lo = parse_int(&rest[..and_pos])?;
+        let hi = parse_int(&rest[and_pos + 5..])?;
+        predicates.push(Predicate::new(table_pos(&col.0)?, col.1, Region::between(lo, hi)));
+        return Ok(());
+    }
+    // IN
+    if let Some(ip) = upper.find(" IN ") {
+        let col = parse_qualified(&cond[..ip])
+            .ok_or_else(|| ParseError(format!("bad column in {cond:?}")))?;
+        let list = cond[ip + 4..]
+            .trim()
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(|| ParseError(format!("IN without list in {cond:?}")))?;
+        let vals = list
+            .split(',')
+            .map(parse_int)
+            .collect::<Result<Vec<i64>>>()?;
+        predicates.push(Predicate::new(table_pos(&col.0)?, col.1, Region::in_list(vals)));
+        return Ok(());
+    }
+    // Comparison operators, longest first.
+    for op in ["<=", ">=", "="] {
+        if let Some(p) = cond.find(op) {
+            let lhs = parse_qualified(&cond[..p])
+                .ok_or_else(|| ParseError(format!("bad column in {cond:?}")))?;
+            let rhs = cond[p + op.len()..].trim();
+            if let Some(rcol) = parse_qualified(rhs) {
+                if op != "=" {
+                    return Err(ParseError(format!("non-equi join in {cond:?}")));
+                }
+                joins.push(JoinEdge::new(
+                    table_pos(&lhs.0)?,
+                    lhs.1,
+                    table_pos(&rcol.0)?,
+                    rcol.1,
+                ));
+            } else {
+                let v = parse_int(rhs)?;
+                let region = match op {
+                    "<=" => Region::le(v),
+                    ">=" => Region::ge(v),
+                    _ => Region::eq(v),
+                };
+                predicates.push(Predicate::new(table_pos(&lhs.0)?, lhs.1, region));
+            }
+            return Ok(());
+        }
+    }
+    Err(ParseError(format!("unrecognized condition {cond:?}")))
+}
+
+fn parse_int(s: &str) -> Result<i64> {
+    s.trim()
+        .parse::<i64>()
+        .map_err(|_| ParseError(format!("bad integer {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::to_sql;
+
+    #[test]
+    fn parses_full_query() {
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM posts, comments WHERE posts.Id = comments.PostId \
+             AND posts.Score >= 5 AND comments.CreationDate BETWEEN 10 AND 99;",
+        )
+        .unwrap();
+        assert_eq!(q.tables, vec!["posts", "comments"]);
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(q.predicates[1].region, Region::between(10, 99));
+    }
+
+    #[test]
+    fn parses_in_list() {
+        let q = parse_sql("SELECT COUNT(*) FROM t WHERE t.k IN (3, 1, 2);").unwrap();
+        assert_eq!(q.predicates[0].region, Region::in_list(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn roundtrip_through_renderer() {
+        let original = JoinQuery {
+            tables: vec!["a".into(), "b".into(), "c".into()],
+            joins: vec![
+                JoinEdge::new(0, "id", 1, "aid"),
+                JoinEdge::new(1, "id", 2, "bid"),
+            ],
+            predicates: vec![
+                Predicate::new(0, "x", Region::ge(5)),
+                Predicate::new(1, "y", Region::between(-3, 9)),
+                Predicate::new(2, "z", Region::in_list(vec![7, 8])),
+            ],
+        };
+        let back = parse_sql(&to_sql(&original)).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn no_where_clause() {
+        let q = parse_sql("SELECT COUNT(*) FROM users;").unwrap();
+        assert_eq!(q.tables, vec!["users"]);
+        assert!(q.joins.is_empty() && q.predicates.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_sql("DELETE FROM users").is_err());
+        assert!(parse_sql("SELECT COUNT(*) FROM t WHERE t.a <> 3").is_err());
+        assert!(parse_sql("SELECT COUNT(*) FROM t WHERE t.a < t.b").is_err());
+        assert!(parse_sql("SELECT COUNT(*) FROM").is_err());
+    }
+
+    #[test]
+    fn between_and_does_not_split_conjunction() {
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM t WHERE t.a BETWEEN 1 AND 5 AND t.b = 2;",
+        )
+        .unwrap();
+        assert_eq!(q.predicates.len(), 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Filter predicates in the paper's canonical form `A ∈ R`.
+
+/// A constraint region over one attribute.
+///
+/// `Range` bounds are inclusive on both ends; open sides use
+/// `i64::MIN`/`i64::MAX`. Equality is a degenerate range. `In` holds an
+/// explicit sorted value set (categorical IN-lists).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// `lo <= A <= hi`.
+    Range {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// `A IN (values)`; values sorted ascending and deduplicated.
+    In(Vec<i64>),
+}
+
+impl Region {
+    /// Equality region `A = v`.
+    pub fn eq(v: i64) -> Region {
+        Region::Range { lo: v, hi: v }
+    }
+
+    /// `A <= v`.
+    pub fn le(v: i64) -> Region {
+        Region::Range { lo: i64::MIN, hi: v }
+    }
+
+    /// `A >= v`.
+    pub fn ge(v: i64) -> Region {
+        Region::Range { lo: v, hi: i64::MAX }
+    }
+
+    /// `lo <= A <= hi`.
+    pub fn between(lo: i64, hi: i64) -> Region {
+        Region::Range { lo, hi }
+    }
+
+    /// IN-list region; sorts and deduplicates.
+    pub fn in_list(mut values: Vec<i64>) -> Region {
+        values.sort_unstable();
+        values.dedup();
+        Region::In(values)
+    }
+
+    /// True when `v` satisfies the region. NULLs never satisfy any
+    /// predicate (SQL three-valued logic collapses to false for COUNT).
+    #[inline]
+    pub fn contains(&self, v: i64) -> bool {
+        match self {
+            Region::Range { lo, hi } => *lo <= v && v <= *hi,
+            Region::In(vals) => vals.binary_search(&v).is_ok(),
+        }
+    }
+
+    /// True when the region cannot match anything.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Region::Range { lo, hi } => lo > hi,
+            Region::In(vals) => vals.is_empty(),
+        }
+    }
+}
+
+/// Comparison operators a region can be rendered as (for SQL text and for
+/// query-driven featurization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `BETWEEN`
+    Between,
+    /// `IN`
+    In,
+}
+
+/// A filter predicate: one attribute of one query table constrained to a
+/// region.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    /// Index into the owning query's table list.
+    pub table: usize,
+    /// Column name within that table.
+    pub column: String,
+    /// Constraint region.
+    pub region: Region,
+}
+
+impl Predicate {
+    /// Convenience constructor.
+    pub fn new(table: usize, column: impl Into<String>, region: Region) -> Self {
+        Predicate {
+            table,
+            column: column.into(),
+            region,
+        }
+    }
+
+    /// The operator this predicate renders as.
+    pub fn op(&self) -> CompareOp {
+        match &self.region {
+            Region::Range { lo, hi } if lo == hi => CompareOp::Eq,
+            Region::Range { lo, .. } if *lo == i64::MIN => CompareOp::Le,
+            Region::Range { hi, .. } if *hi == i64::MAX => CompareOp::Ge,
+            Region::Range { .. } => CompareOp::Between,
+            Region::In(_) => CompareOp::In,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_contains_inclusive() {
+        let r = Region::between(2, 5);
+        assert!(!r.contains(1));
+        assert!(r.contains(2));
+        assert!(r.contains(5));
+        assert!(!r.contains(6));
+    }
+
+    #[test]
+    fn open_sides() {
+        assert!(Region::le(3).contains(i64::MIN));
+        assert!(Region::ge(3).contains(i64::MAX));
+        assert!(!Region::le(3).contains(4));
+    }
+
+    #[test]
+    fn in_list_sorted_dedup() {
+        let r = Region::in_list(vec![5, 1, 5, 3]);
+        assert_eq!(r, Region::In(vec![1, 3, 5]));
+        assert!(r.contains(3));
+        assert!(!r.contains(4));
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(Region::between(5, 2).is_empty());
+        assert!(Region::in_list(vec![]).is_empty());
+        assert!(!Region::eq(0).is_empty());
+    }
+
+    #[test]
+    fn op_classification() {
+        assert_eq!(Predicate::new(0, "a", Region::eq(1)).op(), CompareOp::Eq);
+        assert_eq!(Predicate::new(0, "a", Region::le(1)).op(), CompareOp::Le);
+        assert_eq!(Predicate::new(0, "a", Region::ge(1)).op(), CompareOp::Ge);
+        assert_eq!(
+            Predicate::new(0, "a", Region::between(1, 2)).op(),
+            CompareOp::Between
+        );
+        assert_eq!(
+            Predicate::new(0, "a", Region::in_list(vec![1])).op(),
+            CompareOp::In
+        );
+    }
+}

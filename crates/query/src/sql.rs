@@ -1,0 +1,85 @@
+//! SQL text rendering for queries (the format the paper's workloads ship
+//! in: `SELECT COUNT(*) FROM ... WHERE joins AND filters`).
+
+use crate::join::JoinQuery;
+use crate::predicate::{Predicate, Region};
+
+/// Renders a query as `SELECT COUNT(*)` SQL text.
+pub fn to_sql(q: &JoinQuery) -> String {
+    let mut s = String::from("SELECT COUNT(*) FROM ");
+    s.push_str(&q.tables.join(", "));
+    let mut conds: Vec<String> = Vec::new();
+    for e in &q.joins {
+        conds.push(format!(
+            "{}.{} = {}.{}",
+            q.tables[e.left], e.left_col, q.tables[e.right], e.right_col
+        ));
+    }
+    for p in &q.predicates {
+        conds.push(render_predicate(q, p));
+    }
+    if !conds.is_empty() {
+        s.push_str(" WHERE ");
+        s.push_str(&conds.join(" AND "));
+    }
+    s.push(';');
+    s
+}
+
+fn render_predicate(q: &JoinQuery, p: &Predicate) -> String {
+    let col = format!("{}.{}", q.tables[p.table], p.column);
+    match &p.region {
+        Region::Range { lo, hi } if lo == hi => format!("{col} = {lo}"),
+        Region::Range { lo, hi } if *lo == i64::MIN => format!("{col} <= {hi}"),
+        Region::Range { lo, hi } if *hi == i64::MAX => format!("{col} >= {lo}"),
+        Region::Range { lo, hi } => format!("{col} BETWEEN {lo} AND {hi}"),
+        Region::In(vals) => {
+            let list: Vec<String> = vals.iter().map(i64::to_string).collect();
+            format!("{col} IN ({})", list.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::JoinEdge;
+
+    #[test]
+    fn renders_full_query() {
+        let q = JoinQuery {
+            tables: vec!["posts".into(), "comments".into()],
+            joins: vec![JoinEdge::new(0, "id", 1, "post_id")],
+            predicates: vec![
+                Predicate::new(0, "score", Region::ge(5)),
+                Predicate::new(1, "kind", Region::in_list(vec![2, 1])),
+            ],
+        };
+        assert_eq!(
+            to_sql(&q),
+            "SELECT COUNT(*) FROM posts, comments WHERE posts.id = comments.post_id \
+             AND posts.score >= 5 AND comments.kind IN (1, 2);"
+        );
+    }
+
+    #[test]
+    fn renders_single_table_no_preds() {
+        let q = JoinQuery::single("users", vec![]);
+        assert_eq!(to_sql(&q), "SELECT COUNT(*) FROM users;");
+    }
+
+    #[test]
+    fn renders_between_and_le() {
+        let q = JoinQuery::single(
+            "t",
+            vec![
+                Predicate::new(0, "a", Region::between(1, 3)),
+                Predicate::new(0, "b", Region::le(9)),
+            ],
+        );
+        assert_eq!(
+            to_sql(&q),
+            "SELECT COUNT(*) FROM t WHERE t.a BETWEEN 1 AND 3 AND t.b <= 9;"
+        );
+    }
+}

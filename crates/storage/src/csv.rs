@@ -1,0 +1,114 @@
+//! Minimal CSV persistence for datasets (PostgreSQL text-COPY flavoured:
+//! comma-separated, `\N` for NULL, header row with column names).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::value::{format_datum, parse_datum};
+use crate::{Result, StorageError};
+
+/// Writes `table` to `path` with a header row.
+pub fn write_table(table: &Table, path: &Path) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let header: Vec<&str> = table
+        .schema()
+        .columns
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
+    writeln!(w, "{}", header.join(","))?;
+    let mut line = String::new();
+    for r in 0..table.row_count() {
+        line.clear();
+        for c in 0..table.column_count() {
+            if c > 0 {
+                line.push(',');
+            }
+            line.push_str(&format_datum(table.column(c).get(r)));
+        }
+        writeln!(w, "{line}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a table from `path`. The header must match `schema`'s column names
+/// in order.
+pub fn read_table(schema: TableSchema, path: &Path) -> Result<Table> {
+    let file = std::fs::File::open(path)?;
+    let mut lines = BufReader::new(file).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| StorageError::Format("empty file".into()))??;
+    let names: Vec<&str> = header.split(',').collect();
+    if names.len() != schema.columns.len()
+        || names
+            .iter()
+            .zip(&schema.columns)
+            .any(|(n, c)| *n != c.name)
+    {
+        return Err(StorageError::Format(format!(
+            "header mismatch for table {}: got [{}]",
+            schema.name, header
+        )));
+    }
+    let mut table = Table::empty(schema);
+    let mut row = Vec::new();
+    for line in lines {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        row.clear();
+        for field in line.split(',') {
+            let d = parse_datum(field)
+                .map_err(|e| StorageError::Format(format!("bad field {field:?}: {e}")))?;
+            row.push(d);
+        }
+        table.append_row(&row)?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnKind};
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", ColumnKind::PrimaryKey),
+                ColumnDef::new("v", ColumnKind::Numeric),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut t = Table::empty(schema());
+        t.append_row(&[Some(1), Some(-5)]).unwrap();
+        t.append_row(&[Some(2), None]).unwrap();
+        let dir = std::env::temp_dir().join("cardbench_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_table(&t, &path).unwrap();
+        let back = read_table(schema(), &path).unwrap();
+        assert_eq!(back.row_count(), 2);
+        assert_eq!(back.row(0), vec![Some(1), Some(-5)]);
+        assert_eq!(back.row(1), vec![Some(2), None]);
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let dir = std::env::temp_dir().join("cardbench_csv_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "x,y\n1,2\n").unwrap();
+        assert!(read_table(schema(), &path).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Storage error types.
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Named table does not exist in the catalog.
+    UnknownTable(String),
+    /// Named column does not exist in the table.
+    UnknownColumn { table: String, column: String },
+    /// A row had the wrong arity for its table.
+    ArityMismatch { expected: usize, got: usize },
+    /// Columns of one table disagree on length.
+    LengthMismatch { expected: usize, got: usize },
+    /// CSV or file-format problem.
+    Format(String),
+    /// Underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            StorageError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {table}.{column}")
+            }
+            StorageError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: expected {expected}, got {got}")
+            }
+            StorageError::LengthMismatch { expected, got } => {
+                write!(f, "column length mismatch: expected {expected}, got {got}")
+            }
+            StorageError::Format(m) => write!(f, "format error: {m}"),
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}

@@ -1,0 +1,198 @@
+//! Tables: a schema plus equal-length columns.
+
+use crate::column::Column;
+use crate::schema::TableSchema;
+use crate::value::Datum;
+use crate::{Result, StorageError};
+
+/// A materialized table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates an empty table for `schema`.
+    pub fn empty(schema: TableSchema) -> Self {
+        let columns = schema.columns.iter().map(|_| Column::new()).collect();
+        Table { schema, columns }
+    }
+
+    /// Creates a table from pre-built columns. All columns must have equal
+    /// length and match the schema arity.
+    pub fn from_columns(schema: TableSchema, columns: Vec<Column>) -> Result<Self> {
+        if columns.len() != schema.columns.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: schema.columns.len(),
+                got: columns.len(),
+            });
+        }
+        if let Some(first) = columns.first() {
+            for c in &columns {
+                if c.len() != first.len() {
+                    return Err(StorageError::LengthMismatch {
+                        expected: first.len(),
+                        got: c.len(),
+                    });
+                }
+            }
+        }
+        Ok(Table { schema, columns })
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column by index.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        let i = self
+            .schema
+            .column_index(name)
+            .ok_or_else(|| StorageError::UnknownColumn {
+                table: self.schema.name.clone(),
+                column: name.to_string(),
+            })?;
+        Ok(&self.columns[i])
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Appends one row of datums.
+    pub fn append_row(&mut self, row: &[Datum]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.columns.len(),
+                got: row.len(),
+            });
+        }
+        for (col, &d) in self.columns.iter_mut().zip(row) {
+            col.push(d);
+        }
+        Ok(())
+    }
+
+    /// Bulk-appends all rows of `other` (same schema assumed by name/arity).
+    /// This is the insertion primitive of the dynamic-update experiment.
+    pub fn append_rows(&mut self, other: &Table) -> Result<()> {
+        if other.columns.len() != self.columns.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.columns.len(),
+                got: other.columns.len(),
+            });
+        }
+        for (dst, src) in self.columns.iter_mut().zip(&other.columns) {
+            dst.extend_from(src);
+        }
+        Ok(())
+    }
+
+    /// Returns a new table containing the rows whose indices are in `rows`.
+    pub fn take_rows(&self, rows: &[usize]) -> Table {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Column::from_datums(rows.iter().map(|&r| c.get(r))))
+            .collect();
+        Table {
+            schema: self.schema.clone(),
+            columns,
+        }
+    }
+
+    /// One full row as datums.
+    pub fn row(&self, r: usize) -> Vec<Datum> {
+        self.columns.iter().map(|c| c.get(r)).collect()
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.columns.iter().map(Column::heap_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnKind};
+
+    fn schema2() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", ColumnKind::PrimaryKey),
+                ColumnDef::new("v", ColumnKind::Numeric),
+            ],
+        )
+    }
+
+    #[test]
+    fn append_and_read_rows() {
+        let mut t = Table::empty(schema2());
+        t.append_row(&[Some(1), Some(10)]).unwrap();
+        t.append_row(&[Some(2), None]).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.row(1), vec![Some(2), None]);
+        assert_eq!(t.column_by_name("v").unwrap().get(0), Some(10));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = Table::empty(schema2());
+        assert!(t.append_row(&[Some(1)]).is_err());
+    }
+
+    #[test]
+    fn from_columns_checks_lengths() {
+        let cols = vec![Column::from_values(vec![1, 2]), Column::from_values(vec![1])];
+        assert!(Table::from_columns(schema2(), cols).is_err());
+    }
+
+    #[test]
+    fn take_rows_projects() {
+        let mut t = Table::empty(schema2());
+        for i in 0..5 {
+            t.append_row(&[Some(i), Some(i * 10)]).unwrap();
+        }
+        let sub = t.take_rows(&[4, 0]);
+        assert_eq!(sub.row_count(), 2);
+        assert_eq!(sub.row(0), vec![Some(4), Some(40)]);
+        assert_eq!(sub.row(1), vec![Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn append_rows_bulk() {
+        let mut a = Table::empty(schema2());
+        a.append_row(&[Some(1), Some(1)]).unwrap();
+        let mut b = Table::empty(schema2());
+        b.append_row(&[Some(2), None]).unwrap();
+        a.append_rows(&b).unwrap();
+        assert_eq!(a.row_count(), 2);
+        assert_eq!(a.row(1), vec![Some(2), None]);
+    }
+}

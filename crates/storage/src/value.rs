@@ -1,0 +1,49 @@
+//! Nullable integer datums.
+//!
+//! Every attribute in the benchmark is categorical (dictionary-encoded to an
+//! integer) or numeric with an integer domain, matching the paper's setup
+//! where LIKE/string predicates are out of scope.
+
+/// A single nullable value. `None` models SQL NULL, which appears naturally
+/// in the STATS profile (e.g. posts without an owner).
+pub type Datum = Option<i64>;
+
+/// Formats a datum the way the CSV codec writes it (`\N` for NULL, mirroring
+/// PostgreSQL's text COPY format).
+pub fn format_datum(d: Datum) -> String {
+    match d {
+        Some(v) => v.to_string(),
+        None => "\\N".to_string(),
+    }
+}
+
+/// Parses a datum in the format produced by [`format_datum`].
+pub fn parse_datum(s: &str) -> Result<Datum, std::num::ParseIntError> {
+    if s == "\\N" || s.is_empty() {
+        Ok(None)
+    } else {
+        s.parse::<i64>().map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_some() {
+        assert_eq!(parse_datum(&format_datum(Some(42))).unwrap(), Some(42));
+        assert_eq!(parse_datum(&format_datum(Some(-7))).unwrap(), Some(-7));
+    }
+
+    #[test]
+    fn roundtrip_null() {
+        assert_eq!(parse_datum(&format_datum(None)).unwrap(), None);
+        assert_eq!(parse_datum("").unwrap(), None);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_datum("abc").is_err());
+    }
+}

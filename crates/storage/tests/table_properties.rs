@@ -1,0 +1,88 @@
+//! Property tests for tables: append/take/row invariants under random
+//! nullable data.
+
+use proptest::prelude::*;
+
+use cardbench_storage::{Column, ColumnDef, ColumnKind, Table, TableSchema};
+
+fn schema(cols: usize) -> TableSchema {
+    TableSchema::new(
+        "t",
+        (0..cols)
+            .map(|i| ColumnDef::new(format!("c{i}"), ColumnKind::Numeric))
+            .collect(),
+    )
+}
+
+proptest! {
+    /// append_row/row round-trips arbitrary nullable rows.
+    #[test]
+    fn append_row_roundtrip(
+        rows in prop::collection::vec(
+            prop::collection::vec(prop::option::of(-1000i64..1000), 3),
+            0..60,
+        ),
+    ) {
+        let mut t = Table::empty(schema(3));
+        for r in &rows {
+            t.append_row(r).unwrap();
+        }
+        prop_assert_eq!(t.row_count(), rows.len());
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert_eq!(&t.row(i), r);
+        }
+    }
+
+    /// take_rows selects exactly the requested rows in order.
+    #[test]
+    fn take_rows_selects(
+        rows in prop::collection::vec(
+            prop::collection::vec(prop::option::of(-50i64..50), 2),
+            1..40,
+        ),
+        picks in prop::collection::vec(0usize..40, 0..20),
+    ) {
+        let mut t = Table::empty(schema(2));
+        for r in &rows {
+            t.append_row(r).unwrap();
+        }
+        let picks: Vec<usize> = picks.into_iter().filter(|&p| p < rows.len()).collect();
+        let sub = t.take_rows(&picks);
+        prop_assert_eq!(sub.row_count(), picks.len());
+        for (i, &p) in picks.iter().enumerate() {
+            prop_assert_eq!(sub.row(i), t.row(p));
+        }
+    }
+
+    /// append_rows concatenates.
+    #[test]
+    fn append_rows_concatenates(
+        a in prop::collection::vec(prop::collection::vec(prop::option::of(-9i64..9), 2), 0..20),
+        b in prop::collection::vec(prop::collection::vec(prop::option::of(-9i64..9), 2), 0..20),
+    ) {
+        let mut ta = Table::empty(schema(2));
+        for r in &a {
+            ta.append_row(r).unwrap();
+        }
+        let mut tb = Table::empty(schema(2));
+        for r in &b {
+            tb.append_row(r).unwrap();
+        }
+        ta.append_rows(&tb).unwrap();
+        prop_assert_eq!(ta.row_count(), a.len() + b.len());
+        for (i, r) in a.iter().chain(&b).enumerate() {
+            prop_assert_eq!(&ta.row(i), r);
+        }
+    }
+
+    /// from_columns accepts aligned columns and rejects ragged ones.
+    #[test]
+    fn from_columns_validates(n1 in 0usize..20, n2 in 0usize..20) {
+        let cols = vec![
+            Column::from_values((0..n1 as i64).collect()),
+            Column::from_values((0..n2 as i64).collect()),
+        ];
+        let result = Table::from_columns(schema(2), cols);
+        prop_assert_eq!(result.is_ok(), n1 == n2);
+    }
+}

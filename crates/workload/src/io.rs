@@ -1,0 +1,159 @@
+//! Workload persistence: the annotated `.sql` format written by the
+//! export tooling, parsed back via the query crate's SQL parser.
+//!
+//! Format: each query is a `-- Q<id> (template <t>, true card <c>)`
+//! comment followed by one `SELECT COUNT(*)` statement.
+
+use std::path::Path;
+
+use cardbench_query::parse_sql;
+
+use crate::generator::{Workload, WorkloadQuery};
+
+/// Serializes a workload to the annotated SQL text format.
+pub fn workload_to_sql(wl: &Workload) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "-- workload: {}", wl.name).unwrap();
+    for wq in &wl.queries {
+        writeln!(
+            out,
+            "-- Q{} (template {}, true card {})",
+            wq.id, wq.template_id, wq.true_card
+        )
+        .unwrap();
+        writeln!(out, "{}", cardbench_query::sql::to_sql(&wq.query)).unwrap();
+    }
+    out
+}
+
+/// Parses a workload back from the annotated SQL format.
+pub fn workload_from_sql(text: &str) -> Result<Workload, String> {
+    let mut name = String::from("workload");
+    let mut queries = Vec::new();
+    let mut pending: Option<(usize, usize, f64)> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("-- workload:") {
+            name = rest.trim().to_string();
+        } else if let Some(rest) = line.strip_prefix("-- Q") {
+            pending = Some(parse_annotation(rest)?);
+        } else if !line.starts_with("--") {
+            let (id, template_id, true_card) =
+                pending.take().ok_or_else(|| format!("query without annotation: {line}"))?;
+            let query = parse_sql(line).map_err(|e| e.to_string())?;
+            queries.push(WorkloadQuery {
+                id,
+                template_id,
+                query,
+                true_card,
+            });
+        }
+    }
+    let mut templates: Vec<usize> = queries.iter().map(|q| q.template_id).collect();
+    templates.sort_unstable();
+    templates.dedup();
+    Ok(Workload {
+        name,
+        template_count: templates.len(),
+        queries,
+    })
+}
+
+/// Parses `"<id> (template <t>, true card <c>)"`.
+fn parse_annotation(rest: &str) -> Result<(usize, usize, f64), String> {
+    let err = || format!("bad annotation: {rest}");
+    let (id, rest) = rest.split_once(' ').ok_or_else(err)?;
+    let id: usize = id.trim().parse().map_err(|_| err())?;
+    let inner = rest
+        .trim()
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(err)?;
+    let (tpart, cpart) = inner.split_once(',').ok_or_else(err)?;
+    let template: usize = tpart
+        .trim()
+        .strip_prefix("template ")
+        .ok_or_else(err)?
+        .parse()
+        .map_err(|_| err())?;
+    let card: f64 = cpart
+        .trim()
+        .strip_prefix("true card ")
+        .ok_or_else(err)?
+        .parse()
+        .map_err(|_| err())?;
+    Ok((id, template, card))
+}
+
+/// Writes a workload file.
+pub fn write_workload(wl: &Workload, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, workload_to_sql(wl))
+}
+
+/// Reads a workload file.
+pub fn read_workload(path: &Path) -> std::io::Result<Workload> {
+    let text = std::fs::read_to_string(path)?;
+    workload_from_sql(&text).map_err(std::io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{stats_ceb, WorkloadConfig};
+    use cardbench_datagen::{stats_catalog, StatsConfig};
+    use cardbench_engine::Database;
+
+    #[test]
+    fn roundtrip_through_sql_text() {
+        let db = Database::new(stats_catalog(&StatsConfig::tiny(12)));
+        let wl = stats_ceb(
+            &db,
+            &WorkloadConfig {
+                templates: 8,
+                queries: 10,
+                max_tables: 4,
+                ..WorkloadConfig::stats_ceb(12)
+            },
+        );
+        let text = workload_to_sql(&wl);
+        let back = workload_from_sql(&text).unwrap();
+        assert_eq!(back.name, wl.name);
+        assert_eq!(back.queries.len(), wl.queries.len());
+        assert_eq!(back.template_count, wl.template_count);
+        for (a, b) in back.queries.iter().zip(&wl.queries) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.true_card, b.true_card);
+            assert_eq!(a.query.canonical_key(), b.query.canonical_key());
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let db = Database::new(stats_catalog(&StatsConfig::tiny(13)));
+        let wl = stats_ceb(
+            &db,
+            &WorkloadConfig {
+                templates: 4,
+                queries: 5,
+                max_tables: 3,
+                ..WorkloadConfig::stats_ceb(13)
+            },
+        );
+        let dir = std::env::temp_dir().join("cardbench_wl_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wl.sql");
+        write_workload(&wl, &path).unwrap();
+        let back = read_workload(&path).unwrap();
+        assert_eq!(back.queries.len(), 5);
+    }
+
+    #[test]
+    fn rejects_missing_annotation() {
+        let text = "SELECT COUNT(*) FROM users;";
+        assert!(workload_from_sql(text).is_err());
+    }
+}

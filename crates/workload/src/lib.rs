@@ -1,0 +1,18 @@
+//! Benchmark query workloads: join-template enumeration over a schema
+//! graph and the STATS-CEB / JOB-LIGHT analog generators.
+//!
+//! STATS-CEB (paper §3): 146 hand-shaped queries over 70 acyclic join
+//! templates spanning 2–8 tables with chain/star/mixed forms and PK-FK +
+//! FK-FK joins, 1–16 filter predicates, and a wide true-cardinality
+//! range. JOB-LIGHT: 70 queries over 23 star templates spanning 2–5
+//! tables. Both are generated deterministically from a seed, with
+//! predicates anchored at real data values and zero-result candidates
+//! rejected (the paper hand-picks for real-world semantics).
+
+pub mod generator;
+pub mod io;
+pub mod templates;
+
+pub use generator::{job_light, stats_ceb, training_workload, Workload, WorkloadConfig, WorkloadQuery};
+pub use io::{read_workload, workload_from_sql, workload_to_sql, write_workload};
+pub use templates::{enumerate_templates, JoinTemplate};

@@ -1,0 +1,203 @@
+//! Enumeration of acyclic join templates (tree subgraphs of the schema
+//! join graph, each table used at most once).
+
+use std::collections::HashSet;
+
+use cardbench_engine::Database;
+use cardbench_query::{JoinEdge, JoinQuery};
+
+/// One join template: a query skeleton without predicates.
+#[derive(Debug, Clone)]
+pub struct JoinTemplate {
+    /// Distinct table names.
+    pub tables: Vec<String>,
+    /// Tree edges over `tables` positions.
+    pub joins: Vec<JoinEdge>,
+}
+
+impl JoinTemplate {
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Instantiates the skeleton as a query (no predicates yet).
+    pub fn to_query(&self) -> JoinQuery {
+        JoinQuery {
+            tables: self.tables.clone(),
+            joins: self.joins.clone(),
+            predicates: vec![],
+        }
+    }
+
+    /// Canonical identity: sorted canonical edge strings.
+    fn key(&self) -> String {
+        let mut edges: Vec<String> = self
+            .joins
+            .iter()
+            .map(|e| {
+                let a = format!("{}.{}", self.tables[e.left], e.left_col);
+                let b = format!("{}.{}", self.tables[e.right], e.right_col);
+                if a <= b {
+                    format!("{a}={b}")
+                } else {
+                    format!("{b}={a}")
+                }
+            })
+            .collect();
+        edges.sort_unstable();
+        edges.join("|")
+    }
+}
+
+/// A schema edge in name form.
+#[derive(Debug, Clone)]
+struct SchemaEdge {
+    lt: String,
+    lc: String,
+    rt: String,
+    rc: String,
+}
+
+/// Enumerates every acyclic join template with `2..=max_tables` tables
+/// (each table at most once), deduplicated by canonical edge set and
+/// ordered by table count, then key.
+pub fn enumerate_templates(db: &Database, max_tables: usize) -> Vec<JoinTemplate> {
+    let edges: Vec<SchemaEdge> = db
+        .catalog()
+        .joins()
+        .iter()
+        .map(|j| SchemaEdge {
+            lt: j.left_table.clone(),
+            lc: j.left_column.clone(),
+            rt: j.right_table.clone(),
+            rc: j.right_column.clone(),
+        })
+        .collect();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut out: Vec<JoinTemplate> = Vec::new();
+    // Grow trees from every starting edge.
+    for start in 0..edges.len() {
+        let e = &edges[start];
+        let t = JoinTemplate {
+            tables: vec![e.lt.clone(), e.rt.clone()],
+            joins: vec![JoinEdge::new(0, e.lc.clone(), 1, e.rc.clone())],
+        };
+        grow(&edges, t, max_tables, &mut seen, &mut out);
+    }
+    out.sort_by(|a, b| {
+        a.table_count()
+            .cmp(&b.table_count())
+            .then_with(|| a.key().cmp(&b.key()))
+    });
+    out
+}
+
+fn grow(
+    edges: &[SchemaEdge],
+    current: JoinTemplate,
+    max_tables: usize,
+    seen: &mut HashSet<String>,
+    out: &mut Vec<JoinTemplate>,
+) {
+    if !seen.insert(current.key()) {
+        return;
+    }
+    out.push(current.clone());
+    if current.table_count() >= max_tables {
+        return;
+    }
+    for e in edges {
+        // The edge must connect one in-template table to one new table.
+        let l_in = current.tables.iter().position(|t| *t == e.lt);
+        let r_in = current.tables.iter().position(|t| *t == e.rt);
+        let (anchor, anchor_col, new_table, new_col) = match (l_in, r_in) {
+            (Some(pos), None) => (pos, &e.lc, &e.rt, &e.rc),
+            (None, Some(pos)) => (pos, &e.rc, &e.lt, &e.lc),
+            _ => continue,
+        };
+        let mut next = current.clone();
+        next.tables.push(new_table.clone());
+        next.joins.push(JoinEdge::new(
+            anchor,
+            anchor_col.clone(),
+            next.tables.len() - 1,
+            new_col.clone(),
+        ));
+        grow(edges, next, max_tables, seen, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardbench_datagen::{imdb_catalog, stats_catalog, ImdbConfig, StatsConfig};
+
+    #[test]
+    fn imdb_star_template_count() {
+        // 5 satellites around title: templates = non-empty satellite
+        // subsets = 2^5 - 1 = 31 (all contain title).
+        let db = Database::new(imdb_catalog(&ImdbConfig::tiny(1)));
+        let templates = enumerate_templates(&db, 6);
+        assert_eq!(templates.len(), 31);
+        for t in &templates {
+            assert!(t.to_query().is_acyclic());
+            assert!(t.tables.contains(&"title".to_string()));
+        }
+    }
+
+    #[test]
+    fn imdb_max_tables_caps_size() {
+        let db = Database::new(imdb_catalog(&ImdbConfig::tiny(1)));
+        let templates = enumerate_templates(&db, 3);
+        assert!(templates.iter().all(|t| t.table_count() <= 3));
+        // 5 two-table + C(5,2)=10 three-table.
+        assert_eq!(templates.len(), 15);
+    }
+
+    #[test]
+    fn stats_templates_are_rich() {
+        let db = Database::new(stats_catalog(&StatsConfig::tiny(1)));
+        let templates = enumerate_templates(&db, 8);
+        // The cyclic 12-edge schema yields far more than 70 templates.
+        assert!(templates.len() > 100, "got {}", templates.len());
+        // All sizes 2..=8 are represented.
+        for k in 2..=8 {
+            assert!(
+                templates.iter().any(|t| t.table_count() == k),
+                "no template with {k} tables"
+            );
+        }
+        // Every template is a valid tree without repeated tables.
+        for t in &templates {
+            let q = t.to_query();
+            assert!(q.is_acyclic(), "template not a tree: {:?}", t.tables);
+            let mut names = t.tables.clone();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), t.tables.len());
+        }
+    }
+
+    #[test]
+    fn deduplication_by_canonical_key() {
+        let db = Database::new(stats_catalog(&StatsConfig::tiny(1)));
+        let templates = enumerate_templates(&db, 4);
+        let mut keys: Vec<String> = templates.iter().map(|t| t.key()).collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(before, keys.len());
+    }
+
+    #[test]
+    fn fkfk_template_exists() {
+        let db = Database::new(stats_catalog(&StatsConfig::tiny(1)));
+        let templates = enumerate_templates(&db, 2);
+        // comments ⋈ badges on UserId is the FK-FK edge.
+        assert!(templates.iter().any(|t| {
+            t.tables.contains(&"comments".to_string())
+                && t.tables.contains(&"badges".to_string())
+        }));
+    }
+}

@@ -1,0 +1,55 @@
+//! EXPLAIN-style inspection: how the optimizer costs a plan under
+//! estimated vs true cardinalities — the raw material of P-Error.
+//!
+//! Run with `cargo run --release --example explain_costs`.
+
+use cardbench::datagen::{stats_catalog, StatsConfig};
+use cardbench::engine::{explain, optimize, CardMap, CostModel, Database, TrueCardService};
+use cardbench::estimators::postgres::PostgresEst;
+use cardbench::estimators::CardEst;
+use cardbench::metrics::ppc;
+use cardbench::query::{connected_subsets, BoundQuery, JoinEdge, JoinQuery, Predicate, Region, SubPlanQuery};
+
+fn main() {
+    let db = Database::new(stats_catalog(&StatsConfig {
+        scale: 0.01,
+        ..StatsConfig::default()
+    }));
+    let query = JoinQuery {
+        tables: vec!["users".into(), "badges".into(), "comments".into()],
+        joins: vec![
+            JoinEdge::new(0, "Id", 1, "UserId"),
+            JoinEdge::new(0, "Id", 2, "UserId"),
+        ],
+        predicates: vec![
+            Predicate::new(0, "UpVotes", Region::ge(5)),
+            Predicate::new(2, "Score", Region::ge(1)),
+        ],
+    };
+    println!("query: {}\n", cardbench::query::sql::to_sql(&query));
+    let bound = BoundQuery::bind(&query, db.catalog()).unwrap();
+    let cost = CostModel::default();
+    let truth_svc = TrueCardService::new();
+
+    let mut est = PostgresEst::fit(&db);
+    let mut est_cards = CardMap::new();
+    let mut true_cards = CardMap::new();
+    for mask in connected_subsets(&query) {
+        let sp = SubPlanQuery::project(&query, mask);
+        est_cards.insert(mask, est.estimate(&db, &sp));
+        true_cards.insert(mask, truth_svc.cardinality(&db, &sp.query).unwrap());
+    }
+
+    let plan = optimize(&query, &bound, &db, &est_cards, &cost);
+    println!("plan chosen from PostgreSQL-style estimates, costed with them:");
+    println!("{}", explain(&plan, &db, &bound, &query.tables, &cost, &est_cards));
+    println!("the same plan costed with the true cardinalities (PPC):");
+    println!("{}", explain(&plan, &db, &bound, &query.tables, &cost, &true_cards));
+
+    let optimal = optimize(&query, &bound, &db, &true_cards, &cost);
+    let ppc_e = ppc(&plan, &db, &bound, &cost, &true_cards);
+    let ppc_t = ppc(&optimal, &db, &bound, &cost, &true_cards);
+    println!("PPC(estimated plan) = {ppc_e:.1}");
+    println!("PPC(optimal plan)   = {ppc_t:.1}");
+    println!("P-Error             = {:.3}", ppc_e / ppc_t);
+}

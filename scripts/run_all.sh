@@ -1,0 +1,18 @@
+#!/bin/sh
+# Runs the full evaluation and every auxiliary experiment sequentially,
+# writing one results file per run. Execute on an otherwise idle machine:
+# wall-clock execution times are part of the measurements.
+set -e
+cd "$(dirname "$0")/.."
+cargo build --release -p cardbench-bench
+T=target/release
+$T/all_tables        > results_standard.txt        2> results_standard.log
+$T/ablation          > results_ablation.txt        2>&1
+$T/workload_shift    > results_workload_shift.txt  2>&1
+$T/noise_sensitivity > results_noise.txt           2>&1
+$T/optimizer_shapes  > results_optimizer_shapes.txt 2>&1
+$T/cost_alignment    > results_cost_alignment.txt  2>&1
+$T/rd3_calibration   > results_rd3.txt             2>&1
+$T/update_scaling    > results_update_scaling.txt  2>&1
+$T/observations      > results_observations.txt    2>&1 || true
+echo "all runs complete"

@@ -1,0 +1,128 @@
+//! Engine correctness under randomized inputs: whatever cardinalities
+//! are injected and whatever plan the optimizer picks, executing the
+//! plan must produce the exact COUNT(*).
+
+use proptest::prelude::*;
+
+use cardbench::engine::{execute, exact_cardinality, optimize, CardMap, CostModel, Database};
+use cardbench::prelude::*;
+use cardbench::query::{connected_subsets, BoundQuery, JoinEdge, JoinQuery, Region};
+use cardbench::storage::{Column, ColumnDef, ColumnKind, TableSchema};
+
+/// A random 3-table chain database with small key domains.
+fn random_db(keys: &[Vec<i64>], vals: &[Vec<i64>]) -> Database {
+    let mut cat = Catalog::new();
+    for (i, (k, v)) in keys.iter().zip(vals).enumerate() {
+        cat.add_table(
+            Table::from_columns(
+                TableSchema::new(
+                    format!("t{i}"),
+                    vec![
+                        ColumnDef::new("k", ColumnKind::ForeignKey),
+                        ColumnDef::new("v", ColumnKind::Numeric),
+                    ],
+                ),
+                vec![Column::from_values(k.clone()), Column::from_values(v.clone())],
+            )
+            .unwrap(),
+        );
+    }
+    Database::new(cat)
+}
+
+fn chain_query(filter_hi: i64) -> JoinQuery {
+    JoinQuery {
+        tables: vec!["t0".into(), "t1".into(), "t2".into()],
+        joins: vec![JoinEdge::new(0, "k", 1, "k"), JoinEdge::new(1, "k", 2, "k")],
+        predicates: vec![Predicate::new(1, "v", Region::le(filter_hi))],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any injected cardinalities → correct COUNT(*).
+    #[test]
+    fn any_card_injection_gives_exact_count(
+        k0 in prop::collection::vec(0i64..6, 1..24),
+        k1 in prop::collection::vec(0i64..6, 1..24),
+        k2 in prop::collection::vec(0i64..6, 1..24),
+        v0 in prop::collection::vec(0i64..4, 24),
+        v1 in prop::collection::vec(0i64..4, 24),
+        v2 in prop::collection::vec(0i64..4, 24),
+        filter_hi in 0i64..4,
+        fake in prop::collection::vec(1.0f64..1e6, 8),
+    ) {
+        let vals = [
+            v0[..k0.len()].to_vec(),
+            v1[..k1.len()].to_vec(),
+            v2[..k2.len()].to_vec(),
+        ];
+        let db = random_db(&[k0, k1, k2], &vals);
+        let q = chain_query(filter_hi);
+        let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+        // Inject arbitrary positive cardinalities.
+        let mut cards = CardMap::new();
+        for (i, mask) in connected_subsets(&q).into_iter().enumerate() {
+            cards.insert(mask, fake[i % fake.len()]);
+        }
+        let plan = optimize(&q, &bound, &db, &cards, &CostModel::default());
+        let (rows, _) = execute(&plan, &bound, &db);
+        let exact = exact_cardinality(&db, &q).unwrap();
+        prop_assert_eq!(rows as f64, exact);
+    }
+
+    /// The sub-plan space of a chain has n(n+1)/2 members and each
+    /// projects to a connected, acyclic query.
+    #[test]
+    fn subplan_space_of_chain(_x in 0..1i32) {
+        let q = chain_query(3);
+        let subs = connected_subsets(&q);
+        prop_assert_eq!(subs.len(), 6);
+        for mask in subs {
+            let sp = SubPlanQuery::project(&q, mask);
+            prop_assert!(sp.query.is_connected());
+            prop_assert!(sp.query.joins.is_empty() || sp.query.is_acyclic());
+        }
+    }
+}
+
+#[test]
+fn all_join_algos_agree_on_stats_data() {
+    use cardbench::datagen::{stats_catalog, StatsConfig};
+    use cardbench::engine::{JoinAlgo, PhysicalPlan, ScanMethod};
+    use cardbench::query::TableMask;
+
+    let db = Database::new(stats_catalog(&StatsConfig::tiny(31)));
+    let q = JoinQuery {
+        tables: vec!["users".into(), "badges".into()],
+        joins: vec![JoinEdge::new(0, "Id", 1, "UserId")],
+        predicates: vec![Predicate::new(0, "Reputation", Region::ge(10))],
+    };
+    let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+    let exact = exact_cardinality(&db, &q).unwrap();
+    for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::IndexNestedLoop] {
+        for method in [ScanMethod::Seq, ScanMethod::Index] {
+            let plan = PhysicalPlan::Join {
+                algo,
+                left: Box::new(PhysicalPlan::Scan {
+                    table_pos: 0,
+                    method,
+                    mask: TableMask::single(0),
+                    est_rows: 10.0,
+                }),
+                right: Box::new(PhysicalPlan::Scan {
+                    table_pos: 1,
+                    method: ScanMethod::Seq,
+                    mask: TableMask::single(1),
+                    est_rows: 10.0,
+                }),
+                edge: 0,
+                mask: TableMask::full(2),
+                est_rows: 10.0,
+            };
+            let (rows, _) = execute(&plan, &bound, &db);
+            assert_eq!(rows as f64, exact, "{algo:?}/{method:?}");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the metric layer and core invariants.
+
+use proptest::prelude::*;
+
+use cardbench::metrics::{pearson, percentile, percentile_triple, q_error, spearman};
+
+proptest! {
+    /// Q-Error is always ≥ 1 and symmetric.
+    #[test]
+    fn q_error_ge_one_and_symmetric(est in 0.0f64..1e12, truth in 0.0f64..1e12) {
+        let q = q_error(est, truth);
+        prop_assert!(q >= 1.0);
+        prop_assert!((q - q_error(truth, est)).abs() < 1e-9);
+    }
+
+    /// Percentiles are monotone in p and bounded by the sample range.
+    #[test]
+    fn percentiles_monotone_and_bounded(
+        mut values in prop::collection::vec(0.0f64..1e9, 1..200),
+        p1 in 0.0f64..1.0,
+        p2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let a = percentile(&values, lo);
+        let b = percentile(&values, hi);
+        prop_assert!(a <= b + 1e-9);
+        values.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        prop_assert!(a >= values[0] - 1e-9);
+        prop_assert!(b <= values[values.len() - 1] + 1e-9);
+    }
+
+    /// The 50/90/99 triple is ordered.
+    #[test]
+    fn triple_ordered(values in prop::collection::vec(0.0f64..1e6, 1..100)) {
+        let (p50, p90, p99) = percentile_triple(&values);
+        prop_assert!(p50 <= p90 + 1e-9);
+        prop_assert!(p90 <= p99 + 1e-9);
+    }
+
+    /// Correlations live in [-1, 1]; identical series correlate at 1.
+    #[test]
+    fn correlations_bounded(values in prop::collection::vec(-1e6f64..1e6, 3..100)) {
+        let shifted: Vec<f64> = values.iter().map(|v| v * 2.0 + 3.0).collect();
+        let r = pearson(&values, &shifted);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        let s = spearman(&values, &shifted);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+    }
+}
+
+mod engine_props {
+    use super::*;
+    use cardbench::engine::CostModel;
+    use cardbench::engine::{JoinAlgo, ScanMethod};
+
+    proptest! {
+        /// Costs are non-negative and monotone in output size.
+        #[test]
+        fn join_costs_positive_monotone(
+            l in 1.0f64..1e7,
+            r in 1.0f64..1e7,
+            out1 in 0.0f64..1e7,
+            out2 in 0.0f64..1e7,
+        ) {
+            let cm = CostModel::default();
+            let (small, large) = (out1.min(out2), out1.max(out2));
+            for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::IndexNestedLoop] {
+                let a = cm.join_cost(algo, l, r, small);
+                let b = cm.join_cost(algo, l, r, large);
+                prop_assert!(a > 0.0);
+                prop_assert!(b >= a - 1e-9);
+            }
+        }
+
+        /// Scan costs grow with table size.
+        #[test]
+        fn scan_costs_monotone_in_rows(rows1 in 1.0f64..1e7, rows2 in 1.0f64..1e7) {
+            let cm = CostModel::default();
+            let (small, large) = (rows1.min(rows2), rows1.max(rows2));
+            for m in [ScanMethod::Seq, ScanMethod::Index] {
+                let a = cm.scan_cost(m, small, small * 0.1);
+                let b = cm.scan_cost(m, large, large * 0.1);
+                prop_assert!(b >= a - 1e-9, "{m:?}");
+            }
+        }
+    }
+}
+
+mod histogram_props {
+    use super::*;
+    use cardbench::estimators::postgres::ColumnHist;
+    use cardbench::query::Region;
+
+    proptest! {
+        /// Histogram selectivities are valid probabilities and monotone
+        /// in range width.
+        #[test]
+        fn selectivity_valid_and_monotone(
+            values in prop::collection::vec(-1000i64..1000, 1..400),
+            lo in -1200i64..1200,
+            width1 in 0i64..500,
+            width2 in 0i64..500,
+        ) {
+            let datums: Vec<Option<i64>> = values.iter().copied().map(Some).collect();
+            let h = ColumnHist::fit(&datums, 10, 20);
+            let (w_small, w_big) = (width1.min(width2), width1.max(width2));
+            let s_small = h.selectivity(&Region::between(lo, lo + w_small));
+            let s_big = h.selectivity(&Region::between(lo, lo + w_big));
+            prop_assert!((0.0..=1.0).contains(&s_small));
+            prop_assert!((0.0..=1.0).contains(&s_big));
+            prop_assert!(s_big >= s_small - 1e-9);
+        }
+
+        /// Full-domain range has selectivity ≈ non-null fraction.
+        #[test]
+        fn full_range_matches_nonnull_frac(
+            values in prop::collection::vec(-100i64..100, 1..200),
+            nulls in 0usize..100,
+        ) {
+            let mut datums: Vec<Option<i64>> = values.iter().copied().map(Some).collect();
+            datums.extend(std::iter::repeat_n(None, nulls));
+            let h = ColumnHist::fit(&datums, 10, 20);
+            let sel = h.selectivity(&Region::between(i64::MIN, i64::MAX));
+            let frac = values.len() as f64 / datums.len() as f64;
+            prop_assert!((sel - frac).abs() < 0.05, "sel {sel} frac {frac}");
+        }
+    }
+}
