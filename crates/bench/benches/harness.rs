@@ -1,0 +1,81 @@
+//! End-to-end harness throughput: `run_workload` on the fast STATS
+//! workload at 1 planning thread vs all cores, plus a `BENCH_harness.json`
+//! summary at the repo root for regression tracking.
+//!
+//! Each measured run constructs a fresh [`TrueCardService`] so the
+//! parallel phase pays the full (sharded, concurrent) true-cardinality
+//! cost — the workload the two-phase split is designed to spread.
+
+use std::path::PathBuf;
+
+use cardbench_support::criterion::{Criterion, Measurement};
+use cardbench_support::json::Json;
+use cardbench_support::par;
+
+use cardbench_engine::{CostModel, TrueCardService};
+use cardbench_estimators::EstimatorKind;
+use cardbench_harness::endtoend::run_workload_with_threads;
+use cardbench_harness::{build_estimator, Bench, BenchConfig};
+
+fn measurement_to_value(m: &Measurement) -> Json {
+    Json::object([
+        ("id", Json::String(m.id.clone())),
+        ("median_secs", Json::Number(m.median.as_secs_f64())),
+        ("mean_secs", Json::Number(m.mean.as_secs_f64())),
+        ("min_secs", Json::Number(m.min.as_secs_f64())),
+        ("samples", Json::Number(m.samples as f64)),
+    ])
+}
+
+fn main() {
+    let bench = Bench::build(BenchConfig::fast(11));
+    let built = build_estimator(
+        EstimatorKind::Postgres,
+        &bench.stats_db,
+        &bench.stats_train,
+        &bench.config.settings,
+    );
+    let db = &bench.stats_db;
+    let wl = &bench.stats_wl;
+    let cost = CostModel::default();
+    let cores = par::max_threads();
+    // Measure at >= 4 workers even on smaller machines: the comparison
+    // stays honest (`cores` is recorded alongside) and the fan-out path
+    // is exercised either way.
+    let n = par::resolve_threads(0).max(4);
+
+    let mut c = Criterion::default();
+    let mut group = c.benchmark_group("run_workload_stats_fast");
+    group.sample_size(10);
+    for threads in [1, n] {
+        group.bench_function(format!("threads={threads}"), |b| {
+            b.iter(|| {
+                let truth = TrueCardService::new();
+                run_workload_with_threads(db, wl, built.est.as_ref(), &truth, &cost, threads)
+            })
+        });
+    }
+    group.finish();
+
+    let [seq, par_run] = &c.measurements[..] else {
+        panic!("expected exactly two measurements");
+    };
+    let speedup = seq.median.as_secs_f64() / par_run.median.as_secs_f64();
+    println!("run_workload speedup at {n} threads ({cores} cores): {speedup:.2}x");
+
+    let summary = Json::object([
+        ("bench", Json::String("harness".to_string())),
+        ("workload", Json::String("STATS-CEB (fast)".to_string())),
+        ("queries", Json::Number(wl.queries.len() as f64)),
+        ("cores", Json::Number(cores as f64)),
+        ("threads", Json::Number(n as f64)),
+        ("speedup_median", Json::Number(speedup)),
+        (
+            "measurements",
+            Json::Array(c.measurements.iter().map(measurement_to_value).collect()),
+        ),
+    ]);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_harness.json");
+    std::fs::write(&path, summary.pretty()).expect("write BENCH_harness.json");
+    println!("wrote {}", path.display());
+}

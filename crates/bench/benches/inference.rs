@@ -1,7 +1,8 @@
 //! Per-estimator inference latency (the Figure 3 latency axis): one
 //! representative multi-join sub-plan query per estimator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cardbench_support::criterion::Criterion;
+use cardbench_support::{criterion_group, criterion_main};
 
 use cardbench_engine::TrueCardService;
 use cardbench_estimators::EstimatorKind;
@@ -36,7 +37,12 @@ fn bench_inference(c: &mut Criterion) {
         EstimatorKind::Flat,
         EstimatorKind::NeuroCardE,
     ] {
-        let mut built = build_estimator(kind, &bench.stats_db, &bench.stats_train, &bench.config.settings);
+        let built = build_estimator(
+            kind,
+            &bench.stats_db,
+            &bench.stats_train,
+            &bench.config.settings,
+        );
         group.bench_function(kind.name(), |b| {
             b.iter(|| built.est.estimate(&bench.stats_db, &sub))
         });

@@ -1,7 +1,8 @@
 //! Engine operator micro-benchmarks: scans and the three join
 //! algorithms at benchmark-relevant input sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cardbench_support::criterion::{BenchmarkId, Criterion};
+use cardbench_support::{criterion_group, criterion_main};
 
 use cardbench_datagen::{stats_catalog, StatsConfig};
 use cardbench_engine::{execute, Database, JoinAlgo, PhysicalPlan, ScanMethod};
@@ -45,9 +46,11 @@ fn bench_joins(c: &mut Criterion) {
     let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
     let mut group = c.benchmark_group("join_algorithms");
     for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::IndexNestedLoop] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{algo:?}")), &algo, |b, &algo| {
-            b.iter(|| execute(&join_plan(algo), &bound, &db))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{algo:?}")),
+            &algo,
+            |b, &algo| b.iter(|| execute(&join_plan(algo), &bound, &db)),
+        );
     }
     group.finish();
 }

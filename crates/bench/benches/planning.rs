@@ -1,7 +1,8 @@
 //! Planner micro-benchmarks: DP join enumeration and the P-Error
 //! computation path (optimize twice + cost twice).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cardbench_support::criterion::Criterion;
+use cardbench_support::{criterion_group, criterion_main};
 
 use cardbench_engine::{exact_cardinality, optimize, CardMap, CostModel, TrueCardService};
 use cardbench_harness::{Bench, BenchConfig};
@@ -25,7 +26,7 @@ fn bench_planning(c: &mut Criterion) {
         cards.insert(mask, exact_cardinality(db, &sp.query).unwrap());
     }
     c.bench_function(
-        &format!("dp_optimize_{}_tables", wq.query.table_count()),
+        format!("dp_optimize_{}_tables", wq.query.table_count()),
         |b| b.iter(|| optimize(&wq.query, &bound, db, &cards, &cost)),
     );
     c.bench_function("p_error_path", |b| {

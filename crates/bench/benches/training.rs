@@ -1,6 +1,7 @@
 //! Per-estimator training/construction cost (the Figure 3 training axis).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cardbench_support::criterion::Criterion;
+use cardbench_support::{criterion_group, criterion_main};
 
 use cardbench_estimators::EstimatorKind;
 use cardbench_harness::{build_estimator, Bench, BenchConfig};
@@ -21,7 +22,14 @@ fn bench_training(c: &mut Criterion) {
         EstimatorKind::Flat,
     ] {
         group.bench_function(kind.name(), |b| {
-            b.iter(|| build_estimator(kind, &bench.stats_db, &bench.stats_train, &bench.config.settings))
+            b.iter(|| {
+                build_estimator(
+                    kind,
+                    &bench.stats_db,
+                    &bench.stats_train,
+                    &bench.config.settings,
+                )
+            })
         });
     }
     group.finish();

@@ -12,7 +12,7 @@ use cardbench_datagen::{stats_catalog, StatsConfig};
 use cardbench_engine::{exact_cardinality, Database};
 use cardbench_estimators::bayescard::BayesCard;
 use cardbench_estimators::deepdb::DeepDb;
-use cardbench_estimators::fanout::{exact_fanout_estimator, uniform_join_card, exact_selectivity};
+use cardbench_estimators::fanout::{exact_fanout_estimator, exact_selectivity, uniform_join_card};
 use cardbench_estimators::flat::Flat;
 use cardbench_estimators::neurocard::{NeuroCardConfig, NeuroCardE};
 use cardbench_estimators::CardEst;
@@ -61,12 +61,20 @@ fn main() {
     );
 
     // A1: multi-leaves.
-    let mut deep = DeepDb::fit(&db, 24, 0);
-    let mut flat = Flat::fit(&db, 24, 0);
+    let deep = DeepDb::fit(&db, 24, 0);
+    let flat = Flat::fit(&db, 24, 0);
     let q_deep = median_q_error(&db, &wl, |sp| deep.estimate(&db, sp));
     let q_flat = median_q_error(&db, &wl, |sp| flat.estimate(&db, sp));
-    println!("A1  SPN plain (DeepDB): median q-error {q_deep:.3}, {} nodes, {}B", deep.node_count(), deep.model_size_bytes());
-    println!("A1  SPN+multileaf (FLAT): median q-error {q_flat:.3}, {} nodes, {}B\n", flat.node_count(), flat.model_size_bytes());
+    println!(
+        "A1  SPN plain (DeepDB): median q-error {q_deep:.3}, {} nodes, {}B",
+        deep.node_count(),
+        deep.model_size_bytes()
+    );
+    println!(
+        "A1  SPN+multileaf (FLAT): median q-error {q_flat:.3}, {} nodes, {}B\n",
+        flat.node_count(),
+        flat.model_size_bytes()
+    );
 
     // A2: fanout framework vs join uniformity with exact per-table info.
     let fanout = exact_fanout_estimator(&db, 24);
@@ -92,7 +100,7 @@ fn main() {
 
     // A3: NeuroCard sample-size sweep.
     for sample_rows in [500usize, 2000, 8000] {
-        let mut nc = NeuroCardE::fit(
+        let nc = NeuroCardE::fit(
             &db,
             &NeuroCardConfig {
                 sample_rows,
@@ -112,7 +120,7 @@ fn main() {
 
     // A4: BayesCard bin budget.
     for bins in [8usize, 24, 64] {
-        let mut bc = BayesCard::fit(&db, bins);
+        let bc = BayesCard::fit(&db, bins);
         let q = median_q_error(&db, &wl, |sp| bc.estimate(&db, sp));
         println!(
             "A4  BayesCard bins {bins:>3}: median q-error {q:.3}, size {}B",

@@ -6,7 +6,9 @@ use cardbench_datagen::dataset_profile;
 use cardbench_engine::{CostModel, TrueCardService};
 use cardbench_estimators::EstimatorKind;
 use cardbench_harness::case_study::{case_study, pick_case_query};
-use cardbench_harness::report::{figure1_dot, figure3, table1, table2, table3, table4, table4_qerrors, table5, table7};
+use cardbench_harness::report::{
+    figure1_dot, figure3, table1, table2, table3, table4, table4_qerrors, table5, table7,
+};
 use cardbench_harness::update_exp::{run_update_experiment, table6};
 use cardbench_harness::{build_estimator, RunResults};
 
@@ -18,7 +20,12 @@ fn main() {
     println!("{}", table1(&imdb_prof, &stats_prof));
     println!(
         "{}",
-        table2(&r.bench.imdb_db, &r.bench.imdb_wl, &r.bench.stats_db, &r.bench.stats_wl)
+        table2(
+            &r.bench.imdb_db,
+            &r.bench.imdb_wl,
+            &r.bench.stats_db,
+            &r.bench.stats_wl
+        )
     );
     println!("{}", table3(&r.imdb_runs, &r.stats_runs));
     println!("{}", table4(&r.stats_runs));
@@ -37,8 +44,12 @@ fn main() {
     let truth = TrueCardService::new();
     let wq = pick_case_query(&r.bench.stats_wl);
     println!("Figure 2 case study: Q{}", wq.id);
-    for kind in [EstimatorKind::TrueCard, EstimatorKind::Flat, EstimatorKind::BayesCard] {
-        let mut built = build_estimator(
+    for kind in [
+        EstimatorKind::TrueCard,
+        EstimatorKind::Flat,
+        EstimatorKind::BayesCard,
+    ] {
+        let built = build_estimator(
             kind,
             &r.bench.stats_db,
             &r.bench.stats_train,
@@ -46,7 +57,13 @@ fn main() {
         );
         println!(
             "{}",
-            case_study(&r.bench.stats_db, wq, built.est.as_mut(), &truth, &CostModel::default())
+            case_study(
+                &r.bench.stats_db,
+                wq,
+                built.est.as_ref(),
+                &truth,
+                &CostModel::default()
+            )
         );
     }
     println!("{}", figure3(&r.imdb_runs, "JOB-LIGHT"));

@@ -25,7 +25,12 @@ fn main() -> std::io::Result<()> {
         }
         let mut sql = String::new();
         for wq in &wl.queries {
-            writeln!(sql, "-- Q{} (template {}, true card {})", wq.id, wq.template_id, wq.true_card).unwrap();
+            writeln!(
+                sql,
+                "-- Q{} (template {}, true card {})",
+                wq.id, wq.template_id, wq.true_card
+            )
+            .unwrap();
             writeln!(sql, "{}", to_sql(&wq.query)).unwrap();
         }
         let path = d.join(format!("{}.sql", wl.name.to_lowercase()));

@@ -18,7 +18,7 @@ fn main() {
         EstimatorKind::Flat,
         EstimatorKind::BayesCard,
     ] {
-        let mut built = build_estimator(
+        let built = build_estimator(
             kind,
             &bench.stats_db,
             &bench.stats_train,
@@ -29,7 +29,7 @@ fn main() {
             case_study(
                 &bench.stats_db,
                 wq,
-                built.est.as_mut(),
+                built.est.as_ref(),
                 &truth,
                 &CostModel::default()
             )

@@ -7,8 +7,8 @@
 //! the mechanism behind the paper's motivation ("estimation accuracy
 //! does not directly equal query plan quality").
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cardbench_support::rand::rngs::StdRng;
+use cardbench_support::rand::{Rng, SeedableRng};
 
 use cardbench_engine::{Database, TrueCardService};
 use cardbench_estimators::CardEst;
@@ -21,7 +21,7 @@ use cardbench_query::SubPlanQuery;
 struct NoisyOracle {
     truth: TrueCardService,
     sigma: f64,
-    rng: StdRng,
+    seed: u64,
 }
 
 impl CardEst for NoisyOracle {
@@ -29,11 +29,14 @@ impl CardEst for NoisyOracle {
         "NoisyOracle"
     }
 
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
         let t = self.truth.cardinality(db, &sub.query).unwrap_or(1.0);
+        // Per-call RNG keyed by the sub-plan, so estimates are stable no
+        // matter which thread (or in which order) they are computed.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ sub.query.canonical_hash());
         // Box-Muller normal sample.
-        let u1: f64 = self.rng.gen::<f64>().max(1e-12);
-        let u2: f64 = self.rng.gen();
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         t * 2.0f64.powf(self.sigma * z)
     }
@@ -49,12 +52,12 @@ fn main() {
         "sigma", "P50%", "P90%", "P99%", "E2E"
     );
     for sigma in [0.0, 0.5, 1.0, 2.0, 4.0, 8.0] {
-        let mut est = NoisyOracle {
+        let est = NoisyOracle {
             truth: TrueCardService::new(),
             sigma,
-            rng: StdRng::seed_from_u64(99),
+            seed: 99,
         };
-        let queries = run_workload(db, &bench.stats_wl, &mut est, &truth, &cost);
+        let queries = run_workload(db, &bench.stats_wl, &est, &truth, &cost);
         let run = MethodRun {
             kind: cardbench_estimators::EstimatorKind::TrueCard,
             train_time: std::time::Duration::ZERO,

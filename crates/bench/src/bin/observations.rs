@@ -10,7 +10,10 @@ fn main() {
         let text = std::fs::read_to_string(path).expect("readable results file");
         RunResults::from_json(&text).expect("valid results JSON")
     } else {
-        eprintln!("[observations] {} not found; running the full evaluation", path.display());
+        eprintln!(
+            "[observations] {} not found; running the full evaluation",
+            path.display()
+        );
         let r = cardbench_bench::run_full(cardbench_bench::config_from_env());
         RunResults::collect(&r.imdb_runs, &r.stats_runs)
     };

@@ -4,9 +4,7 @@
 
 use std::time::Instant;
 
-use cardbench_engine::{
-    execute, exact_cardinality, optimize_with, plan_cost, CardMap, CostModel,
-};
+use cardbench_engine::{exact_cardinality, execute, optimize_with, plan_cost, CardMap, CostModel};
 use cardbench_harness::Bench;
 use cardbench_query::{connected_subsets, BoundQuery, SubPlanQuery};
 

@@ -33,8 +33,8 @@ fn main() {
     let truth = TrueCardService::new();
 
     let raw = Mscn::fit(db, &bench.stats_train, &bench.config.settings.mscn);
-    let mut raw_for_run = Mscn::fit(db, &bench.stats_train, &bench.config.settings.mscn);
-    let runs = run_workload(db, &bench.stats_wl, &mut raw_for_run, &truth, &cost);
+    let raw_for_run = Mscn::fit(db, &bench.stats_train, &bench.config.settings.mscn);
+    let runs = run_workload(db, &bench.stats_wl, &raw_for_run, &truth, &cost);
     summarize("MSCN (raw)", runs);
 
     // Calibrate on a validation slice of the *training* workload — the
@@ -47,8 +47,8 @@ fn main() {
         .take(40)
         .cloned()
         .collect();
-    let mut calibrated = PErrorCalibrated::calibrate(raw, db, &validation, &truth, &cost);
+    let calibrated = PErrorCalibrated::calibrate(raw, db, &validation, &truth, &cost);
     println!("learned per-join-count factors: {:?}", calibrated.factors());
-    let runs = run_workload(db, &bench.stats_wl, &mut calibrated, &truth, &cost);
+    let runs = run_workload(db, &bench.stats_wl, &calibrated, &truth, &cost);
     summarize("MSCN (P-calibrated)", runs);
 }

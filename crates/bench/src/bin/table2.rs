@@ -8,6 +8,11 @@ fn main() {
     let bench = Bench::build(cardbench_bench::config_from_env());
     print!(
         "{}",
-        table2(&bench.imdb_db, &bench.imdb_wl, &bench.stats_db, &bench.stats_wl)
+        table2(
+            &bench.imdb_db,
+            &bench.imdb_wl,
+            &bench.stats_db,
+            &bench.stats_wl
+        )
     );
 }

@@ -8,8 +8,8 @@ use cardbench_datagen::stats::{temporal_split, DAYS_MAX};
 use cardbench_datagen::stats_catalog;
 use cardbench_engine::Database;
 use cardbench_estimators::lw::TrainingSet;
-use cardbench_harness::build_estimator;
 use cardbench_estimators::EstimatorKind;
+use cardbench_harness::build_estimator;
 use cardbench_harness::update_exp::UPDATABLE;
 use cardbench_storage::TableId;
 
@@ -20,11 +20,11 @@ fn main() {
     // Include one query-driven method to quantify O9: its "update" must
     // re-execute the whole training workload.
     let bench = cardbench_harness::Bench::build(cfg.clone());
-    let methods: Vec<EstimatorKind> = UPDATABLE
-        .into_iter()
-        .chain([EstimatorKind::Mscn])
-        .collect();
-    println!("{:<14} {:>10} {:>12} {:>12}", "method", "batch rows", "update", "per krow");
+    let methods: Vec<EstimatorKind> = UPDATABLE.into_iter().chain([EstimatorKind::Mscn]).collect();
+    println!(
+        "{:<14} {:>10} {:>12} {:>12}",
+        "method", "batch rows", "update", "per krow"
+    );
     // Cut at increasing dates: bigger cutoff ⇒ bigger stale part, smaller
     // batch; sweep the insert batch from ~10% to ~60% of the data.
     for cutoff_frac in [0.9, 0.7, 0.4] {

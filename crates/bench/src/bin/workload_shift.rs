@@ -11,7 +11,7 @@ use cardbench_metrics::{percentile_triple, q_error};
 use cardbench_query::{SubPlanQuery, TableMask};
 
 fn q_errors_on(
-    est: &mut dyn CardEst,
+    est: &dyn CardEst,
     db: &cardbench_engine::Database,
     queries: &[cardbench_query::JoinQuery],
     cards: &[f64],
@@ -48,7 +48,12 @@ fn main() {
 
     // The benchmark workload (different distribution: hand-shaped
     // templates, coverage predicates, non-empty results).
-    let bench_q: Vec<_> = bench.stats_wl.queries.iter().map(|w| w.query.clone()).collect();
+    let bench_q: Vec<_> = bench
+        .stats_wl
+        .queries
+        .iter()
+        .map(|w| w.query.clone())
+        .collect();
     let bench_c: Vec<f64> = bench
         .stats_wl
         .queries
@@ -60,11 +65,11 @@ fn main() {
         "{:<8} {:>30} {:>30}",
         "method", "in-distribution Q50/90/99", "benchmark Q50/90/99"
     );
-    let mut mscn = Mscn::fit(db, &train, &bench.config.settings.mscn);
-    let mut lwnn = LwNn::fit(db, &train, &bench.config.settings.lw_nn);
+    let mscn = Mscn::fit(db, &train, &bench.config.settings.mscn);
+    let lwnn = LwNn::fit(db, &train, &bench.config.settings.lw_nn);
     for (name, est) in [
-        ("MSCN", &mut mscn as &mut dyn CardEst),
-        ("LW-NN", &mut lwnn as &mut dyn CardEst),
+        ("MSCN", &mscn as &dyn CardEst),
+        ("LW-NN", &lwnn as &dyn CardEst),
     ] {
         let (i50, i90, i99) = q_errors_on(est, db, heldout_q, heldout_c);
         let (b50, b90, b99) = q_errors_on(est, db, &bench_q, &bench_c);

@@ -6,12 +6,16 @@
 //! - `CARDBENCH_FAST=1` — tiny datasets/workloads (CI-sized, seconds).
 //! - `CARDBENCH_SEED`   — global seed (default 7).
 //! - `CARDBENCH_SCALE`  — STATS row-count multiplier override.
+//! - `CARDBENCH_THREADS` / `RAYON_NUM_THREADS` — planning fan-out width
+//!   (also settable per-run with a `--threads N` CLI argument on every
+//!   bench binary; `0` or unset = all cores).
 
 use std::time::Instant;
 
 use cardbench_engine::{CostModel, TrueCardService};
 use cardbench_estimators::EstimatorKind;
-use cardbench_harness::{build_estimator, run_workload, Bench, BenchConfig, MethodRun};
+use cardbench_harness::endtoend::run_workload_with_threads;
+use cardbench_harness::{build_estimator, Bench, BenchConfig, MethodRun};
 
 /// Full evaluation output: every method run on both workloads.
 pub struct FullResults {
@@ -38,6 +42,19 @@ pub fn config_from_env() -> BenchConfig {
     if let Ok(scale) = std::env::var("CARDBENCH_SCALE") {
         if let Ok(scale) = scale.parse::<f64>() {
             cfg.stats.scale = scale;
+        }
+    }
+    // `--threads N` on any bench binary overrides the environment
+    // (`CARDBENCH_THREADS` / `RAYON_NUM_THREADS`, which the harness
+    // resolves itself when this stays 0).
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                cfg.threads = n;
+            }
+        } else if let Some(n) = a.strip_prefix("--threads=").and_then(|v| v.parse().ok()) {
+            cfg.threads = n;
         }
     }
     cfg
@@ -80,9 +97,16 @@ pub fn run_full(cfg: BenchConfig) -> FullResults {
             ),
         ] {
             let t0 = Instant::now();
-            let mut built = build_estimator(kind, db, train, &bench.config.settings);
+            let built = build_estimator(kind, db, train, &bench.config.settings);
             let truth = TrueCardService::new();
-            let queries = run_workload(db, wl, built.est.as_mut(), &truth, &cost);
+            let queries = run_workload_with_threads(
+                db,
+                wl,
+                built.est.as_ref(),
+                &truth,
+                &cost,
+                bench.config.threads,
+            );
             let run = MethodRun {
                 kind,
                 train_time: built.train_time,

@@ -1,8 +1,8 @@
 //! Distribution machinery: Zipf sampling and a latent-variable row model
 //! that plants correlation between attributes of one table.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use cardbench_support::rand::rngs::StdRng;
+use cardbench_support::rand::Rng;
 
 /// A Zipf(α) distribution over ranks `0..n`, sampled by inverse-CDF binary
 /// search on a precomputed cumulative table. Rank 0 is the most frequent.
@@ -41,9 +41,7 @@ impl Zipf {
 
     /// Quantile function: the smallest rank whose CDF reaches `p`.
     pub fn quantile(&self, p: f64) -> usize {
-        self.cdf
-            .partition_point(|&c| c < p)
-            .min(self.cdf.len() - 1)
+        self.cdf.partition_point(|&c| c < p).min(self.cdf.len() - 1)
     }
 
     /// Probability mass of rank `k`.
@@ -161,7 +159,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use cardbench_support::rand::SeedableRng;
 
     #[test]
     fn zipf_pmf_sums_to_one() {

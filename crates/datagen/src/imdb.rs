@@ -6,8 +6,8 @@
 //! reproducing the paper's point that JOB-LIGHT under-separates estimators
 //! (observation O2).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cardbench_support::rand::rngs::StdRng;
+use cardbench_support::rand::{Rng, SeedableRng};
 
 use cardbench_storage::{
     Catalog, ColumnDef, ColumnKind, Datum, JoinKind, JoinRelation, Table, TableSchema,
@@ -76,10 +76,16 @@ impl ImdbConfig {
 
 /// The 5 star-join relations of the simplified IMDB schema.
 pub fn imdb_joins() -> Vec<JoinRelation> {
-    ["movie_companies", "cast_info", "movie_info", "movie_info_idx", "movie_keyword"]
-        .into_iter()
-        .map(|t| JoinRelation::new("title", "id", t, "movie_id", JoinKind::PkFk))
-        .collect()
+    [
+        "movie_companies",
+        "cast_info",
+        "movie_info",
+        "movie_info_idx",
+        "movie_keyword",
+    ]
+    .into_iter()
+    .map(|t| JoinRelation::new("title", "id", t, "movie_id", JoinKind::PkFk))
+    .collect()
 }
 
 fn satellite_schema(name: &str, attrs: &[&str]) -> TableSchema {
@@ -115,7 +121,11 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
         let kind = kind_zipf.sample(&mut rng) as i64 + 1;
         // Years cluster toward the recent end (rank 0 = most recent).
         let year = 2019 - model.draw_attr(&mut rng, z, 130, cfg.attr_skew, &year_zipf);
-        let year: Datum = if rng.gen::<f64>() < 0.05 { None } else { Some(year) };
+        let year: Datum = if rng.gen::<f64>() < 0.05 {
+            None
+        } else {
+            Some(year)
+        };
         title
             .append_row(&[Some(tid as i64 + 1), Some(kind), year])
             .expect("arity");
@@ -147,7 +157,9 @@ pub fn imdb_catalog(cfg: &ImdbConfig) -> Catalog {
             let z = title_latent[movie];
             let mut row: Vec<Datum> = vec![Some(rid as i64 + 1), Some(movie as i64 + 1)];
             for az in &attr_zipfs {
-                row.push(Some(model.draw_attr(&mut rng, z, domain, cfg.attr_skew, az) + 1));
+                row.push(Some(
+                    model.draw_attr(&mut rng, z, domain, cfg.attr_skew, az) + 1,
+                ));
             }
             t.append_row(&row).expect("arity");
         }

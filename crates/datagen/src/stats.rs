@@ -8,8 +8,8 @@
 //! join keys whose degree ranges from zero to hundreds of matches (the
 //! skew paper observation O3 attributes NeuroCard's failure to).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cardbench_support::rand::rngs::StdRng;
+use cardbench_support::rand::{Rng, SeedableRng};
 
 use cardbench_storage::{
     Catalog, ColumnDef, ColumnKind, Datum, JoinKind, JoinRelation, Table, TableSchema,
@@ -546,7 +546,11 @@ mod tests {
         assert_eq!(total, 23);
         for t in c.tables() {
             let k = t.schema().filterable_columns().len();
-            assert!((1..=8).contains(&k), "{} has {k} filterable attrs", t.name());
+            assert!(
+                (1..=8).contains(&k),
+                "{} has {k} filterable attrs",
+                t.name()
+            );
         }
     }
 

@@ -77,8 +77,8 @@ impl CostModel {
         let out = out.max(0.0);
         match algo {
             JoinAlgo::Hash => {
-                let mut build_probe =
-                    right * (self.cpu_operator * 4.0 + self.cpu_tuple) + left * self.cpu_operator * 4.0;
+                let mut build_probe = right * (self.cpu_operator * 4.0 + self.cpu_tuple)
+                    + left * self.cpu_operator * 4.0;
                 if right > self.hash_mem_rows {
                     build_probe *= self.spill_penalty;
                 }
@@ -86,14 +86,17 @@ impl CostModel {
             }
             JoinAlgo::Merge => {
                 let sort = |n: f64| n * n.max(2.0).log2() * self.cpu_operator * 2.0;
-                sort(left) + sort(right) + (left + right) * self.cpu_operator * 2.0
+                sort(left)
+                    + sort(right)
+                    + (left + right) * self.cpu_operator * 2.0
                     + out * self.cpu_tuple
             }
             JoinAlgo::IndexNestedLoop => {
                 // Build a transient index on the inner once, then probe per
                 // outer row with a log-factor descent.
                 let build = right * self.cpu_operator * 6.0;
-                let probes = left * (right.max(2.0).log2() * self.cpu_operator * 10.0 + self.cpu_tuple);
+                let probes =
+                    left * (right.max(2.0).log2() * self.cpu_operator * 10.0 + self.cpu_tuple);
                 build + probes + out * self.cpu_tuple
             }
         }

@@ -1,5 +1,8 @@
 //! A catalog wrapped with per-column sorted indexes and cached statistics.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use cardbench_query::{BoundPredicate, Region};
 use cardbench_storage::{Catalog, ColumnStats, Table, TableId};
 
@@ -58,6 +61,77 @@ impl SortedIndex {
     }
 }
 
+/// Shard count of the filtered-scan cache. A power of two so the shard
+/// pick is a mask; 16 keeps cross-thread contention negligible for the
+/// harness's thread counts without over-allocating mutexes.
+const FILTER_SHARDS: usize = 16;
+
+/// A sharded concurrent memo of filtered-row-id scans, keyed by a 64-bit
+/// FNV hash of `(table, predicate set)`. `exact_cardinality` alone asks
+/// for the same `(table, predicates)` scan once per sub-plan containing
+/// the table — `O(2^{n-1})` times per n-way query — and the executor and
+/// sampling estimators repeat it again, so memoizing here collapses all
+/// of that to one scan per distinct filter.
+#[derive(Debug, Default)]
+struct FilterCache {
+    shards: [Mutex<HashMap<u64, Arc<Vec<u32>>>>; FILTER_SHARDS],
+}
+
+impl FilterCache {
+    fn get(&self, key: u64) -> Option<Arc<Vec<u32>>> {
+        self.shards[key as usize & (FILTER_SHARDS - 1)]
+            .lock()
+            .unwrap()
+            .get(&key)
+            .cloned()
+    }
+
+    fn insert(&self, key: u64, rows: Arc<Vec<u32>>) {
+        self.shards[key as usize & (FILTER_SHARDS - 1)]
+            .lock()
+            .unwrap()
+            .insert(key, rows);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+}
+
+/// FNV-1a key for one `(table, predicate set)` pair. Predicate order is
+/// part of the key; binding produces predicates in a stable order, and a
+/// permuted set hashing differently only costs a duplicate cache entry.
+fn filter_key(table: TableId, predicates: &[BoundPredicate]) -> u64 {
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = 0xcbf29ce484222325u64;
+    let word = |mut w: u64, h: &mut u64| {
+        for _ in 0..8 {
+            *h ^= w & 0xff;
+            *h = h.wrapping_mul(PRIME);
+            w >>= 8;
+        }
+    };
+    word(table.0 as u64, &mut h);
+    for p in predicates {
+        word(p.column as u64, &mut h);
+        match &p.region {
+            Region::Range { lo, hi } => {
+                word(1, &mut h);
+                word(*lo as u64, &mut h);
+                word(*hi as u64, &mut h);
+            }
+            Region::In(vals) => {
+                word(2, &mut h);
+                word(vals.len() as u64, &mut h);
+                for &v in vals {
+                    word(v as u64, &mut h);
+                }
+            }
+        }
+    }
+    h
+}
+
 /// An indexed database: the catalog plus sorted indexes and cached column
 /// statistics for every column of every table.
 #[derive(Debug)]
@@ -67,6 +141,8 @@ pub struct Database {
     indexes: Vec<Vec<SortedIndex>>,
     /// `stats[table][column]`.
     stats: Vec<Vec<ColumnStats>>,
+    /// Memoized filtered scans; rebuilt (emptied) on [`Database::refresh`].
+    filter_cache: FilterCache,
 }
 
 impl Database {
@@ -88,6 +164,7 @@ impl Database {
             catalog,
             indexes,
             stats,
+            filter_cache: FilterCache::default(),
         }
     }
 
@@ -150,6 +227,28 @@ impl Database {
         rows.retain(|&r| self.row_matches(table, r, rest));
         rows.sort_unstable();
         rows
+    }
+
+    /// Row ids matching all `predicates`, memoized per `(table,
+    /// predicate set)`. The first call per key pays one index-assisted
+    /// scan; every later call — from another sub-plan, another executor
+    /// run, or another thread — is a shard-local map lookup. Rows come
+    /// back sorted, identical to [`Database::scan_filtered`]. Concurrent
+    /// first calls may both compute; both produce the same value, so the
+    /// race is benign.
+    pub fn filtered_rows(&self, table: TableId, predicates: &[BoundPredicate]) -> Arc<Vec<u32>> {
+        let key = filter_key(table, predicates);
+        if let Some(rows) = self.filter_cache.get(key) {
+            return rows;
+        }
+        let rows = Arc::new(self.index_filtered(table, predicates));
+        self.filter_cache.insert(key, rows.clone());
+        rows
+    }
+
+    /// Number of memoized filtered scans currently cached.
+    pub fn filter_cache_len(&self) -> usize {
+        self.filter_cache.len()
     }
 
     /// Per-table "fanout" degree of a key value: how many rows of
@@ -248,6 +347,25 @@ mod tests {
         }];
         // Row 3 has NULL v and must not match even an unbounded range.
         assert_eq!(db.scan_filtered(TableId(0), &preds), vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn filtered_rows_memoizes_and_refresh_clears() {
+        let mut db = db();
+        let preds = vec![BoundPredicate {
+            column: 1,
+            region: Region::between(15, 45),
+        }];
+        let a = db.filtered_rows(TableId(0), &preds);
+        assert_eq!(*a, vec![1, 2, 4]);
+        assert_eq!(db.filter_cache_len(), 1);
+        let b = db.filtered_rows(TableId(0), &preds);
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the memo");
+        // Distinct predicate sets get distinct entries.
+        db.filtered_rows(TableId(0), &[]);
+        assert_eq!(db.filter_cache_len(), 2);
+        db.refresh();
+        assert_eq!(db.filter_cache_len(), 0, "refresh must drop stale scans");
     }
 
     #[test]

@@ -68,8 +68,26 @@ fn render(
             // Children are rendered after the header, but their cost is
             // needed first — render into a scratch buffer.
             let mut scratch = String::new();
-            let lc = render(left, db, bound, tables, cost, cards, depth + 1, &mut scratch);
-            let rc = render(right, db, bound, tables, cost, cards, depth + 1, &mut scratch);
+            let lc = render(
+                left,
+                db,
+                bound,
+                tables,
+                cost,
+                cards,
+                depth + 1,
+                &mut scratch,
+            );
+            let rc = render(
+                right,
+                db,
+                bound,
+                tables,
+                cost,
+                cards,
+                depth + 1,
+                &mut scratch,
+            );
             let own = cost.join_cost(
                 *algo,
                 cards.rows(left.mask()),
@@ -99,10 +117,7 @@ mod tests {
         for name in ["a", "b"] {
             cat.add_table(
                 Table::from_columns(
-                    TableSchema::new(
-                        name,
-                        vec![ColumnDef::new("k", ColumnKind::ForeignKey)],
-                    ),
+                    TableSchema::new(name, vec![ColumnDef::new("k", ColumnKind::ForeignKey)]),
                     vec![Column::from_values((0..100).map(|i| i % 10).collect())],
                 )
                 .unwrap(),

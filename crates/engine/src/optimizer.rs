@@ -137,13 +137,11 @@ pub fn optimize_with(
                 if let Some(edge) = connecting_edge(bound, TableMask(s1), TableMask(s2)) {
                     let r1 = cards.rows(TableMask(s1));
                     let r2 = cards.rows(TableMask(s2));
-                    for (left, right, lc, rc, lr, rr) in [
-                        (&p1, &p2, c1, c2, r1, r2),
-                        (&p2, &p1, c2, c1, r2, r1),
-                    ] {
+                    for (left, right, lc, rc, lr, rr) in
+                        [(&p1, &p2, c1, c2, r1, r2), (&p2, &p1, c2, c1, r2, r1)]
+                    {
                         for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::IndexNestedLoop] {
-                            let total =
-                                lc + rc + cost.join_cost(algo, lr, rr, out_rows);
+                            let total = lc + rc + cost.join_cost(algo, lr, rr, out_rows);
                             if best_here.as_ref().is_none_or(|(bc, _)| total < *bc) {
                                 best_here = Some((
                                     total,
@@ -185,13 +183,20 @@ pub fn plan_cost(
 ) -> f64 {
     match plan {
         PhysicalPlan::Scan {
-            table_pos, method, mask, ..
+            table_pos,
+            method,
+            mask,
+            ..
         } => {
             let table_rows = db.row_count(bound.tables[*table_pos].id) as f64;
             cost.scan_cost(*method, table_rows, rows_of(*mask))
         }
         PhysicalPlan::Join {
-            algo, left, right, mask, ..
+            algo,
+            left,
+            right,
+            mask,
+            ..
         } => {
             let lc = plan_cost(left, db, bound, cost, rows_of);
             let rc = plan_cost(right, db, bound, cost, rows_of);
@@ -304,12 +309,20 @@ mod tests {
         let db = db();
         let q = chain_query();
         let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
-        let cards = cards_for(&q, |m| if m == TableMask::single(0) { 2.0 } else { 500.0 });
+        let cards = cards_for(&q, |m| {
+            if m == TableMask::single(0) {
+                2.0
+            } else {
+                500.0
+            }
+        });
         let plan = optimize(&q, &bound, &db, &cards, &CostModel::default());
         let mut found = None;
         plan.visit(&mut |n| {
             if let PhysicalPlan::Scan {
-                table_pos: 0, method, ..
+                table_pos: 0,
+                method,
+                ..
             } = n
             {
                 found = Some(*method);
@@ -428,7 +441,10 @@ mod left_deep_tests {
         let q = chain4();
         let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
         let mut cards = CardMap::new();
-        for (i, mask) in cardbench_query::connected_subsets(&q).into_iter().enumerate() {
+        for (i, mask) in cardbench_query::connected_subsets(&q)
+            .into_iter()
+            .enumerate()
+        {
             cards.insert(mask, (i as f64 + 1.0) * 10.0);
         }
         let plan = optimize_with(&q, &bound, &db, &cards, &CostModel::default(), true);

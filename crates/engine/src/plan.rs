@@ -105,7 +105,10 @@ impl PhysicalPlan {
         let pad = "  ".repeat(depth);
         match self {
             PhysicalPlan::Scan {
-                table_pos, method, mask, ..
+                table_pos,
+                method,
+                mask,
+                ..
             } => {
                 out.push_str(&format!(
                     "{pad}{method:?}Scan {} {}\n",
@@ -114,7 +117,11 @@ impl PhysicalPlan {
                 ));
             }
             PhysicalPlan::Join {
-                algo, left, right, mask, ..
+                algo,
+                left,
+                right,
+                mask,
+                ..
             } => {
                 out.push_str(&format!("{pad}{algo:?}Join {}\n", annotate(*mask)));
                 left.render_into(tables, annotate, depth + 1, out);

@@ -7,18 +7,29 @@
 //! exactly like the paper's pre-computed true cardinalities.
 
 use std::collections::HashMap;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 use cardbench_query::{BoundQuery, JoinQuery};
 use cardbench_storage::StorageError;
 
 use crate::database::Database;
 
-/// Caching true-cardinality oracle.
+/// Shard count of the true-cardinality cache (power of two). With the
+/// harness fanning queries out across threads, a single map-wide lock
+/// would serialize every lookup; 16 shards keep collisions rare at the
+/// thread counts the harness uses.
+const SHARDS: usize = 16;
+
+/// Caching true-cardinality oracle, safe to share across threads.
+///
+/// Entries are keyed by [`JoinQuery::canonical_hash`] — a 64-bit hash
+/// invariant under table/join/predicate reordering — so the hot lookup
+/// path allocates nothing (the old implementation rendered a canonical
+/// `String` per probe). Lookups for distinct queries land on distinct
+/// shards and proceed in parallel.
 #[derive(Debug, Default)]
 pub struct TrueCardService {
-    cache: Mutex<HashMap<String, f64>>,
+    shards: [Mutex<HashMap<u64, f64>>; SHARDS],
 }
 
 impl TrueCardService {
@@ -29,17 +40,20 @@ impl TrueCardService {
 
     /// Number of cached entries.
     pub fn cached(&self) -> usize {
-        self.cache.lock().len()
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
     }
 
-    /// Exact cardinality of `query` on `db`, cached by canonical key.
+    /// Exact cardinality of `query` on `db`, cached by canonical hash.
+    /// Two threads racing on an uncached query may both compute it; they
+    /// insert the same value, so the race is benign.
     pub fn cardinality(&self, db: &Database, query: &JoinQuery) -> Result<f64, StorageError> {
-        let key = query.canonical_key();
-        if let Some(&v) = self.cache.lock().get(&key) {
+        let key = query.canonical_hash();
+        let shard = &self.shards[key as usize & (SHARDS - 1)];
+        if let Some(&v) = shard.lock().unwrap().get(&key) {
             return Ok(v);
         }
         let v = exact_cardinality(db, query)?;
-        self.cache.lock().insert(key, v);
+        shard.lock().unwrap().insert(key, v);
         Ok(v)
     }
 }
@@ -54,11 +68,13 @@ pub fn exact_cardinality(db: &Database, query: &JoinQuery) -> Result<f64, Storag
     let bound = BoundQuery::bind(query, db.catalog())?;
     let n = query.table_count();
 
-    // Filtered row ids per table.
-    let filtered: Vec<Vec<u32>> = bound
+    // Filtered row ids per table, via the database's memoized scans: a
+    // table's filter repeats across every sub-plan that contains it, so
+    // all but the first request per (table, predicates) are map lookups.
+    let filtered: Vec<Arc<Vec<u32>>> = bound
         .tables
         .iter()
-        .map(|t| db.scan_filtered(t.id, &t.predicates))
+        .map(|t| db.filtered_rows(t.id, &t.predicates))
         .collect();
 
     if n == 1 {
@@ -257,13 +273,17 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_random_chains() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use cardbench_support::rand::rngs::StdRng;
+        use cardbench_support::rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(99);
         for trial in 0..10 {
             // Random 3-table chain with small domains.
             let mut cat = Catalog::new();
-            for (name, cols) in [("t0", ("id", "v")), ("t1", ("fk", "v")), ("t2", ("fk", "v"))] {
+            for (name, cols) in [
+                ("t0", ("id", "v")),
+                ("t1", ("fk", "v")),
+                ("t2", ("fk", "v")),
+            ] {
                 let n = rng.gen_range(3..12);
                 let key: Vec<i64> = (0..n).map(|_| rng.gen_range(0..5)).collect();
                 let val: Vec<i64> = (0..n).map(|_| rng.gen_range(0..4)).collect();
@@ -284,7 +304,10 @@ mod tests {
             let db = Database::new(cat);
             let q = JoinQuery {
                 tables: vec!["t0".into(), "t1".into(), "t2".into()],
-                joins: vec![JoinEdge::new(0, "id", 1, "fk"), JoinEdge::new(1, "fk", 2, "fk")],
+                joins: vec![
+                    JoinEdge::new(0, "id", 1, "fk"),
+                    JoinEdge::new(1, "fk", 2, "fk"),
+                ],
                 predicates: vec![Predicate::new(2, "v", Region::le(2))],
             };
             assert_eq!(

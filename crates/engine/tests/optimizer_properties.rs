@@ -1,10 +1,14 @@
 //! Property tests of the optimizer: DP optimality over its own cost
 //! model, plan well-formedness, and injection sensitivity.
 
-use proptest::prelude::*;
+use cardbench_support::proptest::prelude::*;
 
-use cardbench_engine::{optimize, optimize_with, plan_cost, CardMap, CostModel, Database, PhysicalPlan};
-use cardbench_query::{connected_subsets, BoundQuery, JoinEdge, JoinQuery, Predicate, Region, TableMask};
+use cardbench_engine::{
+    optimize, optimize_with, plan_cost, CardMap, CostModel, Database, PhysicalPlan,
+};
+use cardbench_query::{
+    connected_subsets, BoundQuery, JoinEdge, JoinQuery, Predicate, Region, TableMask,
+};
 use cardbench_storage::{Catalog, Column, ColumnDef, ColumnKind, Table, TableSchema};
 
 fn db(n_tables: usize, rows: usize) -> Database {
@@ -48,7 +52,10 @@ fn well_formed(plan: &PhysicalPlan, n: usize) {
     assert_eq!(plan.join_count(), n - 1);
     // Children partition the parent mask.
     plan.visit(&mut |node| {
-        if let PhysicalPlan::Join { left, right, mask, .. } = node {
+        if let PhysicalPlan::Join {
+            left, right, mask, ..
+        } = node
+        {
             assert!(left.mask().disjoint(right.mask()));
             assert_eq!(left.mask().union(right.mask()), *mask);
         }

@@ -61,7 +61,7 @@ impl CardEst for BayesCard {
         "BayesCard"
     }
 
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
         self.inner.estimate(db, sub)
     }
 
@@ -103,7 +103,7 @@ mod tests {
     #[test]
     fn single_table_estimates_close() {
         let db = db();
-        let mut est = BayesCard::fit(&db, 24);
+        let est = BayesCard::fit(&db, 24);
         let q = JoinQuery::single(
             "posts",
             vec![Predicate::new(0, "PostTypeId", Region::eq(1))],
@@ -121,7 +121,7 @@ mod tests {
     #[test]
     fn unfiltered_join_estimates_close() {
         let db = db();
-        let mut est = BayesCard::fit(&db, 24);
+        let est = BayesCard::fit(&db, 24);
         let q = JoinQuery {
             tables: vec!["users".into(), "badges".into()],
             joins: vec![JoinEdge::new(0, "Id", 1, "UserId")],
@@ -148,7 +148,10 @@ mod tests {
         let mut est = BayesCard::fit(&db, 24);
         let before_users = db.row_count(TableId(0));
         for (t, d) in inserts.iter().enumerate() {
-            db.catalog_mut().table_mut(TableId(t)).append_rows(d).unwrap();
+            db.catalog_mut()
+                .table_mut(TableId(t))
+                .append_rows(d)
+                .unwrap();
         }
         db.refresh();
         est.apply_inserts(&db, &inserts);

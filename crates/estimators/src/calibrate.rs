@@ -33,7 +33,7 @@ impl<E: CardEst> PErrorCalibrated<E> {
     /// descent over join-count levels, largest first (big joins dominate
     /// plans — paper O5).
     pub fn calibrate(
-        mut inner: E,
+        inner: E,
         db: &Database,
         validation: &[JoinQuery],
         truth: &TrueCardService,
@@ -99,7 +99,7 @@ impl<E: CardEst> CardEst for PErrorCalibrated<E> {
         "P-Calibrated"
     }
 
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
         let raw = self.inner.estimate(db, sub);
         let k = sub.query.table_count();
         let f = self
@@ -138,7 +138,7 @@ mod tests {
             "JoinsLow"
         }
 
-        fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+        fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
             let t = cardbench_engine::exact_cardinality(db, &sub.query).unwrap_or(1.0);
             if sub.query.table_count() == 1 {
                 t
@@ -198,7 +198,7 @@ mod tests {
         let db = db();
         let truth = TrueCardService::new();
         let cost = CostModel::default();
-        let mut cal = PErrorCalibrated::calibrate(JoinsLow, &db, &validation(), &truth, &cost);
+        let cal = PErrorCalibrated::calibrate(JoinsLow, &db, &validation(), &truth, &cost);
         let q = validation().pop().unwrap();
         let sub = SubPlanQuery {
             mask: TableMask::full(3),

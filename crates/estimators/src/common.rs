@@ -111,10 +111,8 @@ impl TableCoder {
                 }
             }
         }
-        let raw: Vec<Vec<Option<i64>>> = columns
-            .iter()
-            .map(|mc| raw_values(db, table, mc))
-            .collect();
+        let raw: Vec<Vec<Option<i64>>> =
+            columns.iter().map(|mc| raw_values(db, table, mc)).collect();
         let mut discretizers = Vec::with_capacity(columns.len());
         let mut bins = Vec::with_capacity(columns.len());
         let mut bin_means = Vec::with_capacity(columns.len());
@@ -131,7 +129,13 @@ impl TableCoder {
                 cnts[b] += 1.0;
             }
             let means: Vec<f64> = (0..nb + 1)
-                .map(|b| if cnts[b] > 0.0 { sums[b] / cnts[b] } else { 0.0 })
+                .map(|b| {
+                    if cnts[b] > 0.0 {
+                        sums[b] / cnts[b]
+                    } else {
+                        0.0
+                    }
+                })
                 .collect();
             discretizers.push(d);
             bins.push(nb + 1); // +1 NULL bin

@@ -26,7 +26,12 @@ impl TableModel for Spn {
 }
 
 /// Shared construction for the SPN-family estimators (DeepDB and FLAT).
-pub fn fit_spn_family(db: &Database, max_bins: usize, multileaf: bool, seed: u64) -> FanoutEstimator<Spn> {
+pub fn fit_spn_family(
+    db: &Database,
+    max_bins: usize,
+    multileaf: bool,
+    seed: u64,
+) -> FanoutEstimator<Spn> {
     let nt = db.catalog().table_count();
     let mut coders = Vec::with_capacity(nt);
     let mut models = Vec::with_capacity(nt);
@@ -94,7 +99,7 @@ impl CardEst for DeepDb {
         "DeepDB"
     }
 
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
         self.inner.estimate(db, sub)
     }
 
@@ -125,7 +130,7 @@ mod tests {
     #[test]
     fn single_table_estimates_close() {
         let db = db();
-        let mut est = DeepDb::fit(&db, 24, 0);
+        let est = DeepDb::fit(&db, 24, 0);
         let q = JoinQuery::single(
             "votes",
             vec![Predicate::new(0, "VoteTypeId", Region::eq(2))],
@@ -143,7 +148,7 @@ mod tests {
     #[test]
     fn two_table_join_reasonable() {
         let db = db();
-        let mut est = DeepDb::fit(&db, 24, 0);
+        let est = DeepDb::fit(&db, 24, 0);
         let q = JoinQuery {
             tables: vec!["posts".into(), "comments".into()],
             joins: vec![JoinEdge::new(0, "Id", 1, "PostId")],

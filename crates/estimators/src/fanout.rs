@@ -86,7 +86,9 @@ impl<M: TableModel> FanoutEstimator<M> {
             // Filters.
             for p in &bound.tables[t].predicates {
                 match coder.attr_column(p.column) {
-                    Some(mc) => merge_weights(&mut weights[mc], coder.filter_weights(mc, &p.region)),
+                    Some(mc) => {
+                        merge_weights(&mut weights[mc], coder.filter_weights(mc, &p.region))
+                    }
                     None => return 1.0, // unmodeled attribute; give up gracefully
                 }
             }
@@ -119,8 +121,15 @@ impl<M: TableModel> FanoutEstimator<M> {
 
     /// Total model + coder size in bytes.
     pub fn size_bytes(&self) -> usize {
-        self.models.iter().map(TableModel::size_bytes).sum::<usize>()
-            + self.coders.iter().map(TableCoder::size_bytes).sum::<usize>()
+        self.models
+            .iter()
+            .map(TableModel::size_bytes)
+            .sum::<usize>()
+            + self
+                .coders
+                .iter()
+                .map(TableCoder::size_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -232,11 +241,7 @@ pub fn exact_fanout_estimator(db: &Database, max_bins: usize) -> FanoutEstimator
 /// Filter-region helper shared by single-table estimators: evaluates the
 /// fraction of rows of `table` matching `preds` exactly (used by PessEst
 /// and as ground truth in tests).
-pub fn exact_selectivity(
-    db: &Database,
-    table: TableId,
-    preds: &[(usize, Region)],
-) -> f64 {
+pub fn exact_selectivity(db: &Database, table: TableId, preds: &[(usize, Region)]) -> f64 {
     let t = db.catalog().table(table);
     let n = t.row_count();
     if n == 0 {
@@ -244,9 +249,9 @@ pub fn exact_selectivity(
     }
     let mut hits = 0usize;
     for r in 0..n {
-        let ok = preds.iter().all(|(c, region)| {
-            t.column(*c).get(r).is_some_and(|v| region.contains(v))
-        });
+        let ok = preds
+            .iter()
+            .all(|(c, region)| t.column(*c).get(r).is_some_and(|v| region.contains(v)));
         if ok {
             hits += 1;
         }

@@ -103,7 +103,9 @@ impl Featurizer {
                 .table(TableId(rt))
                 .schema()
                 .column_index(&e.right_col);
-            let (Some(lc), Some(rc)) = (lc, rc) else { continue };
+            let (Some(lc), Some(rc)) = (lc, rc) else {
+                continue;
+            };
             let key = canonical_edge(lt, lc, rt, rc);
             if let Some(slot) = self.edges.iter().position(|&k| k == key) {
                 out[self.n_tables + slot] = 1.0;
@@ -112,7 +114,9 @@ impl Featurizer {
         // Predicates.
         let base = self.n_tables + self.edges.len();
         for p in &query.predicates {
-            let Some(t) = table_ids[p.table] else { continue };
+            let Some(t) = table_ids[p.table] else {
+                continue;
+            };
             let Some(c) = db
                 .catalog()
                 .table(TableId(t))
@@ -200,7 +204,10 @@ mod tests {
     fn label_roundtrip() {
         for card in [0.0, 1.0, 100.0, 1e9] {
             let back = label_to_card(card_to_label(card));
-            assert!((back - card).abs() / (card + 1.0) < 1e-3, "card {card} back {back}");
+            assert!(
+                (back - card).abs() / (card + 1.0) < 1e-3,
+                "card {card} back {back}"
+            );
         }
     }
 }

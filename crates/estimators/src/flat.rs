@@ -35,7 +35,7 @@ impl CardEst for Flat {
         "FLAT"
     }
 
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
         self.inner.estimate(db, sub)
     }
 
@@ -80,11 +80,14 @@ mod tests {
             mask: TableMask::single(0),
             query: q,
         };
-        let mut flat = Flat::fit(&db, 24, 0);
+        let flat = Flat::fit(&db, 24, 0);
         let e = flat.estimate(&db, &sub).max(1.0);
         let qerr_flat = (e / truth).max(truth / e);
         // FLAT should track the joint reasonably well.
-        assert!(qerr_flat < 5.0, "flat qerr {qerr_flat} (est {e}, true {truth})");
+        assert!(
+            qerr_flat < 5.0,
+            "flat qerr {qerr_flat} (est {e}, true {truth})"
+        );
     }
 
     #[test]

@@ -17,8 +17,8 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cardbench_support::rand::rngs::StdRng;
+use cardbench_support::rand::{Rng, SeedableRng};
 
 use cardbench_engine::Database;
 use cardbench_storage::TableId;
@@ -157,7 +157,12 @@ pub struct FojSample {
 }
 
 /// Draws `n_samples` exact-uniform FOJ rows.
-pub fn sample_foj(db: &Database, partition: &TreePartition, n_samples: usize, seed: u64) -> FojSample {
+pub fn sample_foj(
+    db: &Database,
+    partition: &TreePartition,
+    n_samples: usize,
+    seed: u64,
+) -> FojSample {
     let k = partition.tables.len();
     let mut tw: Vec<TableWeights> = partition
         .tables
@@ -231,7 +236,11 @@ pub fn sample_foj(db: &Database, partition: &TreePartition, n_samples: usize, se
         let child_list = children[i].clone();
         for &c in &child_list {
             let (_, c_col, p_col) = partition.parent[c].expect("child edge");
-            let slot = tw[i].child_locals.iter().position(|&x| x == c).expect("slot");
+            let slot = tw[i]
+                .child_locals
+                .iter()
+                .position(|&x| x == c)
+                .expect("slot");
             // contrib(parent row) = D_p · W_p / max(M_c, 1), grouped by key.
             let parent_table = db.catalog().table(partition.tables[i]);
             let pcol = parent_table.column(p_col);
@@ -313,10 +322,7 @@ pub fn sample_foj(db: &Database, partition: &TreePartition, n_samples: usize, se
                     .get(r as usize)
                     .expect("matched parent has key");
                 // Sample a matching child row ∝ its subtree weight.
-                let matches: Vec<u32> = db
-                    .index(partition.tables[c], c_col)
-                    .equal(key)
-                    .collect();
+                let matches: Vec<u32> = db.index(partition.tables[c], c_col).equal(key).collect();
                 let weights: Vec<f64> = matches.iter().map(|&cr| tw[c].w[cr as usize]).collect();
                 let wsum: f64 = weights.iter().sum();
                 let cr = matches[weighted_pick_idx(&weights, wsum, &mut rng)];

@@ -44,12 +44,19 @@ use cardbench_storage::Table;
 /// `estimate` receives the sub-plan query and the live database (sampling
 /// estimators read it at estimation time; model-based ones only at
 /// construction). Implementations must return a non-negative row count.
-pub trait CardEst: Send {
+///
+/// Inference is `&self` and estimators are `Sync`: the harness fans
+/// sub-plan estimation out across threads against one shared instance.
+/// Methods that need randomness at inference time derive a fresh RNG per
+/// call from a stored seed and the query's canonical hash, so results are
+/// identical regardless of call order or thread interleaving. Mutation is
+/// confined to training/update entry points (`&mut self`).
+pub trait CardEst: Send + Sync {
     /// Stable display name (matches the paper's tables).
     fn name(&self) -> &'static str;
 
     /// Estimated cardinality of a sub-plan query.
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64;
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64;
 
     /// Approximate model size in bytes (0 for model-free methods).
     fn model_size_bytes(&self) -> usize {

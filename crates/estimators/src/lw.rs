@@ -63,7 +63,7 @@ impl CardEst for LwXgb {
         "LW-XGB"
     }
 
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
         let v = self.featurizer.features(db, &sub.query);
         label_to_card(self.model.predict(&v))
     }
@@ -127,7 +127,7 @@ impl CardEst for LwNn {
         "LW-NN"
     }
 
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
         let v = self.featurizer.features(db, &sub.query);
         label_to_card(self.model.forward(&v)[0])
     }
@@ -181,7 +181,14 @@ mod tests {
     fn xgb_learns_monotone_workload() {
         let db = Database::new(stats_catalog(&StatsConfig::tiny(1)));
         let train = training(&db);
-        let mut est = LwXgb::fit(&db, &train, &GbdtConfig { rounds: 30, ..GbdtConfig::default() });
+        let est = LwXgb::fit(
+            &db,
+            &train,
+            &GbdtConfig {
+                rounds: 30,
+                ..GbdtConfig::default()
+            },
+        );
         // In-distribution prediction should be within 2× for mid-range k.
         let q = &train.queries[30];
         let truth = train.cards[30].max(1.0);
@@ -198,7 +205,7 @@ mod tests {
     fn nn_learns_monotone_workload() {
         let db = Database::new(stats_catalog(&StatsConfig::tiny(1)));
         let train = training(&db);
-        let mut est = LwNn::fit(
+        let est = LwNn::fit(
             &db,
             &train,
             &LwNnConfig {

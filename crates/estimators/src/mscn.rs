@@ -9,8 +9,8 @@
 //! training queries) come from the query-driven regime, not the exact
 //! embedding parameterization.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cardbench_support::rand::rngs::StdRng;
+use cardbench_support::rand::{Rng, SeedableRng};
 
 use cardbench_engine::Database;
 use cardbench_ml::{Matrix, Mlp};
@@ -67,7 +67,9 @@ impl Mscn {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut rand_proj = |inp: usize| {
             let scale = (2.0 / inp.max(1) as f32).sqrt();
-            Matrix::from_fn(inp, cfg.embed, |_, _| (rng.gen::<f32>() - 0.5) * 2.0 * scale)
+            Matrix::from_fn(inp, cfg.embed, |_, _| {
+                (rng.gen::<f32>() - 0.5) * 2.0 * scale
+            })
         };
         let proj = [rand_proj(st), rand_proj(sj), rand_proj(sp)];
         let mut mscn = Mscn {
@@ -117,7 +119,7 @@ impl CardEst for Mscn {
         "MSCN"
     }
 
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
         let v = self.pooled(db, &sub.query);
         label_to_card(self.head.forward(&v)[0])
     }
@@ -167,7 +169,7 @@ mod tests {
             );
         }
         let train = TrainingSet { queries, cards };
-        let mut est = Mscn::fit(
+        let est = Mscn::fit(
             &db,
             &train,
             &MscnConfig {

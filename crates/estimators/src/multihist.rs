@@ -89,6 +89,9 @@ impl MultiHist {
                     .map(|cols| {
                         let rows = data[0].len();
                         let mut counts: HashMap<Vec<u16>, f64> = HashMap::new();
+                        // `r` walks rows across several columns at once;
+                        // there is no single slice to iterate.
+                        #[allow(clippy::needless_range_loop)]
                         for r in 0..rows {
                             let key: Vec<u16> = cols.iter().map(|&c| data[c][r]).collect();
                             *counts.entry(key).or_insert(0.0) += 1.0;
@@ -134,7 +137,7 @@ impl CardEst for MultiHist {
         "MultiHist"
     }
 
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
         let Ok(bound) = BoundQuery::bind(&sub.query, db.catalog()) else {
             return 1.0;
         };
@@ -152,7 +155,11 @@ impl CardEst for MultiHist {
             .flatten()
             .map(|g| g.counts.len() * (g.cols.len() * 2 + 8))
             .sum::<usize>()
-            + self.coders.iter().map(TableCoder::size_bytes).sum::<usize>()
+            + self
+                .coders
+                .iter()
+                .map(TableCoder::size_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -168,10 +175,13 @@ fn greedy_groups(dep: &[Vec<f64>], threshold: f64, max_group: usize) -> Vec<Vec<
         let mut best: Option<(f64, usize, usize)> = None;
         for i in 0..k {
             for j in i + 1..k {
-                if !used[i] && !used[j] && dep[i][j] >= threshold
-                    && best.is_none_or(|(d, _, _)| dep[i][j] > d) {
-                        best = Some((dep[i][j], i, j));
-                    }
+                if !used[i]
+                    && !used[j]
+                    && dep[i][j] >= threshold
+                    && best.is_none_or(|(d, _, _)| dep[i][j] > d)
+                {
+                    best = Some((dep[i][j], i, j));
+                }
             }
         }
         let Some((_, i, j)) = best else { break };

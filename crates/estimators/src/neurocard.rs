@@ -14,8 +14,8 @@
 //! spanning partitions are stitched with join-uniformity factors — the
 //! information loss behind the paper's observation O3.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cardbench_support::rand::rngs::StdRng;
+use cardbench_support::rand::SeedableRng;
 
 use cardbench_engine::Database;
 use cardbench_ml::autoreg::ArConfig;
@@ -257,7 +257,8 @@ impl PartitionModel {
 pub struct NeuroCardE {
     partitions: Vec<PartitionModel>,
     cfg: NeuroCardConfig,
-    rng: StdRng,
+    /// Base seed for per-call inference RNGs (progressive sampling).
+    seed: u64,
 }
 
 impl NeuroCardE {
@@ -270,7 +271,7 @@ impl NeuroCardE {
         NeuroCardE {
             partitions,
             cfg: cfg.clone(),
-            rng: StdRng::seed_from_u64(cfg.seed ^ 0x9e),
+            seed: cfg.seed ^ 0x9e,
         }
     }
 
@@ -285,10 +286,14 @@ impl CardEst for NeuroCardE {
         "NeuroCard^E"
     }
 
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
         let Ok(bound) = BoundQuery::bind(&sub.query, db.catalog()) else {
             return 1.0;
         };
+        // Per-call RNG keyed by the query's canonical hash: progressive
+        // sampling for one sub-plan is independent of estimation order,
+        // so parallel harness runs reproduce the sequential numbers.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ sub.query.canonical_hash());
         let n = sub.query.table_count();
         // Greedily cover query edges with partitions; leftover edges get
         // uniformity factors.
@@ -331,7 +336,7 @@ impl CardEst for NeuroCardE {
                     filters.push((local, p.column, p.region.clone()));
                 }
             }
-            card *= pm.estimate(&local_list, &filters, &mut self.rng);
+            card *= pm.estimate(&local_list, &filters, &mut rng);
             // Remove covered tables/edges; bridge uncovered edges between
             // covered and uncovered tables with uniformity.
             remaining_tables.retain(|t| !covered_tables.contains(t));
@@ -465,7 +470,9 @@ fn partition_has_edge(
     b_col: usize,
 ) -> bool {
     for (i, p) in partition.parent.iter().enumerate() {
-        let Some((pl, my_col, parent_col)) = p else { continue };
+        let Some((pl, my_col, parent_col)) = p else {
+            continue;
+        };
         let child_id = partition.tables[i];
         let parent_id = partition.tables[*pl];
         let matches = (child_id == a && *my_col == a_col && parent_id == b && *parent_col == b_col)
@@ -520,7 +527,7 @@ mod tests {
     #[test]
     fn two_table_estimate_on_star() {
         let db = Database::new(imdb_catalog(&ImdbConfig::tiny(1)));
-        let mut est = NeuroCardE::fit(&db, &fast_cfg());
+        let est = NeuroCardE::fit(&db, &fast_cfg());
         let q = JoinQuery {
             tables: vec!["title".into(), "movie_companies".into()],
             joins: vec![JoinEdge::new(0, "id", 1, "movie_id")],
@@ -539,11 +546,8 @@ mod tests {
     #[test]
     fn single_table_estimate() {
         let db = Database::new(imdb_catalog(&ImdbConfig::tiny(1)));
-        let mut est = NeuroCardE::fit(&db, &fast_cfg());
-        let q = JoinQuery::single(
-            "title",
-            vec![Predicate::new(0, "kind_id", Region::eq(1))],
-        );
+        let est = NeuroCardE::fit(&db, &fast_cfg());
+        let q = JoinQuery::single("title", vec![Predicate::new(0, "kind_id", Region::eq(1))]);
         let truth = exact_cardinality(&db, &q).unwrap().max(1.0);
         let sub = SubPlanQuery {
             mask: TableMask::single(0),
@@ -559,7 +563,7 @@ mod tests {
     #[test]
     fn cross_partition_query_still_estimates() {
         let db = Database::new(stats_catalog(&StatsConfig::tiny(1)));
-        let mut est = NeuroCardE::fit(&db, &fast_cfg());
+        let est = NeuroCardE::fit(&db, &fast_cfg());
         // comments–badges rides the FK-FK leftover partition; adding
         // users forces stitching across partitions.
         let q = JoinQuery {

@@ -10,6 +10,7 @@
 //! the role of the method's count sketches.
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use cardbench_engine::{exact_cardinality, Database};
 use cardbench_query::{BoundQuery, JoinQuery, SubPlanQuery};
@@ -22,7 +23,9 @@ pub struct PessEst {
     max_degree: Vec<Vec<f64>>,
     /// Cache of exact *unfiltered* template join sizes — themselves upper
     /// bounds (filters only shrink), the sketch-tightening stand-in.
-    template_cache: HashMap<String, f64>,
+    /// Interior-mutable so `estimate(&self)` can fill it from any thread;
+    /// keyed by the template's canonical hash.
+    template_cache: Mutex<HashMap<u64, f64>>,
 }
 
 impl PessEst {
@@ -53,24 +56,30 @@ impl PessEst {
         }
         PessEst {
             max_degree,
-            template_cache: HashMap::new(),
+            template_cache: Mutex::new(HashMap::new()),
         }
     }
 
     /// Exact unfiltered join size of the query's template (cached).
-    fn template_bound(&mut self, db: &Database, query: &JoinQuery) -> f64 {
+    fn template_bound(&self, db: &Database, query: &JoinQuery) -> f64 {
         let mut template = query.clone();
         template.predicates.clear();
-        let key = template.canonical_key();
-        if let Some(&v) = self.template_cache.get(&key) {
+        let key = template.canonical_hash();
+        if let Some(&v) = self.template_cache.lock().unwrap().get(&key) {
             return v;
         }
         let v = exact_cardinality(db, &template).unwrap_or(f64::INFINITY);
-        self.template_cache.insert(key, v);
+        self.template_cache.lock().unwrap().insert(key, v);
         v
     }
 
-    fn bound_from_root(&self, db: &Database, bound: &BoundQuery, root: usize, counts: &[f64]) -> f64 {
+    fn bound_from_root(
+        &self,
+        db: &Database,
+        bound: &BoundQuery,
+        root: usize,
+        counts: &[f64],
+    ) -> f64 {
         let n = bound.tables.len();
         let mut seen = vec![false; n];
         seen[root] = true;
@@ -102,7 +111,7 @@ impl CardEst for PessEst {
         "PessEst"
     }
 
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
         let Ok(bound) = BoundQuery::bind(&sub.query, db.catalog()) else {
             return 1.0;
         };
@@ -110,7 +119,7 @@ impl CardEst for PessEst {
         let counts: Vec<f64> = bound
             .tables
             .iter()
-            .map(|bt| db.index_filtered(bt.id, &bt.predicates).len() as f64)
+            .map(|bt| db.filtered_rows(bt.id, &bt.predicates).len() as f64)
             .collect();
         let degree_bound = (0..bound.tables.len())
             .map(|r| self.bound_from_root(db, &bound, r, &counts))
@@ -192,7 +201,7 @@ mod tests {
         let db = db();
         let query = q();
         let exact = exact_cardinality(&db, &query).unwrap();
-        let mut est = PessEst::fit(&db);
+        let est = PessEst::fit(&db);
         let sub = SubPlanQuery {
             mask: TableMask::full(2),
             query,
@@ -204,7 +213,7 @@ mod tests {
     #[test]
     fn single_table_exact() {
         let db = db();
-        let mut est = PessEst::fit(&db);
+        let est = PessEst::fit(&db);
         let sub = SubPlanQuery {
             mask: TableMask::single(0),
             query: JoinQuery::single("a", vec![Predicate::new(0, "x", Region::eq(1))]),
@@ -220,7 +229,7 @@ mod tests {
             joins: vec![JoinEdge::new(0, "id", 1, "aid")],
             predicates: vec![],
         };
-        let mut est = PessEst::fit(&db);
+        let est = PessEst::fit(&db);
         // Root at a: 30 × maxdeg(b.aid)=20 → 600.
         // Root at b: 60 × maxdeg(a.id)=1 → 60. Min = 60.
         let sub = SubPlanQuery {

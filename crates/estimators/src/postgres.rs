@@ -166,7 +166,7 @@ impl CardEst for PostgresEst {
         "PostgreSQL"
     }
 
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
         let Ok(bound) = BoundQuery::bind(&sub.query, db.catalog()) else {
             return 1.0;
         };
@@ -174,8 +174,11 @@ impl CardEst for PostgresEst {
             .tables
             .iter()
             .map(|bt| {
-                let preds: Vec<(usize, &Region)> =
-                    bt.predicates.iter().map(|p| (p.column, &p.region)).collect();
+                let preds: Vec<(usize, &Region)> = bt
+                    .predicates
+                    .iter()
+                    .map(|p| (p.column, &p.region))
+                    .collect();
                 self.table_selectivity(bt.id, &preds)
             })
             .collect();

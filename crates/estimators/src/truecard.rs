@@ -23,7 +23,7 @@ impl CardEst for TrueCardEst {
         "TrueCard"
     }
 
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
         self.service.cardinality(db, &sub.query).unwrap_or(0.0)
     }
 
@@ -67,7 +67,7 @@ mod tests {
             .unwrap(),
         );
         let db = Database::new(cat);
-        let mut est = TrueCardEst::new();
+        let est = TrueCardEst::new();
         let sub = SubPlanQuery {
             mask: TableMask::single(0),
             query: JoinQuery::single("t", vec![Predicate::new(0, "v", Region::eq(2))]),

@@ -70,7 +70,7 @@ impl CardEst for UaeQ {
         "UAE-Q"
     }
 
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
         let v = self.featurizer.features(db, &sub.query);
         label_to_card(self.model.forward(&v)[0])
     }
@@ -127,8 +127,11 @@ fn data_augmented_features(
     let mut sels = vec![0.0f32; n_tables];
     if let Ok(bound) = BoundQuery::bind(q, db.catalog()) {
         for bt in &bound.tables {
-            let preds: Vec<(usize, &Region)> =
-                bt.predicates.iter().map(|p| (p.column, &p.region)).collect();
+            let preds: Vec<(usize, &Region)> = bt
+                .predicates
+                .iter()
+                .map(|p| (p.column, &p.region))
+                .collect();
             sels[bt.id.0] = hists.table_selectivity(bt.id, &preds) as f32;
         }
     }
@@ -141,8 +144,9 @@ impl CardEst for Uae {
         "UAE"
     }
 
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
-        let v = data_augmented_features(db, &self.featurizer, &self.hists, self.n_tables, &sub.query);
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
+        let v =
+            data_augmented_features(db, &self.featurizer, &self.hists, self.n_tables, &sub.query);
         label_to_card(self.model.forward(&v)[0])
     }
 
@@ -180,7 +184,7 @@ mod tests {
     #[test]
     fn uae_q_fits_training_distribution() {
         let (db, train) = db_and_train();
-        let mut est = UaeQ::fit(
+        let est = UaeQ::fit(
             &db,
             &train,
             &UaeConfig {
@@ -202,7 +206,7 @@ mod tests {
     #[test]
     fn uae_uses_data_channel() {
         let (db, train) = db_and_train();
-        let mut est = Uae::fit(
+        let est = Uae::fit(
             &db,
             &train,
             &UaeConfig {

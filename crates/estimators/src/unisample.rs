@@ -1,8 +1,8 @@
 //! UniSample: uniform per-table Bernoulli samples evaluated at estimation
 //! time, join uniformity across tables (MySQL/MariaDB style).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cardbench_support::rand::rngs::StdRng;
+use cardbench_support::rand::{Rng, SeedableRng};
 
 use cardbench_engine::Database;
 use cardbench_query::{BoundQuery, SubPlanQuery};
@@ -48,7 +48,7 @@ impl CardEst for UniSample {
         "UniSample"
     }
 
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
         let Ok(bound) = BoundQuery::bind(&sub.query, db.catalog()) else {
             return 1.0;
         };
@@ -117,7 +117,7 @@ mod tests {
     #[test]
     fn full_sample_is_exact() {
         let db = db();
-        let mut est = UniSample::fit(&db, 10_000, 1);
+        let est = UniSample::fit(&db, 10_000, 1);
         let e = est.estimate(&db, &single(Predicate::new(0, "v", Region::eq(3))));
         assert!((e - 100.0).abs() < 1e-9, "e = {e}");
     }
@@ -125,7 +125,7 @@ mod tests {
     #[test]
     fn partial_sample_close() {
         let db = db();
-        let mut est = UniSample::fit(&db, 200, 2);
+        let est = UniSample::fit(&db, 200, 2);
         let e = est.estimate(&db, &single(Predicate::new(0, "v", Region::le(4))));
         assert!((e - 500.0).abs() < 120.0, "e = {e}");
     }
@@ -133,7 +133,7 @@ mod tests {
     #[test]
     fn zero_hits_get_correction() {
         let db = db();
-        let mut est = UniSample::fit(&db, 100, 3);
+        let est = UniSample::fit(&db, 100, 3);
         let e = est.estimate(&db, &single(Predicate::new(0, "v", Region::eq(99999))));
         assert!(e > 0.0 && e < 10.0, "e = {e}");
     }

@@ -8,8 +8,8 @@
 //! contribute 0. The estimator is unbiased but high-variance for large
 //! joins — the behaviour the paper observes (O1: worse than PostgreSQL).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cardbench_support::rand::rngs::StdRng;
+use cardbench_support::rand::{Rng, SeedableRng};
 
 use cardbench_engine::Database;
 use cardbench_query::{BoundQuery, SubPlanQuery};
@@ -20,16 +20,13 @@ use crate::CardEst;
 pub struct WjSample {
     /// Walks per estimate.
     pub walks: usize,
-    rng: StdRng,
+    seed: u64,
 }
 
 impl WjSample {
     /// Creates the estimator (model-free; walks happen at estimate time).
     pub fn new(walks: usize, seed: u64) -> WjSample {
-        WjSample {
-            walks,
-            rng: StdRng::seed_from_u64(seed),
-        }
+        WjSample { walks, seed }
     }
 }
 
@@ -38,10 +35,15 @@ impl CardEst for WjSample {
         "WJSample"
     }
 
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
         let Ok(bound) = BoundQuery::bind(&sub.query, db.catalog()) else {
             return 1.0;
         };
+        // A fresh RNG per call, derived from the estimator seed and the
+        // query's canonical hash: walks for one sub-plan never depend on
+        // which other sub-plans ran first, so parallel and sequential
+        // harness runs produce bit-identical estimates.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ sub.query.canonical_hash());
         let n = sub.query.table_count();
         // Walk order: BFS from position 0 along the join tree, recording
         // the edge used to reach each table.
@@ -78,7 +80,7 @@ impl CardEst for WjSample {
             for (step, &(t, via)) in order.iter().enumerate() {
                 let bt = &bound.tables[t];
                 if step == 0 {
-                    rows[t] = self.rng.gen_range(0..n0 as u32);
+                    rows[t] = rng.gen_range(0..n0 as u32);
                 } else {
                     let ei = via.expect("non-root has an edge");
                     let e = &bound.joins[ei];
@@ -97,7 +99,7 @@ impl CardEst for WjSample {
                     if d == 0 {
                         continue 'walk;
                     }
-                    let k = self.rng.gen_range(0..d);
+                    let k = rng.gen_range(0..d);
                     rows[t] = idx.kth_equal(key, k).expect("k < degree");
                     weight *= d as f64;
                 }
@@ -121,9 +123,7 @@ mod tests {
     use super::*;
     use cardbench_engine::exact_cardinality;
     use cardbench_query::{JoinEdge, JoinQuery, Predicate, Region, TableMask};
-    use cardbench_storage::{
-        Catalog, Column, ColumnDef, ColumnKind, Table, TableSchema,
-    };
+    use cardbench_storage::{Catalog, Column, ColumnDef, ColumnKind, Table, TableSchema};
 
     fn db() -> Database {
         let mut cat = Catalog::new();
@@ -178,23 +178,20 @@ mod tests {
         let db = db();
         let q = join_query();
         let exact = exact_cardinality(&db, &q).unwrap();
-        let mut est = WjSample::new(4000, 7);
+        let est = WjSample::new(4000, 7);
         let sub = SubPlanQuery {
             mask: TableMask::full(2),
             query: q,
         };
         let e = est.estimate(&db, &sub);
-        assert!(
-            (e - exact).abs() / exact < 0.25,
-            "wj {e} vs exact {exact}"
-        );
+        assert!((e - exact).abs() / exact < 0.25, "wj {e} vs exact {exact}");
     }
 
     #[test]
     fn single_table_estimate() {
         let db = db();
         let q = JoinQuery::single("a", vec![Predicate::new(0, "x", Region::eq(0))]);
-        let mut est = WjSample::new(2000, 8);
+        let est = WjSample::new(2000, 8);
         let sub = SubPlanQuery {
             mask: TableMask::single(0),
             query: q,
@@ -208,7 +205,7 @@ mod tests {
         let db = db();
         let mut q = join_query();
         q.predicates.push(Predicate::new(0, "x", Region::eq(999)));
-        let mut est = WjSample::new(500, 9);
+        let est = WjSample::new(500, 9);
         let sub = SubPlanQuery {
             mask: TableMask::full(2),
             query: q,

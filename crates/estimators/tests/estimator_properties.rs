@@ -1,13 +1,13 @@
 //! Property tests over estimator-facing infrastructure: coders, weights,
 //! and the fanout framework, on randomized small databases.
 
-use proptest::prelude::*;
+use cardbench_support::proptest::prelude::*;
 
 use cardbench_engine::{exact_cardinality, Database};
 use cardbench_estimators::common::TableCoder;
 use cardbench_estimators::fanout::exact_fanout_estimator;
 use cardbench_query::{JoinEdge, JoinQuery, Predicate, Region, SubPlanQuery, TableMask};
-use cardbench_storage::{Catalog, Column, ColumnDef, ColumnKind, Table, TableSchema, TableId};
+use cardbench_storage::{Catalog, Column, ColumnDef, ColumnKind, Table, TableId, TableSchema};
 
 fn two_table_db(keys_a: &[i64], vals_a: &[i64], keys_b: &[i64], vals_b: &[i64]) -> Database {
     let mut cat = Catalog::new();

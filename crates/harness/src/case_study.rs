@@ -26,7 +26,7 @@ pub fn pick_case_query(wl: &Workload) -> &WorkloadQuery {
 pub fn case_study(
     db: &Database,
     wq: &WorkloadQuery,
-    est: &mut dyn CardEst,
+    est: &dyn CardEst,
     truth: &TrueCardService,
     cost: &CostModel,
 ) -> String {
@@ -89,12 +89,11 @@ mod tests {
         let wq = pick_case_query(&b.stats_wl);
         assert!(wq.true_card >= 1.0);
         for kind in [EstimatorKind::TrueCard, EstimatorKind::Postgres] {
-            let mut built =
-                build_estimator(kind, &b.stats_db, &b.stats_train, &b.config.settings);
+            let built = build_estimator(kind, &b.stats_db, &b.stats_train, &b.config.settings);
             let s = case_study(
                 &b.stats_db,
                 wq,
-                built.est.as_mut(),
+                built.est.as_ref(),
                 &truth,
                 &CostModel::default(),
             );

@@ -124,6 +124,9 @@ pub struct BenchConfig {
     /// Training queries per dataset for the query-driven methods
     /// (paper: 10^5; scaled with the data).
     pub training_queries: usize,
+    /// Planning/estimation threads for the harness fan-out. `0` = auto:
+    /// `CARDBENCH_THREADS`, then `RAYON_NUM_THREADS`, then all cores.
+    pub threads: usize,
     /// Estimator hyper-parameters.
     pub settings: EstimatorSettings,
 }
@@ -143,6 +146,7 @@ impl BenchConfig {
             stats_workload: WorkloadConfig::stats_ceb(seed ^ 0x51),
             imdb_workload: WorkloadConfig::job_light(seed ^ 0x1f),
             training_queries: 1500,
+            threads: 0,
             settings: EstimatorSettings::standard(seed),
         }
     }
@@ -163,6 +167,7 @@ impl BenchConfig {
                 ..WorkloadConfig::job_light(seed ^ 0x1f)
             },
             training_queries: 120,
+            threads: 0,
             settings: EstimatorSettings::fast(seed),
         }
     }

@@ -1,12 +1,26 @@
 //! Per-query end-to-end runs: inject estimates for the sub-plan space,
 //! optimize, execute for real, and record times and metrics.
+//!
+//! The run is two-phased. Phase 1 — sub-plan enumeration, estimator
+//! inference, true-cardinality lookups, plan choice, and metric
+//! computation — is embarrassingly parallel across queries and fans out
+//! over a scoped thread pool ([`cardbench_support::par`]). Phase 2 — the
+//! timed plan executions — stays strictly sequential so wall-clock
+//! numbers are never polluted by sibling queries competing for cores.
+//! Estimation latency is still timed per call inside phase 1: each
+//! `estimate` is timed around its own call, which parallelism does not
+//! reorder or interleave (one sub-plan's inference runs start-to-finish
+//! on one thread).
 
 use std::time::{Duration, Instant};
 
-use cardbench_engine::{execute, optimize, CardMap, CostModel, Database, TrueCardService};
+use cardbench_engine::{
+    execute, optimize, CardMap, CostModel, Database, PhysicalPlan, TrueCardService,
+};
 use cardbench_estimators::{CardEst, EstimatorKind};
 use cardbench_metrics::{p_error, q_error};
 use cardbench_query::{connected_subsets, BoundQuery, SubPlanQuery};
+use cardbench_support::par;
 use cardbench_workload::Workload;
 
 /// Result of one query under one estimator.
@@ -29,6 +43,11 @@ pub struct QueryRun {
     pub p_error: f64,
     /// Q-Errors over all sub-plan queries.
     pub q_errors: Vec<f64>,
+    /// Estimated cardinality per sub-plan, in `connected_subsets` order
+    /// (exposed so determinism across thread counts is checkable).
+    pub sub_est_cards: Vec<f64>,
+    /// True cardinality per sub-plan, in the same order.
+    pub sub_true_cards: Vec<f64>,
     /// COUNT(*) result of the executed plan.
     pub result_rows: u64,
 }
@@ -74,7 +93,10 @@ impl MethodRun {
 
     /// All sub-plan Q-Errors.
     pub fn all_q_errors(&self) -> Vec<f64> {
-        self.queries.iter().flat_map(|q| q.q_errors.clone()).collect()
+        self.queries
+            .iter()
+            .flat_map(|q| q.q_errors.iter().copied())
+            .collect()
     }
 
     /// All per-query P-Errors.
@@ -93,17 +115,58 @@ impl MethodRun {
     }
 }
 
+/// One query after phase 1: everything except timed execution.
+struct PlannedQuery {
+    id: usize,
+    n_tables: usize,
+    true_card: f64,
+    plan_time: Duration,
+    subplans: usize,
+    p_error: f64,
+    q_errors: Vec<f64>,
+    sub_est_cards: Vec<f64>,
+    sub_true_cards: Vec<f64>,
+    bound: BoundQuery,
+    plan: PhysicalPlan,
+}
+
 /// Runs every workload query through the optimizer with the estimator's
 /// injected cardinalities and executes the chosen plans.
+///
+/// Planning/estimation parallelism defaults to the environment
+/// ([`par::max_threads`]: `CARDBENCH_THREADS`, then `RAYON_NUM_THREADS`,
+/// then all cores); use [`run_workload_with_threads`] for an explicit
+/// count. Results are identical for every thread count.
 pub fn run_workload(
     db: &Database,
     wl: &Workload,
-    est: &mut dyn CardEst,
+    est: &dyn CardEst,
     truth: &TrueCardService,
     cost: &CostModel,
 ) -> Vec<QueryRun> {
-    let mut out = Vec::with_capacity(wl.queries.len());
-    for wq in &wl.queries {
+    run_workload_with_threads(db, wl, est, truth, cost, 0)
+}
+
+/// [`run_workload`] with an explicit planning thread count (`0` = auto).
+///
+/// Phase 1 fans queries out over `threads` workers: each worker owns a
+/// query end-to-end through sub-plan enumeration, inference (timed per
+/// call), true-cardinality lookups, plan choice, and Q-/P-Error. Phase 2
+/// then executes the chosen plans one at a time — warm-up plus median of
+/// three timed runs — so execution wall-clock is measured on an otherwise
+/// idle process, exactly as in the sequential harness.
+pub fn run_workload_with_threads(
+    db: &Database,
+    wl: &Workload,
+    est: &dyn CardEst,
+    truth: &TrueCardService,
+    cost: &CostModel,
+    threads: usize,
+) -> Vec<QueryRun> {
+    let threads = par::resolve_threads(threads);
+
+    // Phase 1: plan every query (parallel, order-preserving).
+    let planned: Vec<PlannedQuery> = par::map(&wl.queries, threads, |_, wq| {
         let query = &wq.query;
         let bound = BoundQuery::bind(query, db.catalog()).expect("workload query binds");
         let masks = connected_subsets(query);
@@ -111,6 +174,8 @@ pub fn run_workload(
         let mut true_cards = CardMap::new();
         let mut plan_time = Duration::ZERO;
         let mut q_errors = Vec::with_capacity(masks.len());
+        let mut sub_est_cards = Vec::with_capacity(masks.len());
+        let mut sub_true_cards = Vec::with_capacity(masks.len());
         for &mask in &masks {
             let sp = SubPlanQuery::project(query, mask);
             let t0 = Instant::now();
@@ -130,36 +195,58 @@ pub fn run_workload(
             est_cards.insert(mask, e);
             true_cards.insert(mask, t);
             q_errors.push(q_error(e, t));
+            sub_est_cards.push(e);
+            sub_true_cards.push(t);
         }
         let plan = optimize(query, &bound, db, &est_cards, cost);
-        // Warm run first, then median of three timed runs: wall-clock at
-        // millisecond scale is dominated by allocator/cache state and
-        // scheduling noise, which would otherwise punish whichever method
-        // happens to hit a cold or contended moment.
-        let (rows, _stats) = execute(&plan, &bound, db);
-        let mut times = [Duration::ZERO; 3];
-        for t in &mut times {
-            let t0 = Instant::now();
-            let (rows2, _stats) = execute(&plan, &bound, db);
-            *t = t0.elapsed();
-            debug_assert_eq!(rows, rows2);
-        }
-        times.sort();
-        let exec = times[1];
         let pe = p_error(db, cost, query, &bound, &est_cards, &true_cards);
-        out.push(QueryRun {
+        PlannedQuery {
             id: wq.id,
             n_tables: query.table_count(),
             true_card: wq.true_card,
-            exec,
-            plan: plan_time,
+            plan_time,
             subplans: masks.len(),
             p_error: pe,
             q_errors,
-            result_rows: rows,
-        });
-    }
-    out
+            sub_est_cards,
+            sub_true_cards,
+            bound,
+            plan,
+        }
+    });
+
+    // Phase 2: execute the chosen plans (sequential, timed).
+    planned
+        .into_iter()
+        .map(|p| {
+            // Warm run first, then median of three timed runs: wall-clock
+            // at millisecond scale is dominated by allocator/cache state
+            // and scheduling noise, which would otherwise punish whichever
+            // method happens to hit a cold or contended moment.
+            let (rows, _stats) = execute(&p.plan, &p.bound, db);
+            let mut times = [Duration::ZERO; 3];
+            for t in &mut times {
+                let t0 = Instant::now();
+                let (rows2, _stats) = execute(&p.plan, &p.bound, db);
+                *t = t0.elapsed();
+                debug_assert_eq!(rows, rows2);
+            }
+            times.sort();
+            QueryRun {
+                id: p.id,
+                n_tables: p.n_tables,
+                true_card: p.true_card,
+                exec: times[1],
+                plan: p.plan_time,
+                subplans: p.subplans,
+                p_error: p.p_error,
+                q_errors: p.q_errors,
+                sub_est_cards: p.sub_est_cards,
+                sub_true_cards: p.sub_true_cards,
+                result_rows: rows,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -171,7 +258,7 @@ mod tests {
     #[test]
     fn truecard_runs_and_counts_match() {
         let b = Bench::build(BenchConfig::fast(2));
-        let mut built = build_estimator(
+        let built = build_estimator(
             EstimatorKind::TrueCard,
             &b.stats_db,
             &b.stats_train,
@@ -181,7 +268,7 @@ mod tests {
         let runs = run_workload(
             &b.stats_db,
             &b.stats_wl,
-            built.est.as_mut(),
+            built.est.as_ref(),
             &truth,
             &CostModel::default(),
         );
@@ -201,7 +288,7 @@ mod tests {
     #[test]
     fn postgres_baseline_q_errors_ge_one() {
         let b = Bench::build(BenchConfig::fast(2));
-        let mut built = build_estimator(
+        let built = build_estimator(
             EstimatorKind::Postgres,
             &b.stats_db,
             &b.stats_train,
@@ -211,7 +298,7 @@ mod tests {
         let runs = run_workload(
             &b.stats_db,
             &b.stats_wl,
-            built.est.as_mut(),
+            built.est.as_ref(),
             &truth,
             &CostModel::default(),
         );

@@ -75,7 +75,7 @@ mod tests {
         let b = Bench::build(BenchConfig::fast(11));
         let s = &b.config.settings;
         for kind in EstimatorKind::ALL {
-            let mut built = build_estimator(kind, &b.stats_db, &b.stats_train, s);
+            let built = build_estimator(kind, &b.stats_db, &b.stats_train, s);
             assert_eq!(built.est.name(), kind.name());
             // Estimate the first workload query end-to-end.
             let wq = &b.stats_wl.queries[0];
@@ -84,11 +84,7 @@ mod tests {
                 query: wq.query.clone(),
             };
             let e = built.est.estimate(&b.stats_db, &sub);
-            assert!(
-                e.is_finite() && e >= 0.0,
-                "{}: estimate {e}",
-                kind.name()
-            );
+            assert!(e.is_finite() && e >= 0.0, "{}: estimate {e}", kind.name());
         }
     }
 }

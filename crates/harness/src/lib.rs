@@ -22,7 +22,7 @@ pub mod results;
 pub mod update_exp;
 
 pub use config::{Bench, BenchConfig, EstimatorSettings};
-pub use endtoend::{run_workload, MethodRun, QueryRun};
+pub use endtoend::{run_workload, run_workload_with_threads, MethodRun, QueryRun};
 pub use factory::{build_estimator, BuiltEstimator};
 pub use observations::{check_observations, render_checks, ObservationCheck};
 pub use results::{MethodSummary, QueryRecord, RunResults};

@@ -123,7 +123,9 @@ pub fn check_observations(rs: &RunResults) -> Vec<ObservationCheck> {
                     id: "O4",
                     claim: "estimation error grows with the number of joined tables",
                     pass: large >= small,
-                    evidence: format!("{method}: median Q-Error 2-3 tables {small:.2}, 6-8 tables {large:.2}"),
+                    evidence: format!(
+                        "{method}: median Q-Error 2-3 tables {small:.2}, 6-8 tables {large:.2}"
+                    ),
                 });
             }
         }
@@ -151,7 +153,11 @@ pub fn check_observations(rs: &RunResults) -> Vec<ObservationCheck> {
             id: "O7",
             claim: "inference latency dominates short (TP) queries more than long (AP) ones",
             pass: tp > ap,
-            evidence: format!("NeuroCard^E plan share: TP {:.1}% vs AP {:.1}%", tp * 100.0, ap * 100.0),
+            evidence: format!(
+                "NeuroCard^E plan share: TP {:.1}% vs AP {:.1}%",
+                tp * 100.0,
+                ap * 100.0
+            ),
         });
     }
 
@@ -181,7 +187,10 @@ pub fn check_observations(rs: &RunResults) -> Vec<ObservationCheck> {
         if summaries.len() >= 4 {
             let exec: Vec<f64> = summaries.iter().map(|s| s.exec_secs).collect();
             let q50: Vec<f64> = summaries.iter().map(|s| s.q_error.0.ln()).collect();
-            let p50: Vec<f64> = summaries.iter().map(|s| s.p_error.0.ln().max(-20.0)).collect();
+            let p50: Vec<f64> = summaries
+                .iter()
+                .map(|s| s.p_error.0.ln().max(-20.0))
+                .collect();
             let rq = cardbench_metrics::spearman(&exec, &q50);
             let rp = cardbench_metrics::spearman(&exec, &p50);
             out.push(ObservationCheck {
@@ -260,11 +269,16 @@ mod tests {
         let mut rs = RunResults::default();
         for (wl, spread) in [("JOB-LIGHT", 0.1), ("STATS-CEB", 1.0)] {
             rs.summaries.push(summary(wl, "PostgreSQL", 10.0, 0.001));
-            rs.summaries.push(summary(wl, "DeepDB", 10.0 - 3.0 * spread, 0.5));
-            rs.summaries.push(summary(wl, "FLAT", 10.0 - 3.5 * spread, 0.6));
-            rs.summaries.push(summary(wl, "BayesCard", 10.0 - 2.0 * spread, 0.01));
-            rs.summaries.push(summary(wl, "UniSample", 10.0 + 2.0 * spread, 0.0));
-            rs.summaries.push(summary(wl, "NeuroCard^E", 10.0 + 5.0 * spread, 5.0));
+            rs.summaries
+                .push(summary(wl, "DeepDB", 10.0 - 3.0 * spread, 0.5));
+            rs.summaries
+                .push(summary(wl, "FLAT", 10.0 - 3.5 * spread, 0.6));
+            rs.summaries
+                .push(summary(wl, "BayesCard", 10.0 - 2.0 * spread, 0.01));
+            rs.summaries
+                .push(summary(wl, "UniSample", 10.0 + 2.0 * spread, 0.0));
+            rs.summaries
+                .push(summary(wl, "NeuroCard^E", 10.0 + 5.0 * spread, 5.0));
         }
         let checks = check_observations(&rs);
         assert!(!checks.is_empty());

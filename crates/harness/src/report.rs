@@ -53,7 +53,12 @@ pub fn table1(imdb: &DatasetProfile, stats: &DatasetProfile) -> String {
     let row = |s: &mut String, item: &str, a: String, b: String| {
         writeln!(s, "{item:<34} {a:>14} {b:>14}").unwrap();
     };
-    row(&mut s, "# of tables", imdb.table_count.to_string(), stats.table_count.to_string());
+    row(
+        &mut s,
+        "# of tables",
+        imdb.table_count.to_string(),
+        stats.table_count.to_string(),
+    );
     row(
         &mut s,
         "# of n./c. attributes",
@@ -64,7 +69,10 @@ pub fn table1(imdb: &DatasetProfile, stats: &DatasetProfile) -> String {
         &mut s,
         "# of n./c. attributes per table",
         format!("{}-{}", imdb.attrs_per_table_min, imdb.attrs_per_table_max),
-        format!("{}-{}", stats.attrs_per_table_min, stats.attrs_per_table_max),
+        format!(
+            "{}-{}",
+            stats.attrs_per_table_min, stats.attrs_per_table_max
+        ),
     );
     row(
         &mut s,
@@ -90,7 +98,12 @@ pub fn table1(imdb: &DatasetProfile, stats: &DatasetProfile) -> String {
         format!("{:.3}", imdb.avg_abs_correlation),
         format!("{:.3}", stats.avg_abs_correlation),
     );
-    row(&mut s, "join forms", imdb.join_forms.clone(), stats.join_forms.clone());
+    row(
+        &mut s,
+        "join forms",
+        imdb.join_forms.clone(),
+        stats.join_forms.clone(),
+    );
     row(
         &mut s,
         "# of join relations",
@@ -101,9 +114,18 @@ pub fn table1(imdb: &DatasetProfile, stats: &DatasetProfile) -> String {
 }
 
 /// Table 2: workload statistics comparison.
-pub fn table2(db_imdb: &Database, imdb: &Workload, db_stats: &Database, stats: &Workload) -> String {
+pub fn table2(
+    db_imdb: &Database,
+    imdb: &Workload,
+    db_stats: &Database,
+    stats: &Workload,
+) -> String {
     let mut s = String::new();
-    writeln!(s, "Table 2: Comparison of JOB-LIGHT and STATS-CEB workloads").unwrap();
+    writeln!(
+        s,
+        "Table 2: Comparison of JOB-LIGHT and STATS-CEB workloads"
+    )
+    .unwrap();
     writeln!(s, "{:<34} {:>16} {:>16}", "Item", imdb.name, stats.name).unwrap();
     let row = |s: &mut String, item: &str, a: String, b: String| {
         writeln!(s, "{item:<34} {a:>16} {b:>16}").unwrap();
@@ -116,7 +138,12 @@ pub fn table2(db_imdb: &Database, imdb: &Workload, db_stats: &Database, stats: &
     );
     let (ilo, ihi) = imdb.table_count_range();
     let (slo, shi) = stats.table_count_range();
-    row(&mut s, "# of joined tables", format!("{ilo}-{ihi}"), format!("{slo}-{shi}"));
+    row(
+        &mut s,
+        "# of joined tables",
+        format!("{ilo}-{ihi}"),
+        format!("{slo}-{shi}"),
+    );
     row(
         &mut s,
         "# of join templates",
@@ -134,8 +161,18 @@ pub fn table2(db_imdb: &Database, imdb: &Workload, db_stats: &Database, stats: &
     row(
         &mut s,
         "join type",
-        if imdb.has_fkfk(db_imdb) { "PK-FK/FK-FK" } else { "PK-FK" }.to_string(),
-        if stats.has_fkfk(db_stats) { "PK-FK/FK-FK" } else { "PK-FK" }.to_string(),
+        if imdb.has_fkfk(db_imdb) {
+            "PK-FK/FK-FK"
+        } else {
+            "PK-FK"
+        }
+        .to_string(),
+        if stats.has_fkfk(db_stats) {
+            "PK-FK/FK-FK"
+        } else {
+            "PK-FK"
+        }
+        .to_string(),
     );
     let (iclo, ichi) = imdb.cardinality_range();
     let (sclo, schi) = stats.cardinality_range();
@@ -162,7 +199,14 @@ pub fn table3(imdb_runs: &[MethodRun], stats_runs: &[MethodRun]) -> String {
     writeln!(
         s,
         "{:<13} {:<12} | {:>10} {:>18} {:>8} | {:>10} {:>18} {:>8}",
-        "Category", "Method", "JL E2E", "JL Exec+Plan", "JL Impr", "SC E2E", "SC Exec+Plan", "SC Impr"
+        "Category",
+        "Method",
+        "JL E2E",
+        "JL Exec+Plan",
+        "JL Impr",
+        "SC E2E",
+        "SC Exec+Plan",
+        "SC Impr"
     )
     .unwrap();
     let base_i = baseline(imdb_runs).e2e_total();
@@ -180,10 +224,18 @@ pub fn table3(imdb_runs: &[MethodRun], stats_runs: &[MethodRun]) -> String {
             kind.class(),
             kind.name(),
             fmt_duration(ri.e2e_total()),
-            format!("{} + {}", fmt_duration(ri.exec_total()), fmt_duration(ri.plan_total())),
+            format!(
+                "{} + {}",
+                fmt_duration(ri.exec_total()),
+                fmt_duration(ri.plan_total())
+            ),
             ri.improvement_over(base_i),
             fmt_duration(rs.e2e_total()),
-            format!("{} + {}", fmt_duration(rs.exec_total()), fmt_duration(rs.plan_total())),
+            format!(
+                "{} + {}",
+                fmt_duration(rs.exec_total()),
+                fmt_duration(rs.plan_total())
+            ),
             rs.improvement_over(base_s),
         )
         .unwrap();
@@ -208,7 +260,11 @@ pub fn table4(stats_runs: &[MethodRun]) -> String {
     ];
     let base = baseline(stats_runs);
     let mut s = String::new();
-    writeln!(s, "Table 4: E2E improvement by # of joined tables (STATS-CEB)").unwrap();
+    writeln!(
+        s,
+        "Table 4: E2E improvement by # of joined tables (STATS-CEB)"
+    )
+    .unwrap();
     write!(s, "{:<9} {:>9}", "# tables", "# queries").unwrap();
     for k in shown {
         write!(s, " {:>11}", k.name()).unwrap();
@@ -262,7 +318,11 @@ pub fn table4_qerrors(stats_runs: &[MethodRun]) -> String {
         EstimatorKind::Flat,
     ];
     let mut s = String::new();
-    writeln!(s, "Table 4 supplement: median sub-plan Q-Error by # of joined tables").unwrap();
+    writeln!(
+        s,
+        "Table 4 supplement: median sub-plan Q-Error by # of joined tables"
+    )
+    .unwrap();
     write!(s, "{:<9}", "# tables").unwrap();
     for k in shown {
         write!(s, " {:>11}", k.name()).unwrap();
@@ -438,7 +498,13 @@ pub fn figure1_dot(db: &Database) -> String {
         writeln!(
             s,
             "  {:?} -- {:?} [label=\"{}.{} = {}.{} ({:?})\"];",
-            j.left_table, j.right_table, j.left_table, j.left_column, j.right_table, j.right_column, j.kind
+            j.left_table,
+            j.right_table,
+            j.left_table,
+            j.left_column,
+            j.right_table,
+            j.right_column,
+            j.kind
         )
         .unwrap();
     }
@@ -462,6 +528,8 @@ mod tests {
                 subplans: 3,
                 p_error: 1.0 + id as f64 / 10.0,
                 q_errors: vec![1.0, 2.0 * id as f64],
+                sub_est_cards: vec![100.0 * id as f64, 50.0],
+                sub_true_cards: vec![100.0 * id as f64, 100.0],
                 result_rows: 100 * id as u64,
             })
             .collect();
@@ -493,15 +561,21 @@ mod tests {
         assert!(s.contains("TrueCard"));
         // TrueCard at half the baseline exec shows ~50% improvement.
         let tc_line = s.lines().find(|l| l.contains("TrueCard")).unwrap();
-        assert!(tc_line.contains("49.") || tc_line.contains("50."), "{tc_line}");
+        assert!(
+            tc_line.contains("49.") || tc_line.contains("50."),
+            "{tc_line}"
+        );
     }
 
     #[test]
     fn table4_buckets_cover_all_methods() {
         let s = table4(&fake_runs());
         for name in ["PessEst", "MSCN", "BayesCard", "DeepDB", "FLAT", "TrueCard"] {
-            assert!(s.contains(name), "missing {name}:
-{s}");
+            assert!(
+                s.contains(name),
+                "missing {name}:
+{s}"
+            );
         }
         assert!(s.contains("2-3") && s.contains("6-8"));
     }

@@ -4,14 +4,14 @@
 use std::io::Write as _;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use cardbench_support::json::{Json, JsonError};
 
 use cardbench_metrics::percentile_triple;
 
 use crate::endtoend::MethodRun;
 
 /// One method's summary on one workload.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MethodSummary {
     /// Method display name.
     pub method: String,
@@ -38,7 +38,7 @@ pub struct MethodSummary {
 }
 
 /// One query's record.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryRecord {
     /// Workload query id.
     pub id: usize,
@@ -86,10 +86,125 @@ impl MethodSummary {
             queries,
         }
     }
+
+    fn to_value(&self) -> Json {
+        Json::object([
+            ("method", Json::String(self.method.clone())),
+            ("class", Json::String(self.class.clone())),
+            ("workload", Json::String(self.workload.clone())),
+            ("exec_secs", Json::Number(self.exec_secs)),
+            ("plan_secs", Json::Number(self.plan_secs)),
+            ("train_secs", Json::Number(self.train_secs)),
+            ("model_bytes", Json::Number(self.model_bytes as f64)),
+            ("avg_inference_secs", Json::Number(self.avg_inference_secs)),
+            ("q_error", triple_to_value(self.q_error)),
+            ("p_error", triple_to_value(self.p_error)),
+            (
+                "queries",
+                Json::Array(self.queries.iter().map(QueryRecord::to_value).collect()),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Json) -> Result<MethodSummary, JsonError> {
+        Ok(MethodSummary {
+            method: str_field(v, "method")?,
+            class: str_field(v, "class")?,
+            workload: str_field(v, "workload")?,
+            exec_secs: num_field(v, "exec_secs")?,
+            plan_secs: num_field(v, "plan_secs")?,
+            train_secs: num_field(v, "train_secs")?,
+            model_bytes: num_field(v, "model_bytes")? as usize,
+            avg_inference_secs: num_field(v, "avg_inference_secs")?,
+            q_error: triple_field(v, "q_error")?,
+            p_error: triple_field(v, "p_error")?,
+            queries: array_field(v, "queries")?
+                .iter()
+                .map(QueryRecord::from_value)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+impl QueryRecord {
+    fn to_value(&self) -> Json {
+        Json::object([
+            ("id", Json::Number(self.id as f64)),
+            ("tables", Json::Number(self.tables as f64)),
+            ("true_card", Json::Number(self.true_card)),
+            ("exec_secs", Json::Number(self.exec_secs)),
+            ("plan_secs", Json::Number(self.plan_secs)),
+            ("p_error", Json::Number(self.p_error)),
+            ("q_error_median", Json::Number(self.q_error_median)),
+        ])
+    }
+
+    fn from_value(v: &Json) -> Result<QueryRecord, JsonError> {
+        Ok(QueryRecord {
+            id: num_field(v, "id")? as usize,
+            tables: num_field(v, "tables")? as usize,
+            true_card: num_field(v, "true_card")?,
+            exec_secs: num_field(v, "exec_secs")?,
+            plan_secs: num_field(v, "plan_secs")?,
+            p_error: num_field(v, "p_error")?,
+            q_error_median: num_field(v, "q_error_median")?,
+        })
+    }
+}
+
+fn shape_err(msg: impl Into<String>) -> JsonError {
+    JsonError {
+        message: msg.into(),
+        offset: 0,
+    }
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, JsonError> {
+    v.get(key)
+        .ok_or_else(|| shape_err(format!("missing field `{key}`")))
+}
+
+fn num_field(v: &Json, key: &str) -> Result<f64, JsonError> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| shape_err(format!("field `{key}` is not a number")))
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, JsonError> {
+    Ok(field(v, key)?
+        .as_str()
+        .ok_or_else(|| shape_err(format!("field `{key}` is not a string")))?
+        .to_string())
+}
+
+fn array_field<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], JsonError> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| shape_err(format!("field `{key}` is not an array")))
+}
+
+fn triple_to_value(t: (f64, f64, f64)) -> Json {
+    Json::Array(vec![
+        Json::Number(t.0),
+        Json::Number(t.1),
+        Json::Number(t.2),
+    ])
+}
+
+fn triple_field(v: &Json, key: &str) -> Result<(f64, f64, f64), JsonError> {
+    let arr = array_field(v, key)?;
+    match arr {
+        [a, b, c] => Ok((
+            a.as_f64().ok_or_else(|| shape_err("non-numeric triple"))?,
+            b.as_f64().ok_or_else(|| shape_err("non-numeric triple"))?,
+            c.as_f64().ok_or_else(|| shape_err("non-numeric triple"))?,
+        )),
+        _ => Err(shape_err(format!("field `{key}` is not a 3-array"))),
+    }
 }
 
 /// A whole benchmark run's results.
-#[derive(Debug, Clone, Serialize, Deserialize, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunResults {
     /// Summaries for every (method, workload) pair.
     pub summaries: Vec<MethodSummary>,
@@ -110,12 +225,22 @@ impl RunResults {
 
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("serializable")
+        Json::object([(
+            "summaries",
+            Json::Array(self.summaries.iter().map(MethodSummary::to_value).collect()),
+        )])
+        .pretty()
     }
 
     /// Parses from JSON.
-    pub fn from_json(s: &str) -> Result<RunResults, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<RunResults, JsonError> {
+        let v = Json::parse(s)?;
+        Ok(RunResults {
+            summaries: array_field(&v, "summaries")?
+                .iter()
+                .map(MethodSummary::from_value)
+                .collect::<Result<_, _>>()?,
+        })
     }
 
     /// Writes JSON to a file.
@@ -145,6 +270,8 @@ mod tests {
                 subplans: 6,
                 p_error: 1.5,
                 q_errors: vec![1.0, 2.0, 4.0],
+                sub_est_cards: vec![40.0, 21.0, 10.5],
+                sub_true_cards: vec![40.0, 42.0, 42.0],
                 result_rows: 42,
             }],
         }
@@ -167,5 +294,12 @@ mod tests {
         let back = RunResults::from_json(&json).unwrap();
         assert_eq!(back, r);
         assert_eq!(back.summaries.len(), 2);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(RunResults::from_json("{}").is_err());
+        assert!(RunResults::from_json("not json").is_err());
+        assert!(RunResults::from_json(r#"{"summaries": [{"method": 3}]}"#).is_err());
     }
 }

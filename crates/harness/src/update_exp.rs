@@ -60,8 +60,8 @@ pub fn run_update_experiment(
     let mut results = Vec::new();
     for kind in UPDATABLE {
         // Fresh model on the full data (the Table 3 number).
-        let mut fresh = build_estimator(kind, &full_db, &empty_train, settings);
-        let fresh_runs = run_workload(&full_db, wl, fresh.est.as_mut(), &truth, cost);
+        let fresh = build_estimator(kind, &full_db, &empty_train, settings);
+        let fresh_runs = run_workload(&full_db, wl, fresh.est.as_ref(), &truth, cost);
         let e2e_fresh = MethodRun {
             kind,
             train_time: fresh.train_time,
@@ -85,7 +85,7 @@ pub fn run_update_experiment(
         let t0 = Instant::now();
         stale.est.apply_inserts(&updated_db, &inserts);
         let update_time = t0.elapsed();
-        let updated_runs = run_workload(&updated_db, wl, stale.est.as_mut(), &truth, cost);
+        let updated_runs = run_workload(&updated_db, wl, stale.est.as_ref(), &truth, cost);
         let e2e_updated = MethodRun {
             kind,
             train_time: stale.train_time,
@@ -150,8 +150,7 @@ mod tests {
             },
         );
         let settings = EstimatorSettings::fast(4);
-        let results =
-            run_update_experiment(&stats_cfg, &wl, &settings, &CostModel::default());
+        let results = run_update_experiment(&stats_cfg, &wl, &settings, &CostModel::default());
         assert_eq!(results.len(), 4);
         // BayesCard's incremental count update beats NeuroCard's retrain.
         let bc = results

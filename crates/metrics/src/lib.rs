@@ -242,7 +242,11 @@ mod tests {
         let mut est = CardMap::new();
         for mask in connected_subsets(&q) {
             let t = truth.rows(mask);
-            let skew = if mask.count() == 2 { 1.0 / (t * t).max(1.0) } else { t };
+            let skew = if mask.count() == 2 {
+                1.0 / (t * t).max(1.0)
+            } else {
+                t
+            };
             est.insert(TableMask(mask.0), skew);
         }
         let pe = p_error(&db, &CostModel::default(), &q, &bound, &est, &truth);

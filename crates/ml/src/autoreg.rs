@@ -8,8 +8,8 @@
 //! walk the columns in order, multiply in the constrained mass of each
 //! conditional, and sample a concrete bin to condition the next column.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use cardbench_support::rand::rngs::StdRng;
+use cardbench_support::rand::Rng;
 
 use crate::matrix::Matrix;
 use crate::mlp::Mlp;
@@ -64,9 +64,7 @@ impl AutoRegModel {
         }
         let mut mlps = Vec::with_capacity(cols.len().saturating_sub(1));
         for i in 1..cols.len() {
-            let xs = Matrix::from_fn(n, i, |r, c| {
-                cols[c][r] as f32 / bins[c].max(1) as f32
-            });
+            let xs = Matrix::from_fn(n, i, |r, c| cols[c][r] as f32 / bins[c].max(1) as f32);
             let labels: Vec<usize> = cols[i].iter().map(|&b| b as usize).collect();
             let mut net = Mlp::new(&[i, cfg.hidden, bins[i]], cfg.seed.wrapping_add(i as u64));
             net.train_softmax(&xs, &labels, cfg.epochs, cfg.lr, cfg.seed ^ 0x5eed);
@@ -106,7 +104,11 @@ impl AutoRegModel {
             scratch.clear();
             if i == 0 {
                 let total: f64 = self.marginal0.iter().sum();
-                scratch.extend(self.marginal0.iter().map(|&c| (c + 0.1) / (total + 0.1 * self.bins[0] as f64)));
+                scratch.extend(
+                    self.marginal0
+                        .iter()
+                        .map(|&c| (c + 0.1) / (total + 0.1 * self.bins[0] as f64)),
+                );
             } else {
                 let probs = self.mlps[i - 1].forward_softmax(&prefix);
                 scratch.extend(probs.iter().map(|&p| p as f64));
@@ -157,7 +159,7 @@ fn sample_from(weights: &[f64], total: f64, rng: &mut StdRng) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use cardbench_support::rand::SeedableRng;
 
     fn fit_simple() -> AutoRegModel {
         // Two perfectly correlated ternary columns.

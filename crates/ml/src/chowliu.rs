@@ -79,7 +79,11 @@ mod tests {
     fn tree_spans_all_nodes() {
         let k = 6;
         let dep: Vec<Vec<f64>> = (0..k)
-            .map(|i| (0..k).map(|j| 1.0 / (1.0 + (i as f64 - j as f64).abs())).collect())
+            .map(|i| {
+                (0..k)
+                    .map(|j| 1.0 / (1.0 + (i as f64 - j as f64).abs()))
+                    .collect()
+            })
             .collect();
         let parent = chow_liu_tree(&dep);
         assert_eq!(parent.iter().filter(|p| p.is_none()).count(), 1);

@@ -34,12 +34,7 @@ pub fn dependence(a: &[u16], b: &[u16]) -> f64 {
             }
         }
     }
-    let ent = |p: &[f64]| -> f64 {
-        p.iter()
-            .filter(|&&v| v > 0.0)
-            .map(|&v| -v * v.ln())
-            .sum()
-    };
+    let ent = |p: &[f64]| -> f64 { p.iter().filter(|&&v| v > 0.0).map(|&v| -v * v.ln()).sum() };
     let h = ent(&pa).min(ent(&pb));
     if h <= 1e-12 {
         0.0

@@ -67,7 +67,9 @@ impl Discretizer {
 
     /// Bin id of a value (clamped into range).
     pub fn bin_of(&self, v: i64) -> usize {
-        self.edges.partition_point(|&e| e < v).min(self.edges.len() - 1)
+        self.edges
+            .partition_point(|&e| e < v)
+            .min(self.edges.len() - 1)
     }
 
     /// Inclusive bin range covered by the value range `[lo, hi]`, or
@@ -87,7 +89,11 @@ impl Discretizer {
             let v = self.edges[b];
             return if lo <= v && v <= hi { 1.0 } else { 0.0 };
         }
-        let b_lo = if b == 0 { self.min } else { self.edges[b - 1] + 1 };
+        let b_lo = if b == 0 {
+            self.min
+        } else {
+            self.edges[b - 1] + 1
+        };
         let b_hi = self.edges[b];
         if lo <= b_lo && hi >= b_hi {
             return 1.0;

@@ -27,13 +27,7 @@ struct Tree {
 }
 
 impl Tree {
-    fn fit(
-        xs: &Matrix,
-        ys: &[f32],
-        rows: &[usize],
-        depth: usize,
-        min_rows: usize,
-    ) -> Tree {
+    fn fit(xs: &Matrix, ys: &[f32], rows: &[usize], depth: usize, min_rows: usize) -> Tree {
         let mut nodes = Vec::new();
         Self::build(xs, ys, rows, depth, min_rows, &mut nodes);
         Tree { nodes }
@@ -111,7 +105,11 @@ impl Tree {
                     left,
                     right,
                 } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -179,13 +177,7 @@ impl Gbdt {
 
     /// Predicts one sample.
     pub fn predict(&self, x: &[f32]) -> f32 {
-        self.base
-            + self.shrinkage
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict(x))
-                    .sum::<f32>()
+        self.base + self.shrinkage * self.trees.iter().map(|t| t.predict(x)).sum::<f32>()
     }
 
     /// Approximate model size in bytes.
@@ -210,7 +202,13 @@ mod tests {
     #[test]
     fn fits_additive_function() {
         // y = x0 + 2*x1 over a grid.
-        let xs = Matrix::from_fn(64, 2, |r, c| if c == 0 { (r % 8) as f32 } else { (r / 8) as f32 });
+        let xs = Matrix::from_fn(64, 2, |r, c| {
+            if c == 0 {
+                (r % 8) as f32
+            } else {
+                (r / 8) as f32
+            }
+        });
         let ys: Vec<f32> = (0..64).map(|r| xs.get(r, 0) + 2.0 * xs.get(r, 1)).collect();
         let g = Gbdt::fit(&xs, &ys, &GbdtConfig::default());
         let mut err = 0.0;
@@ -232,7 +230,14 @@ mod tests {
     fn size_accounting() {
         let xs = Matrix::from_fn(20, 1, |r, _| r as f32);
         let ys: Vec<f32> = (0..20).map(|r| r as f32).collect();
-        let g = Gbdt::fit(&xs, &ys, &GbdtConfig { rounds: 3, ..GbdtConfig::default() });
+        let g = Gbdt::fit(
+            &xs,
+            &ys,
+            &GbdtConfig {
+                rounds: 3,
+                ..GbdtConfig::default()
+            },
+        );
         assert!(g.size_bytes() > 0);
     }
 }

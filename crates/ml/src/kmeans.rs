@@ -1,8 +1,8 @@
 //! Lloyd's k-means over `f32` feature rows (row clustering for SPN sum
 //! nodes).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cardbench_support::rand::rngs::StdRng;
+use cardbench_support::rand::{Rng, SeedableRng};
 
 use crate::matrix::Matrix;
 
@@ -17,10 +17,21 @@ pub fn kmeans(xs: &Matrix, k: usize, iters: usize, seed: u64) -> Vec<usize> {
     }
     let d = xs.cols;
     let mut rng = StdRng::seed_from_u64(seed);
-    // Initialize centroids from random distinct rows.
-    let mut centroids: Vec<Vec<f32>> = (0..k)
-        .map(|_| xs.row(rng.gen_range(0..n)).to_vec())
-        .collect();
+    // Farthest-point initialization: a random first centroid, then each
+    // subsequent one is the row farthest from its nearest chosen centroid.
+    // Unlike pure random draws this never seeds two centroids on the same
+    // point unless the data itself is degenerate.
+    let mut centroids: Vec<Vec<f32>> = vec![xs.row(rng.gen_range(0..n)).to_vec()];
+    while centroids.len() < k {
+        let far = (0..n)
+            .max_by(|&a, &b| {
+                let da = nearest_dist(xs.row(a), &centroids);
+                let db = nearest_dist(xs.row(b), &centroids);
+                da.total_cmp(&db)
+            })
+            .unwrap();
+        centroids.push(xs.row(far).to_vec());
+    }
     let mut assign = vec![0usize; n];
     for _ in 0..iters {
         let mut changed = false;
@@ -29,11 +40,7 @@ pub fn kmeans(xs: &Matrix, k: usize, iters: usize, seed: u64) -> Vec<usize> {
             let mut best = 0;
             let mut best_d = f32::INFINITY;
             for (c, cent) in centroids.iter().enumerate() {
-                let dist: f32 = row
-                    .iter()
-                    .zip(cent)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let dist: f32 = row.iter().zip(cent).map(|(a, b)| (a - b) * (a - b)).sum();
                 if dist < best_d {
                     best_d = dist;
                     best = c;
@@ -68,13 +75,31 @@ pub fn kmeans(xs: &Matrix, k: usize, iters: usize, seed: u64) -> Vec<usize> {
     assign
 }
 
+fn nearest_dist(row: &[f32], centroids: &[Vec<f32>]) -> f32 {
+    centroids
+        .iter()
+        .map(|c| {
+            row.iter()
+                .zip(c)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+        })
+        .fold(f32::INFINITY, f32::min)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn separates_two_blobs() {
-        let xs = Matrix::from_fn(20, 1, |r, _| if r < 10 { r as f32 * 0.01 } else { 10.0 + r as f32 * 0.01 });
+        let xs = Matrix::from_fn(20, 1, |r, _| {
+            if r < 10 {
+                r as f32 * 0.01
+            } else {
+                10.0 + r as f32 * 0.01
+            }
+        });
         let assign = kmeans(&xs, 2, 20, 1);
         // All of the first blob in one cluster, the second in the other.
         let first = assign[0];

@@ -5,8 +5,8 @@
 //! trained with cross-entropy (per-column conditionals of the
 //! autoregressive models).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cardbench_support::rand::rngs::StdRng;
+use cardbench_support::rand::{Rng, SeedableRng};
 
 use crate::matrix::Matrix;
 
@@ -206,20 +206,17 @@ impl Mlp {
 
     fn zero_grads(&self) -> Grads {
         Grads {
-            w: self.layers.iter().map(|l| vec![0.0; l.w.data.len()]).collect(),
+            w: self
+                .layers
+                .iter()
+                .map(|l| vec![0.0; l.w.data.len()])
+                .collect(),
             b: self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
         }
     }
 
     /// Trains with MSE on scalar targets. `xs` is `n × input_dim`.
-    pub fn train_regression(
-        &mut self,
-        xs: &Matrix,
-        ys: &[f32],
-        epochs: usize,
-        lr: f32,
-        seed: u64,
-    ) {
+    pub fn train_regression(&mut self, xs: &Matrix, ys: &[f32], epochs: usize, lr: f32, seed: u64) {
         assert_eq!(xs.rows, ys.len());
         assert_eq!(self.output_dim(), 1);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -298,9 +295,7 @@ mod tests {
                 (r / 8) as f32 / 8.0
             }
         });
-        let ys: Vec<f32> = (0..64)
-            .map(|r| 2.0 * xs.get(r, 0) - xs.get(r, 1))
-            .collect();
+        let ys: Vec<f32> = (0..64).map(|r| 2.0 * xs.get(r, 0) - xs.get(r, 1)).collect();
         let mut net = Mlp::new(&[2, 16, 1], 7);
         net.train_regression(&xs, &ys, 200, 0.01, 1);
         let mut err = 0.0;

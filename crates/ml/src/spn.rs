@@ -147,7 +147,12 @@ impl Spn {
             let col = scope[c];
             cols[col][rows[r] as usize] as f32 / self.bins[col].max(1) as f32
         });
-        let assign = kmeans(&feats, 2, self.cfg.cluster_iters, self.cfg.seed ^ depth as u64);
+        let assign = kmeans(
+            &feats,
+            2,
+            self.cfg.cluster_iters,
+            self.cfg.seed ^ depth as u64,
+        );
         let (a_rows, b_rows): (Vec<u32>, Vec<u32>) = rows
             .iter()
             .enumerate()
@@ -220,21 +225,14 @@ impl Spn {
                     .map(|(w, c)| (w / total) * self.eval(*c, weights))
                     .sum()
             }
-            Node::Product { children } => children
-                .iter()
-                .map(|&c| self.eval(c, weights))
-                .product(),
+            Node::Product { children } => children.iter().map(|&c| self.eval(c, weights)).product(),
             Node::Leaf { col, counts } => {
                 let Some(w) = &weights[*col] else { return 1.0 };
                 let total: f64 = counts.iter().sum();
                 if total <= 0.0 {
                     return 0.0;
                 }
-                counts
-                    .iter()
-                    .zip(w)
-                    .map(|(c, wv)| c / total * wv)
-                    .sum()
+                counts.iter().zip(w).map(|(c, wv)| c / total * wv).sum()
             }
             Node::MultiLeaf { cols, counts } => {
                 if cols.iter().all(|&c| weights[c].is_none()) {
@@ -353,9 +351,7 @@ impl Spn {
                 Node::Sum { children } => 16 + children.len() * 16,
                 Node::Product { children } => 16 + children.len() * 8,
                 Node::Leaf { counts, .. } => 16 + counts.len() * 8,
-                Node::MultiLeaf { cols, counts } => {
-                    16 + counts.len() * (cols.len() * 2 + 8)
-                }
+                Node::MultiLeaf { cols, counts } => 16 + counts.len() * (cols.len() * 2 + 8),
             })
             .sum()
     }
@@ -464,7 +460,14 @@ mod tests {
     #[test]
     fn multileaf_captures_correlation_better() {
         let (cols, bins) = correlated_data(900);
-        let plain = Spn::fit(&cols, &bins, SpnConfig { min_rows: 2000, ..SpnConfig::default() });
+        let plain = Spn::fit(
+            &cols,
+            &bins,
+            SpnConfig {
+                min_rows: 2000,
+                ..SpnConfig::default()
+            },
+        );
         let flat = Spn::fit(
             &cols,
             &bins,
@@ -524,8 +527,22 @@ mod tests {
     #[test]
     fn size_grows_with_structure() {
         let (cols, bins) = correlated_data(1200);
-        let small = Spn::fit(&cols, &bins, SpnConfig { min_rows: 5000, ..SpnConfig::default() });
-        let big = Spn::fit(&cols, &bins, SpnConfig { min_rows: 16, ..SpnConfig::default() });
+        let small = Spn::fit(
+            &cols,
+            &bins,
+            SpnConfig {
+                min_rows: 5000,
+                ..SpnConfig::default()
+            },
+        );
+        let big = Spn::fit(
+            &cols,
+            &bins,
+            SpnConfig {
+                min_rows: 16,
+                ..SpnConfig::default()
+            },
+        );
         assert!(big.node_count() >= small.node_count());
         assert!(big.size_bytes() > 0);
     }

@@ -2,11 +2,11 @@
 //! queries must behave like probabilities, and expectations must be
 //! consistent with marginals, for arbitrary discrete datasets.
 
-use proptest::prelude::*;
+use cardbench_support::proptest::prelude::*;
 
+use cardbench_ml::autoreg::ArConfig;
 use cardbench_ml::spn::SpnConfig;
 use cardbench_ml::{AutoRegModel, Spn, TreeBayesNet};
-use cardbench_ml::autoreg::ArConfig;
 
 /// Random binned dataset: 3 columns with small domains.
 fn dataset() -> impl Strategy<Value = (Vec<Vec<u16>>, Vec<usize>)> {
@@ -15,7 +15,9 @@ fn dataset() -> impl Strategy<Value = (Vec<Vec<u16>>, Vec<usize>)> {
             // Deterministic pseudo-random rows from the seed.
             let mut x = seed;
             let mut next = move |m: usize| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) as usize % m) as u16
             };
             let mut cols = vec![Vec::new(), Vec::new(), Vec::new()];
@@ -23,7 +25,11 @@ fn dataset() -> impl Strategy<Value = (Vec<Vec<u16>>, Vec<usize>)> {
                 let a = next(b0);
                 cols[0].push(a);
                 // Column 1 correlates with column 0.
-                cols[1].push(if next(2) == 0 { (a as usize % b1) as u16 } else { next(b1) });
+                cols[1].push(if next(2) == 0 {
+                    (a as usize % b1) as u16
+                } else {
+                    next(b1)
+                });
                 cols[2].push(next(b2));
             }
             (cols, vec![b0, b1, b2])
@@ -103,7 +109,7 @@ proptest! {
             &bins,
             ArConfig { epochs: 1, samples: 80, ..ArConfig::default() },
         );
-        let mut rng = rand::SeedableRng::seed_from_u64(5);
+        let mut rng = cardbench_support::rand::SeedableRng::seed_from_u64(5);
         let p = ar.query(&[indicator(bins[0], 0), None, None], &mut rng);
         prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
         let zero = ar.query(&[Some(vec![0.0; bins[0]]), None, None], &mut rng);

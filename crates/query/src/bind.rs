@@ -108,7 +108,10 @@ mod tests {
                     ColumnDef::new("x", ColumnKind::Numeric),
                 ],
             ),
-            vec![Column::from_values(vec![1, 2]), Column::from_values(vec![10, 20])],
+            vec![
+                Column::from_values(vec![1, 2]),
+                Column::from_values(vec![10, 20]),
+            ],
         )
         .unwrap();
         let b = Table::from_columns(

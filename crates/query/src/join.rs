@@ -1,6 +1,31 @@
 //! Join queries: tables + acyclic equi-join edges + filter predicates.
 
-use crate::predicate::Predicate;
+use crate::predicate::{Predicate, Region};
+
+/// FNV-1a offset basis.
+const FNV_SEED: u64 = 0xcbf29ce484222325;
+
+/// FNV-1a over one 64-bit word.
+#[inline]
+fn fnv_u64(mut h: u64, v: u64) -> u64 {
+    for i in 0..8 {
+        h ^= (v >> (8 * i)) & 0xff;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// FNV-1a over a string (with a terminator so `("ab","c")` and
+/// `("a","bc")` differ).
+#[inline]
+fn fnv_str(mut h: u64, s: &str) -> u64 {
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^= 0xff;
+    h.wrapping_mul(0x100000001b3)
+}
 
 /// One equi-join edge between two tables of a query.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -100,6 +125,57 @@ impl JoinQuery {
         self.joins.len() + 1 == self.tables.len() && self.is_connected()
     }
 
+    /// A stable 64-bit canonical hash of the query's identity, invariant
+    /// under reordering of tables, joins, and predicates. This is the
+    /// allocation-free counterpart of [`JoinQuery::canonical_key`]: the
+    /// true-cardinality and filtered-scan caches key on it directly so the
+    /// hot lookup path never builds a `String`.
+    pub fn canonical_hash(&self) -> u64 {
+        // Per-component hashes are combined order-invariantly (sorted,
+        // then chained through FNV), so permuted-but-equal queries agree.
+        let mut tabs: Vec<u64> = self.tables.iter().map(|t| fnv_str(FNV_SEED, t)).collect();
+        tabs.sort_unstable();
+        let mut joins: Vec<u64> = self
+            .joins
+            .iter()
+            .map(|e| {
+                let a = fnv_str(fnv_str(FNV_SEED, &self.tables[e.left]), &e.left_col);
+                let b = fnv_str(fnv_str(FNV_SEED, &self.tables[e.right]), &e.right_col);
+                // Undirected edge: side order must not matter.
+                fnv_u64(fnv_u64(FNV_SEED, a.min(b)), a.max(b))
+            })
+            .collect();
+        joins.sort_unstable();
+        let mut preds: Vec<u64> = self
+            .predicates
+            .iter()
+            .map(|p| {
+                let mut h = fnv_str(fnv_str(FNV_SEED, &self.tables[p.table]), &p.column);
+                match &p.region {
+                    Region::Range { lo, hi } => {
+                        h = fnv_u64(h, 1);
+                        h = fnv_u64(h, *lo as u64);
+                        h = fnv_u64(h, *hi as u64);
+                    }
+                    Region::In(vals) => {
+                        h = fnv_u64(h, 2);
+                        for &v in vals {
+                            h = fnv_u64(h, v as u64);
+                        }
+                    }
+                }
+                h
+            })
+            .collect();
+        preds.sort_unstable();
+        let mut h = FNV_SEED;
+        h = fnv_u64(h, self.tables.len() as u64);
+        for v in tabs.iter().chain(&joins).chain(&preds) {
+            h = fnv_u64(h, *v);
+        }
+        h
+    }
+
     /// A stable canonical key for caching results keyed by query identity
     /// (sorted tables/joins/predicates rendered to text).
     pub fn canonical_key(&self) -> String {
@@ -125,7 +201,12 @@ impl JoinQuery {
             .map(|p| format!("{}.{}:{:?}", self.tables[p.table], p.column, p.region))
             .collect();
         preds.sort_unstable();
-        format!("T[{}] J[{}] P[{}]", tabs.join(","), joins.join(","), preds.join(","))
+        format!(
+            "T[{}] J[{}] P[{}]",
+            tabs.join(","),
+            joins.join(","),
+            preds.join(",")
+        )
     }
 }
 
@@ -137,7 +218,10 @@ mod tests {
     fn chain3() -> JoinQuery {
         JoinQuery {
             tables: vec!["a".into(), "b".into(), "c".into()],
-            joins: vec![JoinEdge::new(0, "id", 1, "aid"), JoinEdge::new(1, "id", 2, "bid")],
+            joins: vec![
+                JoinEdge::new(0, "id", 1, "aid"),
+                JoinEdge::new(1, "id", 2, "bid"),
+            ],
             predicates: vec![Predicate::new(1, "x", Region::eq(1))],
         }
     }
@@ -164,6 +248,35 @@ mod tests {
         let mut q2 = chain3();
         q2.joins.reverse();
         assert_eq!(q1.canonical_key(), q2.canonical_key());
+    }
+
+    #[test]
+    fn canonical_hash_order_invariant() {
+        let q1 = chain3();
+        let mut q2 = chain3();
+        q2.joins.reverse();
+        assert_eq!(q1.canonical_hash(), q2.canonical_hash());
+        // Edge direction must not matter either.
+        let mut q3 = chain3();
+        for e in &mut q3.joins {
+            std::mem::swap(&mut e.left, &mut e.right);
+            std::mem::swap(&mut e.left_col, &mut e.right_col);
+        }
+        assert_eq!(q1.canonical_hash(), q3.canonical_hash());
+    }
+
+    #[test]
+    fn canonical_hash_distinguishes_queries() {
+        let q1 = chain3();
+        let mut q2 = chain3();
+        q2.predicates[0].region = Region::eq(2);
+        assert_ne!(q1.canonical_hash(), q2.canonical_hash());
+        let mut q3 = chain3();
+        q3.tables[2] = "d".into();
+        assert_ne!(q1.canonical_hash(), q3.canonical_hash());
+        let q4 = JoinQuery::single("a", vec![]);
+        let q5 = JoinQuery::single("b", vec![]);
+        assert_ne!(q4.canonical_hash(), q5.canonical_hash());
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub fn parse_sql(sql: &str) -> Result<JoinQuery> {
         .find(" from ")
         .ok_or_else(|| ParseError("missing FROM".into()))?;
     let head = &s[..from_pos];
-    if !head.to_ascii_lowercase().starts_with("select") || !head.contains("COUNT(*)") && !head.to_ascii_lowercase().contains("count(*)") {
+    if !head.to_ascii_lowercase().starts_with("select")
+        || !head.contains("COUNT(*)") && !head.to_ascii_lowercase().contains("count(*)")
+    {
         return Err(ParseError("expected SELECT COUNT(*)".into()));
     }
     let rest = &s[from_pos + 6..];
@@ -81,7 +83,10 @@ fn split_top_level_and(s: &str) -> Vec<String> {
         match bytes[i] {
             b'(' => depth += 1,
             b')' => depth = depth.saturating_sub(1),
-            b'B' if depth == 0 && upper[i..].starts_with("BETWEEN") && word_boundary(&upper, i, 7) => {
+            b'B' if depth == 0
+                && upper[i..].starts_with("BETWEEN")
+                && word_boundary(&upper, i, 7) =>
+            {
                 between_pending = true;
                 i += 6;
             }
@@ -112,11 +117,7 @@ fn word_boundary(s: &str, start: usize, len: usize) -> bool {
 /// A qualified column `table.column`.
 fn parse_qualified(s: &str) -> Option<(String, String)> {
     let (t, c) = s.trim().split_once('.')?;
-    let ok = |x: &str| {
-        !x.is_empty()
-            && x.chars()
-                .all(|ch| ch.is_ascii_alphanumeric() || ch == '_')
-    };
+    let ok = |x: &str| !x.is_empty() && x.chars().all(|ch| ch.is_ascii_alphanumeric() || ch == '_');
     (ok(t) && ok(c)).then(|| (t.to_string(), c.to_string()))
 }
 
@@ -138,7 +139,11 @@ fn parse_condition(
             .ok_or_else(|| ParseError(format!("BETWEEN without AND in {cond:?}")))?;
         let lo = parse_int(&rest[..and_pos])?;
         let hi = parse_int(&rest[and_pos + 5..])?;
-        predicates.push(Predicate::new(table_pos(&col.0)?, col.1, Region::between(lo, hi)));
+        predicates.push(Predicate::new(
+            table_pos(&col.0)?,
+            col.1,
+            Region::between(lo, hi),
+        ));
         return Ok(());
     }
     // IN
@@ -154,7 +159,11 @@ fn parse_condition(
             .split(',')
             .map(parse_int)
             .collect::<Result<Vec<i64>>>()?;
-        predicates.push(Predicate::new(table_pos(&col.0)?, col.1, Region::in_list(vals)));
+        predicates.push(Predicate::new(
+            table_pos(&col.0)?,
+            col.1,
+            Region::in_list(vals),
+        ));
         return Ok(());
     }
     // Comparison operators, longest first.
@@ -253,10 +262,7 @@ mod tests {
 
     #[test]
     fn between_and_does_not_split_conjunction() {
-        let q = parse_sql(
-            "SELECT COUNT(*) FROM t WHERE t.a BETWEEN 1 AND 5 AND t.b = 2;",
-        )
-        .unwrap();
+        let q = parse_sql("SELECT COUNT(*) FROM t WHERE t.a BETWEEN 1 AND 5 AND t.b = 2;").unwrap();
         assert_eq!(q.predicates.len(), 2);
     }
 }

@@ -26,12 +26,18 @@ impl Region {
 
     /// `A <= v`.
     pub fn le(v: i64) -> Region {
-        Region::Range { lo: i64::MIN, hi: v }
+        Region::Range {
+            lo: i64::MIN,
+            hi: v,
+        }
     }
 
     /// `A >= v`.
     pub fn ge(v: i64) -> Region {
-        Region::Range { lo: v, hi: i64::MAX }
+        Region::Range {
+            lo: v,
+            hi: i64::MAX,
+        }
     }
 
     /// `lo <= A <= hi`.

@@ -180,7 +180,7 @@ mod tests {
     use super::*;
     use crate::join::JoinEdge;
     use crate::predicate::{Predicate, Region};
-    use proptest::prelude::*;
+    use cardbench_support::proptest::prelude::*;
 
     /// Brute-force connectivity check for cross-validation.
     fn brute_connected(mask: u64, n: usize, edges: &[(usize, usize)]) -> bool {

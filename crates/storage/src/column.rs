@@ -181,7 +181,7 @@ impl ColumnStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cardbench_support::proptest::prelude::*;
 
     proptest! {
         /// Push/get roundtrip for arbitrary nullable sequences.

@@ -45,10 +45,7 @@ pub fn read_table(schema: TableSchema, path: &Path) -> Result<Table> {
         .ok_or_else(|| StorageError::Format("empty file".into()))??;
     let names: Vec<&str> = header.split(',').collect();
     if names.len() != schema.columns.len()
-        || names
-            .iter()
-            .zip(&schema.columns)
-            .any(|(n, c)| *n != c.name)
+        || names.iter().zip(&schema.columns).any(|(n, c)| *n != c.name)
     {
         return Err(StorageError::Format(format!(
             "header mismatch for table {}: got [{}]",

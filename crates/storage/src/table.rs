@@ -169,7 +169,10 @@ mod tests {
 
     #[test]
     fn from_columns_checks_lengths() {
-        let cols = vec![Column::from_values(vec![1, 2]), Column::from_values(vec![1])];
+        let cols = vec![
+            Column::from_values(vec![1, 2]),
+            Column::from_values(vec![1]),
+        ];
         assert!(Table::from_columns(schema2(), cols).is_err());
     }
 

@@ -1,7 +1,7 @@
 //! Property tests for tables: append/take/row invariants under random
 //! nullable data.
 
-use proptest::prelude::*;
+use cardbench_support::proptest::prelude::*;
 
 use cardbench_storage::{Column, ColumnDef, ColumnKind, Table, TableSchema};
 

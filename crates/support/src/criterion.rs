@@ -1,0 +1,223 @@
+//! A micro-benchmark harness compatible with the `criterion_group!` /
+//! `criterion_main!` subset used by the workspace's `benches/`.
+//!
+//! Each `bench_function` call runs a short warm-up, then `sample_size`
+//! timed batches, and prints min/median/mean per iteration. Results are
+//! also collected on the [`Criterion`] value so custom bench mains can
+//! post-process them (e.g. emit a JSON summary).
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/function` label.
+    pub id: String,
+    /// Median time per iteration.
+    pub median: Duration,
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Minimum time per iteration.
+    pub min: Duration,
+    /// Timed samples taken.
+    pub samples: usize,
+}
+
+/// The harness entry point handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// All measurements recorded so far.
+    pub measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let m = run_bench(&id.to_string(), 20, &mut f);
+        self.measurements.push(m);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let m = run_bench(&label, self.sample_size, &mut f);
+        self.parent.measurements.push(m);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing happens per-benchmark; nothing to do).
+    pub fn finish(self) {}
+}
+
+/// A benchmark label, optionally parameterized.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the label.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Times closures handed to it by the function under benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` `iters` times, recording total elapsed time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+/// Picks an iteration count so one sample takes roughly 10ms, then runs
+/// `sample_size` timed samples.
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) -> Measurement {
+    // Calibration: grow iters until one batch takes >= 2ms (cap at 2^20).
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(2) || iters >= (1 << 20) {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut per_iter: Vec<Duration> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed / iters as u32
+        })
+        .collect();
+    per_iter.sort_unstable();
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+    let min = per_iter[0];
+    println!("bench {id:<44} median {median:>12.3?}  mean {mean:>12.3?}  min {min:>12.3?}  ({sample_size} samples x {iters} iters)");
+    Measurement {
+        id: id.to_string(),
+        median,
+        mean,
+        min,
+        samples: sample_size,
+    }
+}
+
+/// Declares a bench group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::criterion::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_measurements() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(3)));
+        assert_eq!(c.measurements.len(), 3);
+        assert_eq!(c.measurements[0].id, "g/noop");
+        assert_eq!(c.measurements[1].id, "g/param/7");
+        assert_eq!(c.measurements[2].id, "top");
+        assert!(c.measurements.iter().all(|m| m.samples >= 3));
+    }
+}

@@ -1,8 +1,8 @@
 //! Workload generation: template selection, predicate synthesis, and the
 //! two benchmark workloads plus random training workloads.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cardbench_support::rand::rngs::StdRng;
+use cardbench_support::rand::{Rng, SeedableRng};
 
 use cardbench_engine::{exact_cardinality, Database};
 use cardbench_query::{JoinQuery, Predicate, Region};
@@ -38,19 +38,13 @@ impl Workload {
     /// Min/max joined tables across queries.
     pub fn table_count_range(&self) -> (usize, usize) {
         let counts = self.queries.iter().map(|q| q.query.table_count());
-        (
-            counts.clone().min().unwrap_or(0),
-            counts.max().unwrap_or(0),
-        )
+        (counts.clone().min().unwrap_or(0), counts.max().unwrap_or(0))
     }
 
     /// Min/max filter-predicate counts across queries.
     pub fn predicate_count_range(&self) -> (usize, usize) {
         let counts = self.queries.iter().map(|q| q.query.predicates.len());
-        (
-            counts.clone().min().unwrap_or(0),
-            counts.max().unwrap_or(0),
-        )
+        (counts.clone().min().unwrap_or(0), counts.max().unwrap_or(0))
     }
 
     /// Min/max true cardinality across queries.
@@ -280,7 +274,11 @@ fn instantiate(
     for _ in 0..retries {
         let mut query = template.to_query();
         let slots = filterable_slots(db, template).max(1);
-        let lo = if cover_all { template.table_count().min(slots) } else { 1 };
+        let lo = if cover_all {
+            template.table_count().min(slots)
+        } else {
+            1
+        };
         let n_preds = rng.gen_range(lo..=cfg.max_predicates.min(slots).max(lo));
         query.predicates = gen_predicates(db, template, n_preds, cover_all, rng);
         if query.predicates.is_empty() {
@@ -305,8 +303,7 @@ fn instantiate(
         return None;
     }
     let card = exact_cardinality(db, &query).unwrap_or(0.0);
-    (card >= 1.0 && max_subplan_card(db, &query) <= cfg.max_subplan_card)
-        .then_some((query, card))
+    (card >= 1.0 && max_subplan_card(db, &query) <= cfg.max_subplan_card).then_some((query, card))
 }
 
 /// Largest true cardinality over the query's connected sub-plans — the
@@ -369,7 +366,10 @@ fn gen_predicates(
     slots.truncate(n);
     let mut preds = Vec::new();
     for (pos, col, kind) in slots {
-        let table = db.catalog().table_by_name(&template.tables[pos]).expect("table");
+        let table = db
+            .catalog()
+            .table_by_name(&template.tables[pos])
+            .expect("table");
         let column = table.column(col);
         // Anchor at a random non-null value.
         let mut anchor = None;
@@ -420,7 +420,12 @@ fn gen_predicates(
 /// Generates a random training workload for the query-driven estimators
 /// (the paper auto-generates 10^5; scale via `n`). Returns `(queries,
 /// true cardinalities)`.
-pub fn training_workload(db: &Database, n: usize, max_tables: usize, seed: u64) -> (Vec<JoinQuery>, Vec<f64>) {
+pub fn training_workload(
+    db: &Database,
+    n: usize,
+    max_tables: usize,
+    seed: u64,
+) -> (Vec<JoinQuery>, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let templates = enumerate_templates(db, max_tables);
     let mut queries = Vec::with_capacity(n);

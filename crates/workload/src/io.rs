@@ -42,8 +42,9 @@ pub fn workload_from_sql(text: &str) -> Result<Workload, String> {
         } else if let Some(rest) = line.strip_prefix("-- Q") {
             pending = Some(parse_annotation(rest)?);
         } else if !line.starts_with("--") {
-            let (id, template_id, true_card) =
-                pending.take().ok_or_else(|| format!("query without annotation: {line}"))?;
+            let (id, template_id, true_card) = pending
+                .take()
+                .ok_or_else(|| format!("query without annotation: {line}"))?;
             let query = parse_sql(line).map_err(|e| e.to_string())?;
             queries.push(WorkloadQuery {
                 id,

@@ -13,6 +13,8 @@ pub mod generator;
 pub mod io;
 pub mod templates;
 
-pub use generator::{job_light, stats_ceb, training_workload, Workload, WorkloadConfig, WorkloadQuery};
+pub use generator::{
+    job_light, stats_ceb, training_workload, Workload, WorkloadConfig, WorkloadQuery,
+};
 pub use io::{read_workload, workload_from_sql, workload_to_sql, write_workload};
 pub use templates::{enumerate_templates, JoinTemplate};

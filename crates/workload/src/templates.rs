@@ -196,8 +196,7 @@ mod tests {
         let templates = enumerate_templates(&db, 2);
         // comments ⋈ badges on UserId is the FK-FK edge.
         assert!(templates.iter().any(|t| {
-            t.tables.contains(&"comments".to_string())
-                && t.tables.contains(&"badges".to_string())
+            t.tables.contains(&"comments".to_string()) && t.tables.contains(&"badges".to_string())
         }));
     }
 }

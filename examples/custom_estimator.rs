@@ -22,7 +22,7 @@ impl CardEst for TenPercent {
         "TenPercent"
     }
 
-    fn estimate(&mut self, db: &Database, sub: &SubPlanQuery) -> f64 {
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
         let mut card = 1.0f64;
         for name in &sub.query.tables {
             let rows = db
@@ -57,10 +57,10 @@ fn main() {
     let cost = CostModel::default();
     let truth = TrueCardService::new();
 
-    let mut custom = TenPercent;
-    let custom_runs = run_workload(&db, &wl, &mut custom, &truth, &cost);
-    let mut pg = PostgresEst::fit(&db);
-    let pg_runs = run_workload(&db, &wl, &mut pg, &truth, &cost);
+    let custom = TenPercent;
+    let custom_runs = run_workload(&db, &wl, &custom, &truth, &cost);
+    let pg = PostgresEst::fit(&db);
+    let pg_runs = run_workload(&db, &wl, &pg, &truth, &cost);
 
     for (name, runs) in [("TenPercent", custom_runs), ("PostgreSQL", pg_runs)] {
         let run = MethodRun {

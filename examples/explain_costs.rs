@@ -8,7 +8,9 @@ use cardbench::engine::{explain, optimize, CardMap, CostModel, Database, TrueCar
 use cardbench::estimators::postgres::PostgresEst;
 use cardbench::estimators::CardEst;
 use cardbench::metrics::ppc;
-use cardbench::query::{connected_subsets, BoundQuery, JoinEdge, JoinQuery, Predicate, Region, SubPlanQuery};
+use cardbench::query::{
+    connected_subsets, BoundQuery, JoinEdge, JoinQuery, Predicate, Region, SubPlanQuery,
+};
 
 fn main() {
     let db = Database::new(stats_catalog(&StatsConfig {
@@ -31,7 +33,7 @@ fn main() {
     let cost = CostModel::default();
     let truth_svc = TrueCardService::new();
 
-    let mut est = PostgresEst::fit(&db);
+    let est = PostgresEst::fit(&db);
     let mut est_cards = CardMap::new();
     let mut true_cards = CardMap::new();
     for mask in connected_subsets(&query) {
@@ -42,9 +44,15 @@ fn main() {
 
     let plan = optimize(&query, &bound, &db, &est_cards, &cost);
     println!("plan chosen from PostgreSQL-style estimates, costed with them:");
-    println!("{}", explain(&plan, &db, &bound, &query.tables, &cost, &est_cards));
+    println!(
+        "{}",
+        explain(&plan, &db, &bound, &query.tables, &cost, &est_cards)
+    );
     println!("the same plan costed with the true cardinalities (PPC):");
-    println!("{}", explain(&plan, &db, &bound, &query.tables, &cost, &true_cards));
+    println!(
+        "{}",
+        explain(&plan, &db, &bound, &query.tables, &cost, &true_cards)
+    );
 
     let optimal = optimize(&query, &bound, &db, &true_cards, &cost);
     let ppc_e = ppc(&plan, &db, &bound, &cost, &true_cards);

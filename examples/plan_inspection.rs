@@ -14,9 +14,11 @@ use cardbench::engine::{execute, optimize, CardMap, CostModel, Database, TrueCar
 use cardbench::estimators::truecard::TrueCardEst;
 use cardbench::estimators::unisample::UniSample;
 use cardbench::estimators::CardEst;
-use cardbench::query::{connected_subsets, BoundQuery, JoinEdge, JoinQuery, Predicate, Region, SubPlanQuery};
+use cardbench::query::{
+    connected_subsets, BoundQuery, JoinEdge, JoinQuery, Predicate, Region, SubPlanQuery,
+};
 
-fn run(name: &str, est: &mut dyn CardEst, db: &Database, query: &JoinQuery) {
+fn run(name: &str, est: &dyn CardEst, db: &Database, query: &JoinQuery) {
     let bound = BoundQuery::bind(query, db.catalog()).unwrap();
     let cost = CostModel::default();
     let mut cards = CardMap::new();
@@ -55,12 +57,12 @@ fn main() {
     };
     println!("query: {}\n", cardbench::query::sql::to_sql(&query));
 
-    let mut oracle = TrueCardEst::new();
-    run("TrueCard (optimal)", &mut oracle, &db, &query);
+    let oracle = TrueCardEst::new();
+    run("TrueCard (optimal)", &oracle, &db, &query);
 
     // A 40-row sample per table: joins estimated by uniformity.
-    let mut coarse = UniSample::fit(&db, 40, 1);
-    run("UniSample-40 (coarse)", &mut coarse, &db, &query);
+    let coarse = UniSample::fit(&db, 40, 1);
+    run("UniSample-40 (coarse)", &coarse, &db, &query);
 
     // Both plans return the same count; only speed differs.
     let _ = TrueCardService::new();

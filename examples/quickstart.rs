@@ -8,7 +8,9 @@ use cardbench::engine::{execute, optimize, CardMap, CostModel, Database, TrueCar
 use cardbench::estimators::bayescard::BayesCard;
 use cardbench::estimators::CardEst;
 use cardbench::metrics::{p_error, q_error};
-use cardbench::query::{connected_subsets, BoundQuery, JoinEdge, JoinQuery, Predicate, Region, SubPlanQuery};
+use cardbench::query::{
+    connected_subsets, BoundQuery, JoinEdge, JoinQuery, Predicate, Region, SubPlanQuery,
+};
 
 fn main() {
     // 1. A synthetic STATS-profile database (8 tables, Figure-1 joins).
@@ -37,7 +39,7 @@ fn main() {
     println!("query: {}", cardbench::query::sql::to_sql(&query));
 
     // 3. Train BayesCard (Chow-Liu BNs + fanout join estimation).
-    let mut est = BayesCard::fit(&db, 24);
+    let est = BayesCard::fit(&db, 24);
     println!("trained BayesCard ({} bytes)", est.model_size_bytes());
 
     // 4. Estimate every sub-plan, inject into the optimizer, execute.
@@ -62,8 +64,17 @@ fn main() {
     }
     let plan = optimize(&query, &bound, &db, &est_cards, &cost);
     let (rows, stats) = execute(&plan, &bound, &db);
-    println!("\nchosen plan:\n{}", plan.render(&query.tables, &|m| format!("[est {:.0}]", est_cards.rows(m))));
-    println!("result: {rows} rows ({} intermediate)", stats.intermediate_rows);
+    println!(
+        "\nchosen plan:\n{}",
+        plan.render(&query.tables, &|m| format!(
+            "[est {:.0}]",
+            est_cards.rows(m)
+        ))
+    );
+    println!(
+        "result: {rows} rows ({} intermediate)",
+        stats.intermediate_rows
+    );
     println!(
         "P-Error: {:.3}",
         p_error(&db, &cost, &query, &bound, &est_cards, &true_cards)

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Measures run_workload throughput at 1 thread vs all cores on the fast
+# STATS workload and leaves a machine-readable summary in
+# BENCH_harness.json at the repo root. Run on an otherwise idle machine.
+set -e
+cd "$(dirname "$0")/.."
+cargo bench -p cardbench-bench --bench harness
+echo "--- BENCH_harness.json ---"
+cat BENCH_harness.json

@@ -2,9 +2,9 @@
 //! are injected and whatever plan the optimizer picks, executing the
 //! plan must produce the exact COUNT(*).
 
-use proptest::prelude::*;
+use cardbench_support::proptest::prelude::*;
 
-use cardbench::engine::{execute, exact_cardinality, optimize, CardMap, CostModel, Database};
+use cardbench::engine::{exact_cardinality, execute, optimize, CardMap, CostModel, Database};
 use cardbench::prelude::*;
 use cardbench::query::{connected_subsets, BoundQuery, JoinEdge, JoinQuery, Region};
 use cardbench::storage::{Column, ColumnDef, ColumnKind, TableSchema};
@@ -22,7 +22,10 @@ fn random_db(keys: &[Vec<i64>], vals: &[Vec<i64>]) -> Database {
                         ColumnDef::new("v", ColumnKind::Numeric),
                     ],
                 ),
-                vec![Column::from_values(k.clone()), Column::from_values(v.clone())],
+                vec![
+                    Column::from_values(k.clone()),
+                    Column::from_values(v.clone()),
+                ],
             )
             .unwrap(),
         );

@@ -16,7 +16,7 @@ fn all_estimates_finite_and_nonnegative() {
             (&b.stats_db, &b.stats_wl, &b.stats_train),
             (&b.imdb_db, &b.imdb_wl, &b.imdb_train),
         ] {
-            let mut built = build_estimator(kind, db, train, &b.config.settings);
+            let built = build_estimator(kind, db, train, &b.config.settings);
             for wq in &wl.queries {
                 for mask in connected_subsets(&wq.query) {
                     let sp = SubPlanQuery::project(&wq.query, mask);
@@ -51,7 +51,7 @@ fn unfiltered_single_table_near_row_count() {
         EstimatorKind::DeepDb,
         EstimatorKind::Flat,
     ] {
-        let mut built = build_estimator(kind, db, &b.stats_train, &b.config.settings);
+        let built = build_estimator(kind, db, &b.stats_train, &b.config.settings);
         for name in ["users", "posts", "comments"] {
             let rows = db.catalog().table_by_name(name).unwrap().row_count() as f64;
             let sub = SubPlanQuery {
@@ -76,8 +76,12 @@ fn data_driven_unfiltered_joins_tight() {
     let b = Bench::build(BenchConfig::fast(43));
     let db = &b.stats_db;
     let truth = TrueCardService::new();
-    for kind in [EstimatorKind::BayesCard, EstimatorKind::DeepDb, EstimatorKind::Flat] {
-        let mut built = build_estimator(kind, db, &b.stats_train, &b.config.settings);
+    for kind in [
+        EstimatorKind::BayesCard,
+        EstimatorKind::DeepDb,
+        EstimatorKind::Flat,
+    ] {
+        let built = build_estimator(kind, db, &b.stats_train, &b.config.settings);
         for wq in &b.stats_wl.queries {
             if wq.query.table_count() != 2 {
                 continue;
@@ -129,7 +133,10 @@ fn updatable_estimators_survive_inserts() {
         assert!(built.est.supports_update(), "{}", kind.name());
         let mut db = stale_db;
         for (t, d) in inserts.iter().enumerate() {
-            db.catalog_mut().table_mut(TableId(t)).append_rows(d).unwrap();
+            db.catalog_mut()
+                .table_mut(TableId(t))
+                .append_rows(d)
+                .unwrap();
         }
         db.refresh();
         built.est.apply_inserts(&db, &inserts);

@@ -1,6 +1,6 @@
 //! Property-based tests of the metric layer and core invariants.
 
-use proptest::prelude::*;
+use cardbench_support::proptest::prelude::*;
 
 use cardbench::metrics::{pearson, percentile, percentile_triple, q_error, spearman};
 

@@ -7,12 +7,12 @@ use cardbench::harness::{build_estimator, run_workload, Bench, BenchConfig, Meth
 use cardbench::prelude::*;
 
 fn run_kind(b: &Bench, kind: EstimatorKind) -> MethodRun {
-    let mut built = build_estimator(kind, &b.stats_db, &b.stats_train, &b.config.settings);
+    let built = build_estimator(kind, &b.stats_db, &b.stats_train, &b.config.settings);
     let truth = TrueCardService::new();
     let queries = run_workload(
         &b.stats_db,
         &b.stats_wl,
-        built.est.as_mut(),
+        built.est.as_ref(),
         &truth,
         &CostModel::default(),
     );
@@ -38,7 +38,8 @@ fn representative_methods_complete_and_agree_on_results() {
         for (qr, wq) in run.queries.iter().zip(&b.stats_wl.queries) {
             // Every plan, however chosen, computes the correct count.
             assert_eq!(
-                qr.result_rows as f64, wq.true_card,
+                qr.result_rows as f64,
+                wq.true_card,
                 "{} Q{} wrong result",
                 kind.name(),
                 qr.id
@@ -63,7 +64,7 @@ fn truecard_q_and_p_errors_are_exactly_one() {
 fn pessest_never_underestimates_any_subplan() {
     use cardbench::query::{connected_subsets, SubPlanQuery};
     let b = Bench::build(BenchConfig::fast(23));
-    let mut built = build_estimator(
+    let built = build_estimator(
         EstimatorKind::PessEst,
         &b.stats_db,
         &b.stats_train,
