@@ -1,0 +1,209 @@
+//! Join-kernel micro-benchmarks: the flat open-addressing hash join (and
+//! the merge / index-nested-loop kernels) against an inline replica of
+//! the pre-vectorization `HashMap<i64, Vec<u32>>` executor, at build
+//! sides from 10^3 to 10^6 rows. Writes `BENCH_executor.json` at the
+//! repo root with both medians per size so the speedup claim stays
+//! reproducible. `CARDBENCH_FAST=1` runs a 1-sample smoke at the two
+//! smallest sizes and skips the JSON.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use cardbench_support::criterion::Criterion;
+use cardbench_support::json::Json;
+use cardbench_support::rand::rngs::StdRng;
+use cardbench_support::rand::{Rng, SeedableRng};
+
+use cardbench_engine::{join_matches_with, ExecScratch, ExecStats, JoinAlgo, HASH_SPILL_ROWS};
+
+/// NULL sentinel used by the executor's key vectors.
+const NULL_KEY: i64 = i64::MIN;
+
+/// The executor's hash join as it stood before the flat-table rewrite:
+/// a `HashMap` keyed build with one `Vec<u32>` per distinct key, and a
+/// `key % parts` partitioned path above the spill threshold.
+fn baseline_hash_join(lkeys: &[i64], rkeys: &[i64]) -> (Vec<u32>, Vec<u32>) {
+    if rkeys.len() > HASH_SPILL_ROWS {
+        return baseline_partitioned(lkeys, rkeys);
+    }
+    let mut table: HashMap<i64, Vec<u32>> = HashMap::new();
+    for (i, &k) in rkeys.iter().enumerate() {
+        if k != NULL_KEY {
+            table.entry(k).or_default().push(i as u32);
+        }
+    }
+    let mut lout = Vec::new();
+    let mut rout = Vec::new();
+    for (i, &k) in lkeys.iter().enumerate() {
+        if k == NULL_KEY {
+            continue;
+        }
+        if let Some(rows) = table.get(&k) {
+            for &r in rows {
+                lout.push(i as u32);
+                rout.push(r);
+            }
+        }
+    }
+    (lout, rout)
+}
+
+fn baseline_partitioned(lkeys: &[i64], rkeys: &[i64]) -> (Vec<u32>, Vec<u32>) {
+    let parts = rkeys.len().div_ceil(HASH_SPILL_ROWS).max(2);
+    let mut lparts: Vec<(Vec<i64>, Vec<u32>)> = vec![Default::default(); parts];
+    let mut rparts: Vec<(Vec<i64>, Vec<u32>)> = vec![Default::default(); parts];
+    for (i, &k) in lkeys.iter().enumerate() {
+        if k != NULL_KEY {
+            let p = (k.unsigned_abs() as usize) % parts;
+            lparts[p].0.push(k);
+            lparts[p].1.push(i as u32);
+        }
+    }
+    for (i, &k) in rkeys.iter().enumerate() {
+        if k != NULL_KEY {
+            let p = (k.unsigned_abs() as usize) % parts;
+            rparts[p].0.push(k);
+            rparts[p].1.push(i as u32);
+        }
+    }
+    let mut lout = Vec::new();
+    let mut rout = Vec::new();
+    for ((lk, lidx), (rk, ridx)) in lparts.into_iter().zip(rparts) {
+        let (pl, pr) = baseline_hash_join(&lk, &rk);
+        lout.extend(pl.into_iter().map(|i| lidx[i as usize]));
+        rout.extend(pr.into_iter().map(|i| ridx[i as usize]));
+    }
+    (lout, rout)
+}
+
+/// Uniform keys in `0..domain` — the duplicate factor joins see in the
+/// benchmark workloads (a few matches per probe key).
+fn gen_keys(rng: &mut StdRng, n: usize, domain: i64) -> Vec<i64> {
+    (0..n).map(|_| rng.gen_range(0..domain)).collect()
+}
+
+fn median_of(c: &Criterion, id: &str) -> f64 {
+    c.measurements
+        .iter()
+        .find(|m| m.id == id)
+        .unwrap_or_else(|| panic!("no measurement {id}"))
+        .median
+        .as_secs_f64()
+}
+
+fn main() {
+    let smoke = std::env::var("CARDBENCH_FAST").is_ok_and(|v| v == "1");
+    let sizes: &[usize] = if smoke {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
+    let samples = if smoke { 1 } else { 10 };
+
+    let mut rng = StdRng::seed_from_u64(0xCA12D);
+    let mut c = Criterion::default();
+    let mut scratch = ExecScratch::new();
+    for &n in sizes {
+        let rkeys = gen_keys(&mut rng, n, n as i64);
+        let lkeys = gen_keys(&mut rng, 2 * n, n as i64);
+        // Correctness guard: both kernels must agree before we time them.
+        let mut stats = ExecStats::default();
+        let mut flat = join_matches_with(
+            JoinAlgo::Hash,
+            &lkeys,
+            &rkeys,
+            HASH_SPILL_ROWS,
+            &mut stats,
+            &mut scratch,
+        );
+        let mut base = baseline_hash_join(&lkeys, &rkeys);
+        for out in [&mut flat, &mut base] {
+            let mut pairs: Vec<(u32, u32)> =
+                out.0.iter().copied().zip(out.1.iter().copied()).collect();
+            pairs.sort_unstable();
+            out.0 = pairs.iter().map(|p| p.0).collect();
+        }
+        assert_eq!(flat.0, base.0, "kernel disagreement at n={n}");
+
+        let mut group = c.benchmark_group(format!("join_build_{n}"));
+        group.sample_size(samples);
+        group.bench_function("baseline_hashmap", |b| {
+            b.iter(|| baseline_hash_join(&lkeys, &rkeys))
+        });
+        group.bench_function("flat_hash", |b| {
+            b.iter(|| {
+                let mut stats = ExecStats::default();
+                join_matches_with(
+                    JoinAlgo::Hash,
+                    &lkeys,
+                    &rkeys,
+                    HASH_SPILL_ROWS,
+                    &mut stats,
+                    &mut scratch,
+                )
+            })
+        });
+        for (label, algo) in [
+            ("merge", JoinAlgo::Merge),
+            ("inl", JoinAlgo::IndexNestedLoop),
+        ] {
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    let mut stats = ExecStats::default();
+                    join_matches_with(algo, &lkeys, &rkeys, usize::MAX, &mut stats, &mut scratch)
+                })
+            });
+        }
+        group.finish();
+    }
+
+    let mut speedups: Vec<f64> = Vec::new();
+    let size_entries: Vec<Json> = sizes
+        .iter()
+        .map(|&n| {
+            let base = median_of(&c, &format!("join_build_{n}/baseline_hashmap"));
+            let flat = median_of(&c, &format!("join_build_{n}/flat_hash"));
+            let speedup = base / flat;
+            speedups.push(speedup);
+            println!(
+                "build {n:>8} rows: baseline {base:.6}s  flat {flat:.6}s  speedup {speedup:.2}x"
+            );
+            Json::object([
+                ("build_rows", Json::Number(n as f64)),
+                ("probe_rows", Json::Number(2.0 * n as f64)),
+                ("baseline_hashmap_median_secs", Json::Number(base)),
+                ("flat_hash_median_secs", Json::Number(flat)),
+                ("speedup", Json::Number(speedup)),
+                (
+                    "merge_median_secs",
+                    Json::Number(median_of(&c, &format!("join_build_{n}/merge"))),
+                ),
+                (
+                    "inl_median_secs",
+                    Json::Number(median_of(&c, &format!("join_build_{n}/inl"))),
+                ),
+            ])
+        })
+        .collect();
+    speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let speedup_median = speedups[speedups.len() / 2];
+    println!("flat vs baseline median speedup: {speedup_median:.2}x");
+
+    if smoke {
+        println!("smoke mode (CARDBENCH_FAST=1): not writing BENCH_executor.json");
+        return;
+    }
+    let summary = Json::object([
+        ("bench", Json::String("executor".to_string())),
+        (
+            "kernel",
+            Json::String("hash join build+probe, probe = 2x build, keys uniform 0..n".to_string()),
+        ),
+        ("spill_rows", Json::Number(HASH_SPILL_ROWS as f64)),
+        ("speedup_median", Json::Number(speedup_median)),
+        ("sizes", Json::Array(size_entries)),
+    ]);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_executor.json");
+    std::fs::write(&path, summary.pretty()).expect("write BENCH_executor.json");
+    println!("wrote {}", path.display());
+}

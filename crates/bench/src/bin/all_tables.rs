@@ -8,6 +8,7 @@ use cardbench_estimators::EstimatorKind;
 use cardbench_harness::case_study::{case_study, pick_case_query};
 use cardbench_harness::report::{
     figure1_dot, figure3, table1, table2, table3, table4, table4_qerrors, table5, table7,
+    table_exec_counters,
 };
 use cardbench_harness::update_exp::{run_update_experiment, table6};
 use cardbench_harness::{build_estimator, RunResults};
@@ -28,6 +29,8 @@ fn main() {
         )
     );
     println!("{}", table3(&r.imdb_runs, &r.stats_runs));
+    println!("{}", table_exec_counters(&r.imdb_runs, "JOB-LIGHT"));
+    println!("{}", table_exec_counters(&r.stats_runs, "STATS-CEB"));
     println!("{}", table4(&r.stats_runs));
     println!("{}", table4_qerrors(&r.stats_runs));
     println!("{}", table5(&r.stats_runs));

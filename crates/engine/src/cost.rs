@@ -108,6 +108,16 @@ mod tests {
     use super::*;
 
     #[test]
+    fn hash_mem_rows_mirrors_executor_spill_threshold() {
+        // The cost model's spill point and the executor's partitioned-join
+        // threshold model the same `work_mem` budget; if they drift apart
+        // the optimizer penalizes (or misses) spills the executor doesn't
+        // (or does) pay.
+        let c = CostModel::default();
+        assert_eq!(c.hash_mem_rows, crate::executor::HASH_SPILL_ROWS as f64);
+    }
+
+    #[test]
     fn seq_beats_index_for_unselective() {
         let c = CostModel::default();
         let seq = c.scan_cost(ScanMethod::Seq, 100_000.0, 90_000.0);

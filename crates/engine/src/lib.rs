@@ -27,7 +27,9 @@ pub mod truecard;
 
 pub use cost::CostModel;
 pub use database::Database;
-pub use executor::{execute, ExecStats};
+pub use executor::{
+    execute, execute_with, join_matches, join_matches_with, ExecScratch, ExecStats, HASH_SPILL_ROWS,
+};
 pub use explain::explain;
 pub use optimizer::{optimize, optimize_with, plan_cost, CardMap};
 pub use plan::{JoinAlgo, PhysicalPlan, ScanMethod};

@@ -46,12 +46,17 @@ pub fn case_study(
     let mut s = String::new();
     writeln!(
         s,
-        "{} on Q{} (true card {}, result {rows} rows, exec {}, {} intermediate rows)",
+        "{} on Q{} (true card {}, result {rows} rows, exec {}, {} intermediate rows; \
+         operators: {} build / {} probe / {} gathered, {} spill parts)",
         est.name(),
         wq.id,
         wq.true_card,
         fmt_duration(exec),
-        stats.intermediate_rows
+        stats.intermediate_rows,
+        stats.build_rows,
+        stats.probe_rows,
+        stats.rows_gathered,
+        stats.partitions_spilled,
     )
     .unwrap();
     s.push_str(&plan.render(&query.tables, &|mask| {

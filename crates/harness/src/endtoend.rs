@@ -15,7 +15,8 @@
 use std::time::{Duration, Instant};
 
 use cardbench_engine::{
-    execute, optimize, CardMap, CostModel, Database, PhysicalPlan, TrueCardService,
+    execute_with, optimize, CardMap, CostModel, Database, ExecScratch, ExecStats, PhysicalPlan,
+    TrueCardService,
 };
 use cardbench_estimators::{CardEst, EstimatorKind};
 use cardbench_metrics::{p_error, q_error};
@@ -50,6 +51,9 @@ pub struct QueryRun {
     pub sub_true_cards: Vec<f64>,
     /// COUNT(*) result of the executed plan.
     pub result_rows: u64,
+    /// Operator-level execution counters of the chosen plan (identical
+    /// across the warm-up and every timed repeat).
+    pub exec_stats: ExecStats,
 }
 
 /// All queries of one workload under one estimator.
@@ -102,6 +106,24 @@ impl MethodRun {
     /// All per-query P-Errors.
     pub fn all_p_errors(&self) -> Vec<f64> {
         self.queries.iter().map(|q| q.p_error).collect()
+    }
+
+    /// Operator counters aggregated over all queries: additive counters
+    /// sum; `peak_intermediate_bytes` is the max over queries.
+    pub fn exec_stats_total(&self) -> ExecStats {
+        let mut total = ExecStats::default();
+        for q in &self.queries {
+            let s = &q.exec_stats;
+            total.output_rows += s.output_rows;
+            total.intermediate_rows += s.intermediate_rows;
+            total.build_rows += s.build_rows;
+            total.probe_rows += s.probe_rows;
+            total.rows_gathered += s.rows_gathered;
+            total.partitions_spilled += s.partitions_spilled;
+            total.peak_intermediate_bytes =
+                total.peak_intermediate_bytes.max(s.peak_intermediate_bytes);
+        }
+        total
     }
 
     /// Improvement over a baseline end-to-end time, in percent
@@ -215,7 +237,11 @@ pub fn run_workload_with_threads(
         }
     });
 
-    // Phase 2: execute the chosen plans (sequential, timed).
+    // Phase 2: execute the chosen plans (sequential, timed). One scratch
+    // arena serves every execution, so only the very first run of the
+    // phase pays buffer allocations; results are bit-identical to fresh
+    // buffers (asserted by the executor differential property test).
+    let mut scratch = ExecScratch::new();
     planned
         .into_iter()
         .map(|p| {
@@ -223,13 +249,14 @@ pub fn run_workload_with_threads(
             // at millisecond scale is dominated by allocator/cache state
             // and scheduling noise, which would otherwise punish whichever
             // method happens to hit a cold or contended moment.
-            let (rows, _stats) = execute(&p.plan, &p.bound, db);
+            let (rows, stats) = execute_with(&p.plan, &p.bound, db, &mut scratch);
             let mut times = [Duration::ZERO; 3];
             for t in &mut times {
                 let t0 = Instant::now();
-                let (rows2, _stats) = execute(&p.plan, &p.bound, db);
+                let (rows2, stats2) = execute_with(&p.plan, &p.bound, db, &mut scratch);
                 *t = t0.elapsed();
                 debug_assert_eq!(rows, rows2);
+                debug_assert_eq!(stats, stats2);
             }
             times.sort();
             QueryRun {
@@ -244,6 +271,7 @@ pub fn run_workload_with_threads(
                 sub_est_cards: p.sub_est_cards,
                 sub_true_cards: p.sub_true_cards,
                 result_rows: rows,
+                exec_stats: stats,
             }
         })
         .collect()

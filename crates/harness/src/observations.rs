@@ -250,6 +250,12 @@ mod tests {
                     plan_secs: 0.005,
                     p_error: 1.0,
                     q_error_median: 1.5,
+                    intermediate_rows: 20,
+                    build_rows: 10,
+                    probe_rows: 12,
+                    rows_gathered: 24,
+                    partitions_spilled: 0,
+                    peak_intermediate_bytes: 1024,
                 },
                 QueryRecord {
                     id: 2,
@@ -259,6 +265,12 @@ mod tests {
                     plan_secs: 0.005,
                     p_error: 1.5,
                     q_error_median: 8.0,
+                    intermediate_rows: 2_000_000,
+                    build_rows: 900_000,
+                    probe_rows: 1_100_000,
+                    rows_gathered: 3_000_000,
+                    partitions_spilled: 15,
+                    peak_intermediate_bytes: 16_000_000,
                 },
             ],
         }

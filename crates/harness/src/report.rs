@@ -463,6 +463,43 @@ pub fn table7(runs: &[MethodRun], workload_name: &str) -> String {
     s
 }
 
+/// Operator-counter supplement to Table 3: per-method totals of the
+/// executor's operator-level counters, so slow end-to-end times can be
+/// attributed to the operator work (builds, probes, gathers, spills) the
+/// chosen plans actually performed — the Observation-style analyses the
+/// wall-clock numbers alone can't support.
+pub fn table_exec_counters(runs: &[MethodRun], workload_name: &str) -> String {
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Table 3 supplement ({workload_name}): operator-level execution counters"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<12} {:>10} | {:>12} {:>12} {:>12} {:>12} {:>7} {:>10}",
+        "Method", "Exec", "Intermed", "Build", "Probe", "Gathered", "Spills", "Peak mem"
+    )
+    .unwrap();
+    for run in runs {
+        let t = run.exec_stats_total();
+        writeln!(
+            s,
+            "{:<12} {:>10} | {:>12} {:>12} {:>12} {:>12} {:>7} {:>10}",
+            run.kind.name(),
+            fmt_duration(run.exec_total()),
+            t.intermediate_rows,
+            t.build_rows,
+            t.probe_rows,
+            t.rows_gathered,
+            t.partitions_spilled,
+            fmt_bytes(t.peak_intermediate_bytes as usize),
+        )
+        .unwrap();
+    }
+    s
+}
+
 /// Figure 3 data: practicality aspects (inference latency, model size,
 /// training time) per method.
 pub fn figure3(runs: &[MethodRun], workload_name: &str) -> String {
@@ -531,6 +568,15 @@ mod tests {
                 sub_est_cards: vec![100.0 * id as f64, 50.0],
                 sub_true_cards: vec![100.0 * id as f64, 100.0],
                 result_rows: 100 * id as u64,
+                exec_stats: cardbench_engine::ExecStats {
+                    output_rows: 100 * id as u64,
+                    intermediate_rows: 250 * id as u64,
+                    build_rows: 120 * id as u64,
+                    probe_rows: 130 * id as u64,
+                    rows_gathered: 300 * id as u64,
+                    partitions_spilled: id as u64 - 1,
+                    peak_intermediate_bytes: 2048 * id as u64,
+                },
             })
             .collect();
         MethodRun {
@@ -603,6 +649,19 @@ mod tests {
         // PostgreSQL (slowest fake) must be listed before TrueCard.
         assert!(pg_pos < tc_pos, "{s}");
         assert!(s.contains("corr(exec"));
+    }
+
+    #[test]
+    fn exec_counters_table_totals() {
+        let s = table_exec_counters(&fake_runs(), "STATS-CEB");
+        assert!(s.contains("operator-level execution counters"), "{s}");
+        // Sums over the four fake queries: 250*(1+2+3+4) intermediates,
+        // 120*10 builds, (1-1)+(2-1)+(3-1)+(4-1)=6 spills, peak 8KB.
+        let pg = s.lines().find(|l| l.starts_with("PostgreSQL")).unwrap();
+        assert!(pg.contains("2500"), "{pg}");
+        assert!(pg.contains("1200"), "{pg}");
+        assert!(pg.contains(" 6 "), "{pg}");
+        assert!(pg.contains("8.0KB"), "{pg}");
     }
 
     #[test]

@@ -54,6 +54,18 @@ pub struct QueryRecord {
     pub p_error: f64,
     /// Median sub-plan Q-Error.
     pub q_error_median: f64,
+    /// Intermediate rows materialized by the chosen plan.
+    pub intermediate_rows: u64,
+    /// Rows fed to join build sides.
+    pub build_rows: u64,
+    /// Rows fed to join probe sides.
+    pub probe_rows: u64,
+    /// Rows gathered through selection vectors.
+    pub rows_gathered: u64,
+    /// Partitions written by spilling hash joins.
+    pub partitions_spilled: u64,
+    /// Peak bytes of live intermediates.
+    pub peak_intermediate_bytes: u64,
 }
 
 impl MethodSummary {
@@ -70,6 +82,12 @@ impl MethodSummary {
                 plan_secs: q.plan.as_secs_f64(),
                 p_error: q.p_error,
                 q_error_median: cardbench_metrics::percentile(&q.q_errors, 0.5),
+                intermediate_rows: q.exec_stats.intermediate_rows,
+                build_rows: q.exec_stats.build_rows,
+                probe_rows: q.exec_stats.probe_rows,
+                rows_gathered: q.exec_stats.rows_gathered,
+                partitions_spilled: q.exec_stats.partitions_spilled,
+                peak_intermediate_bytes: q.exec_stats.peak_intermediate_bytes,
             })
             .collect();
         MethodSummary {
@@ -136,6 +154,21 @@ impl QueryRecord {
             ("plan_secs", Json::Number(self.plan_secs)),
             ("p_error", Json::Number(self.p_error)),
             ("q_error_median", Json::Number(self.q_error_median)),
+            (
+                "intermediate_rows",
+                Json::Number(self.intermediate_rows as f64),
+            ),
+            ("build_rows", Json::Number(self.build_rows as f64)),
+            ("probe_rows", Json::Number(self.probe_rows as f64)),
+            ("rows_gathered", Json::Number(self.rows_gathered as f64)),
+            (
+                "partitions_spilled",
+                Json::Number(self.partitions_spilled as f64),
+            ),
+            (
+                "peak_intermediate_bytes",
+                Json::Number(self.peak_intermediate_bytes as f64),
+            ),
         ])
     }
 
@@ -148,6 +181,12 @@ impl QueryRecord {
             plan_secs: num_field(v, "plan_secs")?,
             p_error: num_field(v, "p_error")?,
             q_error_median: num_field(v, "q_error_median")?,
+            intermediate_rows: num_field(v, "intermediate_rows")? as u64,
+            build_rows: num_field(v, "build_rows")? as u64,
+            probe_rows: num_field(v, "probe_rows")? as u64,
+            rows_gathered: num_field(v, "rows_gathered")? as u64,
+            partitions_spilled: num_field(v, "partitions_spilled")? as u64,
+            peak_intermediate_bytes: num_field(v, "peak_intermediate_bytes")? as u64,
         })
     }
 }
@@ -253,6 +292,7 @@ impl RunResults {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cardbench_engine::ExecStats;
     use cardbench_estimators::EstimatorKind;
     use std::time::Duration;
 
@@ -273,6 +313,15 @@ mod tests {
                 sub_est_cards: vec![40.0, 21.0, 10.5],
                 sub_true_cards: vec![40.0, 42.0, 42.0],
                 result_rows: 42,
+                exec_stats: ExecStats {
+                    output_rows: 42,
+                    intermediate_rows: 99,
+                    build_rows: 50,
+                    probe_rows: 60,
+                    rows_gathered: 110,
+                    partitions_spilled: 2,
+                    peak_intermediate_bytes: 4096,
+                },
             }],
         }
     }
@@ -285,6 +334,13 @@ mod tests {
         assert_eq!(s.queries.len(), 1);
         assert!((s.queries[0].q_error_median - 2.0).abs() < 1e-9);
         assert!((s.q_error.0 - 2.0).abs() < 1e-9);
+        // Operator counters survive into the record.
+        assert_eq!(s.queries[0].intermediate_rows, 99);
+        assert_eq!(s.queries[0].build_rows, 50);
+        assert_eq!(s.queries[0].probe_rows, 60);
+        assert_eq!(s.queries[0].rows_gathered, 110);
+        assert_eq!(s.queries[0].partitions_spilled, 2);
+        assert_eq!(s.queries[0].peak_intermediate_bytes, 4096);
     }
 
     #[test]

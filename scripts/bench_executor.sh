@@ -1,0 +1,10 @@
+#!/bin/sh
+# Measures join-kernel throughput (flat open-addressing hash join vs the
+# pre-vectorization HashMap baseline, plus merge and INL) at build sides
+# of 10^3..10^6 rows and leaves a machine-readable summary in
+# BENCH_executor.json at the repo root. Run on an otherwise idle machine.
+set -e
+cd "$(dirname "$0")/.."
+cargo bench -p cardbench-bench --bench executor
+echo "--- BENCH_executor.json ---"
+cat BENCH_executor.json

@@ -1,0 +1,245 @@
+//! Differential property tests of the vectorized executor: on random
+//! acyclic 2–4-table queries every join algorithm must produce the same
+//! COUNT(*) — equal to `exact_cardinality` — and the hash-join kernels
+//! must emit identical sorted row-pair sets whether the build takes the
+//! small flat-table path or the partitioned (forced-spill) path, with
+//! scratch reuse bit-identical to fresh buffers throughout.
+
+use cardbench_engine::{
+    exact_cardinality, execute, execute_with, join_matches, join_matches_with, Database,
+    ExecScratch, ExecStats, JoinAlgo, PhysicalPlan, ScanMethod, HASH_SPILL_ROWS,
+};
+use cardbench_query::{BoundQuery, JoinEdge, JoinQuery, Predicate, Region, TableMask};
+use cardbench_storage::{Catalog, Column, ColumnDef, ColumnKind, Table, TableSchema};
+use cardbench_support::proptest::prelude::*;
+use cardbench_support::rand::rngs::StdRng;
+use cardbench_support::rand::{Rng, SeedableRng};
+
+/// Random database: each table has two joinable key columns (small
+/// domain for duplicate-heavy joins, ~1/8 NULLs) and a value column.
+fn random_db(rng: &mut StdRng, n_tables: usize) -> Database {
+    let mut cat = Catalog::new();
+    for i in 0..n_tables {
+        let rows = rng.gen_range(0..40usize);
+        let key_col = |rng: &mut StdRng| {
+            Column::from_datums((0..rows).map(|_| {
+                if rng.gen_range(0..8u32) == 0 {
+                    None
+                } else {
+                    Some(rng.gen_range(0..6i64))
+                }
+            }))
+        };
+        cat.add_table(
+            Table::from_columns(
+                TableSchema::new(
+                    format!("t{i}"),
+                    vec![
+                        ColumnDef::new("k0", ColumnKind::ForeignKey),
+                        ColumnDef::new("k1", ColumnKind::ForeignKey),
+                        ColumnDef::new("v", ColumnKind::Numeric),
+                    ],
+                ),
+                vec![
+                    key_col(rng),
+                    key_col(rng),
+                    Column::from_values((0..rows as i64).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    Database::new(cat)
+}
+
+/// Random acyclic (tree-shaped) query: table `t` joins some earlier
+/// table on randomly chosen key columns, with an occasional filter.
+fn random_tree_query(rng: &mut StdRng, n_tables: usize) -> JoinQuery {
+    let key = |rng: &mut StdRng| {
+        if rng.gen_range(0..2u32) == 0 {
+            "k0"
+        } else {
+            "k1"
+        }
+    };
+    let joins = (1..n_tables)
+        .map(|t| {
+            let parent = rng.gen_range(0..t);
+            JoinEdge::new(parent, key(rng), t, key(rng))
+        })
+        .collect();
+    let mut predicates = Vec::new();
+    for t in 0..n_tables {
+        if rng.gen_range(0..3u32) == 0 {
+            predicates.push(Predicate::new(t, "v", Region::le(rng.gen_range(0..30i64))));
+        }
+    }
+    JoinQuery {
+        tables: (0..n_tables).map(|i| format!("t{i}")).collect(),
+        joins,
+        predicates,
+    }
+}
+
+/// Left-deep plan joining tables in position order with one algorithm
+/// everywhere. Tiny random `est_rows` deliberately underestimate the
+/// build sides, exercising the flat table's growth path.
+fn left_deep_plan(rng: &mut StdRng, n_tables: usize, algo: JoinAlgo) -> PhysicalPlan {
+    let scan = |t: usize| PhysicalPlan::Scan {
+        table_pos: t,
+        method: if t.is_multiple_of(2) {
+            ScanMethod::Seq
+        } else {
+            ScanMethod::Index
+        },
+        mask: TableMask::single(t),
+        est_rows: 1.0,
+    };
+    let mut plan = scan(0);
+    for t in 1..n_tables {
+        plan = PhysicalPlan::Join {
+            algo,
+            left: Box::new(plan),
+            right: Box::new(scan(t)),
+            edge: t - 1,
+            mask: TableMask::full(t + 1),
+            est_rows: rng.gen_range(0..4u32) as f64,
+        };
+    }
+    plan
+}
+
+fn canon((l, r): (Vec<u32>, Vec<u32>)) -> Vec<(u32, u32)> {
+    let mut v: Vec<(u32, u32)> = l.into_iter().zip(r).collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All three join algorithms agree with the true-cardinality oracle
+    /// on random acyclic queries, and scratch reuse changes nothing.
+    #[test]
+    fn executor_agrees_with_oracle(seed in any::<u64>(), n_tables in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = random_db(&mut rng, n_tables);
+        let q = random_tree_query(&mut rng, n_tables);
+        let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+        let exact = exact_cardinality(&db, &q).unwrap();
+        let mut scratch = ExecScratch::new();
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::IndexNestedLoop] {
+            let plan = left_deep_plan(&mut rng, n_tables, algo);
+            let fresh = execute(&plan, &bound, &db);
+            prop_assert_eq!(fresh.0 as f64, exact, "{:?} vs oracle", algo);
+            // Reused-scratch run must be bit-identical (count and stats).
+            let reused = execute_with(&plan, &bound, &db, &mut scratch);
+            prop_assert_eq!(fresh, reused, "{:?} scratch reuse", algo);
+        }
+    }
+
+    /// The three kernels emit identical sorted row-pair sets, and the
+    /// hash kernel agrees with itself across the small-build flat path
+    /// and the forced-spill partitioned path.
+    #[test]
+    fn kernels_agree_across_paths(seed in any::<u64>(), ln in 0usize..300, rn in 0usize..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut keys = |n: usize| -> Vec<i64> {
+            (0..n)
+                .map(|_| {
+                    if rng.gen_range(0..10u32) == 0 {
+                        i64::MIN // NULL sentinel: must never match
+                    } else {
+                        rng.gen_range(0..40i64)
+                    }
+                })
+                .collect()
+        };
+        let lkeys = keys(ln);
+        let rkeys = keys(rn);
+        let hash = canon(join_matches(JoinAlgo::Hash, &lkeys, &rkeys));
+        let merge = canon(join_matches(JoinAlgo::Merge, &lkeys, &rkeys));
+        let inl = canon(join_matches(JoinAlgo::IndexNestedLoop, &lkeys, &rkeys));
+        prop_assert_eq!(&hash, &merge);
+        prop_assert_eq!(&hash, &inl);
+        // Force the partitioned path on a small build (threshold 16) and
+        // reuse one scratch across both paths.
+        let mut scratch = ExecScratch::new();
+        let mut stats = ExecStats::default();
+        let plain = canon(join_matches_with(
+            JoinAlgo::Hash, &lkeys, &rkeys, usize::MAX, &mut stats, &mut scratch,
+        ));
+        let spilled = canon(join_matches_with(
+            JoinAlgo::Hash, &lkeys, &rkeys, 16, &mut stats, &mut scratch,
+        ));
+        prop_assert_eq!(&plain, &spilled);
+        prop_assert_eq!(&plain, &hash);
+        if rn > 16 {
+            prop_assert!(stats.partitions_spilled >= 2);
+        }
+    }
+}
+
+/// A build side genuinely above [`HASH_SPILL_ROWS`] drives the real
+/// partitioned path through `execute`: the hash plan must agree with the
+/// merge plan and report its spill partitions.
+#[test]
+fn real_spill_threshold_crossed_through_executor() {
+    let build_rows = HASH_SPILL_ROWS + 5_000;
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut cat = Catalog::new();
+    cat.add_table(
+        Table::from_columns(
+            TableSchema::new("outer_t", vec![ColumnDef::new("k", ColumnKind::ForeignKey)]),
+            vec![Column::from_values(
+                (0..2_000).map(|_| rng.gen_range(0..1_000i64)).collect(),
+            )],
+        )
+        .unwrap(),
+    );
+    cat.add_table(
+        Table::from_columns(
+            TableSchema::new("inner_t", vec![ColumnDef::new("k", ColumnKind::ForeignKey)]),
+            vec![Column::from_values(
+                (0..build_rows)
+                    .map(|_| rng.gen_range(0..1_000i64))
+                    .collect(),
+            )],
+        )
+        .unwrap(),
+    );
+    let db = Database::new(cat);
+    let q = JoinQuery {
+        tables: vec!["outer_t".into(), "inner_t".into()],
+        joins: vec![JoinEdge::new(0, "k", 1, "k")],
+        predicates: vec![],
+    };
+    let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+    let plan = |algo| PhysicalPlan::Join {
+        algo,
+        left: Box::new(PhysicalPlan::Scan {
+            table_pos: 0,
+            method: ScanMethod::Seq,
+            mask: TableMask::single(0),
+            est_rows: 2_000.0,
+        }),
+        right: Box::new(PhysicalPlan::Scan {
+            table_pos: 1,
+            method: ScanMethod::Seq,
+            mask: TableMask::single(1),
+            est_rows: build_rows as f64,
+        }),
+        edge: 0,
+        mask: TableMask::full(2),
+        est_rows: 0.0,
+    };
+    let (hash_count, hash_stats) = execute(&plan(JoinAlgo::Hash), &bound, &db);
+    let (merge_count, _) = execute(&plan(JoinAlgo::Merge), &bound, &db);
+    assert_eq!(hash_count, merge_count);
+    assert_eq!(
+        hash_stats.partitions_spilled,
+        build_rows.div_ceil(HASH_SPILL_ROWS).max(2) as u64
+    );
+    assert_eq!(hash_stats.build_rows, build_rows as u64);
+    assert_eq!(hash_stats.probe_rows, 2_000);
+}
