@@ -1,0 +1,160 @@
+//! Chaos smoke test: proves the harness survives a hostile estimator
+//! and that checkpoint/resume reproduces an uninterrupted run.
+//!
+//! Phase 1 wraps the PostgreSQL baseline in [`ChaosEst`] at a 20% fault
+//! rate across *every* fault class (panics, NaN/±inf/negative/zero
+//! values, delays) and runs the tier-1 STATS-CEB workload under
+//! estimate timeouts and an executor memory budget. The run must
+//! complete with typed failures — no abort.
+//!
+//! Phase 2 reruns with value faults only (deterministic wall-clock),
+//! checkpointing each query; then simulates a kill by truncating the
+//! checkpoint file to half its records and resumes. The resumed run
+//! must be bit-identical to the uninterrupted one on every
+//! deterministic field.
+//!
+//! Exits non-zero on any violation, so CI can gate on it.
+
+use std::time::Duration;
+
+use cardbench_bench::{config_from_env, run_options_from_args};
+use cardbench_engine::{CostModel, TrueCardService};
+use cardbench_estimators::chaos::{ChaosEst, FaultClass};
+use cardbench_estimators::EstimatorKind;
+use cardbench_harness::report::table_faults;
+use cardbench_harness::{build_estimator, run_workload_with_options, Bench, MethodRun, QueryRun};
+
+fn main() {
+    let cfg = config_from_env();
+    let seed = cfg.settings.seed;
+    let threads = cfg.threads;
+    eprintln!("[chaos-smoke] building benchmark (seed {seed})...");
+    let bench = Bench::build(cfg);
+    let cost = CostModel::default();
+    let db = &bench.stats_db;
+    let wl = &bench.stats_wl;
+
+    // Phase 1: survival under every fault class plus budgets.
+    eprintln!(
+        "[chaos-smoke] phase 1: 20% chaos (all classes) over {} queries",
+        wl.queries.len()
+    );
+    let built = build_estimator(
+        EstimatorKind::Postgres,
+        db,
+        &bench.stats_train,
+        &bench.config.settings,
+    );
+    let chaos = ChaosEst::new(built.est, seed, 0.2).delay(Duration::from_millis(20));
+    let mut opts = run_options_from_args(threads);
+    if opts.timeout.is_none() {
+        opts.timeout = Some(Duration::from_millis(10));
+    }
+    if opts.mem_budget_bytes.is_none() {
+        opts.mem_budget_bytes = Some(512 << 20);
+    }
+    let truth = TrueCardService::new();
+    let queries = run_workload_with_options(db, wl, &chaos, &truth, &cost, &opts);
+    let run = MethodRun {
+        kind: EstimatorKind::Postgres,
+        train_time: built.train_time,
+        model_size: built.model_size,
+        queries,
+    };
+    print!("{}", table_faults(std::slice::from_ref(&run), &wl.name));
+    if run.est_failure_total() == 0 {
+        eprintln!("[chaos-smoke] FAIL: chaos injected no faults — smoke test is vacuous");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[chaos-smoke] phase 1 OK: {} typed estimate failures, {} fallbacks, {} failed queries, run completed",
+        run.est_failure_total(),
+        run.fallback_total(),
+        run.failed_queries(),
+    );
+
+    // Phase 2: kill mid-run (simulated by truncating the checkpoint)
+    // and resume; value faults only so wall-clock stays deterministic.
+    eprintln!("[chaos-smoke] phase 2: checkpoint, truncate, resume");
+    let ckpt = std::env::temp_dir().join(format!(
+        "cardbench_chaos_smoke_{}.jsonl",
+        std::process::id()
+    ));
+    let value_chaos = |s: u64| {
+        let built = build_estimator(
+            EstimatorKind::Postgres,
+            db,
+            &bench.stats_train,
+            &bench.config.settings,
+        );
+        ChaosEst::with_classes(built.est, s, 0.2, FaultClass::VALUES.to_vec())
+    };
+    let mut copts = cardbench_harness::RunOptions::with_threads(threads);
+    copts.checkpoint = Some(ckpt.clone());
+    let full = run_workload_with_options(db, wl, &value_chaos(seed), &truth, &cost, &copts);
+
+    let text = std::fs::read_to_string(&ckpt).expect("checkpoint written");
+    let lines: Vec<&str> = text.lines().collect();
+    let keep = lines.len() / 2;
+    let torn: String = lines[..keep].iter().map(|l| format!("{l}\n")).collect();
+    std::fs::write(&ckpt, torn).expect("truncate checkpoint");
+    eprintln!(
+        "[chaos-smoke] kept {keep}/{} checkpoint records, resuming",
+        lines.len()
+    );
+    copts.resume = true;
+    let resumed = run_workload_with_options(db, wl, &value_chaos(seed), &truth, &cost, &copts);
+    let _ = std::fs::remove_file(&ckpt);
+
+    if let Err(msg) = deterministic_eq(&full, &resumed) {
+        eprintln!("[chaos-smoke] FAIL: resumed run diverged: {msg}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[chaos-smoke] phase 2 OK: resumed run bit-identical on {} queries",
+        resumed.len()
+    );
+    println!("chaos smoke OK");
+}
+
+/// Compares every deterministic field of two runs; wall-clock timings
+/// are excluded (they can never match across processes).
+fn deterministic_eq(a: &[QueryRun], b: &[QueryRun]) -> Result<(), String> {
+    if a.len() != b.len() {
+        return Err(format!("query count {} vs {}", a.len(), b.len()));
+    }
+    for (x, y) in a.iter().zip(b) {
+        if x.id != y.id {
+            return Err(format!("query order: Q{} vs Q{}", x.id, y.id));
+        }
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        if bits(&x.sub_est_cards) != bits(&y.sub_est_cards) {
+            return Err(format!("Q{}: sub_est_cards differ", x.id));
+        }
+        if bits(&x.q_errors) != bits(&y.q_errors) {
+            return Err(format!("Q{}: q_errors differ", x.id));
+        }
+        if x.p_error.to_bits() != y.p_error.to_bits() {
+            return Err(format!("Q{}: p_error {} vs {}", x.id, x.p_error, y.p_error));
+        }
+        if x.result_rows != y.result_rows {
+            return Err(format!("Q{}: result_rows differ", x.id));
+        }
+        if x.exec_stats != y.exec_stats {
+            return Err(format!("Q{}: exec_stats differ", x.id));
+        }
+        if x.est_failures != y.est_failures {
+            return Err(format!("Q{}: est_failures differ", x.id));
+        }
+        if x.failure != y.failure {
+            return Err(format!(
+                "Q{}: failure {:?} vs {:?}",
+                x.id, x.failure, y.failure
+            ));
+        }
+        if (x.clamped_subplans, x.fallback_subplans) != (y.clamped_subplans, y.fallback_subplans) {
+            return Err(format!("Q{}: fault counters differ", x.id));
+        }
+    }
+    Ok(())
+}

@@ -9,13 +9,21 @@
 //! - `CARDBENCH_THREADS` / `RAYON_NUM_THREADS` — planning fan-out width
 //!   (also settable per-run with a `--threads N` CLI argument on every
 //!   bench binary; `0` or unset = all cores).
+//!
+//! Fault-tolerance knobs (CLI arguments on every bench binary):
+//! - `--timeout-ms N`    — per-sub-plan-estimate wall-clock budget.
+//! - `--mem-budget-mb N` — executor intermediate-bytes budget per query.
+//! - `--checkpoint PATH` — stream per-query JSONL records to `PATH`.
+//! - `--resume`          — skip (estimator, query) pairs already in the
+//!   checkpoint file instead of truncating it.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cardbench_engine::{CostModel, TrueCardService};
 use cardbench_estimators::EstimatorKind;
-use cardbench_harness::endtoend::run_workload_with_threads;
-use cardbench_harness::{build_estimator, Bench, BenchConfig, MethodRun};
+use cardbench_harness::{
+    build_estimator, run_workload_with_options, Bench, BenchConfig, MethodRun, RunOptions,
+};
 
 /// Full evaluation output: every method run on both workloads.
 pub struct FullResults {
@@ -60,8 +68,50 @@ pub fn config_from_env() -> BenchConfig {
     cfg
 }
 
+/// Reads the fault-tolerance guard rails from the CLI arguments
+/// (`--timeout-ms`, `--mem-budget-mb`, `--checkpoint`, `--resume`),
+/// on top of the given planning thread count.
+pub fn run_options_from_args(threads: usize) -> RunOptions {
+    let mut opts = RunOptions::with_threads(threads);
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 0;
+    // Each flag accepts both `--flag value` and `--flag=value`.
+    let value = |i: &mut usize, flag: &str| -> Option<String> {
+        let a = &argv[*i];
+        if a == flag {
+            *i += 1;
+            argv.get(*i).cloned()
+        } else {
+            a.strip_prefix(&format!("{flag}=")).map(String::from)
+        }
+    };
+    while i < argv.len() {
+        if let Some(ms) = value(&mut i, "--timeout-ms").and_then(|v| v.parse().ok()) {
+            opts.timeout = Some(Duration::from_millis(ms));
+        } else if let Some(mb) =
+            value(&mut i, "--mem-budget-mb").and_then(|v| v.parse::<u64>().ok())
+        {
+            opts.mem_budget_bytes = Some(mb * (1u64 << 20));
+        } else if let Some(p) = value(&mut i, "--checkpoint") {
+            opts.checkpoint = Some(p.into());
+        } else if argv[i] == "--resume" {
+            opts.resume = true;
+        }
+        i += 1;
+    }
+    opts
+}
+
 /// Runs every estimator on both workloads, printing progress to stderr.
+/// Guard rails (timeouts, budgets, checkpoint/resume) come from the CLI
+/// via [`run_options_from_args`].
 pub fn run_full(cfg: BenchConfig) -> FullResults {
+    let opts = run_options_from_args(cfg.threads);
+    run_full_with_options(cfg, &opts)
+}
+
+/// [`run_full`] with explicit guard rails.
+pub fn run_full_with_options(cfg: BenchConfig, opts: &RunOptions) -> FullResults {
     eprintln!(
         "[cardbench] building datasets (STATS scale {}, seed {})...",
         cfg.stats.scale, cfg.settings.seed
@@ -79,6 +129,11 @@ pub fn run_full(cfg: BenchConfig) -> FullResults {
     let cost = CostModel::default();
     let mut imdb_runs = Vec::new();
     let mut stats_runs = Vec::new();
+    // A shared checkpoint file must only be truncated once: the first
+    // run creates it (unless resuming), every later (estimator,
+    // workload) run appends — their records are keyed by method and
+    // workload, so they never collide.
+    let mut first_run = true;
     for kind in EstimatorKind::ALL {
         for (label, db, wl, train, out) in [
             (
@@ -99,14 +154,12 @@ pub fn run_full(cfg: BenchConfig) -> FullResults {
             let t0 = Instant::now();
             let built = build_estimator(kind, db, train, &bench.config.settings);
             let truth = TrueCardService::new();
-            let queries = run_workload_with_threads(
-                db,
-                wl,
-                built.est.as_ref(),
-                &truth,
-                &cost,
-                bench.config.threads,
-            );
+            let mut opts = opts.clone();
+            opts.threads = bench.config.threads;
+            opts.resume = opts.resume || !first_run;
+            first_run = false;
+            let queries =
+                run_workload_with_options(db, wl, built.est.as_ref(), &truth, &cost, &opts);
             let run = MethodRun {
                 kind,
                 train_time: built.train_time,

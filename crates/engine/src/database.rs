@@ -79,23 +79,26 @@ struct FilterCache {
 
 impl FilterCache {
     fn get(&self, key: u64) -> Option<Arc<Vec<u32>>> {
-        self.shards[key as usize & (FILTER_SHARDS - 1)]
-            .lock()
-            .unwrap()
+        lock_shard(&self.shards[key as usize & (FILTER_SHARDS - 1)])
             .get(&key)
             .cloned()
     }
 
     fn insert(&self, key: u64, rows: Arc<Vec<u32>>) {
-        self.shards[key as usize & (FILTER_SHARDS - 1)]
-            .lock()
-            .unwrap()
-            .insert(key, rows);
+        lock_shard(&self.shards[key as usize & (FILTER_SHARDS - 1)]).insert(key, rows);
     }
 
     fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
     }
+}
+
+/// Locks a cache shard, tolerating poison: the harness sandboxes
+/// estimator panics with `catch_unwind`, and a panic unwinding through a
+/// thread that held a shard lock poisons it. Cached entries are only
+/// ever inserted whole, so a poisoned shard's data is still valid.
+fn lock_shard<T>(shard: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    shard.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// FNV-1a key for one `(table, predicate set)` pair. Predicate order is

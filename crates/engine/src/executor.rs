@@ -43,6 +43,36 @@ const EMPTY: u32 = u32::MAX;
 /// ([`crate::cost::CostModel::hash_mem_rows`] mirrors this value).
 pub const HASH_SPILL_ROWS: usize = 60_000;
 
+/// A query execution aborted cleanly by a guard rail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecError {
+    /// Live intermediate bytes exceeded the configured memory budget.
+    /// The query is abandoned (buffers freed) instead of OOMing the
+    /// process; the whole-run harness records this per query.
+    BudgetExceeded {
+        /// Live intermediate bytes at the moment the budget tripped.
+        peak_bytes: u64,
+        /// The configured budget.
+        budget_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::BudgetExceeded {
+                peak_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "intermediate memory budget exceeded ({peak_bytes}B live > {budget_bytes}B budget)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// Execution statistics, including per-operator counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
@@ -184,13 +214,34 @@ pub fn execute_with(
     db: &Database,
     scratch: &mut ExecScratch,
 ) -> (u64, ExecStats) {
+    match try_execute_with(plan, bound, db, scratch, None) {
+        Ok(out) => out,
+        // Unreachable: with no budget the executor has no failure path.
+        Err(ExecError::BudgetExceeded { .. }) => unreachable!("no budget configured"),
+    }
+}
+
+/// [`execute_with`] under an optional memory budget on live intermediate
+/// bytes (selection vectors plus gathered key columns). When any join
+/// node's live set exceeds `max_intermediate_bytes`, the query aborts
+/// cleanly with [`ExecError::BudgetExceeded`] — buffers are freed, the
+/// process keeps running, and the scratch arena stays reusable. With
+/// `None` this is exactly [`execute_with`] and cannot fail.
+pub fn try_execute_with(
+    plan: &PhysicalPlan,
+    bound: &BoundQuery,
+    db: &Database,
+    scratch: &mut ExecScratch,
+    max_intermediate_bytes: Option<u64>,
+) -> Result<(u64, ExecStats), ExecError> {
     let mut stats = ExecStats::default();
+    let budget = max_intermediate_bytes.unwrap_or(u64::MAX);
     // The root needs no selection vectors: COUNT(*) is just the length.
-    let chunk = run(plan, bound, db, 0, &mut stats, scratch);
+    let chunk = run(plan, bound, db, 0, &mut stats, scratch, budget)?;
     let rows = chunk.len as u64;
     stats.output_rows = rows;
     chunk.recycle(scratch);
-    (rows, stats)
+    Ok((rows, stats))
 }
 
 /// Gathers one key column through a selection vector into a pooled
@@ -227,7 +278,10 @@ fn gather_keys(
 }
 
 /// Executes `plan`, producing selection vectors for exactly the tables
-/// in `needed` (a bitmask over table positions).
+/// in `needed` (a bitmask over table positions). `budget` caps live
+/// intermediate bytes; on breach the whole execution unwinds with
+/// [`ExecError::BudgetExceeded`] (owned buffers drop on the way out, so
+/// nothing leaks — the scratch arena merely loses some pooled vectors).
 fn run(
     plan: &PhysicalPlan,
     bound: &BoundQuery,
@@ -235,7 +289,8 @@ fn run(
     needed: u64,
     stats: &mut ExecStats,
     scratch: &mut ExecScratch,
-) -> Chunk {
+    budget: u64,
+) -> Result<Chunk, ExecError> {
     match plan {
         PhysicalPlan::Scan { table_pos, .. } => {
             let bt = &bound.tables[*table_pos];
@@ -251,7 +306,7 @@ fn run(
             } else {
                 Vec::new()
             };
-            Chunk { len, sel }
+            Ok(Chunk { len, sel })
         }
         PhysicalPlan::Join {
             algo,
@@ -272,8 +327,8 @@ fn run(
             // whatever the parent still needs from them.
             let lneed = (needed & left.mask().0) | (1u64 << lkey_tab);
             let rneed = (needed & right.mask().0) | (1u64 << rkey_tab);
-            let lc = run(left, bound, db, lneed, stats, scratch);
-            let rc = run(right, bound, db, rneed, stats, scratch);
+            let lc = run(left, bound, db, lneed, stats, scratch, budget)?;
+            let rc = run(right, bound, db, rneed, stats, scratch, budget)?;
             // The only value gathers a join pays: its two key columns.
             let lkeys = gather_keys(
                 db,
@@ -332,13 +387,19 @@ fn run(
                 + rc.bytes()
                 + chunk.bytes();
             stats.peak_intermediate_bytes = stats.peak_intermediate_bytes.max(live_bytes);
+            if live_bytes > budget {
+                return Err(ExecError::BudgetExceeded {
+                    peak_bytes: live_bytes,
+                    budget_bytes: budget,
+                });
+            }
             scratch.put_keys(lkeys);
             scratch.put_keys(rkeys);
             scratch.put_rows(lrows);
             scratch.put_rows(rrows);
             lc.recycle(scratch);
             rc.recycle(scratch);
-            chunk
+            Ok(chunk)
         }
     }
 }
@@ -971,5 +1032,44 @@ mod tests {
         let exact = exact_cardinality(&db, &q).unwrap();
         assert_eq!(count as f64, exact);
         assert!(stats.intermediate_rows >= count);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_execute_with() {
+        let db = db();
+        let q = query();
+        let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+        let p = plan(JoinAlgo::Hash);
+        let mut scratch = ExecScratch::new();
+        let (count, _) = execute_with(&p, &bound, &db, &mut scratch);
+        let (bcount, _) = try_execute_with(&p, &bound, &db, &mut scratch, None)
+            .expect("no budget must never fail");
+        assert_eq!(count, bcount);
+        let (bcount2, _) = try_execute_with(&p, &bound, &db, &mut scratch, Some(u64::MAX))
+            .expect("huge budget must never fail");
+        assert_eq!(count, bcount2);
+    }
+
+    #[test]
+    fn tiny_budget_fails_cleanly_with_peak() {
+        let db = db();
+        let q = query();
+        let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+        let p = plan(JoinAlgo::Hash);
+        let mut scratch = ExecScratch::new();
+        let err = try_execute_with(&p, &bound, &db, &mut scratch, Some(1))
+            .expect_err("1-byte budget must trip");
+        let ExecError::BudgetExceeded {
+            peak_bytes,
+            budget_bytes,
+        } = err;
+        assert_eq!(budget_bytes, 1);
+        assert!(peak_bytes > 1);
+        // The error renders something human-readable.
+        assert!(err.to_string().contains("budget"));
+        // Scratch stays reusable after a budget abort.
+        let (count, _) = try_execute_with(&p, &bound, &db, &mut scratch, None).unwrap();
+        let (plain, _) = execute_with(&p, &bound, &db, &mut ExecScratch::new());
+        assert_eq!(count, plain);
     }
 }

@@ -16,6 +16,16 @@
 //! - [`explain`]: EXPLAIN-style plan rendering with costs.
 //! - [`truecard`]: exact sub-plan cardinalities via join-tree message
 //!   passing (the oracle behind TrueCard, Q-Error and P-Error).
+//!
+//! Fault tolerance: estimates are sanitized at the injection point
+//! ([`optimizer::clamp_row_est`], counted by [`CardMap::clamped`]) and
+//! execution can run under a memory budget
+//! ([`executor::try_execute_with`], failing cleanly with
+//! [`executor::ExecError::BudgetExceeded`]).
+
+// The engine sits under the fault-tolerant harness: library code must
+// surface errors, not unwrap them (tests may).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod cost;
 pub mod database;
@@ -28,10 +38,11 @@ pub mod truecard;
 pub use cost::CostModel;
 pub use database::Database;
 pub use executor::{
-    execute, execute_with, join_matches, join_matches_with, ExecScratch, ExecStats, HASH_SPILL_ROWS,
+    execute, execute_with, join_matches, join_matches_with, try_execute_with, ExecError,
+    ExecScratch, ExecStats, HASH_SPILL_ROWS,
 };
 pub use explain::explain;
-pub use optimizer::{optimize, optimize_with, plan_cost, CardMap};
+pub use optimizer::{clamp_row_est, optimize, optimize_with, plan_cost, CardMap, ClampKind};
 pub use plan::{JoinAlgo, PhysicalPlan, ScanMethod};
 pub use truecard::{exact_cardinality, TrueCardService};
 

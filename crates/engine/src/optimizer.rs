@@ -15,11 +15,66 @@ use crate::cost::CostModel;
 use crate::database::Database;
 use crate::plan::{JoinAlgo, PhysicalPlan, ScanMethod};
 
+/// Why [`clamp_row_est`] had to intervene on an estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClampKind {
+    /// NaN or ±infinity.
+    NonFinite,
+    /// Negative, zero, or subnormal (no usable magnitude).
+    Degenerate,
+    /// Finite but above the given upper bound (e.g. the cross-product
+    /// cardinality of the joined tables).
+    TooLarge,
+}
+
+/// PostgreSQL-style row-estimate sanitizer (`clamp_row_est`): maps *any*
+/// `f64` into `[1.0, upper]` so a misbehaving estimator can never push
+/// NaN/±inf/negative/zero rows into the cost model. Returns the clamped
+/// value plus what, if anything, was wrong with the input.
+///
+/// Rules: NaN and -inf have no usable magnitude and become `1.0`; +inf
+/// clamps to `upper`; negatives, zero, and subnormals become `1.0`;
+/// finite values above `upper` clamp down to it. `upper` itself is
+/// sanitized to at least `1.0` (a NaN/non-positive bound acts as "no
+/// bound beyond the 1.0 floor").
+pub fn clamp_row_est(rows: f64, upper: f64) -> (f64, Option<ClampKind>) {
+    let upper = if upper.is_finite() && upper >= 1.0 {
+        upper
+    } else if upper == f64::INFINITY {
+        f64::MAX
+    } else {
+        1.0
+    };
+    if rows.is_nan() || rows == f64::NEG_INFINITY {
+        return (1.0, Some(ClampKind::NonFinite));
+    }
+    if rows == f64::INFINITY {
+        return (upper, Some(ClampKind::NonFinite));
+    }
+    if rows <= 0.0 || !rows.is_normal() {
+        return (1.0, Some(ClampKind::Degenerate));
+    }
+    if rows > upper {
+        return (upper, Some(ClampKind::TooLarge));
+    }
+    if rows < 1.0 {
+        // Sub-row estimates are ordinary (a selective predicate), not a
+        // fault: clamp like PostgreSQL without reporting a kind.
+        return (1.0, None);
+    }
+    (rows, None)
+}
+
 /// Cardinalities for every connected sub-plan of one query, keyed by
 /// table mask. This is what gets "injected into the optimizer".
+///
+/// Every insert passes through [`clamp_row_est`], so whatever a
+/// misbehaving estimator produced, the optimizer only ever sees values
+/// in `[1.0, bound]`; [`CardMap::clamped`] counts the interventions.
 #[derive(Debug, Clone, Default)]
 pub struct CardMap {
     rows: HashMap<u64, f64>,
+    clamped: u64,
 }
 
 impl CardMap {
@@ -28,16 +83,33 @@ impl CardMap {
         CardMap::default()
     }
 
-    /// Sets the estimated rows of a sub-plan.
+    /// Sets the estimated rows of a sub-plan. The value is sanitized via
+    /// [`clamp_row_est`] with no upper bound beyond `f64::MAX`.
     pub fn insert(&mut self, mask: TableMask, rows: f64) {
-        // PostgreSQL clamps estimates to at least one row.
-        self.rows.insert(mask.0, rows.max(1.0));
+        self.insert_bounded(mask, rows, f64::MAX);
+    }
+
+    /// Sets the estimated rows of a sub-plan, clamped into
+    /// `[1.0, upper]` (pass the cross-product bound of the sub-plan's
+    /// tables for the PostgreSQL-faithful behaviour).
+    pub fn insert_bounded(&mut self, mask: TableMask, rows: f64, upper: f64) {
+        let (v, kind) = clamp_row_est(rows, upper);
+        if kind.is_some() {
+            self.clamped += 1;
+        }
+        self.rows.insert(mask.0, v);
     }
 
     /// Estimated rows of a sub-plan (1.0 when absent, like PostgreSQL's
     /// clamp).
     pub fn rows(&self, mask: TableMask) -> f64 {
         self.rows.get(&mask.0).copied().unwrap_or(1.0)
+    }
+
+    /// How many inserted estimates required clamping (NaN/±inf,
+    /// degenerate, or above the bound).
+    pub fn clamped(&self) -> u64 {
+        self.clamped
     }
 
     /// Number of entries.
@@ -468,5 +540,78 @@ mod left_deep_tests {
         let ld = optimize_with(&q, &bound, &db, &cards, &cm, true);
         let cost_of = |p: &PhysicalPlan| plan_cost(p, &db, &bound, &cm, &|m| cards.rows(m));
         assert!(cost_of(&bushy) <= cost_of(&ld) + 1e-9);
+    }
+
+    #[test]
+    fn clamp_row_est_handles_every_pathology() {
+        let b = 1e6;
+        assert_eq!(
+            clamp_row_est(f64::NAN, b),
+            (1.0, Some(ClampKind::NonFinite))
+        );
+        assert_eq!(
+            clamp_row_est(f64::INFINITY, b),
+            (b, Some(ClampKind::NonFinite))
+        );
+        assert_eq!(
+            clamp_row_est(f64::NEG_INFINITY, b),
+            (1.0, Some(ClampKind::NonFinite))
+        );
+        assert_eq!(clamp_row_est(-5.0, b), (1.0, Some(ClampKind::Degenerate)));
+        assert_eq!(clamp_row_est(0.0, b), (1.0, Some(ClampKind::Degenerate)));
+        assert_eq!(clamp_row_est(-0.0, b), (1.0, Some(ClampKind::Degenerate)));
+        assert_eq!(
+            clamp_row_est(f64::MIN_POSITIVE / 2.0, b),
+            (1.0, Some(ClampKind::Degenerate)),
+            "subnormals are degenerate"
+        );
+        assert_eq!(clamp_row_est(2e6, b), (b, Some(ClampKind::TooLarge)));
+        assert_eq!(clamp_row_est(0.25, b), (1.0, None));
+        assert_eq!(clamp_row_est(42.0, b), (42.0, None));
+    }
+
+    #[test]
+    fn clamp_row_est_tolerates_bad_bounds() {
+        // A NaN/zero/negative upper bound falls back to 1.0; an infinite
+        // one falls back to f64::MAX. The result must stay in range.
+        for bad in [f64::NAN, 0.0, -3.0, f64::NEG_INFINITY] {
+            let (v, _) = clamp_row_est(500.0, bad);
+            assert_eq!(v, 1.0);
+        }
+        let (v, kind) = clamp_row_est(f64::INFINITY, f64::INFINITY);
+        assert_eq!(v, f64::MAX);
+        assert_eq!(kind, Some(ClampKind::NonFinite));
+    }
+
+    #[test]
+    fn clamp_row_est_total_over_random_f64_bits() {
+        use cardbench_support::rand::rngs::StdRng;
+        use cardbench_support::rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let bound = 1e12;
+        for _ in 0..20_000 {
+            let rows = f64::from_bits(rng.gen_range(0..u64::MAX));
+            let (v, _) = clamp_row_est(rows, bound);
+            assert!(
+                v.is_finite() && (1.0..=bound).contains(&v),
+                "clamp({rows:?}) escaped [1, bound]: {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_bounded_counts_clamps() {
+        let mut m = CardMap::new();
+        m.insert_bounded(TableMask::single(0), 50.0, 1000.0);
+        assert_eq!(m.clamped(), 0);
+        m.insert_bounded(TableMask::single(1), f64::NAN, 1000.0);
+        m.insert_bounded(TableMask(0b11), f64::INFINITY, 1000.0);
+        assert_eq!(m.clamped(), 2);
+        assert_eq!(m.rows(TableMask::single(1)), 1.0);
+        assert_eq!(m.rows(TableMask(0b11)), 1000.0);
+        // Plain insert still sanitizes but with no cross-product bound.
+        m.insert(TableMask(0b111), -1.0);
+        assert_eq!(m.clamped(), 3);
+        assert_eq!(m.rows(TableMask(0b111)), 1.0);
     }
 }

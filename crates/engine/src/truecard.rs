@@ -32,6 +32,13 @@ pub struct TrueCardService {
     shards: [Mutex<HashMap<u64, f64>>; SHARDS],
 }
 
+/// Locks a cache shard, tolerating poison: estimator panics sandboxed by
+/// the harness can unwind through a thread holding a shard lock. Entries
+/// are inserted whole, so a poisoned shard's map is still consistent.
+fn lock_shard<T>(shard: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    shard.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 impl TrueCardService {
     /// Creates an empty service.
     pub fn new() -> TrueCardService {
@@ -40,7 +47,7 @@ impl TrueCardService {
 
     /// Number of cached entries.
     pub fn cached(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
     }
 
     /// Exact cardinality of `query` on `db`, cached by canonical hash.
@@ -49,11 +56,11 @@ impl TrueCardService {
     pub fn cardinality(&self, db: &Database, query: &JoinQuery) -> Result<f64, StorageError> {
         let key = query.canonical_hash();
         let shard = &self.shards[key as usize & (SHARDS - 1)];
-        if let Some(&v) = shard.lock().unwrap().get(&key) {
+        if let Some(&v) = lock_shard(shard).get(&key) {
             return Ok(v);
         }
         let v = exact_cardinality(db, query)?;
-        shard.lock().unwrap().insert(key, v);
+        lock_shard(shard).insert(key, v);
         Ok(v)
     }
 }

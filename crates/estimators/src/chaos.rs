@@ -1,0 +1,278 @@
+//! ChaosEst: deterministic fault injection for hardening the harness.
+//!
+//! Wraps any [`CardEst`] and, for a configurable fraction of sub-plan
+//! queries, replaces the inner estimate with a fault: a panic, a
+//! NaN/±inf/negative/zero estimate, or a wall-clock delay (to trip the
+//! harness's per-query budget). Fault decisions are keyed off the
+//! estimator seed and [`cardbench_query::JoinQuery::canonical_hash`] —
+//! the same recipe the sampling estimators use for per-call RNGs — so a
+//! given (seed, query) pair always faults the same way regardless of
+//! thread count, call order, or resume. That determinism is what lets
+//! tier-1 tests assert a faulted run + resume equals a clean faulted run.
+
+use std::time::Duration;
+
+use cardbench_support::rand::rngs::StdRng;
+use cardbench_support::rand::{Rng, SeedableRng};
+
+use cardbench_engine::Database;
+use cardbench_query::SubPlanQuery;
+
+use crate::CardEst;
+
+/// One injectable fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// `panic!` inside `estimate` (caught by the harness sandbox).
+    Panic,
+    /// Returns `f64::NAN`.
+    Nan,
+    /// Returns `f64::INFINITY`.
+    PosInf,
+    /// Returns `f64::NEG_INFINITY`.
+    NegInf,
+    /// Returns a negative row count.
+    Negative,
+    /// Returns `0.0`.
+    Zero,
+    /// Sleeps for the configured delay, then answers normally (used to
+    /// exercise the harness's wall-clock budget).
+    Delay,
+}
+
+impl FaultClass {
+    /// Every class, in the order the picker indexes them.
+    pub const ALL: [FaultClass; 7] = [
+        FaultClass::Panic,
+        FaultClass::Nan,
+        FaultClass::PosInf,
+        FaultClass::NegInf,
+        FaultClass::Negative,
+        FaultClass::Zero,
+        FaultClass::Delay,
+    ];
+
+    /// The value-fault classes: everything except `Panic` and `Delay`.
+    /// These corrupt the estimate without panicking or sleeping, so runs
+    /// that need deterministic wall-clock behaviour (resume equality
+    /// tests) can restrict injection to them.
+    pub const VALUES: [FaultClass; 5] = [
+        FaultClass::Nan,
+        FaultClass::PosInf,
+        FaultClass::NegInf,
+        FaultClass::Negative,
+        FaultClass::Zero,
+    ];
+
+    /// Stable display name (used in failure records and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Panic => "panic",
+            FaultClass::Nan => "nan",
+            FaultClass::PosInf => "+inf",
+            FaultClass::NegInf => "-inf",
+            FaultClass::Negative => "negative",
+            FaultClass::Zero => "zero",
+            FaultClass::Delay => "delay",
+        }
+    }
+}
+
+/// Fault-injecting wrapper around any estimator.
+pub struct ChaosEst {
+    inner: Box<dyn CardEst>,
+    seed: u64,
+    rate: f64,
+    classes: Vec<FaultClass>,
+    delay: Duration,
+}
+
+impl ChaosEst {
+    /// Wraps `inner`, faulting a `rate` fraction of sub-plan estimates
+    /// (`0.0..=1.0`) across every class in [`FaultClass::ALL`].
+    pub fn new(inner: Box<dyn CardEst>, seed: u64, rate: f64) -> ChaosEst {
+        ChaosEst::with_classes(inner, seed, rate, FaultClass::ALL.to_vec())
+    }
+
+    /// Wraps `inner`, restricting injection to `classes` (empty classes
+    /// means no faults regardless of rate).
+    pub fn with_classes(
+        inner: Box<dyn CardEst>,
+        seed: u64,
+        rate: f64,
+        classes: Vec<FaultClass>,
+    ) -> ChaosEst {
+        ChaosEst {
+            inner,
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+            classes,
+            delay: Duration::from_millis(50),
+        }
+    }
+
+    /// Sets the sleep used by [`FaultClass::Delay`].
+    pub fn delay(mut self, delay: Duration) -> ChaosEst {
+        self.delay = delay;
+        self
+    }
+
+    /// The fault this wrapper will inject for `query`, if any — pure and
+    /// deterministic, so tests can predict exactly which sub-plans of a
+    /// workload misbehave.
+    pub fn fault_for(&self, query: &cardbench_query::JoinQuery) -> Option<FaultClass> {
+        if self.classes.is_empty() || self.rate <= 0.0 {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ query.canonical_hash());
+        if !rng.gen_bool(self.rate) {
+            return None;
+        }
+        let i = rng.gen_range(0..self.classes.len());
+        Some(self.classes[i])
+    }
+}
+
+impl CardEst for ChaosEst {
+    fn name(&self) -> &'static str {
+        "Chaos"
+    }
+
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
+        match self.fault_for(&sub.query) {
+            None => self.inner.estimate(db, sub),
+            Some(FaultClass::Panic) => panic!("chaos: injected panic"),
+            Some(FaultClass::Nan) => f64::NAN,
+            Some(FaultClass::PosInf) => f64::INFINITY,
+            Some(FaultClass::NegInf) => f64::NEG_INFINITY,
+            Some(FaultClass::Negative) => -42.0,
+            Some(FaultClass::Zero) => 0.0,
+            Some(FaultClass::Delay) => {
+                std::thread::sleep(self.delay);
+                self.inner.estimate(db, sub)
+            }
+        }
+    }
+
+    fn model_size_bytes(&self) -> usize {
+        self.inner.model_size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truecard::TrueCardEst;
+    use cardbench_engine::Database;
+    use cardbench_query::{JoinQuery, Predicate, Region, TableMask};
+    use cardbench_storage::{Catalog, Column, ColumnDef, ColumnKind, Table, TableSchema};
+
+    fn db() -> Database {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            Table::from_columns(
+                TableSchema::new(
+                    "a",
+                    vec![
+                        ColumnDef::new("id", ColumnKind::PrimaryKey),
+                        ColumnDef::new("v", ColumnKind::Numeric),
+                    ],
+                ),
+                vec![
+                    Column::from_values(vec![1, 2, 3, 4]),
+                    Column::from_values(vec![1, 1, 2, 2]),
+                ],
+            )
+            .unwrap(),
+        );
+        Database::new(cat)
+    }
+
+    fn wrapped(rate: f64, seed: u64) -> ChaosEst {
+        let inner = TrueCardEst::new();
+        ChaosEst::new(Box::new(inner), seed, rate)
+    }
+
+    fn queries(n: i64) -> Vec<JoinQuery> {
+        (0..n)
+            .map(|i| JoinQuery::single("a", vec![Predicate::new(0, "v", Region::le(i))]))
+            .collect()
+    }
+
+    #[test]
+    fn zero_rate_is_transparent() {
+        let db = db();
+        let est = wrapped(0.0, 1);
+        for q in queries(20) {
+            assert_eq!(est.fault_for(&q), None);
+            let sub = SubPlanQuery {
+                mask: TableMask::single(0),
+                query: q,
+            };
+            assert!(est.estimate(&db, &sub).is_finite());
+        }
+    }
+
+    #[test]
+    fn fault_rate_roughly_matches() {
+        let est = wrapped(0.3, 7);
+        let faulted = queries(500)
+            .iter()
+            .filter(|q| est.fault_for(q).is_some())
+            .count();
+        assert!(
+            (100..=200).contains(&faulted),
+            "expected ~150/500 faults at 30%, got {faulted}"
+        );
+    }
+
+    #[test]
+    fn faults_are_deterministic_per_query() {
+        let a = wrapped(0.5, 42);
+        let b = wrapped(0.5, 42);
+        let c = wrapped(0.5, 43);
+        let qs = queries(100);
+        let fa: Vec<_> = qs.iter().map(|q| a.fault_for(q)).collect();
+        let fb: Vec<_> = qs.iter().map(|q| b.fault_for(q)).collect();
+        let fc: Vec<_> = qs.iter().map(|q| c.fault_for(q)).collect();
+        assert_eq!(fa, fb, "same seed must fault identically");
+        assert_ne!(fa, fc, "different seed must fault differently");
+    }
+
+    #[test]
+    fn value_faults_produce_advertised_values() {
+        let db = db();
+        for class in FaultClass::VALUES {
+            let inner = TrueCardEst::new();
+            let est = ChaosEst::with_classes(Box::new(inner), 0, 1.0, vec![class]);
+            let q = JoinQuery::single("a", vec![]);
+            assert_eq!(est.fault_for(&q), Some(class));
+            let sub = SubPlanQuery {
+                mask: TableMask::single(0),
+                query: q,
+            };
+            let v = est.estimate(&db, &sub);
+            match class {
+                FaultClass::Nan => assert!(v.is_nan()),
+                FaultClass::PosInf => assert_eq!(v, f64::INFINITY),
+                FaultClass::NegInf => assert_eq!(v, f64::NEG_INFINITY),
+                FaultClass::Negative => assert!(v < 0.0),
+                FaultClass::Zero => assert_eq!(v, 0.0),
+                FaultClass::Panic | FaultClass::Delay => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn panic_fault_panics() {
+        let db = db();
+        let inner = TrueCardEst::new();
+        let est = ChaosEst::with_classes(Box::new(inner), 0, 1.0, vec![FaultClass::Panic]);
+        let sub = SubPlanQuery {
+            mask: TableMask::single(0),
+            query: JoinQuery::single("a", vec![]),
+        };
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| est.estimate(&db, &sub)));
+        assert!(r.is_err(), "panic class must actually panic");
+    }
+}

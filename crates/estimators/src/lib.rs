@@ -18,6 +18,7 @@
 
 pub mod bayescard;
 pub mod calibrate;
+pub mod chaos;
 pub mod common;
 pub mod deepdb;
 pub mod fanout;

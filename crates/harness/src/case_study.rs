@@ -18,7 +18,7 @@ use crate::report::fmt_duration;
 pub fn pick_case_query(wl: &Workload) -> &WorkloadQuery {
     wl.queries
         .iter()
-        .max_by(|a, b| a.true_card.partial_cmp(&b.true_card).unwrap())
+        .max_by(|a, b| a.true_card.total_cmp(&b.true_card))
         .expect("non-empty workload")
 }
 
@@ -44,7 +44,7 @@ pub fn case_study(
     let (rows, stats) = execute(&plan, &bound, db);
     let exec = t0.elapsed();
     let mut s = String::new();
-    writeln!(
+    let _ = writeln!(
         s,
         "{} on Q{} (true card {}, result {rows} rows, exec {}, {} intermediate rows; \
          operators: {} build / {} probe / {} gathered, {} spill parts)",
@@ -57,8 +57,7 @@ pub fn case_study(
         stats.probe_rows,
         stats.rows_gathered,
         stats.partitions_spilled,
-    )
-    .unwrap();
+    );
     s.push_str(&plan.render(&query.tables, &|mask| {
         format!(
             "[est {:.0} | true {:.0}]",

@@ -1,0 +1,449 @@
+//! Append-only JSONL checkpoints for kill/resume recovery.
+//!
+//! Format: one compact JSON object per line, keyed by
+//! `(method, workload, query)`:
+//!
+//! ```text
+//! {"method":"PostgreSQL","workload":"STATS-CEB","query":3,"run":{...}}
+//! ```
+//!
+//! The `run` object is a lossless encoding of [`QueryRun`]: durations are
+//! integer nanoseconds, `u64` counters are integers (exact in f64 below
+//! 2^53), and fault values that may be non-finite (NaN/±inf) travel as
+//! strings because JSON numbers cannot carry them. Records are appended
+//! and flushed one query at a time, so a killed process loses at most the
+//! line it was writing; the loader tolerates a truncated or corrupt tail
+//! by skipping unparseable lines (those queries are simply recomputed on
+//! resume). Later records win over earlier ones for the same key, so
+//! re-running a method over an old checkpoint self-heals.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+use std::time::Duration;
+
+use cardbench_engine::ExecStats;
+use cardbench_support::json::Json;
+
+use crate::endtoend::QueryRun;
+use crate::fault::{EstFailure, EstimateError, QueryFailure};
+
+/// One parsed checkpoint line.
+#[derive(Debug, Clone)]
+pub struct CheckpointRecord {
+    /// Estimator display name.
+    pub method: String,
+    /// Workload display name.
+    pub workload: String,
+    /// The per-query record.
+    pub run: QueryRun,
+}
+
+/// Streams per-query records to a JSONL checkpoint file.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    out: BufWriter<File>,
+}
+
+impl CheckpointWriter {
+    /// Opens `path` fresh, discarding any existing checkpoint.
+    pub fn create(path: &Path) -> std::io::Result<CheckpointWriter> {
+        Ok(CheckpointWriter {
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+
+    /// Opens `path` for appending (creating it if absent) — the resume
+    /// mode: existing records stay, new ones follow. A file whose last
+    /// line was torn by a kill mid-write gets a newline first, so the
+    /// fragment corrupts only itself, never the next record.
+    pub fn append(path: &Path) -> std::io::Result<CheckpointWriter> {
+        let ends_with_newline = match File::open(path) {
+            Ok(mut f) => {
+                use std::io::Seek;
+                let len = f.seek(std::io::SeekFrom::End(0))?;
+                if len == 0 {
+                    true
+                } else {
+                    f.seek(std::io::SeekFrom::End(-1))?;
+                    let mut last = [0u8; 1];
+                    f.read_exact(&mut last)?;
+                    last[0] == b'\n'
+                }
+            }
+            Err(_) => true,
+        };
+        let mut out = BufWriter::new(OpenOptions::new().append(true).create(true).open(path)?);
+        if !ends_with_newline {
+            writeln!(out)?;
+        }
+        Ok(CheckpointWriter { out })
+    }
+
+    /// Appends one record and flushes, so a kill right after loses
+    /// nothing.
+    pub fn write(&mut self, method: &str, workload: &str, run: &QueryRun) -> std::io::Result<()> {
+        let line = Json::object([
+            ("method", Json::String(method.to_string())),
+            ("workload", Json::String(workload.to_string())),
+            ("query", Json::Number(run.id as f64)),
+            ("run", query_run_to_json(run)),
+        ]);
+        writeln!(self.out, "{}", line.compact())?;
+        self.out.flush()
+    }
+}
+
+/// Loads every parseable record of a checkpoint file. Unparseable lines
+/// (a truncated tail from a killed process) are skipped, not fatal.
+pub fn load_checkpoint(path: &Path) -> std::io::Result<Vec<CheckpointRecord>> {
+    let mut text = String::new();
+    File::open(path)?.read_to_string(&mut text)?;
+    let mut records = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(v) = Json::parse(line) else { continue };
+        let (Some(method), Some(workload), Some(run)) = (
+            v.get("method").and_then(Json::as_str),
+            v.get("workload").and_then(Json::as_str),
+            v.get("run").and_then(query_run_from_json),
+        ) else {
+            continue;
+        };
+        records.push(CheckpointRecord {
+            method: method.to_string(),
+            workload: workload.to_string(),
+            run,
+        });
+    }
+    Ok(records)
+}
+
+fn num(n: u64) -> Json {
+    Json::Number(n as f64)
+}
+
+fn duration_to_json(d: Duration) -> Json {
+    // Integer nanoseconds: exact in f64 below 2^53 ns (~104 days).
+    Json::Number(d.as_nanos() as f64)
+}
+
+fn duration_from_json(v: &Json) -> Option<Duration> {
+    v.as_f64()
+        .filter(|n| n.is_finite() && *n >= 0.0)
+        .map(|n| Duration::from_nanos(n as u64))
+}
+
+/// Non-finite-safe f64 encoding: JSON numbers cannot carry NaN/±inf, so
+/// fault values travel as their shortest-roundtrip string form.
+fn f64_to_json_string(v: f64) -> Json {
+    Json::String(format!("{v}"))
+}
+
+fn f64_from_json_string(v: &Json) -> Option<f64> {
+    v.as_str().and_then(|s| s.parse().ok())
+}
+
+fn exec_stats_to_json(s: &ExecStats) -> Json {
+    Json::object([
+        ("output_rows", num(s.output_rows)),
+        ("intermediate_rows", num(s.intermediate_rows)),
+        ("build_rows", num(s.build_rows)),
+        ("probe_rows", num(s.probe_rows)),
+        ("rows_gathered", num(s.rows_gathered)),
+        ("partitions_spilled", num(s.partitions_spilled)),
+        ("peak_intermediate_bytes", num(s.peak_intermediate_bytes)),
+    ])
+}
+
+fn exec_stats_from_json(v: &Json) -> Option<ExecStats> {
+    let field = |k: &str| v.get(k).and_then(Json::as_f64).map(|n| n as u64);
+    Some(ExecStats {
+        output_rows: field("output_rows")?,
+        intermediate_rows: field("intermediate_rows")?,
+        build_rows: field("build_rows")?,
+        probe_rows: field("probe_rows")?,
+        rows_gathered: field("rows_gathered")?,
+        partitions_spilled: field("partitions_spilled")?,
+        peak_intermediate_bytes: field("peak_intermediate_bytes")?,
+    })
+}
+
+fn est_failure_to_json(f: &EstFailure) -> Json {
+    let mut pairs = vec![
+        ("mask".to_string(), num(f.mask)),
+        ("kind".to_string(), Json::String(f.error.kind().to_string())),
+    ];
+    match &f.error {
+        EstimateError::Panicked { message } => {
+            pairs.push(("message".to_string(), Json::String(message.clone())));
+        }
+        EstimateError::TimedOut { elapsed, budget } => {
+            pairs.push(("elapsed_ns".to_string(), duration_to_json(*elapsed)));
+            pairs.push(("budget_ns".to_string(), duration_to_json(*budget)));
+        }
+        EstimateError::NonFinite { value } | EstimateError::Degenerate { value } => {
+            pairs.push(("value".to_string(), f64_to_json_string(*value)));
+        }
+    }
+    Json::object(pairs)
+}
+
+fn est_failure_from_json(v: &Json) -> Option<EstFailure> {
+    let mask = v.get("mask").and_then(Json::as_f64)? as u64;
+    let error = match v.get("kind").and_then(Json::as_str)? {
+        "panicked" => EstimateError::Panicked {
+            message: v.get("message").and_then(Json::as_str)?.to_string(),
+        },
+        "timed_out" => EstimateError::TimedOut {
+            elapsed: v.get("elapsed_ns").and_then(duration_from_json)?,
+            budget: v.get("budget_ns").and_then(duration_from_json)?,
+        },
+        "non_finite" => EstimateError::NonFinite {
+            value: v.get("value").and_then(f64_from_json_string)?,
+        },
+        "degenerate" => EstimateError::Degenerate {
+            value: v.get("value").and_then(f64_from_json_string)?,
+        },
+        _ => return None,
+    };
+    Some(EstFailure { mask, error })
+}
+
+fn query_failure_to_json(f: &QueryFailure) -> Json {
+    match f {
+        QueryFailure::Bind { message } => Json::object([
+            ("kind", Json::String("bind".into())),
+            ("message", Json::String(message.clone())),
+        ]),
+        QueryFailure::Truth { message } => Json::object([
+            ("kind", Json::String("truth".into())),
+            ("message", Json::String(message.clone())),
+        ]),
+        QueryFailure::ExecBudget {
+            peak_bytes,
+            budget_bytes,
+        } => Json::object([
+            ("kind", Json::String("exec_budget".into())),
+            ("peak_bytes", num(*peak_bytes)),
+            ("budget_bytes", num(*budget_bytes)),
+        ]),
+    }
+}
+
+fn query_failure_from_json(v: &Json) -> Option<QueryFailure> {
+    match v.get("kind").and_then(Json::as_str)? {
+        "bind" => Some(QueryFailure::Bind {
+            message: v.get("message").and_then(Json::as_str)?.to_string(),
+        }),
+        "truth" => Some(QueryFailure::Truth {
+            message: v.get("message").and_then(Json::as_str)?.to_string(),
+        }),
+        "exec_budget" => Some(QueryFailure::ExecBudget {
+            peak_bytes: v.get("peak_bytes").and_then(Json::as_f64)? as u64,
+            budget_bytes: v.get("budget_bytes").and_then(Json::as_f64)? as u64,
+        }),
+        _ => None,
+    }
+}
+
+/// Lossless [`QueryRun`] encoding. Finite metric values are plain JSON
+/// numbers; a failed query's `p_error` is NaN and encodes as a string
+/// like the fault values.
+pub fn query_run_to_json(run: &QueryRun) -> Json {
+    let f64s = |xs: &[f64]| Json::Array(xs.iter().map(|&x| Json::Number(x)).collect());
+    Json::object([
+        ("id", num(run.id as u64)),
+        ("n_tables", num(run.n_tables as u64)),
+        ("true_card", Json::Number(run.true_card)),
+        ("exec_ns", duration_to_json(run.exec)),
+        ("plan_ns", duration_to_json(run.plan)),
+        ("subplans", num(run.subplans as u64)),
+        ("p_error", f64_to_json_string(run.p_error)),
+        ("q_errors", f64s(&run.q_errors)),
+        ("sub_est_cards", f64s(&run.sub_est_cards)),
+        ("sub_true_cards", f64s(&run.sub_true_cards)),
+        ("result_rows", num(run.result_rows)),
+        ("exec_stats", exec_stats_to_json(&run.exec_stats)),
+        (
+            "est_failures",
+            Json::Array(run.est_failures.iter().map(est_failure_to_json).collect()),
+        ),
+        ("clamped_subplans", num(run.clamped_subplans)),
+        ("fallback_subplans", num(run.fallback_subplans)),
+        (
+            "failure",
+            run.failure
+                .as_ref()
+                .map(query_failure_to_json)
+                .unwrap_or(Json::Null),
+        ),
+    ])
+}
+
+/// Inverse of [`query_run_to_json`]; `None` on any missing or mistyped
+/// field (the loader then treats the record as absent).
+pub fn query_run_from_json(v: &Json) -> Option<QueryRun> {
+    let f64s = |key: &str| -> Option<Vec<f64>> {
+        v.get(key)?.as_array()?.iter().map(|x| x.as_f64()).collect()
+    };
+    Some(QueryRun {
+        id: v.get("id").and_then(Json::as_usize)?,
+        n_tables: v.get("n_tables").and_then(Json::as_usize)?,
+        true_card: v.get("true_card").and_then(Json::as_f64)?,
+        exec: v.get("exec_ns").and_then(duration_from_json)?,
+        plan: v.get("plan_ns").and_then(duration_from_json)?,
+        subplans: v.get("subplans").and_then(Json::as_usize)?,
+        p_error: v.get("p_error").and_then(f64_from_json_string)?,
+        q_errors: f64s("q_errors")?,
+        sub_est_cards: f64s("sub_est_cards")?,
+        sub_true_cards: f64s("sub_true_cards")?,
+        result_rows: v.get("result_rows").and_then(Json::as_f64)? as u64,
+        exec_stats: v.get("exec_stats").and_then(exec_stats_from_json)?,
+        est_failures: v
+            .get("est_failures")?
+            .as_array()?
+            .iter()
+            .map(est_failure_from_json)
+            .collect::<Option<Vec<_>>>()?,
+        clamped_subplans: v.get("clamped_subplans").and_then(Json::as_f64)? as u64,
+        fallback_subplans: v.get("fallback_subplans").and_then(Json::as_f64)? as u64,
+        failure: match v.get("failure")? {
+            Json::Null => None,
+            f => Some(query_failure_from_json(f)?),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run() -> QueryRun {
+        QueryRun {
+            id: 7,
+            n_tables: 3,
+            true_card: 123.0,
+            exec: Duration::from_nanos(1_234_567),
+            plan: Duration::from_micros(89),
+            subplans: 5,
+            p_error: 1.25,
+            q_errors: vec![1.0, 2.5, 10.0],
+            sub_est_cards: vec![4.0, 5.5, 1.0],
+            sub_true_cards: vec![4.0, 2.0, 9.0],
+            result_rows: 123,
+            exec_stats: ExecStats {
+                output_rows: 123,
+                intermediate_rows: 456,
+                build_rows: 7,
+                probe_rows: 8,
+                rows_gathered: 9,
+                partitions_spilled: 1,
+                peak_intermediate_bytes: 1 << 20,
+            },
+            est_failures: vec![
+                EstFailure {
+                    mask: 0b101,
+                    error: EstimateError::Panicked {
+                        message: "chaos: injected panic".into(),
+                    },
+                },
+                EstFailure {
+                    mask: 0b010,
+                    error: EstimateError::NonFinite { value: f64::NAN },
+                },
+                EstFailure {
+                    mask: 0b001,
+                    error: EstimateError::TimedOut {
+                        elapsed: Duration::from_millis(70),
+                        budget: Duration::from_millis(50),
+                    },
+                },
+            ],
+            clamped_subplans: 2,
+            fallback_subplans: 1,
+            failure: None,
+        }
+    }
+
+    fn assert_runs_equal(a: &QueryRun, b: &QueryRun) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.n_tables, b.n_tables);
+        assert_eq!(a.true_card.to_bits(), b.true_card.to_bits());
+        assert_eq!(a.exec, b.exec);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.subplans, b.subplans);
+        assert_eq!(a.p_error.to_bits(), b.p_error.to_bits());
+        assert_eq!(a.q_errors, b.q_errors);
+        assert_eq!(a.sub_est_cards, b.sub_est_cards);
+        assert_eq!(a.sub_true_cards, b.sub_true_cards);
+        assert_eq!(a.result_rows, b.result_rows);
+        assert_eq!(a.exec_stats, b.exec_stats);
+        assert_eq!(a.est_failures, b.est_failures);
+        assert_eq!(a.clamped_subplans, b.clamped_subplans);
+        assert_eq!(a.fallback_subplans, b.fallback_subplans);
+        assert_eq!(a.failure, b.failure);
+    }
+
+    #[test]
+    fn query_run_roundtrips_losslessly() {
+        let run = sample_run();
+        let back = query_run_from_json(&query_run_to_json(&run)).expect("roundtrip parses");
+        assert_runs_equal(&run, &back);
+    }
+
+    #[test]
+    fn failed_run_roundtrips() {
+        let mut run = sample_run();
+        run.p_error = f64::NAN;
+        run.failure = Some(QueryFailure::ExecBudget {
+            peak_bytes: 9_000_000,
+            budget_bytes: 1_000_000,
+        });
+        let back = query_run_from_json(&query_run_to_json(&run)).expect("roundtrip parses");
+        assert_runs_equal(&run, &back);
+    }
+
+    #[test]
+    fn writer_and_loader_roundtrip_with_torn_tail() {
+        let dir = std::env::temp_dir().join(format!(
+            "cardbench-ckpt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let mut w = CheckpointWriter::create(&path).unwrap();
+        let a = sample_run();
+        let mut b = sample_run();
+        b.id = 8;
+        w.write("PostgreSQL", "STATS-CEB", &a).unwrap();
+        w.write("PostgreSQL", "STATS-CEB", &b).unwrap();
+        drop(w);
+        // Simulate a kill mid-write: append a torn (truncated) line.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"method\":\"Postg").unwrap();
+        drop(f);
+        let recs = load_checkpoint(&path).unwrap();
+        assert_eq!(recs.len(), 2, "torn tail is skipped, not fatal");
+        assert_eq!(recs[0].method, "PostgreSQL");
+        assert_eq!(recs[0].workload, "STATS-CEB");
+        assert_runs_equal(&recs[0].run, &a);
+        assert_runs_equal(&recs[1].run, &b);
+        // Appending after the torn tail newline-terminates the fragment
+        // first, so the new record parses and only the fragment is lost.
+        let mut w = CheckpointWriter::append(&path).unwrap();
+        let mut c = sample_run();
+        c.id = 9;
+        w.write("PostgreSQL", "STATS-CEB", &c).unwrap();
+        drop(w);
+        let recs = load_checkpoint(&path).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_runs_equal(&recs[2].run, &c);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -11,18 +11,33 @@
 //! `estimate` is timed around its own call, which parallelism does not
 //! reorder or interleave (one sub-plan's inference runs start-to-finish
 //! on one thread).
+//!
+//! Every estimate is sandboxed ([`crate::fault::guarded_estimate`]):
+//! panics and budget overruns become typed [`EstFailure`] records, the
+//! affected sub-plan degrades to the PostgreSQL baseline estimate, and
+//! the run continues. Estimates are injected through the engine's
+//! `clamp_row_est` with the sub-plan's cross-product bound, execution can
+//! run under a memory budget, and per-query records stream to an
+//! append-only JSONL checkpoint for kill/resume recovery (see
+//! [`crate::checkpoint`]).
 
+use std::collections::HashMap;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use cardbench_engine::{
-    execute_with, optimize, CardMap, CostModel, Database, ExecScratch, ExecStats, PhysicalPlan,
-    TrueCardService,
+    optimize, try_execute_with, CardMap, CostModel, Database, ExecError, ExecScratch, ExecStats,
+    PhysicalPlan, TrueCardService,
 };
+use cardbench_estimators::postgres::PostgresEst;
 use cardbench_estimators::{CardEst, EstimatorKind};
 use cardbench_metrics::{p_error, q_error};
-use cardbench_query::{connected_subsets, BoundQuery, SubPlanQuery};
+use cardbench_query::{connected_subsets, BoundQuery, SubPlanQuery, TableMask};
 use cardbench_support::par;
-use cardbench_workload::Workload;
+use cardbench_workload::{Workload, WorkloadQuery};
+
+use crate::checkpoint::{load_checkpoint, CheckpointWriter};
+use crate::fault::{EstFailure, EstimateError, QueryFailure, RunOptions};
 
 /// Result of one query under one estimator.
 #[derive(Debug, Clone)]
@@ -45,7 +60,9 @@ pub struct QueryRun {
     /// Q-Errors over all sub-plan queries.
     pub q_errors: Vec<f64>,
     /// Estimated cardinality per sub-plan, in `connected_subsets` order
-    /// (exposed so determinism across thread counts is checkable).
+    /// (exposed so determinism across thread counts is checkable). For
+    /// faulted sub-plans this is the value the optimizer actually saw
+    /// (clamped or baseline-substituted).
     pub sub_est_cards: Vec<f64>,
     /// True cardinality per sub-plan, in the same order.
     pub sub_true_cards: Vec<f64>,
@@ -54,6 +71,23 @@ pub struct QueryRun {
     /// Operator-level execution counters of the chosen plan (identical
     /// across the warm-up and every timed repeat).
     pub exec_stats: ExecStats,
+    /// Typed per-sub-plan estimate failures (panic, timeout, NaN, …).
+    pub est_failures: Vec<EstFailure>,
+    /// Sub-plan estimates the engine's clamp had to intervene on.
+    pub clamped_subplans: u64,
+    /// Sub-plans degraded to the PostgreSQL baseline estimate after a
+    /// hard estimator failure.
+    pub fallback_subplans: u64,
+    /// Whole-query failure: set when the query produced no executed
+    /// result (bind/truth error or memory-budget abort).
+    pub failure: Option<QueryFailure>,
+}
+
+impl QueryRun {
+    /// True when the query executed to completion.
+    pub fn completed(&self) -> bool {
+        self.failure.is_none()
+    }
 }
 
 /// All queries of one workload under one estimator.
@@ -103,9 +137,13 @@ impl MethodRun {
             .collect()
     }
 
-    /// All per-query P-Errors.
+    /// All per-query P-Errors (completed queries only).
     pub fn all_p_errors(&self) -> Vec<f64> {
-        self.queries.iter().map(|q| q.p_error).collect()
+        self.queries
+            .iter()
+            .filter(|q| q.completed())
+            .map(|q| q.p_error)
+            .collect()
     }
 
     /// Operator counters aggregated over all queries: additive counters
@@ -135,6 +173,26 @@ impl MethodRun {
         }
         (baseline.as_secs_f64() - own.as_secs_f64()) / baseline.as_secs_f64() * 100.0
     }
+
+    /// Queries that produced no executed result.
+    pub fn failed_queries(&self) -> usize {
+        self.queries.iter().filter(|q| !q.completed()).count()
+    }
+
+    /// Total typed sub-plan estimate failures across all queries.
+    pub fn est_failure_total(&self) -> usize {
+        self.queries.iter().map(|q| q.est_failures.len()).sum()
+    }
+
+    /// Total sub-plan estimates the clamp intervened on.
+    pub fn clamped_total(&self) -> u64 {
+        self.queries.iter().map(|q| q.clamped_subplans).sum()
+    }
+
+    /// Total sub-plans degraded to the PostgreSQL baseline.
+    pub fn fallback_total(&self) -> u64 {
+        self.queries.iter().map(|q| q.fallback_subplans).sum()
+    }
 }
 
 /// One query after phase 1: everything except timed execution.
@@ -148,8 +206,20 @@ struct PlannedQuery {
     q_errors: Vec<f64>,
     sub_est_cards: Vec<f64>,
     sub_true_cards: Vec<f64>,
-    bound: BoundQuery,
-    plan: PhysicalPlan,
+    est_failures: Vec<EstFailure>,
+    clamped_subplans: u64,
+    fallback_subplans: u64,
+    /// `Ok`: ready to execute. `Err`: the query failed before planning
+    /// completed (bind or truth error) and must not execute.
+    plan: Result<(BoundQuery, PhysicalPlan), QueryFailure>,
+}
+
+/// Cross-product cardinality of the masked tables: the PostgreSQL-style
+/// upper bound no sub-plan estimate may exceed.
+fn cross_product_bound(db: &Database, bound: &BoundQuery, mask: TableMask) -> f64 {
+    mask.iter()
+        .map(|pos| db.row_count(bound.tables[pos].id) as f64)
+        .product()
 }
 
 /// Runs every workload query through the optimizer with the estimator's
@@ -170,13 +240,6 @@ pub fn run_workload(
 }
 
 /// [`run_workload`] with an explicit planning thread count (`0` = auto).
-///
-/// Phase 1 fans queries out over `threads` workers: each worker owns a
-/// query end-to-end through sub-plan enumeration, inference (timed per
-/// call), true-cardinality lookups, plan choice, and Q-/P-Error. Phase 2
-/// then executes the chosen plans one at a time — warm-up plus median of
-/// three timed runs — so execution wall-clock is measured on an otherwise
-/// idle process, exactly as in the sequential harness.
 pub fn run_workload_with_threads(
     db: &Database,
     wl: &Workload,
@@ -185,56 +248,78 @@ pub fn run_workload_with_threads(
     cost: &CostModel,
     threads: usize,
 ) -> Vec<QueryRun> {
-    let threads = par::resolve_threads(threads);
+    run_workload_with_options(db, wl, est, truth, cost, &RunOptions::with_threads(threads))
+}
+
+/// [`run_workload`] with the full set of guard rails ([`RunOptions`]):
+/// sandboxed estimation with a per-estimate wall-clock budget, a per-query
+/// executor memory budget, and JSONL checkpoint/resume.
+///
+/// Phase 1 fans queries out over the configured workers: each worker owns
+/// a query end-to-end through sub-plan enumeration, inference (timed per
+/// call), true-cardinality lookups, plan choice, and Q-/P-Error. Phase 2
+/// then executes the chosen plans one at a time — warm-up plus median of
+/// three timed runs — so execution wall-clock is measured on an otherwise
+/// idle process, exactly as in the sequential harness.
+///
+/// With `opts.checkpoint` set, each completed [`QueryRun`] is appended to
+/// the checkpoint as it finishes; with `opts.resume` additionally set,
+/// records already present for this (estimator, workload) are reused
+/// verbatim and their queries skipped. Fault decisions, estimates, and
+/// executed results are deterministic, so a killed-and-resumed run equals
+/// an uninterrupted one on every non-timing field.
+pub fn run_workload_with_options(
+    db: &Database,
+    wl: &Workload,
+    est: &dyn CardEst,
+    truth: &TrueCardService,
+    cost: &CostModel,
+    opts: &RunOptions,
+) -> Vec<QueryRun> {
+    let threads = par::resolve_threads(opts.threads);
+
+    // Resume: load completed (estimator, workload, query) records.
+    let mut resumed: HashMap<usize, QueryRun> = HashMap::new();
+    if opts.resume {
+        if let Some(path) = &opts.checkpoint {
+            for rec in load_checkpoint(path).unwrap_or_default() {
+                if rec.method == est.name() && rec.workload == wl.name {
+                    resumed.insert(rec.run.id, rec.run);
+                }
+            }
+        }
+    }
+    let mut writer = opts.checkpoint.as_ref().and_then(|path| {
+        let w = if opts.resume {
+            CheckpointWriter::append(path)
+        } else {
+            CheckpointWriter::create(path)
+        };
+        match w {
+            Ok(w) => Some(w),
+            Err(e) => {
+                eprintln!("[cardbench] checkpoint {} unavailable: {e}", path.display());
+                None
+            }
+        }
+    });
+
+    let todo: Vec<&WorkloadQuery> = wl
+        .queries
+        .iter()
+        .filter(|wq| !resumed.contains_key(&wq.id))
+        .collect();
+
+    // The graceful-degradation estimator for hard failures, built at most
+    // once per run (lazily, shared across planning threads): when an
+    // estimate panics or overruns its budget, its sub-plan falls back to
+    // the PostgreSQL baseline — the same behaviour as the paper's setup,
+    // where the plan still has *some* row count for every sub-plan.
+    let fallback: OnceLock<PostgresEst> = OnceLock::new();
 
     // Phase 1: plan every query (parallel, order-preserving).
-    let planned: Vec<PlannedQuery> = par::map(&wl.queries, threads, |_, wq| {
-        let query = &wq.query;
-        let bound = BoundQuery::bind(query, db.catalog()).expect("workload query binds");
-        let masks = connected_subsets(query);
-        let mut est_cards = CardMap::new();
-        let mut true_cards = CardMap::new();
-        let mut plan_time = Duration::ZERO;
-        let mut q_errors = Vec::with_capacity(masks.len());
-        let mut sub_est_cards = Vec::with_capacity(masks.len());
-        let mut sub_true_cards = Vec::with_capacity(masks.len());
-        for &mask in &masks {
-            let sp = SubPlanQuery::project(query, mask);
-            let t0 = Instant::now();
-            let e = est.estimate(db, &sp);
-            let mut dt = t0.elapsed();
-            if est.is_oracle() {
-                // The paper injects precomputed true cardinalities; time a
-                // warm (cached) call instead of the first computation.
-                let t1 = Instant::now();
-                let _ = est.estimate(db, &sp);
-                dt = t1.elapsed();
-            }
-            plan_time += dt;
-            let t = truth
-                .cardinality(db, &sp.query)
-                .expect("true cardinality computable");
-            est_cards.insert(mask, e);
-            true_cards.insert(mask, t);
-            q_errors.push(q_error(e, t));
-            sub_est_cards.push(e);
-            sub_true_cards.push(t);
-        }
-        let plan = optimize(query, &bound, db, &est_cards, cost);
-        let pe = p_error(db, cost, query, &bound, &est_cards, &true_cards);
-        PlannedQuery {
-            id: wq.id,
-            n_tables: query.table_count(),
-            true_card: wq.true_card,
-            plan_time,
-            subplans: masks.len(),
-            p_error: pe,
-            q_errors,
-            sub_est_cards,
-            sub_true_cards,
-            bound,
-            plan,
-        }
+    let planned: Vec<PlannedQuery> = par::map(&todo, threads, |_, wq| {
+        plan_one(db, wq, est, truth, cost, opts, &fallback)
     });
 
     // Phase 2: execute the chosen plans (sequential, timed). One scratch
@@ -242,39 +327,219 @@ pub fn run_workload_with_threads(
     // phase pays buffer allocations; results are bit-identical to fresh
     // buffers (asserted by the executor differential property test).
     let mut scratch = ExecScratch::new();
-    planned
-        .into_iter()
-        .map(|p| {
-            // Warm run first, then median of three timed runs: wall-clock
-            // at millisecond scale is dominated by allocator/cache state
-            // and scheduling noise, which would otherwise punish whichever
-            // method happens to hit a cold or contended moment.
-            let (rows, stats) = execute_with(&p.plan, &p.bound, db, &mut scratch);
-            let mut times = [Duration::ZERO; 3];
-            for t in &mut times {
-                let t0 = Instant::now();
-                let (rows2, stats2) = execute_with(&p.plan, &p.bound, db, &mut scratch);
-                *t = t0.elapsed();
-                debug_assert_eq!(rows, rows2);
-                debug_assert_eq!(stats, stats2);
+    let mut computed: HashMap<usize, QueryRun> = HashMap::with_capacity(planned.len());
+    for p in planned {
+        let run = execute_one(db, p, opts, &mut scratch);
+        if let Some(mut w) = writer.take() {
+            match w.write(est.name(), &wl.name, &run) {
+                Ok(()) => writer = Some(w),
+                Err(e) => eprintln!("[cardbench] checkpoint write failed: {e}"),
             }
-            times.sort();
-            QueryRun {
-                id: p.id,
-                n_tables: p.n_tables,
-                true_card: p.true_card,
-                exec: times[1],
-                plan: p.plan_time,
-                subplans: p.subplans,
-                p_error: p.p_error,
-                q_errors: p.q_errors,
-                sub_est_cards: p.sub_est_cards,
-                sub_true_cards: p.sub_true_cards,
-                result_rows: rows,
-                exec_stats: stats,
-            }
-        })
+        }
+        computed.insert(run.id, run);
+    }
+
+    // Stitch resumed and fresh records back into workload order.
+    wl.queries
+        .iter()
+        .filter_map(|wq| resumed.remove(&wq.id).or_else(|| computed.remove(&wq.id)))
         .collect()
+}
+
+/// Phase-1 work for one query: sandboxed estimation over the sub-plan
+/// space, sanitized injection, plan choice, and metrics.
+fn plan_one(
+    db: &Database,
+    wq: &WorkloadQuery,
+    est: &dyn CardEst,
+    truth: &TrueCardService,
+    cost: &CostModel,
+    opts: &RunOptions,
+    fallback: &OnceLock<PostgresEst>,
+) -> PlannedQuery {
+    use crate::fault::guarded_estimate;
+
+    let query = &wq.query;
+    let failed = |plan_time, failure| PlannedQuery {
+        id: wq.id,
+        n_tables: query.table_count(),
+        true_card: wq.true_card,
+        plan_time,
+        subplans: 0,
+        p_error: f64::NAN,
+        q_errors: Vec::new(),
+        sub_est_cards: Vec::new(),
+        sub_true_cards: Vec::new(),
+        est_failures: Vec::new(),
+        clamped_subplans: 0,
+        fallback_subplans: 0,
+        plan: Err(failure),
+    };
+
+    let bound = match BoundQuery::bind(query, db.catalog()) {
+        Ok(b) => b,
+        Err(e) => {
+            return failed(
+                Duration::ZERO,
+                QueryFailure::Bind {
+                    message: e.to_string(),
+                },
+            )
+        }
+    };
+    let masks = connected_subsets(query);
+    let mut est_cards = CardMap::new();
+    let mut true_cards = CardMap::new();
+    let mut plan_time = Duration::ZERO;
+    let mut q_errors = Vec::with_capacity(masks.len());
+    let mut sub_est_cards = Vec::with_capacity(masks.len());
+    let mut sub_true_cards = Vec::with_capacity(masks.len());
+    let mut est_failures = Vec::new();
+    let mut fallback_subplans = 0u64;
+    for &mask in &masks {
+        let sp = SubPlanQuery::project(query, mask);
+        let (outcome, mut dt) = guarded_estimate(est, db, &sp, opts.timeout);
+        if est.is_oracle() && outcome.is_ok() {
+            // The paper injects precomputed true cardinalities; time a
+            // warm (cached) call instead of the first computation.
+            let (_, warm) = guarded_estimate(est, db, &sp, opts.timeout);
+            dt = warm;
+        }
+        plan_time += dt;
+        let t = match truth.cardinality(db, &sp.query) {
+            Ok(t) => t,
+            Err(e) => {
+                return failed(
+                    plan_time,
+                    QueryFailure::Truth {
+                        message: e.to_string(),
+                    },
+                )
+            }
+        };
+        let upper = cross_product_bound(db, &bound, mask);
+        // Decide what the optimizer sees and what the metrics score.
+        // Clean estimates keep their raw value for Q-Error (historical
+        // behaviour); faulted ones score the value actually injected.
+        let scored = match outcome {
+            Ok(v) => {
+                est_cards.insert_bounded(mask, v, upper);
+                v
+            }
+            Err(err) => {
+                let injected = if err.is_hard() {
+                    fallback_subplans += 1;
+                    fallback
+                        .get_or_init(|| PostgresEst::fit(db))
+                        .estimate(db, &sp)
+                } else {
+                    // Soft failure: the raw value survives to the clamp.
+                    match err {
+                        EstimateError::NonFinite { value }
+                        | EstimateError::Degenerate { value } => value,
+                        _ => f64::NAN,
+                    }
+                };
+                est_cards.insert_bounded(mask, injected, upper);
+                est_failures.push(EstFailure {
+                    mask: mask.0,
+                    error: err,
+                });
+                est_cards.rows(mask)
+            }
+        };
+        true_cards.insert(mask, t);
+        q_errors.push(q_error(scored, t));
+        sub_est_cards.push(scored);
+        sub_true_cards.push(t);
+    }
+    let plan = optimize(query, &bound, db, &est_cards, cost);
+    let pe = p_error(db, cost, query, &bound, &est_cards, &true_cards);
+    PlannedQuery {
+        id: wq.id,
+        n_tables: query.table_count(),
+        true_card: wq.true_card,
+        plan_time,
+        subplans: masks.len(),
+        p_error: pe,
+        q_errors,
+        sub_est_cards,
+        sub_true_cards,
+        est_failures,
+        clamped_subplans: est_cards.clamped(),
+        fallback_subplans,
+        plan: Ok((bound, plan)),
+    }
+}
+
+/// Phase-2 work for one planned query: warm-up plus median-of-three
+/// timed executions, under the optional memory budget.
+fn execute_one(
+    db: &Database,
+    p: PlannedQuery,
+    opts: &RunOptions,
+    scratch: &mut ExecScratch,
+) -> QueryRun {
+    let mut run = QueryRun {
+        id: p.id,
+        n_tables: p.n_tables,
+        true_card: p.true_card,
+        exec: Duration::ZERO,
+        plan: p.plan_time,
+        subplans: p.subplans,
+        p_error: p.p_error,
+        q_errors: p.q_errors,
+        sub_est_cards: p.sub_est_cards,
+        sub_true_cards: p.sub_true_cards,
+        result_rows: 0,
+        exec_stats: ExecStats::default(),
+        est_failures: p.est_failures,
+        clamped_subplans: p.clamped_subplans,
+        fallback_subplans: p.fallback_subplans,
+        failure: None,
+    };
+    let (bound, plan) = match p.plan {
+        Ok(bp) => bp,
+        Err(failure) => {
+            run.failure = Some(failure);
+            run.p_error = f64::NAN;
+            return run;
+        }
+    };
+    let budget = opts.mem_budget_bytes;
+    // Warm run first, then median of three timed runs: wall-clock at
+    // millisecond scale is dominated by allocator/cache state and
+    // scheduling noise, which would otherwise punish whichever method
+    // happens to hit a cold or contended moment.
+    let (rows, stats) = match try_execute_with(&plan, &bound, db, scratch, budget) {
+        Ok(out) => out,
+        Err(ExecError::BudgetExceeded {
+            peak_bytes,
+            budget_bytes,
+        }) => {
+            run.failure = Some(QueryFailure::ExecBudget {
+                peak_bytes,
+                budget_bytes,
+            });
+            return run;
+        }
+    };
+    let mut times = [Duration::ZERO; 3];
+    for t in &mut times {
+        let t0 = Instant::now();
+        // Execution is deterministic: a repeat of a run that fit the
+        // budget fits it again.
+        let (rows2, stats2) = try_execute_with(&plan, &bound, db, scratch, budget)
+            .expect("deterministic re-execution stays within budget");
+        *t = t0.elapsed();
+        debug_assert_eq!(rows, rows2);
+        debug_assert_eq!(stats, stats2);
+    }
+    times.sort();
+    run.exec = times[1];
+    run.result_rows = rows;
+    run.exec_stats = stats;
+    run
 }
 
 #[cfg(test)]
@@ -310,6 +575,9 @@ mod tests {
             }
             // Oracle P-Error is exactly 1.
             assert!((run.p_error - 1.0).abs() < 1e-9);
+            assert!(run.completed());
+            assert!(run.est_failures.is_empty());
+            assert_eq!(run.fallback_subplans, 0);
         }
     }
 

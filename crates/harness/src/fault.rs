@@ -1,0 +1,408 @@
+//! The harness's fault-tolerance layer: estimator sandboxing, the typed
+//! failure taxonomy, and per-run guard-rail options.
+//!
+//! Every `CardEst::estimate` call the harness makes goes through
+//! [`guarded_estimate`]: the call runs under `std::panic::catch_unwind`
+//! (with a quiet panic hook so injected/inherent estimator panics don't
+//! spray backtraces over benchmark output) and its wall time is checked
+//! against an optional budget. Misbehaviour becomes a typed
+//! [`EstimateError`] instead of aborting hours of benchmark work:
+//!
+//! - **hard** failures ([`EstimateError::Panicked`],
+//!   [`EstimateError::TimedOut`]) produce no usable value; the caller
+//!   degrades to the PostgreSQL baseline estimate for that sub-plan;
+//! - **soft** failures ([`EstimateError::NonFinite`],
+//!   [`EstimateError::Degenerate`]) carry the bad value, which the
+//!   engine's `clamp_row_est` maps into `[1, cross-product bound]` at the
+//!   injection point.
+//!
+//! Timeout semantics are cooperative: safe Rust cannot kill a running
+//! thread, so the estimate runs to completion and is *then* discarded if
+//! it overran the budget. A hung estimator therefore still stalls its
+//! worker (no worse than before), but a slow one can no longer poison the
+//! run with an estimate the paper's setup would have timed out.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Once;
+use std::time::{Duration, Instant};
+
+use cardbench_engine::Database;
+use cardbench_estimators::CardEst;
+use cardbench_query::SubPlanQuery;
+
+/// Why one sub-plan estimate was rejected.
+#[derive(Debug, Clone)]
+pub enum EstimateError {
+    /// `estimate` panicked; the payload message is kept for attribution.
+    Panicked {
+        /// Panic payload rendered to text.
+        message: String,
+    },
+    /// The call finished but took longer than the per-estimate budget.
+    TimedOut {
+        /// Observed wall time.
+        elapsed: Duration,
+        /// The configured budget.
+        budget: Duration,
+    },
+    /// The estimator returned NaN or ±infinity.
+    NonFinite {
+        /// The offending value.
+        value: f64,
+    },
+    /// The estimator returned a negative or subnormal row count (no
+    /// usable magnitude). Zero is *not* degenerate: an empty estimate is
+    /// legal and clamps to 1.0 exactly as in PostgreSQL.
+    Degenerate {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl EstimateError {
+    /// Stable kind tag (checkpoint format and report cells).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EstimateError::Panicked { .. } => "panicked",
+            EstimateError::TimedOut { .. } => "timed_out",
+            EstimateError::NonFinite { .. } => "non_finite",
+            EstimateError::Degenerate { .. } => "degenerate",
+        }
+    }
+
+    /// True when no usable value exists and the caller must fall back to
+    /// the baseline estimate (panic/timeout). Soft failures carry a value
+    /// the clamp can sanitize.
+    pub fn is_hard(&self) -> bool {
+        matches!(
+            self,
+            EstimateError::Panicked { .. } | EstimateError::TimedOut { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::Panicked { message } => write!(f, "panicked: {message}"),
+            EstimateError::TimedOut { elapsed, budget } => {
+                write!(f, "timed out ({elapsed:?} > {budget:?})")
+            }
+            EstimateError::NonFinite { value } => write!(f, "non-finite estimate ({value})"),
+            EstimateError::Degenerate { value } => write!(f, "degenerate estimate ({value})"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+// Manual PartialEq: NaN-valued errors must still compare equal to
+// themselves (resume-equality tests diff failure records), so values
+// compare by bit pattern.
+impl PartialEq for EstimateError {
+    fn eq(&self, other: &EstimateError) -> bool {
+        match (self, other) {
+            (EstimateError::Panicked { message: a }, EstimateError::Panicked { message: b }) => {
+                a == b
+            }
+            (
+                EstimateError::TimedOut {
+                    elapsed: ea,
+                    budget: ba,
+                },
+                EstimateError::TimedOut {
+                    elapsed: eb,
+                    budget: bb,
+                },
+            ) => ea == eb && ba == bb,
+            (EstimateError::NonFinite { value: a }, EstimateError::NonFinite { value: b })
+            | (EstimateError::Degenerate { value: a }, EstimateError::Degenerate { value: b }) => {
+                a.to_bits() == b.to_bits()
+            }
+            _ => false,
+        }
+    }
+}
+
+/// One recorded estimate failure within a query: which sub-plan (by
+/// table mask within the query) and what went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstFailure {
+    /// Sub-plan table mask (bits index the query's table list).
+    pub mask: u64,
+    /// The failure.
+    pub error: EstimateError,
+}
+
+/// A whole-query failure: the query produced no executed result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryFailure {
+    /// The query did not bind against the catalog.
+    Bind {
+        /// Binder error text.
+        message: String,
+    },
+    /// The true-cardinality oracle failed on a sub-plan.
+    Truth {
+        /// Oracle error text.
+        message: String,
+    },
+    /// Execution aborted: intermediate bytes exceeded the memory budget.
+    ExecBudget {
+        /// Live bytes when the budget tripped.
+        peak_bytes: u64,
+        /// The configured budget.
+        budget_bytes: u64,
+    },
+}
+
+impl QueryFailure {
+    /// Stable kind tag (checkpoint format and report cells).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QueryFailure::Bind { .. } => "bind",
+            QueryFailure::Truth { .. } => "truth",
+            QueryFailure::ExecBudget { .. } => "exec_budget",
+        }
+    }
+}
+
+impl std::fmt::Display for QueryFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryFailure::Bind { message } => write!(f, "bind failed: {message}"),
+            QueryFailure::Truth { message } => write!(f, "true-cardinality failed: {message}"),
+            QueryFailure::ExecBudget {
+                peak_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "memory budget exceeded ({peak_bytes}B > {budget_bytes}B)"
+            ),
+        }
+    }
+}
+
+/// Guard rails and recovery knobs for one workload run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Planning/estimation threads (`0` = auto, as in
+    /// [`crate::run_workload_with_threads`]).
+    pub threads: usize,
+    /// Per-sub-plan-estimate wall-clock budget (`None` = unlimited).
+    pub timeout: Option<Duration>,
+    /// Executor intermediate-bytes budget per query (`None` = unlimited).
+    pub mem_budget_bytes: Option<u64>,
+    /// JSONL checkpoint path: completed per-query records are streamed
+    /// here as they finish.
+    pub checkpoint: Option<PathBuf>,
+    /// With a checkpoint path set: load existing records and skip their
+    /// (method, workload, query) triples instead of recomputing them.
+    /// Without this flag an existing checkpoint file is truncated.
+    pub resume: bool,
+}
+
+impl RunOptions {
+    /// Options matching the historical `run_workload_with_threads`
+    /// behaviour: no budgets, no checkpointing.
+    pub fn with_threads(threads: usize) -> RunOptions {
+        RunOptions {
+            threads,
+            ..RunOptions::default()
+        }
+    }
+}
+
+thread_local! {
+    /// Set while this thread is inside a sandboxed estimate: the process
+    /// panic hook stays quiet for expected (caught) estimator panics.
+    static SANDBOXED: Cell<bool> = const { Cell::new(false) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Installs (once per process) a panic hook that suppresses output for
+/// panics unwinding out of a sandboxed estimate and defers to the
+/// previous hook for everything else.
+fn install_quiet_panic_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if SANDBOXED.with(|c| c.get()) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one sandboxed, budgeted estimate. Returns the estimator's value
+/// or a typed error, plus the observed wall time (always charged to
+/// planning time — a panicking or slow estimator still spent it).
+pub fn guarded_estimate(
+    est: &dyn CardEst,
+    db: &Database,
+    sub: &SubPlanQuery,
+    timeout: Option<Duration>,
+) -> (Result<f64, EstimateError>, Duration) {
+    install_quiet_panic_hook();
+    SANDBOXED.with(|c| c.set(true));
+    let t0 = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| est.estimate(db, sub)));
+    let elapsed = t0.elapsed();
+    SANDBOXED.with(|c| c.set(false));
+    let result = match outcome {
+        Err(payload) => Err(EstimateError::Panicked {
+            message: panic_message(payload),
+        }),
+        Ok(_) if timeout.is_some_and(|budget| elapsed > budget) => Err(EstimateError::TimedOut {
+            elapsed,
+            budget: timeout.unwrap_or_default(),
+        }),
+        Ok(v) if !v.is_finite() => Err(EstimateError::NonFinite { value: v }),
+        Ok(v) if v < 0.0 || (v > 0.0 && !v.is_normal()) => {
+            Err(EstimateError::Degenerate { value: v })
+        }
+        Ok(v) => Ok(v),
+    };
+    (result, elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardbench_query::{JoinQuery, TableMask};
+    use cardbench_storage::{Catalog, Column, ColumnDef, ColumnKind, Table, TableSchema};
+
+    struct FixedEst(f64);
+    impl CardEst for FixedEst {
+        fn name(&self) -> &'static str {
+            "Fixed"
+        }
+        fn estimate(&self, _db: &Database, _sub: &SubPlanQuery) -> f64 {
+            self.0
+        }
+    }
+
+    struct PanicEst;
+    impl CardEst for PanicEst {
+        fn name(&self) -> &'static str {
+            "Panic"
+        }
+        fn estimate(&self, _db: &Database, _sub: &SubPlanQuery) -> f64 {
+            panic!("boom")
+        }
+    }
+
+    struct SlowEst;
+    impl CardEst for SlowEst {
+        fn name(&self) -> &'static str {
+            "Slow"
+        }
+        fn estimate(&self, _db: &Database, _sub: &SubPlanQuery) -> f64 {
+            std::thread::sleep(Duration::from_millis(20));
+            7.0
+        }
+    }
+
+    fn fixture() -> (Database, SubPlanQuery) {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            Table::from_columns(
+                TableSchema::new("t", vec![ColumnDef::new("id", ColumnKind::PrimaryKey)]),
+                vec![Column::from_values(vec![1, 2, 3])],
+            )
+            .unwrap(),
+        );
+        let sub = SubPlanQuery {
+            mask: TableMask::single(0),
+            query: JoinQuery::single("t", vec![]),
+        };
+        (Database::new(cat), sub)
+    }
+
+    #[test]
+    fn clean_estimates_pass_through() {
+        let (db, sub) = fixture();
+        let (r, dt) = guarded_estimate(&FixedEst(42.0), &db, &sub, None);
+        assert_eq!(r, Ok(42.0));
+        assert!(dt < Duration::from_secs(1));
+        // Zero is a legal estimate, not a fault.
+        let (r, _) = guarded_estimate(&FixedEst(0.0), &db, &sub, None);
+        assert_eq!(r, Ok(0.0));
+    }
+
+    #[test]
+    fn panic_is_caught_and_typed() {
+        let (db, sub) = fixture();
+        let (r, _) = guarded_estimate(&PanicEst, &db, &sub, None);
+        let err = r.expect_err("panic must be captured");
+        assert_eq!(err.kind(), "panicked");
+        assert!(err.is_hard());
+        assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn overrun_is_timed_out() {
+        let (db, sub) = fixture();
+        let (r, dt) = guarded_estimate(&SlowEst, &db, &sub, Some(Duration::from_millis(1)));
+        let err = r.expect_err("overrun must be rejected");
+        assert_eq!(err.kind(), "timed_out");
+        assert!(err.is_hard());
+        assert!(dt >= Duration::from_millis(20));
+        // A generous budget accepts the same estimator.
+        let (r, _) = guarded_estimate(&SlowEst, &db, &sub, Some(Duration::from_secs(30)));
+        assert_eq!(r, Ok(7.0));
+    }
+
+    #[test]
+    fn bad_values_are_soft_failures() {
+        let (db, sub) = fixture();
+        for (v, kind) in [
+            (f64::NAN, "non_finite"),
+            (f64::INFINITY, "non_finite"),
+            (f64::NEG_INFINITY, "non_finite"),
+            (-3.0, "degenerate"),
+            (f64::MIN_POSITIVE / 4.0, "degenerate"),
+        ] {
+            let (r, _) = guarded_estimate(&FixedEst(v), &db, &sub, None);
+            let err = r.expect_err("bad value must be typed");
+            assert_eq!(err.kind(), kind, "value {v}");
+            assert!(!err.is_hard(), "value faults are soft");
+        }
+    }
+
+    #[test]
+    fn nan_failures_compare_equal() {
+        let a = EstimateError::NonFinite { value: f64::NAN };
+        let b = EstimateError::NonFinite { value: f64::NAN };
+        assert_eq!(a, b);
+        assert_ne!(a, EstimateError::NonFinite { value: 1.0 });
+        assert_ne!(a, EstimateError::Degenerate { value: f64::NAN });
+    }
+
+    #[test]
+    fn sandbox_survives_repeated_panics() {
+        let (db, sub) = fixture();
+        for _ in 0..50 {
+            let (r, _) = guarded_estimate(&PanicEst, &db, &sub, None);
+            assert!(r.is_err());
+        }
+        // The sandbox flag is clear again: a clean call still works.
+        let (r, _) = guarded_estimate(&FixedEst(1.0), &db, &sub, None);
+        assert_eq!(r, Ok(1.0));
+    }
+}

@@ -5,24 +5,37 @@
 //!
 //! - [`config`]: benchmark + estimator settings, dataset/workload setup.
 //! - [`factory`]: constructs any estimator by kind (timing its training).
+//! - [`fault`]: estimator sandboxing, the typed failure taxonomy, and
+//!   per-run guard-rail options.
 //! - [`endtoend`]: per-query runs (planning time, execution time,
 //!   Q-Errors, P-Error).
+//! - [`checkpoint`]: append-only JSONL per-query records for kill/resume.
 //! - [`report`]: text renderers for Tables 1–7.
 //! - [`results`]: serializable JSON results for downstream analysis.
 //! - [`update_exp`]: the dynamic-data experiment (Table 6).
 //! - [`case_study`]: the Figure-2 style plan-tree case study.
 
+// The harness must degrade gracefully, never die: library code surfaces
+// errors instead of unwrapping them (tests may unwrap).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod case_study;
+pub mod checkpoint;
 pub mod config;
 pub mod endtoend;
 pub mod factory;
+pub mod fault;
 pub mod observations;
 pub mod report;
 pub mod results;
 pub mod update_exp;
 
+pub use checkpoint::{load_checkpoint, CheckpointRecord, CheckpointWriter};
 pub use config::{Bench, BenchConfig, EstimatorSettings};
-pub use endtoend::{run_workload, run_workload_with_threads, MethodRun, QueryRun};
+pub use endtoend::{
+    run_workload, run_workload_with_options, run_workload_with_threads, MethodRun, QueryRun,
+};
 pub use factory::{build_estimator, BuiltEstimator};
+pub use fault::{guarded_estimate, EstFailure, EstimateError, QueryFailure, RunOptions};
 pub use observations::{check_observations, render_checks, ObservationCheck};
 pub use results::{MethodSummary, QueryRecord, RunResults};

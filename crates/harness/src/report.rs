@@ -1,4 +1,11 @@
 //! Text renderers for the paper's tables and figures.
+//!
+//! Every renderer accepts *partial* runs: a missing method renders as
+//! `—`, a query that produced no executed result renders as
+//! `failed(<reason>)` in the fault summary, and a result set without the
+//! PostgreSQL baseline degrades to a note instead of panicking. Writes
+//! go to an in-memory `String` (infallible), so their results are
+//! deliberately discarded.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -45,13 +52,23 @@ pub fn fmt_card(v: f64) -> String {
     }
 }
 
+/// A metric cell: finite values print with three decimals, NaN (an
+/// empty or failed aggregate) prints as `—`.
+fn fmt_metric(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "—".to_string()
+    }
+}
+
 /// Table 1: dataset statistics comparison.
 pub fn table1(imdb: &DatasetProfile, stats: &DatasetProfile) -> String {
     let mut s = String::new();
-    writeln!(s, "Table 1: Comparison of IMDB and STATS datasets").unwrap();
-    writeln!(s, "{:<34} {:>14} {:>14}", "Item", imdb.name, stats.name).unwrap();
+    let _ = writeln!(s, "Table 1: Comparison of IMDB and STATS datasets");
+    let _ = writeln!(s, "{:<34} {:>14} {:>14}", "Item", imdb.name, stats.name);
     let row = |s: &mut String, item: &str, a: String, b: String| {
-        writeln!(s, "{item:<34} {a:>14} {b:>14}").unwrap();
+        let _ = writeln!(s, "{item:<34} {a:>14} {b:>14}");
     };
     row(
         &mut s,
@@ -121,14 +138,13 @@ pub fn table2(
     stats: &Workload,
 ) -> String {
     let mut s = String::new();
-    writeln!(
+    let _ = writeln!(
         s,
         "Table 2: Comparison of JOB-LIGHT and STATS-CEB workloads"
-    )
-    .unwrap();
-    writeln!(s, "{:<34} {:>16} {:>16}", "Item", imdb.name, stats.name).unwrap();
+    );
+    let _ = writeln!(s, "{:<34} {:>16} {:>16}", "Item", imdb.name, stats.name);
     let row = |s: &mut String, item: &str, a: String, b: String| {
-        writeln!(s, "{item:<34} {a:>16} {b:>16}").unwrap();
+        let _ = writeln!(s, "{item:<34} {a:>16} {b:>16}");
     };
     row(
         &mut s,
@@ -185,18 +201,18 @@ pub fn table2(
     s
 }
 
-/// Locates the PostgreSQL baseline run.
-pub fn baseline(runs: &[MethodRun]) -> &MethodRun {
-    runs.iter()
-        .find(|r| r.kind == EstimatorKind::Postgres)
-        .expect("PostgreSQL baseline present")
+/// Locates the PostgreSQL baseline run. `None` when the result set is
+/// partial (e.g. a resumed run killed before the baseline finished);
+/// renderers then print `—` cells or a note instead of panicking.
+pub fn baseline(runs: &[MethodRun]) -> Option<&MethodRun> {
+    runs.iter().find(|r| r.kind == EstimatorKind::Postgres)
 }
 
 /// Table 3: overall end-to-end performance on both workloads.
 pub fn table3(imdb_runs: &[MethodRun], stats_runs: &[MethodRun]) -> String {
     let mut s = String::new();
-    writeln!(s, "Table 3: Overall performance of CardEst algorithms").unwrap();
-    writeln!(
+    let _ = writeln!(s, "Table 3: Overall performance of CardEst algorithms");
+    let _ = writeln!(
         s,
         "{:<13} {:<12} | {:>10} {:>18} {:>8} | {:>10} {:>18} {:>8}",
         "Category",
@@ -207,10 +223,13 @@ pub fn table3(imdb_runs: &[MethodRun], stats_runs: &[MethodRun]) -> String {
         "SC E2E",
         "SC Exec+Plan",
         "SC Impr"
-    )
-    .unwrap();
-    let base_i = baseline(imdb_runs).e2e_total();
-    let base_s = baseline(stats_runs).e2e_total();
+    );
+    let base_i = baseline(imdb_runs).map(MethodRun::e2e_total);
+    let base_s = baseline(stats_runs).map(MethodRun::e2e_total);
+    let impr = |run: &MethodRun, base: Option<Duration>| match base {
+        Some(b) => format!("{:.1}%", run.improvement_over(b)),
+        None => "—".to_string(),
+    };
     for kind in EstimatorKind::ALL {
         let (Some(ri), Some(rs)) = (
             imdb_runs.iter().find(|r| r.kind == kind),
@@ -218,9 +237,9 @@ pub fn table3(imdb_runs: &[MethodRun], stats_runs: &[MethodRun]) -> String {
         ) else {
             continue;
         };
-        writeln!(
+        let _ = writeln!(
             s,
-            "{:<13} {:<12} | {:>10} {:>18} {:>7.1}% | {:>10} {:>18} {:>7.1}%",
+            "{:<13} {:<12} | {:>10} {:>18} {:>8} | {:>10} {:>18} {:>8}",
             kind.class(),
             kind.name(),
             fmt_duration(ri.e2e_total()),
@@ -229,16 +248,15 @@ pub fn table3(imdb_runs: &[MethodRun], stats_runs: &[MethodRun]) -> String {
                 fmt_duration(ri.exec_total()),
                 fmt_duration(ri.plan_total())
             ),
-            ri.improvement_over(base_i),
+            impr(ri, base_i),
             fmt_duration(rs.e2e_total()),
             format!(
                 "{} + {}",
                 fmt_duration(rs.exec_total()),
                 fmt_duration(rs.plan_total())
             ),
-            rs.improvement_over(base_s),
-        )
-        .unwrap();
+            impr(rs, base_s),
+        );
     }
     s
 }
@@ -258,28 +276,34 @@ pub fn table4(stats_runs: &[MethodRun]) -> String {
         EstimatorKind::Flat,
         EstimatorKind::TrueCard,
     ];
-    let base = baseline(stats_runs);
     let mut s = String::new();
-    writeln!(
+    let _ = writeln!(
         s,
         "Table 4: E2E improvement by # of joined tables (STATS-CEB)"
-    )
-    .unwrap();
-    write!(s, "{:<9} {:>9}", "# tables", "# queries").unwrap();
+    );
+    let Some(base) = baseline(stats_runs) else {
+        let _ = writeln!(
+            s,
+            "(PostgreSQL baseline missing — improvements unavailable)"
+        );
+        return s;
+    };
+    let _ = write!(s, "{:<9} {:>9}", "# tables", "# queries");
     for k in shown {
-        write!(s, " {:>11}", k.name()).unwrap();
+        let _ = write!(s, " {:>11}", k.name());
     }
-    writeln!(s).unwrap();
+    let _ = writeln!(s);
     for (lo, hi, label) in JOIN_BUCKETS {
-        let in_bucket = |r: &crate::endtoend::QueryRun| r.n_tables >= lo && r.n_tables <= hi;
+        let in_bucket =
+            |r: &&crate::endtoend::QueryRun| r.completed() && r.n_tables >= lo && r.n_tables <= hi;
         let base_time: f64 = base
             .queries
             .iter()
-            .filter(|q| in_bucket(q))
+            .filter(in_bucket)
             .map(|q| (q.exec + q.plan).as_secs_f64())
             .sum();
-        let nq = base.queries.iter().filter(|q| in_bucket(q)).count();
-        write!(s, "{label:<9} {nq:>9}").unwrap();
+        let nq = base.queries.iter().filter(in_bucket).count();
+        let _ = write!(s, "{label:<9} {nq:>9}");
         for k in shown {
             let run = stats_runs.iter().find(|r| r.kind == k);
             match run {
@@ -287,7 +311,7 @@ pub fn table4(stats_runs: &[MethodRun]) -> String {
                     let t: f64 = run
                         .queries
                         .iter()
-                        .filter(|q| in_bucket(q))
+                        .filter(in_bucket)
                         .map(|q| (q.exec + q.plan).as_secs_f64())
                         .sum();
                     let impr = if base_time > 0.0 {
@@ -295,12 +319,14 @@ pub fn table4(stats_runs: &[MethodRun]) -> String {
                     } else {
                         0.0
                     };
-                    write!(s, " {impr:>10.1}%").unwrap();
+                    let _ = write!(s, " {impr:>10.1}%");
                 }
-                None => write!(s, " {:>11}", "-").unwrap(),
+                None => {
+                    let _ = write!(s, " {:>11}", "—");
+                }
             }
         }
-        writeln!(s).unwrap();
+        let _ = writeln!(s);
     }
     s
 }
@@ -318,18 +344,17 @@ pub fn table4_qerrors(stats_runs: &[MethodRun]) -> String {
         EstimatorKind::Flat,
     ];
     let mut s = String::new();
-    writeln!(
+    let _ = writeln!(
         s,
         "Table 4 supplement: median sub-plan Q-Error by # of joined tables"
-    )
-    .unwrap();
-    write!(s, "{:<9}", "# tables").unwrap();
+    );
+    let _ = write!(s, "{:<9}", "# tables");
     for k in shown {
-        write!(s, " {:>11}", k.name()).unwrap();
+        let _ = write!(s, " {:>11}", k.name());
     }
-    writeln!(s).unwrap();
+    let _ = writeln!(s);
     for (lo, hi, label) in JOIN_BUCKETS {
-        write!(s, "{label:<9}").unwrap();
+        let _ = write!(s, "{label:<9}");
         for k in shown {
             match stats_runs.iter().find(|r| r.kind == k) {
                 Some(run) => {
@@ -340,12 +365,14 @@ pub fn table4_qerrors(stats_runs: &[MethodRun]) -> String {
                         .flat_map(|q| q.q_errors.clone())
                         .collect();
                     let med = cardbench_metrics::percentile(&errs, 0.5);
-                    write!(s, " {med:>11.2}").unwrap();
+                    let _ = write!(s, " {:>11}", fmt_metric(med));
                 }
-                None => write!(s, " {:>11}", "-").unwrap(),
+                None => {
+                    let _ = write!(s, " {:>11}", "—");
+                }
             }
         }
-        writeln!(s).unwrap();
+        let _ = writeln!(s);
     }
     s
 }
@@ -353,27 +380,41 @@ pub fn table4_qerrors(stats_runs: &[MethodRun]) -> String {
 /// Table 5: OLTP vs OLAP split on STATS-CEB. Queries at or below the
 /// baseline's median execution time form the TP class; the rest AP.
 pub fn table5(stats_runs: &[MethodRun]) -> String {
-    let base = baseline(stats_runs);
-    let mut times: Vec<f64> = base.queries.iter().map(|q| q.exec.as_secs_f64()).collect();
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 5: OLTP/OLAP performance on STATS-CEB");
+    let Some(base) = baseline(stats_runs) else {
+        let _ = writeln!(s, "(PostgreSQL baseline missing — TP/AP split unavailable)");
+        return s;
+    };
+    let mut times: Vec<f64> = base
+        .queries
+        .iter()
+        .filter(|q| q.completed())
+        .map(|q| q.exec.as_secs_f64())
+        .collect();
+    if times.is_empty() {
+        let _ = writeln!(
+            s,
+            "(no completed baseline queries — TP/AP split unavailable)"
+        );
+        return s;
+    }
+    times.sort_by(f64::total_cmp);
     let median = times[times.len() / 2];
     let tp_ids: Vec<usize> = base
         .queries
         .iter()
-        .filter(|q| q.exec.as_secs_f64() <= median)
+        .filter(|q| q.completed() && q.exec.as_secs_f64() <= median)
         .map(|q| q.id)
         .collect();
-    let mut s = String::new();
-    writeln!(s, "Table 5: OLTP/OLAP performance on STATS-CEB").unwrap();
-    writeln!(
+    let _ = writeln!(
         s,
         "{:<12} {:>12} {:>20} {:>12} {:>20}",
         "Method", "TP Exec", "TP Plan (share)", "AP Exec", "AP Plan (share)"
-    )
-    .unwrap();
+    );
     for run in stats_runs {
         let (mut tpe, mut tpp, mut ape, mut app) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-        for q in &run.queries {
+        for q in run.queries.iter().filter(|q| q.completed()) {
             if tp_ids.contains(&q.id) {
                 tpe += q.exec.as_secs_f64();
                 tpp += q.plan.as_secs_f64();
@@ -389,7 +430,7 @@ pub fn table5(stats_runs: &[MethodRun]) -> String {
                 0.0
             }
         };
-        writeln!(
+        let _ = writeln!(
             s,
             "{:<12} {:>12} {:>20} {:>12} {:>20}",
             run.kind.name(),
@@ -405,8 +446,7 @@ pub fn table5(stats_runs: &[MethodRun]) -> String {
                 fmt_duration(Duration::from_secs_f64(app)),
                 share(app, ape)
             ),
-        )
-        .unwrap();
+        );
     }
     s
 }
@@ -417,13 +457,12 @@ pub fn table7(runs: &[MethodRun], workload_name: &str) -> String {
     let mut sorted: Vec<&MethodRun> = runs.iter().collect();
     sorted.sort_by_key(|r| std::cmp::Reverse(r.exec_total()));
     let mut s = String::new();
-    writeln!(s, "Table 7 ({workload_name}): Q-Error vs P-Error").unwrap();
-    writeln!(
+    let _ = writeln!(s, "Table 7 ({workload_name}): Q-Error vs P-Error");
+    let _ = writeln!(
         s,
         "{:<12} {:>10} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
         "Method", "Exec", "Q50%", "Q90%", "Q99%", "P50%", "P90%", "P99%"
-    )
-    .unwrap();
+    );
     let mut exec_times = Vec::new();
     let mut q50s = Vec::new();
     let mut q90s = Vec::new();
@@ -432,34 +471,36 @@ pub fn table7(runs: &[MethodRun], workload_name: &str) -> String {
     for run in &sorted {
         let (q50, q90, q99) = percentile_triple(&run.all_q_errors());
         let (p50, p90, p99) = percentile_triple(&run.all_p_errors());
-        writeln!(
+        let _ = writeln!(
             s,
-            "{:<12} {:>10} | {:>9.3} {:>9.3} {:>9.3} | {:>9.3} {:>9.3} {:>9.3}",
+            "{:<12} {:>10} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
             run.kind.name(),
             fmt_duration(run.exec_total()),
-            q50,
-            q90,
-            q99,
-            p50,
-            p90,
-            p99
-        )
-        .unwrap();
-        exec_times.push(run.exec_total().as_secs_f64());
-        q50s.push(q50);
-        q90s.push(q90);
-        p50s.push(p50);
-        p90s.push(p90);
+            fmt_metric(q50),
+            fmt_metric(q90),
+            fmt_metric(q99),
+            fmt_metric(p50),
+            fmt_metric(p90),
+            fmt_metric(p99)
+        );
+        // Correlations only make sense over finite aggregates; a method
+        // with no completed queries would poison every coefficient.
+        if [q50, q90, p50, p90].iter().all(|v| v.is_finite()) {
+            exec_times.push(run.exec_total().as_secs_f64());
+            q50s.push(q50);
+            q90s.push(q90);
+            p50s.push(p50);
+            p90s.push(p90);
+        }
     }
-    writeln!(
+    let _ = writeln!(
         s,
         "corr(exec, Q50)={:.3} corr(exec, Q90)={:.3} corr(exec, P50)={:.3} corr(exec, P90)={:.3}",
         pearson(&exec_times, &q50s),
         pearson(&exec_times, &q90s),
         pearson(&exec_times, &p50s),
         pearson(&exec_times, &p90s),
-    )
-    .unwrap();
+    );
     s
 }
 
@@ -470,20 +511,18 @@ pub fn table7(runs: &[MethodRun], workload_name: &str) -> String {
 /// wall-clock numbers alone can't support.
 pub fn table_exec_counters(runs: &[MethodRun], workload_name: &str) -> String {
     let mut s = String::new();
-    writeln!(
+    let _ = writeln!(
         s,
         "Table 3 supplement ({workload_name}): operator-level execution counters"
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         s,
         "{:<12} {:>10} | {:>12} {:>12} {:>12} {:>12} {:>7} {:>10}",
         "Method", "Exec", "Intermed", "Build", "Probe", "Gathered", "Spills", "Peak mem"
-    )
-    .unwrap();
+    );
     for run in runs {
         let t = run.exec_stats_total();
-        writeln!(
+        let _ = writeln!(
             s,
             "{:<12} {:>10} | {:>12} {:>12} {:>12} {:>12} {:>7} {:>10}",
             run.kind.name(),
@@ -494,8 +533,68 @@ pub fn table_exec_counters(runs: &[MethodRun], workload_name: &str) -> String {
             t.rows_gathered,
             t.partitions_spilled,
             fmt_bytes(t.peak_intermediate_bytes as usize),
-        )
-        .unwrap();
+        );
+    }
+    s
+}
+
+/// Fault-tolerance summary: per-method counts of whole-query failures
+/// and typed sub-plan estimate failures, clamp interventions, and
+/// baseline fallbacks, followed by one `failed(<reason>)` line per
+/// failed query. This is the table that makes a chaos or partially
+/// crashed run legible.
+pub fn table_faults(runs: &[MethodRun], workload_name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Fault summary ({workload_name})");
+    let _ = writeln!(
+        s,
+        "{:<12} {:>7} {:>7} {:>9} {:>7} {:>9} {:>8} {:>8} {:>9}",
+        "Method",
+        "Queries",
+        "Failed",
+        "EstFails",
+        "Panics",
+        "Timeouts",
+        "NonFin",
+        "Degen",
+        "Fallbacks"
+    );
+    for run in runs {
+        let kind_count = |kind: &str| -> usize {
+            run.queries
+                .iter()
+                .flat_map(|q| &q.est_failures)
+                .filter(|f| f.error.kind() == kind)
+                .count()
+        };
+        let _ = writeln!(
+            s,
+            "{:<12} {:>7} {:>7} {:>9} {:>7} {:>9} {:>8} {:>8} {:>9}",
+            run.kind.name(),
+            run.queries.len(),
+            run.failed_queries(),
+            run.est_failure_total(),
+            kind_count("panicked"),
+            kind_count("timed_out"),
+            kind_count("non_finite"),
+            kind_count("degenerate"),
+            run.fallback_total(),
+        );
+    }
+    let mut any_failed = false;
+    for run in runs {
+        for q in run.queries.iter().filter(|q| !q.completed()) {
+            if let Some(f) = &q.failure {
+                if !any_failed {
+                    let _ = writeln!(s, "Failed queries:");
+                    any_failed = true;
+                }
+                let _ = writeln!(s, "  {:<12} Q{:<5} failed({f})", run.kind.name(), q.id);
+            }
+        }
+    }
+    if !any_failed {
+        let _ = writeln!(s, "All queries executed to completion.");
     }
     s
 }
@@ -504,23 +603,21 @@ pub fn table_exec_counters(runs: &[MethodRun], workload_name: &str) -> String {
 /// training time) per method.
 pub fn figure3(runs: &[MethodRun], workload_name: &str) -> String {
     let mut s = String::new();
-    writeln!(s, "Figure 3 ({workload_name}): practicality aspects").unwrap();
-    writeln!(
+    let _ = writeln!(s, "Figure 3 ({workload_name}): practicality aspects");
+    let _ = writeln!(
         s,
         "{:<12} {:>16} {:>12} {:>14}",
         "Method", "Avg inference", "Model size", "Training time"
-    )
-    .unwrap();
+    );
     for run in runs {
-        writeln!(
+        let _ = writeln!(
             s,
             "{:<12} {:>16} {:>12} {:>14}",
             run.kind.name(),
             fmt_duration(run.avg_inference()),
             fmt_bytes(run.model_size),
             fmt_duration(run.train_time),
-        )
-        .unwrap();
+        );
     }
     s
 }
@@ -529,10 +626,10 @@ pub fn figure3(runs: &[MethodRun], workload_name: &str) -> String {
 pub fn figure1_dot(db: &Database) -> String {
     let mut s = String::from("graph stats_schema {\n");
     for t in db.catalog().tables() {
-        writeln!(s, "  {:?} [shape=box];", t.name()).unwrap();
+        let _ = writeln!(s, "  {:?} [shape=box];", t.name());
     }
     for j in db.catalog().joins() {
-        writeln!(
+        let _ = writeln!(
             s,
             "  {:?} -- {:?} [label=\"{}.{} = {}.{} ({:?})\"];",
             j.left_table,
@@ -542,8 +639,7 @@ pub fn figure1_dot(db: &Database) -> String {
             j.right_table,
             j.right_column,
             j.kind
-        )
-        .unwrap();
+        );
     }
     s.push_str("}\n");
     s
@@ -553,6 +649,7 @@ pub fn figure1_dot(db: &Database) -> String {
 mod tests {
     use super::*;
     use crate::endtoend::QueryRun;
+    use crate::fault::QueryFailure;
 
     fn fake_run(kind: EstimatorKind, exec_ms: u64) -> MethodRun {
         let queries = (1..=4)
@@ -577,6 +674,10 @@ mod tests {
                     partitions_spilled: id as u64 - 1,
                     peak_intermediate_bytes: 2048 * id as u64,
                 },
+                est_failures: vec![],
+                clamped_subplans: 0,
+                fallback_subplans: 0,
+                failure: None,
             })
             .collect();
         MethodRun {
@@ -614,6 +715,14 @@ mod tests {
     }
 
     #[test]
+    fn table3_without_baseline_prints_dashes() {
+        let runs = vec![fake_run(EstimatorKind::TrueCard, 5)];
+        let s = table3(&runs, &runs);
+        let tc_line = s.lines().find(|l| l.contains("TrueCard")).unwrap();
+        assert!(tc_line.contains('—'), "{tc_line}");
+    }
+
+    #[test]
     fn table4_buckets_cover_all_methods() {
         let s = table4(&fake_runs());
         for name in ["PessEst", "MSCN", "BayesCard", "DeepDB", "FLAT", "TrueCard"] {
@@ -639,6 +748,44 @@ mod tests {
         assert!(s.contains("TP Exec"));
         assert!(s.contains("AP Plan"));
         assert!(s.lines().count() >= 9);
+    }
+
+    #[test]
+    fn tables_survive_missing_baseline_and_empty_runs() {
+        // No PostgreSQL run at all.
+        let runs = vec![fake_run(EstimatorKind::TrueCard, 5)];
+        assert!(table4(&runs).contains("baseline missing"));
+        assert!(table5(&runs).contains("baseline missing"));
+        // Baseline present but every query failed.
+        let mut failed = fake_run(EstimatorKind::Postgres, 10);
+        for q in &mut failed.queries {
+            q.failure = Some(QueryFailure::Bind {
+                message: "x".into(),
+            });
+        }
+        let runs = vec![failed];
+        assert!(table5(&runs).contains("no completed baseline queries"));
+        let t7 = table7(&runs, "STATS-CEB");
+        assert!(t7.contains("corr(exec"), "{t7}");
+        // P-percentiles of an all-failed run render as dashes.
+        assert!(t7.contains('—'), "{t7}");
+    }
+
+    #[test]
+    fn fault_table_lists_failed_queries() {
+        let mut run = fake_run(EstimatorKind::Postgres, 10);
+        run.queries[2].failure = Some(QueryFailure::ExecBudget {
+            peak_bytes: 4096,
+            budget_bytes: 1024,
+        });
+        let s = table_faults(&[run], "STATS-CEB");
+        assert!(s.contains("Fault summary"), "{s}");
+        assert!(
+            s.contains("failed(memory budget exceeded (4096B > 1024B))"),
+            "{s}"
+        );
+        let clean = table_faults(&fake_runs(), "STATS-CEB");
+        assert!(clean.contains("All queries executed to completion."));
     }
 
     #[test]

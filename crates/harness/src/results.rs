@@ -33,6 +33,14 @@ pub struct MethodSummary {
     pub q_error: (f64, f64, f64),
     /// P-Error percentiles (50/90/99).
     pub p_error: (f64, f64, f64),
+    /// Queries that produced no executed result (bind/truth/budget).
+    pub failed_queries: u64,
+    /// Typed sub-plan estimate failures across all queries.
+    pub est_failures: u64,
+    /// Sub-plan estimates the engine clamp intervened on.
+    pub clamped_subplans: u64,
+    /// Sub-plans degraded to the PostgreSQL baseline estimate.
+    pub fallback_subplans: u64,
     /// Per-query records.
     pub queries: Vec<QueryRecord>,
 }
@@ -66,6 +74,15 @@ pub struct QueryRecord {
     pub partitions_spilled: u64,
     /// Peak bytes of live intermediates.
     pub peak_intermediate_bytes: u64,
+    /// Whole-query failure rendered as `kind: detail` (`None` when the
+    /// query executed to completion).
+    pub failure: Option<String>,
+    /// Typed sub-plan estimate failures on this query.
+    pub est_failures: u64,
+    /// Sub-plan estimates clamped on this query.
+    pub clamped_subplans: u64,
+    /// Sub-plans degraded to the baseline on this query.
+    pub fallback_subplans: u64,
 }
 
 impl MethodSummary {
@@ -88,6 +105,10 @@ impl MethodSummary {
                 rows_gathered: q.exec_stats.rows_gathered,
                 partitions_spilled: q.exec_stats.partitions_spilled,
                 peak_intermediate_bytes: q.exec_stats.peak_intermediate_bytes,
+                failure: q.failure.as_ref().map(|f| f.to_string()),
+                est_failures: q.est_failures.len() as u64,
+                clamped_subplans: q.clamped_subplans,
+                fallback_subplans: q.fallback_subplans,
             })
             .collect();
         MethodSummary {
@@ -101,6 +122,10 @@ impl MethodSummary {
             avg_inference_secs: run.avg_inference().as_secs_f64(),
             q_error: percentile_triple(&run.all_q_errors()),
             p_error: percentile_triple(&run.all_p_errors()),
+            failed_queries: run.failed_queries() as u64,
+            est_failures: run.est_failure_total() as u64,
+            clamped_subplans: run.clamped_total(),
+            fallback_subplans: run.fallback_total(),
             queries,
         }
     }
@@ -117,6 +142,16 @@ impl MethodSummary {
             ("avg_inference_secs", Json::Number(self.avg_inference_secs)),
             ("q_error", triple_to_value(self.q_error)),
             ("p_error", triple_to_value(self.p_error)),
+            ("failed_queries", Json::Number(self.failed_queries as f64)),
+            ("est_failures", Json::Number(self.est_failures as f64)),
+            (
+                "clamped_subplans",
+                Json::Number(self.clamped_subplans as f64),
+            ),
+            (
+                "fallback_subplans",
+                Json::Number(self.fallback_subplans as f64),
+            ),
             (
                 "queries",
                 Json::Array(self.queries.iter().map(QueryRecord::to_value).collect()),
@@ -136,6 +171,12 @@ impl MethodSummary {
             avg_inference_secs: num_field(v, "avg_inference_secs")?,
             q_error: triple_field(v, "q_error")?,
             p_error: triple_field(v, "p_error")?,
+            // Fault counters default to zero so pre-fault-tolerance
+            // result files still parse.
+            failed_queries: opt_num_field(v, "failed_queries") as u64,
+            est_failures: opt_num_field(v, "est_failures") as u64,
+            clamped_subplans: opt_num_field(v, "clamped_subplans") as u64,
+            fallback_subplans: opt_num_field(v, "fallback_subplans") as u64,
             queries: array_field(v, "queries")?
                 .iter()
                 .map(QueryRecord::from_value)
@@ -169,6 +210,22 @@ impl QueryRecord {
                 "peak_intermediate_bytes",
                 Json::Number(self.peak_intermediate_bytes as f64),
             ),
+            (
+                "failure",
+                self.failure
+                    .as_ref()
+                    .map(|s| Json::String(s.clone()))
+                    .unwrap_or(Json::Null),
+            ),
+            ("est_failures", Json::Number(self.est_failures as f64)),
+            (
+                "clamped_subplans",
+                Json::Number(self.clamped_subplans as f64),
+            ),
+            (
+                "fallback_subplans",
+                Json::Number(self.fallback_subplans as f64),
+            ),
         ])
     }
 
@@ -187,8 +244,21 @@ impl QueryRecord {
             rows_gathered: num_field(v, "rows_gathered")? as u64,
             partitions_spilled: num_field(v, "partitions_spilled")? as u64,
             peak_intermediate_bytes: num_field(v, "peak_intermediate_bytes")? as u64,
+            failure: v
+                .get("failure")
+                .and_then(Json::as_str)
+                .map(|s| s.to_string()),
+            est_failures: opt_num_field(v, "est_failures") as u64,
+            clamped_subplans: opt_num_field(v, "clamped_subplans") as u64,
+            fallback_subplans: opt_num_field(v, "fallback_subplans") as u64,
         })
     }
+}
+
+/// Optional numeric field: absent or mistyped reads as zero (forward
+/// compatibility with result files written before the field existed).
+fn opt_num_field(v: &Json, key: &str) -> f64 {
+    v.get(key).and_then(Json::as_f64).unwrap_or(0.0)
 }
 
 fn shape_err(msg: impl Into<String>) -> JsonError {
@@ -322,6 +392,10 @@ mod tests {
                     partitions_spilled: 2,
                     peak_intermediate_bytes: 4096,
                 },
+                est_failures: vec![],
+                clamped_subplans: 0,
+                fallback_subplans: 0,
+                failure: None,
             }],
         }
     }

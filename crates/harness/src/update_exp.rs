@@ -107,27 +107,27 @@ pub fn run_update_experiment(
 /// Renders paper Table 6.
 pub fn table6(results: &[UpdateResult]) -> String {
     let mut s = String::new();
-    writeln!(s, "Table 6: Update performance of CardEst algorithms").unwrap();
-    write!(s, "{:<28}", "Criteria").unwrap();
+    let _ = writeln!(s, "Table 6: Update performance of CardEst algorithms");
+    let _ = write!(s, "{:<28}", "Criteria");
     for r in results {
-        write!(s, " {:>12}", r.kind.name()).unwrap();
+        let _ = write!(s, " {:>12}", r.kind.name());
     }
-    writeln!(s).unwrap();
-    write!(s, "{:<28}", "Update time").unwrap();
+    let _ = writeln!(s);
+    let _ = write!(s, "{:<28}", "Update time");
     for r in results {
-        write!(s, " {:>12}", fmt_duration(r.update_time)).unwrap();
+        let _ = write!(s, " {:>12}", fmt_duration(r.update_time));
     }
-    writeln!(s).unwrap();
-    write!(s, "{:<28}", "Original E2E time (fresh)").unwrap();
+    let _ = writeln!(s);
+    let _ = write!(s, "{:<28}", "Original E2E time (fresh)");
     for r in results {
-        write!(s, " {:>12}", fmt_duration(r.e2e_fresh)).unwrap();
+        let _ = write!(s, " {:>12}", fmt_duration(r.e2e_fresh));
     }
-    writeln!(s).unwrap();
-    write!(s, "{:<28}", "E2E time after update").unwrap();
+    let _ = writeln!(s);
+    let _ = write!(s, "{:<28}", "E2E time after update");
     for r in results {
-        write!(s, " {:>12}", fmt_duration(r.e2e_updated)).unwrap();
+        let _ = write!(s, " {:>12}", fmt_duration(r.e2e_updated));
     }
-    writeln!(s).unwrap();
+    let _ = writeln!(s);
     s
 }
 

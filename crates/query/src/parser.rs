@@ -7,13 +7,41 @@
 use crate::join::{JoinEdge, JoinQuery};
 use crate::predicate::{Predicate, Region};
 
-/// Parse errors with a human-readable message.
+/// Parse errors with a human-readable message and the 1-based byte
+/// column in the input where the offending fragment starts (`0` when
+/// the error has no specific location).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError(pub String);
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based column of the offending fragment, 0 if unknown.
+    pub column: usize,
+}
+
+impl ParseError {
+    fn at(column: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+            column,
+        }
+    }
+
+    fn whole(message: impl Into<String>) -> Self {
+        Self::at(0, message)
+    }
+}
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SQL parse error: {}", self.0)
+        if self.column > 0 {
+            write!(
+                f,
+                "SQL parse error at column {}: {}",
+                self.column, self.message
+            )
+        } else {
+            write!(f, "SQL parse error: {}", self.message)
+        }
     }
 }
 
@@ -24,19 +52,23 @@ type Result<T> = std::result::Result<T, ParseError>;
 /// Parses one `SELECT COUNT(*)` query.
 pub fn parse_sql(sql: &str) -> Result<JoinQuery> {
     let s = sql.trim().trim_end_matches(';').trim();
+    // Offset of the trimmed view within the caller's input, so error
+    // columns point into what the caller actually passed.
+    let base = s.as_ptr() as usize - sql.as_ptr() as usize;
     let lower = s.to_ascii_lowercase();
     let from_pos = lower
         .find(" from ")
-        .ok_or_else(|| ParseError("missing FROM".into()))?;
+        .ok_or_else(|| ParseError::whole("missing FROM"))?;
     let head = &s[..from_pos];
     if !head.to_ascii_lowercase().starts_with("select")
         || !head.contains("COUNT(*)") && !head.to_ascii_lowercase().contains("count(*)")
     {
-        return Err(ParseError("expected SELECT COUNT(*)".into()));
+        return Err(ParseError::at(base + 1, "expected SELECT COUNT(*)"));
     }
-    let rest = &s[from_pos + 6..];
+    let rest_start = from_pos + 6;
+    let rest = &s[rest_start..];
     let (tables_part, where_part) = match rest.to_ascii_lowercase().find(" where ") {
-        Some(p) => (&rest[..p], Some(&rest[p + 7..])),
+        Some(p) => (&rest[..p], Some((rest_start + p + 7, &rest[p + 7..]))),
         None => (rest, None),
     };
     let tables: Vec<String> = tables_part
@@ -45,21 +77,22 @@ pub fn parse_sql(sql: &str) -> Result<JoinQuery> {
         .filter(|t| !t.is_empty())
         .collect();
     if tables.is_empty() {
-        return Err(ParseError("no tables in FROM".into()));
+        return Err(ParseError::at(base + rest_start + 1, "no tables in FROM"));
     }
-    let table_pos = |name: &str| -> Result<usize> {
-        tables
-            .iter()
-            .position(|t| t == name)
-            .ok_or_else(|| ParseError(format!("unknown table alias {name}")))
-    };
-
     let mut joins = Vec::new();
     let mut predicates = Vec::new();
-    if let Some(w) = where_part {
-        for cond in split_top_level_and(w) {
-            let cond = cond.trim();
-            parse_condition(cond, &table_pos, &mut joins, &mut predicates)?;
+    if let Some((where_start, w)) = where_part {
+        for (off, cond) in split_top_level_and(w) {
+            let trimmed = cond.trim();
+            // 1-based column of the condition's first non-space byte.
+            let col = base + where_start + off + (cond.len() - cond.trim_start().len()) + 1;
+            let table_pos = |name: &str| -> Result<usize> {
+                tables
+                    .iter()
+                    .position(|t| t == name)
+                    .ok_or_else(|| ParseError::at(col, format!("unknown table alias {name}")))
+            };
+            parse_condition(trimmed, col, &table_pos, &mut joins, &mut predicates)?;
         }
     }
     Ok(JoinQuery {
@@ -70,8 +103,9 @@ pub fn parse_sql(sql: &str) -> Result<JoinQuery> {
 }
 
 /// Splits on top-level ` AND ` (case-insensitive), respecting the
-/// `BETWEEN x AND y` construct and parentheses.
-fn split_top_level_and(s: &str) -> Vec<String> {
+/// `BETWEEN x AND y` construct and parentheses. Each part carries its
+/// byte offset within `s` for error attribution.
+fn split_top_level_and(s: &str) -> Vec<(usize, String)> {
     let upper = s.to_ascii_uppercase();
     let bytes = upper.as_bytes();
     let mut parts = Vec::new();
@@ -94,7 +128,7 @@ fn split_top_level_and(s: &str) -> Vec<String> {
                 if between_pending {
                     between_pending = false;
                 } else {
-                    parts.push(s[start..i].to_string());
+                    parts.push((start, s[start..i].to_string()));
                     start = i + 3;
                 }
                 i += 2;
@@ -103,7 +137,7 @@ fn split_top_level_and(s: &str) -> Vec<String> {
         }
         i += 1;
     }
-    parts.push(s[start..].to_string());
+    parts.push((start, s[start..].to_string()));
     parts
 }
 
@@ -123,6 +157,7 @@ fn parse_qualified(s: &str) -> Option<(String, String)> {
 
 fn parse_condition(
     cond: &str,
+    col_at: usize,
     table_pos: &impl Fn(&str) -> Result<usize>,
     joins: &mut Vec<JoinEdge>,
     predicates: &mut Vec<Predicate>,
@@ -131,14 +166,14 @@ fn parse_condition(
     // BETWEEN
     if let Some(bp) = upper.find(" BETWEEN ") {
         let col = parse_qualified(&cond[..bp])
-            .ok_or_else(|| ParseError(format!("bad column in {cond:?}")))?;
+            .ok_or_else(|| ParseError::at(col_at, format!("bad column in {cond:?}")))?;
         let rest = &cond[bp + 9..];
         let and_pos = rest
             .to_ascii_uppercase()
             .find(" AND ")
-            .ok_or_else(|| ParseError(format!("BETWEEN without AND in {cond:?}")))?;
-        let lo = parse_int(&rest[..and_pos])?;
-        let hi = parse_int(&rest[and_pos + 5..])?;
+            .ok_or_else(|| ParseError::at(col_at, format!("BETWEEN without AND in {cond:?}")))?;
+        let lo = parse_int(&rest[..and_pos], col_at)?;
+        let hi = parse_int(&rest[and_pos + 5..], col_at)?;
         predicates.push(Predicate::new(
             table_pos(&col.0)?,
             col.1,
@@ -149,15 +184,15 @@ fn parse_condition(
     // IN
     if let Some(ip) = upper.find(" IN ") {
         let col = parse_qualified(&cond[..ip])
-            .ok_or_else(|| ParseError(format!("bad column in {cond:?}")))?;
+            .ok_or_else(|| ParseError::at(col_at, format!("bad column in {cond:?}")))?;
         let list = cond[ip + 4..]
             .trim()
             .strip_prefix('(')
             .and_then(|s| s.strip_suffix(')'))
-            .ok_or_else(|| ParseError(format!("IN without list in {cond:?}")))?;
+            .ok_or_else(|| ParseError::at(col_at, format!("IN without list in {cond:?}")))?;
         let vals = list
             .split(',')
-            .map(parse_int)
+            .map(|v| parse_int(v, col_at))
             .collect::<Result<Vec<i64>>>()?;
         predicates.push(Predicate::new(
             table_pos(&col.0)?,
@@ -170,11 +205,11 @@ fn parse_condition(
     for op in ["<=", ">=", "="] {
         if let Some(p) = cond.find(op) {
             let lhs = parse_qualified(&cond[..p])
-                .ok_or_else(|| ParseError(format!("bad column in {cond:?}")))?;
+                .ok_or_else(|| ParseError::at(col_at, format!("bad column in {cond:?}")))?;
             let rhs = cond[p + op.len()..].trim();
             if let Some(rcol) = parse_qualified(rhs) {
                 if op != "=" {
-                    return Err(ParseError(format!("non-equi join in {cond:?}")));
+                    return Err(ParseError::at(col_at, format!("non-equi join in {cond:?}")));
                 }
                 joins.push(JoinEdge::new(
                     table_pos(&lhs.0)?,
@@ -183,7 +218,7 @@ fn parse_condition(
                     rcol.1,
                 ));
             } else {
-                let v = parse_int(rhs)?;
+                let v = parse_int(rhs, col_at)?;
                 let region = match op {
                     "<=" => Region::le(v),
                     ">=" => Region::ge(v),
@@ -194,13 +229,16 @@ fn parse_condition(
             return Ok(());
         }
     }
-    Err(ParseError(format!("unrecognized condition {cond:?}")))
+    Err(ParseError::at(
+        col_at,
+        format!("unrecognized condition {cond:?}"),
+    ))
 }
 
-fn parse_int(s: &str) -> Result<i64> {
+fn parse_int(s: &str, col_at: usize) -> Result<i64> {
     s.trim()
         .parse::<i64>()
-        .map_err(|_| ParseError(format!("bad integer {s:?}")))
+        .map_err(|_| ParseError::at(col_at, format!("bad integer {s:?}")))
 }
 
 #[cfg(test)]
@@ -258,6 +296,20 @@ mod tests {
         assert!(parse_sql("SELECT COUNT(*) FROM t WHERE t.a <> 3").is_err());
         assert!(parse_sql("SELECT COUNT(*) FROM t WHERE t.a < t.b").is_err());
         assert!(parse_sql("SELECT COUNT(*) FROM").is_err());
+    }
+
+    #[test]
+    fn errors_carry_column_positions() {
+        let sql = "SELECT COUNT(*) FROM t WHERE t.a = 1 AND t.b = nope";
+        let err = parse_sql(sql).unwrap_err();
+        // The second condition starts at the 'p' of "t.b" (1-based).
+        let expect = sql.find("t.b").unwrap() + 1;
+        assert_eq!(err.column, expect, "{err}");
+        assert!(err.to_string().contains("column"), "{err}");
+
+        let err = parse_sql("SELECT COUNT(*) FROM t WHERE t.a = 1 AND u.b = 2").unwrap_err();
+        assert!(err.message.contains("unknown table alias u"), "{err}");
+        assert!(err.column > 0, "{err}");
     }
 
     #[test]

@@ -52,20 +52,30 @@ pub fn read_table(schema: TableSchema, path: &Path) -> Result<Table> {
             schema.name, header
         )));
     }
+    let table_name = schema.name.clone();
     let mut table = Table::empty(schema);
     let mut row = Vec::new();
-    for line in lines {
+    // Line 1 is the header; data lines are reported 1-based from the
+    // top of the file so the message matches what an editor shows.
+    for (idx, line) in lines.enumerate() {
+        let lineno = idx + 2;
         let line = line?;
         if line.is_empty() {
             continue;
         }
         row.clear();
-        for field in line.split(',') {
-            let d = parse_datum(field)
-                .map_err(|e| StorageError::Format(format!("bad field {field:?}: {e}")))?;
+        for (col, field) in line.split(',').enumerate() {
+            let d = parse_datum(field).map_err(|e| {
+                StorageError::Format(format!(
+                    "{table_name}:{lineno}:{}: bad field {field:?}: {e}",
+                    col + 1
+                ))
+            })?;
             row.push(d);
         }
-        table.append_row(&row)?;
+        table
+            .append_row(&row)
+            .map_err(|e| StorageError::Format(format!("{table_name}:{lineno}: bad row: {e}")))?;
     }
     Ok(table)
 }
@@ -98,6 +108,17 @@ mod tests {
         assert_eq!(back.row_count(), 2);
         assert_eq!(back.row(0), vec![Some(1), Some(-5)]);
         assert_eq!(back.row(1), vec![Some(2), None]);
+    }
+
+    #[test]
+    fn bad_field_reports_line_and_column() {
+        let dir = std::env::temp_dir().join("cardbench_csv_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("badfield.csv");
+        std::fs::write(&path, "id,v\n1,2\n3,oops\n").unwrap();
+        let err = read_table(schema(), &path).unwrap_err().to_string();
+        assert!(err.contains("t:3:2"), "{err}");
+        assert!(err.contains("oops"), "{err}");
     }
 
     #[test]

@@ -103,6 +103,44 @@ impl Json {
         out
     }
 
+    /// Single-line form with no whitespace (one JSONL record per call).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(n) => write_number(out, *n),
+            Json::String(s) => write_string(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -404,6 +442,19 @@ mod tests {
         assert!(Json::parse("{").is_err());
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn compact_is_single_line_and_roundtrips() {
+        let doc = Json::object([
+            ("a", Json::Array(vec![Json::Number(1.0), Json::Null])),
+            ("b", Json::String("x y".into())),
+            ("c", Json::Object(BTreeMap::new())),
+        ]);
+        let line = doc.compact();
+        assert!(!line.contains('\n'));
+        assert_eq!(line, r#"{"a":[1,null],"b":"x y","c":{}}"#);
+        assert_eq!(Json::parse(&line).unwrap(), doc);
     }
 
     #[test]

@@ -32,7 +32,8 @@ pub fn workload_from_sql(text: &str) -> Result<Workload, String> {
     let mut name = String::from("workload");
     let mut queries = Vec::new();
     let mut pending: Option<(usize, usize, f64)> = None;
-    for line in text.lines() {
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
         let line = line.trim();
         if line.is_empty() {
             continue;
@@ -40,12 +41,12 @@ pub fn workload_from_sql(text: &str) -> Result<Workload, String> {
         if let Some(rest) = line.strip_prefix("-- workload:") {
             name = rest.trim().to_string();
         } else if let Some(rest) = line.strip_prefix("-- Q") {
-            pending = Some(parse_annotation(rest)?);
+            pending = Some(parse_annotation(rest).map_err(|e| format!("line {lineno}: {e}"))?);
         } else if !line.starts_with("--") {
             let (id, template_id, true_card) = pending
                 .take()
-                .ok_or_else(|| format!("query without annotation: {line}"))?;
-            let query = parse_sql(line).map_err(|e| e.to_string())?;
+                .ok_or_else(|| format!("line {lineno}: query without annotation: {line}"))?;
+            let query = parse_sql(line).map_err(|e| format!("line {lineno}: {e}"))?;
             queries.push(WorkloadQuery {
                 id,
                 template_id,
@@ -155,6 +156,15 @@ mod tests {
     #[test]
     fn rejects_missing_annotation() {
         let text = "SELECT COUNT(*) FROM users;";
-        assert!(workload_from_sql(text).is_err());
+        let err = workload_from_sql(text).unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_carry_file_line() {
+        let text = "-- workload: w\n-- Q1 (template 0, true card 2)\nSELECT nothing;";
+        let err = workload_from_sql(text).unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+        assert!(err.contains("SQL parse error"), "{err}");
     }
 }
