@@ -39,6 +39,7 @@ fn median_q_error(
 }
 
 fn main() {
+    let _trace = cardbench_bench::init_tracing();
     let cfg = StatsConfig {
         scale: 0.01,
         coupling: 0.8,

@@ -14,6 +14,7 @@ use cardbench_harness::update_exp::{run_update_experiment, table6};
 use cardbench_harness::{build_estimator, RunResults};
 
 fn main() {
+    let _trace = cardbench_bench::init_tracing();
     let cfg = cardbench_bench::config_from_env();
     let r = cardbench_bench::run_full(cfg.clone());
     let imdb_prof = dataset_profile("IMDB", r.bench.imdb_db.catalog());

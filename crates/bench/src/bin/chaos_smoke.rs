@@ -13,6 +13,13 @@
 //! must be bit-identical to the uninterrupted one on every
 //! deterministic field.
 //!
+//! Knobs (beyond the shared harness flags):
+//! - `--chaos-rate R`     — fault injection probability (default 0.2).
+//! - `--chaos-classes L`  — comma-separated fault classes for phase 1:
+//!   any of `panic,nan,+inf,-inf,negative,zero,delay`, or `all` /
+//!   `values` (default `all`). Phase 2 always restricts itself to the
+//!   value classes so resume equality stays wall-clock-deterministic.
+//!
 //! Exits non-zero on any violation, so CI can gate on it.
 
 use std::time::Duration;
@@ -25,27 +32,46 @@ use cardbench_harness::report::table_faults;
 use cardbench_harness::{build_estimator, run_workload_with_options, Bench, MethodRun, QueryRun};
 
 fn main() {
+    let _trace = cardbench_bench::init_tracing();
+    let _run_sp = cardbench_obs::span_with("run", "run", || "chaos-smoke".to_string());
     let cfg = config_from_env();
     let seed = cfg.settings.seed;
     let threads = cfg.threads;
+    let rate = arg_value("--chaos-rate")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2);
+    let classes = match arg_value("--chaos-classes") {
+        Some(spec) => match parse_classes(&spec) {
+            Ok(c) => c,
+            Err(bad) => {
+                eprintln!("[chaos-smoke] unknown fault class `{bad}` in --chaos-classes");
+                std::process::exit(2);
+            }
+        },
+        None => FaultClass::ALL.to_vec(),
+    };
     eprintln!("[chaos-smoke] building benchmark (seed {seed})...");
     let bench = Bench::build(cfg);
     let cost = CostModel::default();
     let db = &bench.stats_db;
     let wl = &bench.stats_wl;
 
-    // Phase 1: survival under every fault class plus budgets.
+    // Phase 1: survival under the requested fault classes plus budgets.
     eprintln!(
-        "[chaos-smoke] phase 1: 20% chaos (all classes) over {} queries",
+        "[chaos-smoke] phase 1: {:.0}% chaos ({} classes) over {} queries",
+        rate * 100.0,
+        classes.len(),
         wl.queries.len()
     );
+    let _est_sp = cardbench_obs::span_with("estimator", "run", || "ChaosEst".to_string());
     let built = build_estimator(
         EstimatorKind::Postgres,
         db,
         &bench.stats_train,
         &bench.config.settings,
     );
-    let chaos = ChaosEst::new(built.est, seed, 0.2).delay(Duration::from_millis(20));
+    let chaos =
+        ChaosEst::with_classes(built.est, seed, rate, classes).delay(Duration::from_millis(20));
     let mut opts = run_options_from_args(threads);
     if opts.timeout.is_none() {
         opts.timeout = Some(Duration::from_millis(10));
@@ -87,7 +113,7 @@ fn main() {
             &bench.stats_train,
             &bench.config.settings,
         );
-        ChaosEst::with_classes(built.est, s, 0.2, FaultClass::VALUES.to_vec())
+        ChaosEst::with_classes(built.est, s, rate, FaultClass::VALUES.to_vec())
     };
     let mut copts = cardbench_harness::RunOptions::with_threads(threads);
     copts.checkpoint = Some(ckpt.clone());
@@ -152,9 +178,44 @@ fn deterministic_eq(a: &[QueryRun], b: &[QueryRun]) -> Result<(), String> {
                 x.id, x.failure, y.failure
             ));
         }
-        if (x.clamped_subplans, x.fallback_subplans) != (y.clamped_subplans, y.fallback_subplans) {
+        if (x.clamped_subplans, x.fallback_subplans, x.excluded_qerrors)
+            != (y.clamped_subplans, y.fallback_subplans, y.excluded_qerrors)
+        {
             return Err(format!("Q{}: fault counters differ", x.id));
         }
     }
     Ok(())
+}
+
+/// First value of `--flag v` or `--flag=v` in the process arguments.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Parses a `--chaos-classes` spec: `all`, `values`, or a
+/// comma-separated list of [`FaultClass`] display names.
+fn parse_classes(spec: &str) -> Result<Vec<FaultClass>, String> {
+    match spec {
+        "all" => return Ok(FaultClass::ALL.to_vec()),
+        "values" => return Ok(FaultClass::VALUES.to_vec()),
+        _ => {}
+    }
+    let mut classes = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        match FaultClass::ALL.iter().find(|c| c.name() == part) {
+            Some(c) => classes.push(*c),
+            None => return Err(part.to_string()),
+        }
+    }
+    Ok(classes)
 }

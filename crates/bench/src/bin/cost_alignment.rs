@@ -35,6 +35,7 @@ fn db_with(rows_a: usize, rows_b: usize, keys: i64) -> Database {
 }
 
 fn main() {
+    let _trace = cardbench_bench::init_tracing();
     let cm = CostModel::default();
     let mut model = Vec::new();
     let mut wall = Vec::new();

@@ -10,6 +10,7 @@ use cardbench_query::sql::to_sql;
 use cardbench_storage::csv::write_table;
 
 fn main() -> std::io::Result<()> {
+    let _trace = cardbench_bench::init_tracing();
     let bench = Bench::build(cardbench_bench::config_from_env());
     let root = PathBuf::from("cardbench_export");
     for (dir, db, wl) in [

@@ -5,6 +5,7 @@ use cardbench_engine::Database;
 use cardbench_harness::report::figure1_dot;
 
 fn main() {
+    let _trace = cardbench_bench::init_tracing();
     let cfg = cardbench_bench::config_from_env();
     let db = Database::new(stats_catalog(&cfg.stats));
     print!("{}", figure1_dot(&db));

@@ -7,6 +7,7 @@ use cardbench_harness::case_study::{case_study, pick_case_query};
 use cardbench_harness::{build_estimator, Bench};
 
 fn main() {
+    let _trace = cardbench_bench::init_tracing();
     let bench = Bench::build(cardbench_bench::config_from_env());
     let truth = TrueCardService::new();
     let wq = pick_case_query(&bench.stats_wl);

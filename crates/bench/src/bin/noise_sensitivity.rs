@@ -43,6 +43,7 @@ impl CardEst for NoisyOracle {
 }
 
 fn main() {
+    let _trace = cardbench_bench::init_tracing();
     let bench = Bench::build(cardbench_bench::config_from_env());
     let db = &bench.stats_db;
     let truth = TrueCardService::new();

@@ -5,6 +5,7 @@
 use cardbench_harness::{check_observations, render_checks, RunResults};
 
 fn main() {
+    let _trace = cardbench_bench::init_tracing();
     let path = std::path::Path::new("cardbench_results.json");
     let results = if path.exists() {
         let text = std::fs::read_to_string(path).expect("readable results file");

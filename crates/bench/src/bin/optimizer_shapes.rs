@@ -9,6 +9,7 @@ use cardbench_harness::Bench;
 use cardbench_query::{connected_subsets, BoundQuery, SubPlanQuery};
 
 fn main() {
+    let _trace = cardbench_bench::init_tracing();
     let bench = Bench::build(cardbench_bench::config_from_env());
     let db = &bench.stats_db;
     let cost = CostModel::default();

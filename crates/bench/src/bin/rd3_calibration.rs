@@ -27,6 +27,7 @@ fn summarize(name: &str, queries: Vec<cardbench_harness::QueryRun>) {
 }
 
 fn main() {
+    let _trace = cardbench_bench::init_tracing();
     let bench = Bench::build(cardbench_bench::config_from_env());
     let db = &bench.stats_db;
     let cost = CostModel::default();

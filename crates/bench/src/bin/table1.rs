@@ -4,6 +4,7 @@ use cardbench_datagen::{dataset_profile, imdb_catalog, stats_catalog};
 use cardbench_harness::report::table1;
 
 fn main() {
+    let _trace = cardbench_bench::init_tracing();
     let cfg = cardbench_bench::config_from_env();
     let imdb = dataset_profile("IMDB", &imdb_catalog(&cfg.imdb));
     let stats = dataset_profile("STATS", &stats_catalog(&cfg.stats));

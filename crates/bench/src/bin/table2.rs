@@ -5,6 +5,7 @@ use cardbench_harness::report::table2;
 use cardbench_harness::Bench;
 
 fn main() {
+    let _trace = cardbench_bench::init_tracing();
     let bench = Bench::build(cardbench_bench::config_from_env());
     print!(
         "{}",

@@ -5,6 +5,7 @@ use cardbench_bench::{config_from_env, run_full};
 use cardbench_harness::report::table5;
 
 fn main() {
+    let _trace = cardbench_bench::init_tracing();
     let r = run_full(config_from_env());
     print!("{}", table5(&r.stats_runs));
 }

@@ -5,6 +5,7 @@ use cardbench_harness::update_exp::{run_update_experiment, table6};
 use cardbench_harness::Bench;
 
 fn main() {
+    let _trace = cardbench_bench::init_tracing();
     let cfg = cardbench_bench::config_from_env();
     let bench = Bench::build(cfg.clone());
     let results = run_update_experiment(

@@ -14,6 +14,7 @@ use cardbench_harness::update_exp::UPDATABLE;
 use cardbench_storage::TableId;
 
 fn main() {
+    let _trace = cardbench_bench::init_tracing();
     let cfg = cardbench_bench::config_from_env();
     let settings = &cfg.settings;
     let empty = TrainingSet::default();

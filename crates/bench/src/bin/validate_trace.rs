@@ -1,0 +1,208 @@
+//! Validates a `--trace` profile pair: the Chrome `trace_event` JSON and
+//! its Prometheus sidecar (`<trace>.prom`).
+//!
+//! Usage:
+//!
+//! ```text
+//! validate_trace <trace.json> [--require-span NAME]... [--require-family NAME]...
+//! ```
+//!
+//! Structural checks (always on):
+//! - the trace parses as JSON with a `traceEvents` array and at least
+//!   one complete (`"ph": "X"`) event;
+//! - every complete event carries `name`, `cat`, finite `ts`/`dur`, and
+//!   a `tid`;
+//! - the span hierarchy holds: every `execute` span is time-contained in
+//!   a `workload` span on the same thread, every `estimate` span in a
+//!   `plan` span, and (when a `run` span exists on that thread) every
+//!   `workload` span in a `run` span;
+//! - the sidecar parses line-wise: every series line belongs to a family
+//!   announced by a `# TYPE` line.
+//!
+//! `--require-span` / `--require-family` add existence checks on top, so
+//! CI can insist on the exact instrumentation a given binary must emit.
+//! Exits non-zero with a message on the first violation.
+
+use std::process::exit;
+
+use cardbench_support::json::Json;
+
+struct Span {
+    name: String,
+    tid: u64,
+    start: f64,
+    end: f64,
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_path = None;
+    let mut required_spans: Vec<String> = Vec::new();
+    let mut required_families: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--require-span" => {
+                i += 1;
+                required_spans.extend(argv.get(i).cloned());
+            }
+            "--require-family" => {
+                i += 1;
+                required_families.extend(argv.get(i).cloned());
+            }
+            a if !a.starts_with("--") => trace_path = Some(a.to_string()),
+            _ => {}
+        }
+        i += 1;
+    }
+    let Some(trace_path) = trace_path else {
+        eprintln!(
+            "usage: validate_trace <trace.json> [--require-span N]... [--require-family N]..."
+        );
+        exit(2);
+    };
+
+    let spans = check_trace(&trace_path, &required_spans).unwrap_or_else(|msg| {
+        eprintln!("[validate-trace] FAIL ({trace_path}): {msg}");
+        exit(1);
+    });
+    let prom_path = format!("{trace_path}.prom");
+    let families = check_prometheus(&prom_path, &required_families).unwrap_or_else(|msg| {
+        eprintln!("[validate-trace] FAIL ({prom_path}): {msg}");
+        exit(1);
+    });
+    println!("trace OK: {spans} spans, {families} metric families");
+}
+
+/// Parses and validates the Chrome trace; returns the span count.
+fn check_trace(path: &str, required: &[String]) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let v = Json::parse(&text).map_err(|e| format!("JSON parse: {e}"))?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing `traceEvents` array")?;
+
+    let mut spans: Vec<Span> = Vec::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).unwrap_or_default();
+        if ph != "X" {
+            continue;
+        }
+        let field = |k: &str| {
+            ev.get(k)
+                .and_then(Json::as_f64)
+                .filter(|n| n.is_finite() && *n >= 0.0)
+                .ok_or(format!("complete event without finite `{k}`"))
+        };
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("complete event without `name`")?;
+        ev.get("cat")
+            .and_then(Json::as_str)
+            .ok_or("complete event without `cat`")?;
+        let ts = field("ts")?;
+        let dur = field("dur")?;
+        spans.push(Span {
+            name: name.to_string(),
+            tid: field("tid")? as u64,
+            start: ts,
+            end: ts + dur,
+        });
+    }
+    if spans.is_empty() {
+        return Err("no complete (\"X\") events — was tracing enabled?".into());
+    }
+
+    for want in required {
+        if !spans.iter().any(|s| &s.name == want) {
+            return Err(format!("required span `{want}` missing"));
+        }
+    }
+
+    // A child must sit inside a parent of the expected name on the same
+    // thread. Planning fans out across threads, so the rule is per-tid:
+    // `estimate` happens inside `plan` on the worker that planned it,
+    // `execute` inside `workload` on the coordinating thread.
+    let contained = |child: &Span, parent_name: &str| {
+        spans.iter().any(|p| {
+            p.name == parent_name
+                && p.tid == child.tid
+                && p.start <= child.start
+                && child.end <= p.end
+        })
+    };
+    for child in &spans {
+        let parent = match child.name.as_str() {
+            "execute" => "workload",
+            "estimate" => "plan",
+            "workload" if spans.iter().any(|p| p.name == "run" && p.tid == child.tid) => "run",
+            _ => continue,
+        };
+        if !contained(child, parent) {
+            return Err(format!(
+                "`{}` span at ts={} (tid {}) not contained in any `{parent}` span",
+                child.name, child.start, child.tid
+            ));
+        }
+    }
+    Ok(spans.len())
+}
+
+/// Line-wise validation of the Prometheus sidecar; returns the family
+/// count.
+fn check_prometheus(path: &str, required: &[String]) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let mut families: Vec<String> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let fam = parts
+                .next()
+                .ok_or(format!("line {lineno}: bare `# TYPE`"))?;
+            match parts.next() {
+                Some("counter" | "gauge" | "histogram") => {}
+                other => return Err(format!("line {lineno}: bad metric type {other:?}")),
+            }
+            families.push(fam.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // A series line: `name{labels} value` or `name value`; its name
+        // (modulo histogram suffixes) must match an announced family.
+        let name = line
+            .split(['{', ' '])
+            .next()
+            .ok_or(format!("line {lineno}: unparseable series"))?;
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        if !families.iter().any(|f| f == base || f == name) {
+            return Err(format!(
+                "line {lineno}: series `{name}` has no preceding `# TYPE` line"
+            ));
+        }
+        let value = line
+            .rsplit(' ')
+            .next()
+            .ok_or(format!("line {lineno}: missing value"))?;
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("line {lineno}: non-numeric value `{value}`"))?;
+    }
+    for want in required {
+        if !families.iter().any(|f| f == want) {
+            return Err(format!("required metric family `{want}` missing"));
+        }
+    }
+    Ok(families.len())
+}

@@ -31,6 +31,7 @@ fn q_errors_on(
 }
 
 fn main() {
+    let _trace = cardbench_bench::init_tracing();
     let bench = cardbench_harness::Bench::build(cardbench_bench::config_from_env());
     let db = &bench.stats_db;
     let _ = TrueCardService::new();

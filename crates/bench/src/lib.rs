@@ -16,7 +16,16 @@
 //! - `--checkpoint PATH` — stream per-query JSONL records to `PATH`.
 //! - `--resume`          — skip (estimator, query) pairs already in the
 //!   checkpoint file instead of truncating it.
+//!
+//! Observability knobs (CLI argument or environment variable on every
+//! bench binary):
+//! - `--trace PATH` / `CARDBENCH_TRACE=PATH` — record spans and metrics
+//!   during the run, then write a Chrome `trace_event` JSON profile to
+//!   `PATH` (open in `chrome://tracing` or Perfetto) and a Prometheus
+//!   text-format metrics dump to `PATH.prom`. Recording is off unless
+//!   one of these is set, so the default path stays overhead-free.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use cardbench_engine::{CostModel, TrueCardService};
@@ -68,6 +77,54 @@ pub fn config_from_env() -> BenchConfig {
     cfg
 }
 
+/// Where the trace profile should go: `--trace PATH` (or `--trace=PATH`)
+/// wins over the `CARDBENCH_TRACE` environment variable; `None` means
+/// tracing stays disabled.
+pub fn trace_path_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            if let Some(p) = args.next() {
+                return Some(p.into());
+            }
+        } else if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(p.into());
+        }
+    }
+    std::env::var_os("CARDBENCH_TRACE").map(PathBuf::from)
+}
+
+/// Exports the recorded trace and metrics when dropped, so binaries get
+/// a profile even on early `std::process::exit`-free error paths.
+pub struct TraceGuard {
+    path: Option<PathBuf>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        let Some(path) = self.path.take() else { return };
+        match cardbench_obs::write_trace(&path) {
+            Ok((trace, prom)) => eprintln!(
+                "[cardbench] trace written to {} (metrics: {})",
+                trace.display(),
+                prom.display()
+            ),
+            Err(e) => eprintln!("[cardbench] trace export failed: {e}"),
+        }
+    }
+}
+
+/// Turns span/metric recording on when `--trace`/`CARDBENCH_TRACE`
+/// asks for it. Call once at the top of `main` and hold the returned
+/// guard for the whole run; the profile is written when it drops.
+pub fn init_tracing() -> TraceGuard {
+    let path = trace_path_from_args();
+    if path.is_some() {
+        cardbench_obs::set_enabled(true);
+    }
+    TraceGuard { path }
+}
+
 /// Reads the fault-tolerance guard rails from the CLI arguments
 /// (`--timeout-ms`, `--mem-budget-mb`, `--checkpoint`, `--resume`),
 /// on top of the given planning thread count.
@@ -112,6 +169,7 @@ pub fn run_full(cfg: BenchConfig) -> FullResults {
 
 /// [`run_full`] with explicit guard rails.
 pub fn run_full_with_options(cfg: BenchConfig, opts: &RunOptions) -> FullResults {
+    let _run_sp = cardbench_obs::span_with("run", "run", || "full-eval".to_string());
     eprintln!(
         "[cardbench] building datasets (STATS scale {}, seed {})...",
         cfg.stats.scale, cfg.settings.seed
@@ -135,6 +193,7 @@ pub fn run_full_with_options(cfg: BenchConfig, opts: &RunOptions) -> FullResults
     // workload, so they never collide.
     let mut first_run = true;
     for kind in EstimatorKind::ALL {
+        let _est_sp = cardbench_obs::span_with("estimator", "run", || kind.name().to_string());
         for (label, db, wl, train, out) in [
             (
                 "JOB-LIGHT",

@@ -293,6 +293,12 @@ fn run(
 ) -> Result<Chunk, ExecError> {
     match plan {
         PhysicalPlan::Scan { table_pos, .. } => {
+            let _sp = cardbench_obs::span_with("scan", "exec", || {
+                format!(
+                    "t{table_pos} ({} preds)",
+                    bound.tables[*table_pos].predicates.len()
+                )
+            });
             let bt = &bound.tables[*table_pos];
             // Seq and index scans produce identical sorted row ids, so both
             // serve from the database's filtered-scan memo: across the
@@ -315,6 +321,7 @@ fn run(
             edge,
             ..
         } => {
+            let _sp = cardbench_obs::span_with("join", "exec", || format!("{algo:?}"));
             let e = &bound.joins[*edge];
             // Identify which side carries which end of the edge.
             let left_has = left.mask().contains(e.left);

@@ -146,6 +146,9 @@ pub fn optimize_with(
     cost: &CostModel,
     left_deep: bool,
 ) -> PhysicalPlan {
+    let _sp = cardbench_obs::span_with("optimize", "plan", || {
+        format!("{} tables", query.table_count())
+    });
     let n = query.table_count();
     assert!((1..=64).contains(&n));
     let mut best: HashMap<u64, (f64, PhysicalPlan)> = HashMap::new();

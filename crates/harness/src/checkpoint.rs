@@ -274,6 +274,7 @@ pub fn query_run_to_json(run: &QueryRun) -> Json {
         ),
         ("clamped_subplans", num(run.clamped_subplans)),
         ("fallback_subplans", num(run.fallback_subplans)),
+        ("excluded_qerrors", num(run.excluded_qerrors)),
         (
             "failure",
             run.failure
@@ -311,6 +312,12 @@ pub fn query_run_from_json(v: &Json) -> Option<QueryRun> {
             .collect::<Option<Vec<_>>>()?,
         clamped_subplans: v.get("clamped_subplans").and_then(Json::as_f64)? as u64,
         fallback_subplans: v.get("fallback_subplans").and_then(Json::as_f64)? as u64,
+        // Absent in checkpoints written before NaN exclusion existed;
+        // default 0 keeps old files resumable.
+        excluded_qerrors: v
+            .get("excluded_qerrors")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64,
         failure: match v.get("failure")? {
             Json::Null => None,
             f => Some(query_failure_from_json(f)?),
@@ -365,6 +372,7 @@ mod tests {
             ],
             clamped_subplans: 2,
             fallback_subplans: 1,
+            excluded_qerrors: 1,
             failure: None,
         }
     }
@@ -385,6 +393,7 @@ mod tests {
         assert_eq!(a.est_failures, b.est_failures);
         assert_eq!(a.clamped_subplans, b.clamped_subplans);
         assert_eq!(a.fallback_subplans, b.fallback_subplans);
+        assert_eq!(a.excluded_qerrors, b.excluded_qerrors);
         assert_eq!(a.failure, b.failure);
     }
 

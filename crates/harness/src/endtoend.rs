@@ -31,7 +31,7 @@ use cardbench_engine::{
 };
 use cardbench_estimators::postgres::PostgresEst;
 use cardbench_estimators::{CardEst, EstimatorKind};
-use cardbench_metrics::{p_error, q_error};
+use cardbench_metrics::{p_error, q_error_checked, MetricInput};
 use cardbench_query::{connected_subsets, BoundQuery, SubPlanQuery, TableMask};
 use cardbench_support::par;
 use cardbench_workload::{Workload, WorkloadQuery};
@@ -57,8 +57,13 @@ pub struct QueryRun {
     pub subplans: usize,
     /// P-Error of the chosen plan.
     pub p_error: f64,
-    /// Q-Errors over all sub-plan queries.
+    /// Q-Errors over all sub-plan queries. Sub-plans whose estimate was
+    /// non-finite are *excluded* (counted in `excluded_qerrors`), not
+    /// scored as if the estimator had answered 1 row.
     pub q_errors: Vec<f64>,
+    /// Sub-plans excluded from `q_errors` because the estimate was
+    /// invalid (NaN/±inf/degenerate) — a typed rejection, not a score.
+    pub excluded_qerrors: u64,
     /// Estimated cardinality per sub-plan, in `connected_subsets` order
     /// (exposed so determinism across thread counts is checkable). For
     /// faulted sub-plans this is the value the optimizer actually saw
@@ -193,6 +198,12 @@ impl MethodRun {
     pub fn fallback_total(&self) -> u64 {
         self.queries.iter().map(|q| q.fallback_subplans).sum()
     }
+
+    /// Total sub-plans excluded from Q-Error aggregation because their
+    /// estimate was invalid.
+    pub fn excluded_qerror_total(&self) -> u64 {
+        self.queries.iter().map(|q| q.excluded_qerrors).sum()
+    }
 }
 
 /// One query after phase 1: everything except timed execution.
@@ -204,6 +215,7 @@ struct PlannedQuery {
     subplans: usize,
     p_error: f64,
     q_errors: Vec<f64>,
+    excluded_qerrors: u64,
     sub_est_cards: Vec<f64>,
     sub_true_cards: Vec<f64>,
     est_failures: Vec<EstFailure>,
@@ -276,6 +288,9 @@ pub fn run_workload_with_options(
     cost: &CostModel,
     opts: &RunOptions,
 ) -> Vec<QueryRun> {
+    let _sp = cardbench_obs::span_with("workload", "run", || {
+        format!("{} / {}", wl.name, est.name())
+    });
     let threads = par::resolve_threads(opts.threads);
 
     // Resume: load completed (estimator, workload, query) records.
@@ -340,10 +355,66 @@ pub fn run_workload_with_options(
     }
 
     // Stitch resumed and fresh records back into workload order.
-    wl.queries
+    let runs: Vec<QueryRun> = wl
+        .queries
         .iter()
         .filter_map(|wq| resumed.remove(&wq.id).or_else(|| computed.remove(&wq.id)))
-        .collect()
+        .collect();
+    record_run_metrics(est.name(), &runs);
+    runs
+}
+
+/// Folds one workload run's counters into the observability registry in
+/// bulk — the hot paths keep their plain struct counters, and the mutex
+/// behind the registry is taken once per run, not per row. No-op while
+/// recording is disabled.
+fn record_run_metrics(method: &str, runs: &[QueryRun]) {
+    use cardbench_obs::{counter_add, gauge_max};
+    if !cardbench_obs::enabled() {
+        return;
+    }
+    let m = [("method", method)];
+    let mut clamped = 0u64;
+    let mut fallback = 0u64;
+    let mut excluded = 0u64;
+    let mut failed = 0u64;
+    let mut stats = ExecStats::default();
+    for q in runs {
+        clamped += q.clamped_subplans;
+        fallback += q.fallback_subplans;
+        excluded += q.excluded_qerrors;
+        failed += u64::from(!q.completed());
+        stats.build_rows += q.exec_stats.build_rows;
+        stats.probe_rows += q.exec_stats.probe_rows;
+        stats.intermediate_rows += q.exec_stats.intermediate_rows;
+        stats.rows_gathered += q.exec_stats.rows_gathered;
+        stats.partitions_spilled += q.exec_stats.partitions_spilled;
+        stats.peak_intermediate_bytes = stats
+            .peak_intermediate_bytes
+            .max(q.exec_stats.peak_intermediate_bytes);
+    }
+    counter_add("cardbench_clamped_subplans_total", &m, clamped);
+    counter_add("cardbench_fallback_subplans_total", &m, fallback);
+    counter_add("cardbench_excluded_qerrors_total", &m, excluded);
+    counter_add("cardbench_failed_queries_total", &m, failed);
+    counter_add("cardbench_join_build_rows_total", &m, stats.build_rows);
+    counter_add("cardbench_join_probe_rows_total", &m, stats.probe_rows);
+    counter_add(
+        "cardbench_intermediate_rows_total",
+        &m,
+        stats.intermediate_rows,
+    );
+    counter_add("cardbench_rows_gathered_total", &m, stats.rows_gathered);
+    counter_add(
+        "cardbench_partitions_spilled_total",
+        &m,
+        stats.partitions_spilled,
+    );
+    gauge_max(
+        "cardbench_peak_intermediate_bytes",
+        &m,
+        stats.peak_intermediate_bytes as f64,
+    );
 }
 
 /// Phase-1 work for one query: sandboxed estimation over the sub-plan
@@ -359,6 +430,7 @@ fn plan_one(
 ) -> PlannedQuery {
     use crate::fault::guarded_estimate;
 
+    let _sp = cardbench_obs::span_with("plan", "plan", || format!("Q{}", wq.id));
     let query = &wq.query;
     let failed = |plan_time, failure| PlannedQuery {
         id: wq.id,
@@ -368,6 +440,7 @@ fn plan_one(
         subplans: 0,
         p_error: f64::NAN,
         q_errors: Vec::new(),
+        excluded_qerrors: 0,
         sub_est_cards: Vec::new(),
         sub_true_cards: Vec::new(),
         est_failures: Vec::new(),
@@ -392,6 +465,7 @@ fn plan_one(
     let mut true_cards = CardMap::new();
     let mut plan_time = Duration::ZERO;
     let mut q_errors = Vec::with_capacity(masks.len());
+    let mut excluded_qerrors = 0u64;
     let mut sub_est_cards = Vec::with_capacity(masks.len());
     let mut sub_true_cards = Vec::with_capacity(masks.len());
     let mut est_failures = Vec::new();
@@ -419,14 +493,18 @@ fn plan_one(
         };
         let upper = cross_product_bound(db, &bound, mask);
         // Decide what the optimizer sees and what the metrics score.
-        // Clean estimates keep their raw value for Q-Error (historical
-        // behaviour); faulted ones score the value actually injected.
-        let scored = match outcome {
+        // Clean estimates keep their raw value for Q-Error; hard failures
+        // score the baseline actually substituted (the plan ran on it);
+        // soft failures (NaN/±inf/degenerate) have no meaningful Q-Error
+        // — scoring the clamp's 1.0 stand-in would charge the estimator
+        // for the *sanitizer's* answer — so they are excluded and counted.
+        let (seen, scored) = match outcome {
             Ok(v) => {
                 est_cards.insert_bounded(mask, v, upper);
-                v
+                (v, q_error_checked(v, t))
             }
             Err(err) => {
+                let soft = !err.is_hard();
                 let injected = if err.is_hard() {
                     fallback_subplans += 1;
                     fallback
@@ -445,12 +523,24 @@ fn plan_one(
                     mask: mask.0,
                     error: err,
                 });
-                est_cards.rows(mask)
+                // The optimizer saw the clamped/substituted value; score
+                // hard-failure fallbacks (the plan ran on them), exclude
+                // soft ones.
+                let seen = est_cards.rows(mask);
+                let scored = if soft {
+                    MetricInput::Invalid
+                } else {
+                    q_error_checked(seen, t)
+                };
+                (seen, scored)
             }
         };
         true_cards.insert(mask, t);
-        q_errors.push(q_error(scored, t));
-        sub_est_cards.push(scored);
+        match scored {
+            MetricInput::Valid(qe) => q_errors.push(qe),
+            MetricInput::Invalid => excluded_qerrors += 1,
+        }
+        sub_est_cards.push(seen);
         sub_true_cards.push(t);
     }
     let plan = optimize(query, &bound, db, &est_cards, cost);
@@ -463,6 +553,7 @@ fn plan_one(
         subplans: masks.len(),
         p_error: pe,
         q_errors,
+        excluded_qerrors,
         sub_est_cards,
         sub_true_cards,
         est_failures,
@@ -480,6 +571,7 @@ fn execute_one(
     opts: &RunOptions,
     scratch: &mut ExecScratch,
 ) -> QueryRun {
+    let _sp = cardbench_obs::span_with("execute", "exec", || format!("Q{}", p.id));
     let mut run = QueryRun {
         id: p.id,
         n_tables: p.n_tables,
@@ -489,6 +581,7 @@ fn execute_one(
         subplans: p.subplans,
         p_error: p.p_error,
         q_errors: p.q_errors,
+        excluded_qerrors: p.excluded_qerrors,
         sub_est_cards: p.sub_est_cards,
         sub_true_cards: p.sub_true_cards,
         result_rows: 0,

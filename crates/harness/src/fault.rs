@@ -259,11 +259,13 @@ pub fn guarded_estimate(
     timeout: Option<Duration>,
 ) -> (Result<f64, EstimateError>, Duration) {
     install_quiet_panic_hook();
+    let sp = cardbench_obs::span_with("estimate", "plan", || est.name().to_string());
     SANDBOXED.with(|c| c.set(true));
     let t0 = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| est.estimate(db, sub)));
     let elapsed = t0.elapsed();
     SANDBOXED.with(|c| c.set(false));
+    drop(sp);
     let result = match outcome {
         Err(payload) => Err(EstimateError::Panicked {
             message: panic_message(payload),
@@ -278,6 +280,18 @@ pub fn guarded_estimate(
         }
         Ok(v) => Ok(v),
     };
+    cardbench_obs::observe_secs(
+        "cardbench_estimate_latency_seconds",
+        &[("method", est.name())],
+        elapsed.as_secs_f64(),
+    );
+    if let Err(e) = &result {
+        cardbench_obs::counter_add(
+            "cardbench_est_failures_total",
+            &[("method", est.name()), ("kind", e.kind())],
+            1,
+        );
+    }
     (result, elapsed)
 }
 

@@ -244,6 +244,7 @@ mod tests {
             est_failures: 0,
             clamped_subplans: 0,
             fallback_subplans: 0,
+            excluded_qerrors: 0,
             queries: vec![
                 QueryRecord {
                     id: 1,
@@ -263,6 +264,7 @@ mod tests {
                     est_failures: 0,
                     clamped_subplans: 0,
                     fallback_subplans: 0,
+                    excluded_qerrors: 0,
                 },
                 QueryRecord {
                     id: 2,
@@ -282,6 +284,7 @@ mod tests {
                     est_failures: 0,
                     clamped_subplans: 0,
                     fallback_subplans: 0,
+                    excluded_qerrors: 0,
                 },
             ],
         }

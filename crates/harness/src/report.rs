@@ -548,7 +548,7 @@ pub fn table_faults(runs: &[MethodRun], workload_name: &str) -> String {
     let _ = writeln!(s, "Fault summary ({workload_name})");
     let _ = writeln!(
         s,
-        "{:<12} {:>7} {:>7} {:>9} {:>7} {:>9} {:>8} {:>8} {:>9}",
+        "{:<12} {:>7} {:>7} {:>9} {:>7} {:>9} {:>8} {:>8} {:>9} {:>7}",
         "Method",
         "Queries",
         "Failed",
@@ -557,7 +557,8 @@ pub fn table_faults(runs: &[MethodRun], workload_name: &str) -> String {
         "Timeouts",
         "NonFin",
         "Degen",
-        "Fallbacks"
+        "Fallbacks",
+        "ExclQE"
     );
     for run in runs {
         let kind_count = |kind: &str| -> usize {
@@ -569,7 +570,7 @@ pub fn table_faults(runs: &[MethodRun], workload_name: &str) -> String {
         };
         let _ = writeln!(
             s,
-            "{:<12} {:>7} {:>7} {:>9} {:>7} {:>9} {:>8} {:>8} {:>9}",
+            "{:<12} {:>7} {:>7} {:>9} {:>7} {:>9} {:>8} {:>8} {:>9} {:>7}",
             run.kind.name(),
             run.queries.len(),
             run.failed_queries(),
@@ -579,6 +580,7 @@ pub fn table_faults(runs: &[MethodRun], workload_name: &str) -> String {
             kind_count("non_finite"),
             kind_count("degenerate"),
             run.fallback_total(),
+            run.excluded_qerror_total(),
         );
     }
     let mut any_failed = false;
@@ -595,6 +597,61 @@ pub fn table_faults(runs: &[MethodRun], workload_name: &str) -> String {
     }
     if !any_failed {
         let _ = writeln!(s, "All queries executed to completion.");
+    }
+    s
+}
+
+/// Per-query "where did the time go" breakdown: for each method, the
+/// slowest queries with planning vs execution split and the operator
+/// counters that explain the execution side. `top_n` bounds the rows per
+/// method so a 146-query workload stays readable; pass `usize::MAX` for
+/// everything.
+pub fn table_time_breakdown(runs: &[MethodRun], workload_name: &str, top_n: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Time breakdown ({workload_name}): slowest queries per method"
+    );
+    let _ = writeln!(
+        s,
+        "{:<12} {:>6} {:>10} {:>10} {:>6} | {:>12} {:>12} {:>7} {:>10}",
+        "Method", "Query", "Plan", "Exec", "Plan%", "Build", "Probe", "Spills", "Peak mem"
+    );
+    for run in runs {
+        let mut by_time: Vec<&crate::endtoend::QueryRun> =
+            run.queries.iter().filter(|q| q.completed()).collect();
+        by_time.sort_by_key(|q| std::cmp::Reverse(q.plan + q.exec));
+        for q in by_time.iter().take(top_n) {
+            let plan = q.plan.as_secs_f64();
+            let exec = q.exec.as_secs_f64();
+            let share = if plan + exec > 0.0 {
+                plan / (plan + exec) * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                s,
+                "{:<12} {:>6} {:>10} {:>10} {:>5.1}% | {:>12} {:>12} {:>7} {:>10}",
+                run.kind.name(),
+                format!("Q{}", q.id),
+                fmt_duration(q.plan),
+                fmt_duration(q.exec),
+                share,
+                q.exec_stats.build_rows,
+                q.exec_stats.probe_rows,
+                q.exec_stats.partitions_spilled,
+                fmt_bytes(q.exec_stats.peak_intermediate_bytes as usize),
+            );
+        }
+        let skipped = run.queries.iter().filter(|q| !q.completed()).count();
+        if skipped > 0 {
+            let _ = writeln!(
+                s,
+                "{:<12} ({} failed queries omitted)",
+                run.kind.name(),
+                skipped
+            );
+        }
     }
     s
 }
@@ -677,6 +734,7 @@ mod tests {
                 est_failures: vec![],
                 clamped_subplans: 0,
                 fallback_subplans: 0,
+                excluded_qerrors: 0,
                 failure: None,
             })
             .collect();
@@ -809,6 +867,33 @@ mod tests {
         assert!(pg.contains("1200"), "{pg}");
         assert!(pg.contains(" 6 "), "{pg}");
         assert!(pg.contains("8.0KB"), "{pg}");
+    }
+
+    #[test]
+    fn time_breakdown_sorts_and_bounds_rows() {
+        let mut run = fake_run(EstimatorKind::Postgres, 10);
+        run.queries[0].failure = Some(QueryFailure::Bind {
+            message: "x".into(),
+        });
+        let s = table_time_breakdown(&[run], "STATS-CEB", 2);
+        assert!(s.contains("Time breakdown"), "{s}");
+        // Q4 is the slowest fake query and must appear; the failed Q1
+        // must not get a timing row.
+        assert!(s.contains("Q4"), "{s}");
+        assert!(!s.contains("Q1 "), "{s}");
+        assert!(s.contains("(1 failed queries omitted)"), "{s}");
+        // top_n=2 over 3 completed queries drops Q2.
+        assert!(!s.contains("Q2"), "{s}");
+    }
+
+    #[test]
+    fn fault_table_reports_excluded_qerrors() {
+        let mut run = fake_run(EstimatorKind::Postgres, 10);
+        run.queries[1].excluded_qerrors = 3;
+        let s = table_faults(&[run], "STATS-CEB");
+        assert!(s.contains("ExclQE"), "{s}");
+        let pg = s.lines().find(|l| l.starts_with("PostgreSQL")).unwrap();
+        assert!(pg.trim_end().ends_with('3'), "{pg}");
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub struct MethodSummary {
     pub clamped_subplans: u64,
     /// Sub-plans degraded to the PostgreSQL baseline estimate.
     pub fallback_subplans: u64,
+    /// Sub-plan Q-Errors excluded from the percentiles because the raw
+    /// estimate was non-finite or degenerate.
+    pub excluded_qerrors: u64,
     /// Per-query records.
     pub queries: Vec<QueryRecord>,
 }
@@ -83,6 +86,8 @@ pub struct QueryRecord {
     pub clamped_subplans: u64,
     /// Sub-plans degraded to the baseline on this query.
     pub fallback_subplans: u64,
+    /// Sub-plan Q-Errors excluded from aggregation on this query.
+    pub excluded_qerrors: u64,
 }
 
 impl MethodSummary {
@@ -109,6 +114,7 @@ impl MethodSummary {
                 est_failures: q.est_failures.len() as u64,
                 clamped_subplans: q.clamped_subplans,
                 fallback_subplans: q.fallback_subplans,
+                excluded_qerrors: q.excluded_qerrors,
             })
             .collect();
         MethodSummary {
@@ -126,6 +132,7 @@ impl MethodSummary {
             est_failures: run.est_failure_total() as u64,
             clamped_subplans: run.clamped_total(),
             fallback_subplans: run.fallback_total(),
+            excluded_qerrors: run.excluded_qerror_total(),
             queries,
         }
     }
@@ -153,6 +160,10 @@ impl MethodSummary {
                 Json::Number(self.fallback_subplans as f64),
             ),
             (
+                "excluded_qerrors",
+                Json::Number(self.excluded_qerrors as f64),
+            ),
+            (
                 "queries",
                 Json::Array(self.queries.iter().map(QueryRecord::to_value).collect()),
             ),
@@ -177,6 +188,7 @@ impl MethodSummary {
             est_failures: opt_num_field(v, "est_failures") as u64,
             clamped_subplans: opt_num_field(v, "clamped_subplans") as u64,
             fallback_subplans: opt_num_field(v, "fallback_subplans") as u64,
+            excluded_qerrors: opt_num_field(v, "excluded_qerrors") as u64,
             queries: array_field(v, "queries")?
                 .iter()
                 .map(QueryRecord::from_value)
@@ -226,6 +238,10 @@ impl QueryRecord {
                 "fallback_subplans",
                 Json::Number(self.fallback_subplans as f64),
             ),
+            (
+                "excluded_qerrors",
+                Json::Number(self.excluded_qerrors as f64),
+            ),
         ])
     }
 
@@ -236,8 +252,8 @@ impl QueryRecord {
             true_card: num_field(v, "true_card")?,
             exec_secs: num_field(v, "exec_secs")?,
             plan_secs: num_field(v, "plan_secs")?,
-            p_error: num_field(v, "p_error")?,
-            q_error_median: num_field(v, "q_error_median")?,
+            p_error: metric_field(v, "p_error")?,
+            q_error_median: metric_field(v, "q_error_median")?,
             intermediate_rows: num_field(v, "intermediate_rows")? as u64,
             build_rows: num_field(v, "build_rows")? as u64,
             probe_rows: num_field(v, "probe_rows")? as u64,
@@ -251,6 +267,7 @@ impl QueryRecord {
             est_failures: opt_num_field(v, "est_failures") as u64,
             clamped_subplans: opt_num_field(v, "clamped_subplans") as u64,
             fallback_subplans: opt_num_field(v, "fallback_subplans") as u64,
+            excluded_qerrors: opt_num_field(v, "excluded_qerrors") as u64,
         })
     }
 }
@@ -279,6 +296,25 @@ fn num_field(v: &Json, key: &str) -> Result<f64, JsonError> {
         .ok_or_else(|| shape_err(format!("field `{key}` is not a number")))
 }
 
+/// Metric field that may legitimately be NaN (empty or all-excluded
+/// aggregate). The writer emits `null` for non-finite values — JSON has
+/// no NaN — so `null` reads back as NaN instead of failing the parse.
+fn metric_field(v: &Json, key: &str) -> Result<f64, JsonError> {
+    match field(v, key)? {
+        Json::Null => Ok(f64::NAN),
+        n => n
+            .as_f64()
+            .ok_or_else(|| shape_err(format!("field `{key}` is not a number"))),
+    }
+}
+
+fn metric_value(j: &Json) -> Result<f64, JsonError> {
+    match j {
+        Json::Null => Ok(f64::NAN),
+        n => n.as_f64().ok_or_else(|| shape_err("non-numeric triple")),
+    }
+}
+
 fn str_field(v: &Json, key: &str) -> Result<String, JsonError> {
     Ok(field(v, key)?
         .as_str()
@@ -303,11 +339,7 @@ fn triple_to_value(t: (f64, f64, f64)) -> Json {
 fn triple_field(v: &Json, key: &str) -> Result<(f64, f64, f64), JsonError> {
     let arr = array_field(v, key)?;
     match arr {
-        [a, b, c] => Ok((
-            a.as_f64().ok_or_else(|| shape_err("non-numeric triple"))?,
-            b.as_f64().ok_or_else(|| shape_err("non-numeric triple"))?,
-            c.as_f64().ok_or_else(|| shape_err("non-numeric triple"))?,
-        )),
+        [a, b, c] => Ok((metric_value(a)?, metric_value(b)?, metric_value(c)?)),
         _ => Err(shape_err(format!("field `{key}` is not a 3-array"))),
     }
 }
@@ -395,6 +427,7 @@ mod tests {
                 est_failures: vec![],
                 clamped_subplans: 0,
                 fallback_subplans: 0,
+                excluded_qerrors: 0,
                 failure: None,
             }],
         }

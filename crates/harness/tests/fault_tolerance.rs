@@ -259,3 +259,57 @@ fn memory_budget_aborts_queries_not_the_run() {
     let report = table_faults(&[method], "STATS-CEB");
     assert!(report.contains("failed(memory budget exceeded"), "{report}");
 }
+
+/// Regression for the NaN-poisoning bug class: an estimator that
+/// returns a non-finite value on EVERY sub-plan estimate must still
+/// produce a complete run whose reports and serialized results render —
+/// the old `sort_by(partial_cmp().unwrap())` percentile and the
+/// `f64::max` clamp in `q_error` both died or lied here.
+#[test]
+fn all_nonfinite_run_completes_reporting() {
+    let truth = TrueCardService::new();
+    let chaos = postgres_chaos(
+        1.0,
+        vec![FaultClass::Nan, FaultClass::PosInf, FaultClass::NegInf],
+    );
+    let queries = run_with(&chaos, &truth, &RunOptions::with_threads(2));
+    let b = bench();
+    assert_eq!(queries.len(), b.stats_wl.queries.len());
+    for q in &queries {
+        assert!(q.completed(), "Q{} must execute on clamped estimates", q.id);
+        // Every sub-plan estimate failed soft, so every Q-Error is
+        // excluded rather than silently scored as a 1-row estimate.
+        assert!(
+            q.q_errors.is_empty(),
+            "Q{} scored a poisoned estimate",
+            q.id
+        );
+        assert_eq!(q.excluded_qerrors, q.subplans as u64, "Q{}", q.id);
+    }
+
+    let run = MethodRun {
+        kind: EstimatorKind::Postgres,
+        train_time: Duration::ZERO,
+        model_size: 0,
+        queries,
+    };
+    // Aggregation and every renderer must be total: percentiles over the
+    // empty Q-Error set are NaN, printed as dashes — never a panic.
+    let (q50, _, q99) = cardbench_metrics::percentile_triple(&run.all_q_errors());
+    assert!(q50.is_nan() && q99.is_nan());
+    let faults = table_faults(std::slice::from_ref(&run), "STATS-CEB");
+    assert!(faults.contains("ExclQE"), "{faults}");
+    let t7 = cardbench_harness::report::table7(std::slice::from_ref(&run), "STATS-CEB");
+    assert!(t7.contains('—'), "{t7}");
+    let breakdown =
+        cardbench_harness::report::table_time_breakdown(std::slice::from_ref(&run), "STATS-CEB", 3);
+    assert!(breakdown.contains("Time breakdown"), "{breakdown}");
+    let results = cardbench_harness::RunResults::collect(&[run], &[]);
+    let json = results.to_json();
+    let back = cardbench_harness::RunResults::from_json(&json).expect("results roundtrip");
+    assert_eq!(
+        back.summaries[0].excluded_qerrors,
+        results.summaries[0].excluded_qerrors
+    );
+    assert!(back.summaries[0].excluded_qerrors > 0);
+}

@@ -1,15 +1,69 @@
 //! Evaluation metrics: Q-Error, the paper's proposed P-Error, and the
 //! percentile / correlation machinery behind Table 7.
+//!
+//! Every aggregate in this crate is **total over arbitrary `f64` bit
+//! patterns**: NaN samples are filtered (callers can count them with
+//! [`nan_count`]) rather than fed to a panicking comparator, and a NaN
+//! aggregate comes back only from an empty or all-NaN sample. Estimates
+//! that should never reach aggregation in the first place are rejected
+//! up front as [`MetricInput::Invalid`].
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use cardbench_engine::{optimize, plan_cost, CardMap, CostModel, Database, PhysicalPlan};
 use cardbench_query::{BoundQuery, JoinQuery};
 
 /// Q-Error of one estimate: `max(est/true, true/est)` with both sides
 /// clamped to at least one row (PostgreSQL's clamp), so Q-Error ≥ 1.
+///
+/// The clamp has a trap: `f64::max` returns the *other* operand when one
+/// side is NaN, so a NaN estimate silently scores as a 1-row estimate
+/// instead of an error. Use [`q_error_checked`] anywhere the estimate
+/// may be a failure value.
 pub fn q_error(estimate: f64, truth: f64) -> f64 {
     let e = estimate.max(1.0);
     let t = truth.max(1.0);
     (e / t).max(t / e)
+}
+
+/// A scoring input that is either a usable sample or a typed rejection.
+///
+/// Distinguishes "this estimator answered 1.0 rows" (a legitimate — if
+/// terrible — estimate) from "this estimator produced NaN/±inf", which
+/// must be *excluded* from percentile triples, not clamped into a
+/// flattering Q-Error of `truth`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricInput {
+    /// A finite metric value, safe to aggregate.
+    Valid(f64),
+    /// A non-finite estimate or truth: excluded from aggregation.
+    Invalid,
+}
+
+impl MetricInput {
+    /// The value, if valid.
+    pub fn value(self) -> Option<f64> {
+        match self {
+            MetricInput::Valid(v) => Some(v),
+            MetricInput::Invalid => None,
+        }
+    }
+}
+
+/// [`q_error`] with non-finite inputs rejected instead of silently
+/// clamped: a NaN or ±inf estimate (or truth) yields
+/// [`MetricInput::Invalid`] so the caller can exclude and count it.
+pub fn q_error_checked(estimate: f64, truth: f64) -> MetricInput {
+    if !estimate.is_finite() || !truth.is_finite() {
+        return MetricInput::Invalid;
+    }
+    MetricInput::Valid(q_error(estimate, truth))
+}
+
+/// How many samples are NaN — the count excluded by the percentile and
+/// correlation aggregates below.
+pub fn nan_count(values: &[f64]) -> usize {
+    values.iter().filter(|v| v.is_nan()).count()
 }
 
 /// PostgreSQL plan cost (PPC): the cost of plan `plan` when every node's
@@ -49,13 +103,15 @@ pub fn p_error(
 }
 
 /// The `p`-th percentile (0..=1) of a sample, by linear interpolation on
-/// the sorted values. Empty input yields NaN.
+/// the sorted values. NaN samples are filtered out (report them via
+/// [`nan_count`]); the result is NaN only when the sample is empty or
+/// all-NaN. Total over every `f64` bit pattern — never panics.
 pub fn percentile(values: &[f64], p: f64) -> f64 {
-    if values.is_empty() {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
         return f64::NAN;
     }
-    let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     let pos = p.clamp(0.0, 1.0) * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -104,18 +160,28 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 }
 
 /// Spearman rank correlation (Pearson over ranks, mean rank for ties).
+/// Pairs where either coordinate is NaN are dropped before ranking
+/// (count them via [`nan_count`] on the inputs); total over every `f64`
+/// bit pattern — never panics.
 pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
-    pearson(&ranks(xs), &ranks(ys))
+    assert_eq!(xs.len(), ys.len());
+    let (fx, fy): (Vec<f64>, Vec<f64>) = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| !x.is_nan() && !y.is_nan())
+        .map(|(&x, &y)| (x, y))
+        .unzip();
+    pearson(&ranks(&fx), &ranks(&fy))
 }
 
 fn ranks(v: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..v.len()).collect();
-    idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap());
+    idx.sort_by(|&a, &b| v[a].total_cmp(&v[b]));
     let mut r = vec![0.0; v.len()];
     let mut i = 0;
     while i < idx.len() {
         let mut j = i;
-        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+        while j + 1 < idx.len() && v[idx[j + 1]].total_cmp(&v[idx[i]]).is_eq() {
             j += 1;
         }
         let mean_rank = (i + j) as f64 / 2.0;
@@ -139,6 +205,49 @@ mod tests {
         assert_eq!(q_error(100.0, 10.0), 10.0);
         assert_eq!(q_error(0.0, 0.5), 1.0);
         assert!(q_error(1.0, 1.0) >= 1.0);
+    }
+
+    #[test]
+    fn q_error_checked_rejects_non_finite() {
+        assert_eq!(q_error_checked(10.0, 100.0), MetricInput::Valid(10.0));
+        assert_eq!(q_error_checked(f64::NAN, 100.0), MetricInput::Invalid);
+        assert_eq!(q_error_checked(f64::INFINITY, 100.0), MetricInput::Invalid);
+        assert_eq!(
+            q_error_checked(f64::NEG_INFINITY, 1.0),
+            MetricInput::Invalid
+        );
+        assert_eq!(q_error_checked(5.0, f64::NAN), MetricInput::Invalid);
+        assert_eq!(MetricInput::Valid(2.0).value(), Some(2.0));
+        assert_eq!(MetricInput::Invalid.value(), None);
+        // The silent clamp this guards against: plain q_error scores a
+        // NaN estimate as if the estimator had answered 1 row.
+        assert_eq!(q_error(f64::NAN, 100.0), 100.0);
+    }
+
+    #[test]
+    fn percentile_filters_nan_and_never_panics() {
+        let v = [3.0, f64::NAN, 1.0, 2.0, f64::NAN];
+        assert_eq!(nan_count(&v), 2);
+        assert_eq!(percentile(&v, 0.5), 2.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 3.0);
+        assert!(percentile(&[], 0.5).is_nan());
+        assert!(percentile(&[f64::NAN, f64::NAN], 0.5).is_nan());
+        // ±inf are legitimate (if extreme) samples and sort to the ends.
+        let w = [f64::NEG_INFINITY, 0.0, f64::INFINITY];
+        assert_eq!(percentile(&w, 0.5), 0.0);
+        let (p50, _, _) = percentile_triple(&[f64::NAN, 7.0]);
+        assert_eq!(p50, 7.0);
+    }
+
+    #[test]
+    fn spearman_drops_nan_pairs() {
+        let xs = [1.0, 2.0, f64::NAN, 4.0, 5.0];
+        let ys = [2.0, 4.0, 6.0, f64::NAN, 10.0];
+        // Surviving pairs (1,2) (2,4) (5,10) are perfectly monotone.
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-9);
+        let all_nan = [f64::NAN, f64::NAN];
+        assert_eq!(spearman(&all_nan, &all_nan), 0.0);
     }
 
     #[test]

@@ -13,16 +13,17 @@ use crate::generator::{Workload, WorkloadQuery};
 /// Serializes a workload to the annotated SQL text format.
 pub fn workload_to_sql(wl: &Workload) -> String {
     use std::fmt::Write as _;
+    // Writes to an in-memory `String` are infallible, so their results
+    // are deliberately discarded instead of unwrapped.
     let mut out = String::new();
-    writeln!(out, "-- workload: {}", wl.name).unwrap();
+    let _ = writeln!(out, "-- workload: {}", wl.name);
     for wq in &wl.queries {
-        writeln!(
+        let _ = writeln!(
             out,
             "-- Q{} (template {}, true card {})",
             wq.id, wq.template_id, wq.true_card
-        )
-        .unwrap();
-        writeln!(out, "{}", cardbench_query::sql::to_sql(&wq.query)).unwrap();
+        );
+        let _ = writeln!(out, "{}", cardbench_query::sql::to_sql(&wq.query));
     }
     out
 }
@@ -91,15 +92,22 @@ fn parse_annotation(rest: &str) -> Result<(usize, usize, f64), String> {
     Ok((id, template, card))
 }
 
-/// Writes a workload file.
-pub fn write_workload(wl: &Workload, path: &Path) -> std::io::Result<()> {
-    std::fs::write(path, workload_to_sql(wl))
+/// Annotates an I/O error with the path it happened on — a bare
+/// "No such file or directory" without the offending path is useless in
+/// a batch run's log.
+fn with_path(path: &Path, e: std::io::Error) -> std::io::Error {
+    std::io::Error::new(e.kind(), format!("{}: {e}", path.display()))
 }
 
-/// Reads a workload file.
+/// Writes a workload file. Errors carry the path.
+pub fn write_workload(wl: &Workload, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, workload_to_sql(wl)).map_err(|e| with_path(path, e))
+}
+
+/// Reads a workload file. Errors carry the path.
 pub fn read_workload(path: &Path) -> std::io::Result<Workload> {
-    let text = std::fs::read_to_string(path)?;
-    workload_from_sql(&text).map_err(std::io::Error::other)
+    let text = std::fs::read_to_string(path).map_err(|e| with_path(path, e))?;
+    workload_from_sql(&text).map_err(|e| std::io::Error::other(format!("{}: {e}", path.display())))
 }
 
 #[cfg(test)]
@@ -151,6 +159,31 @@ mod tests {
         write_workload(&wl, &path).unwrap();
         let back = read_workload(&path).unwrap();
         assert_eq!(back.queries.len(), 5);
+    }
+
+    #[test]
+    fn io_errors_name_the_path() {
+        let path = Path::new("/nonexistent-cardbench/wl.sql");
+        let err = read_workload(path).unwrap_err();
+        assert!(
+            err.to_string().contains("/nonexistent-cardbench/wl.sql"),
+            "{err}"
+        );
+        let db = Database::new(stats_catalog(&StatsConfig::tiny(14)));
+        let wl = stats_ceb(
+            &db,
+            &WorkloadConfig {
+                templates: 2,
+                queries: 2,
+                max_tables: 3,
+                ..WorkloadConfig::stats_ceb(14)
+            },
+        );
+        let err = write_workload(&wl, path).unwrap_err();
+        assert!(
+            err.to_string().contains("/nonexistent-cardbench/wl.sql"),
+            "{err}"
+        );
     }
 
     #[test]

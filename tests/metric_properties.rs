@@ -2,7 +2,10 @@
 
 use cardbench_support::proptest::prelude::*;
 
-use cardbench::metrics::{pearson, percentile, percentile_triple, q_error, spearman};
+use cardbench::metrics::{
+    nan_count, pearson, percentile, percentile_triple, q_error, q_error_checked, spearman,
+    MetricInput,
+};
 
 proptest! {
     /// Q-Error is always ≥ 1 and symmetric.
@@ -45,6 +48,64 @@ proptest! {
         prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
         let s = spearman(&values, &shifted);
         prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+    }
+
+    /// Percentiles are total over ARBITRARY f64 bit patterns — NaN,
+    /// ±inf, subnormals, negative zero. NaN comes back only for an
+    /// empty or all-NaN sample; otherwise NaN inputs are filtered, not
+    /// propagated and never panicked on.
+    #[test]
+    fn percentile_total_over_bit_patterns(
+        bits in prop::collection::vec(any::<u64>(), 0..64),
+        p in 0.0f64..1.0,
+    ) {
+        let values: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let v = percentile(&values, p);
+        if nan_count(&values) == values.len() {
+            prop_assert!(v.is_nan());
+        } else {
+            prop_assert!(!v.is_nan(), "{v} from {values:?}");
+        }
+        let (p50, p90, p99) = percentile_triple(&values);
+        prop_assert_eq!(p50.is_nan(), v.is_nan());
+        // Ordering still holds on whatever survives the filter.
+        if !p50.is_nan() {
+            prop_assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        }
+    }
+
+    /// Spearman is total over arbitrary bit patterns: NaN pairs are
+    /// dropped and the result is either a correlation in [-1, 1] or NaN
+    /// (degenerate sample) — never a panic.
+    #[test]
+    fn spearman_total_over_bit_patterns(
+        xbits in prop::collection::vec(any::<u64>(), 0..50),
+        ybits in prop::collection::vec(any::<u64>(), 0..50),
+    ) {
+        let n = xbits.len().min(ybits.len());
+        let xs: Vec<f64> = xbits[..n].iter().map(|&b| f64::from_bits(b)).collect();
+        let ys: Vec<f64> = ybits[..n].iter().map(|&b| f64::from_bits(b)).collect();
+        let s = spearman(&xs, &ys);
+        prop_assert!(
+            s.is_nan() || (-1.0 - 1e-9..=1.0 + 1e-9).contains(&s),
+            "{s}"
+        );
+    }
+
+    /// `q_error_checked` admits exactly the finite pairs: anything else
+    /// is typed `Invalid` instead of silently scoring as a 1-row clamp.
+    #[test]
+    fn q_error_checked_partitions_bit_patterns(est_bits in any::<u64>(), truth_bits in any::<u64>()) {
+        let (est, truth) = (f64::from_bits(est_bits), f64::from_bits(truth_bits));
+        match q_error_checked(est, truth) {
+            MetricInput::Valid(q) => {
+                prop_assert!(est.is_finite() && truth.is_finite());
+                prop_assert!(q >= 1.0, "{est} vs {truth} -> {q}");
+            }
+            MetricInput::Invalid => {
+                prop_assert!(!est.is_finite() || !truth.is_finite());
+            }
+        }
     }
 }
 
