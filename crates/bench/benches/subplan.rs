@@ -1,0 +1,233 @@
+//! Sub-plan pipeline benchmarks: the one-pass true-cardinality
+//! enumerator against the per-mask exact-execution baseline, and batched
+//! against sequential estimator inference, on 6–8-table STATS-shaped
+//! star queries (posts hub + children, users/badges arm). Writes
+//! `BENCH_subplan.json` at the repo root with medians and speedups so
+//! the amortization claim stays reproducible. `CARDBENCH_FAST=1` runs a
+//! 1-sample smoke on the smallest query and skips the JSON.
+
+use std::path::PathBuf;
+
+use cardbench_support::criterion::Criterion;
+use cardbench_support::json::Json;
+
+use cardbench_datagen::{stats_catalog, StatsConfig};
+use cardbench_engine::{exact_cardinality, subplan_true_cards, Database};
+use cardbench_estimators::lw::TrainingSet;
+use cardbench_estimators::EstimatorKind;
+use cardbench_harness::{build_estimator, EstimatorSettings};
+use cardbench_query::{connected_subsets, JoinEdge, JoinQuery, Predicate, Region, SubPlanQuery};
+use cardbench_workload::training_workload;
+
+/// STATS-shaped star query on `tables` ∈ 6..=8 tables: `posts` is the
+/// hub with five FK children; 7 adds the `users` arm, 8 extends it with
+/// `badges` (a two-hop arm, as STATS-CEB queries have).
+fn star_query(tables: usize) -> JoinQuery {
+    let mut q = JoinQuery {
+        tables: vec![
+            "posts".into(),
+            "comments".into(),
+            "votes".into(),
+            "postHistory".into(),
+            "postLinks".into(),
+            "tags".into(),
+        ],
+        joins: vec![
+            JoinEdge::new(0, "Id", 1, "PostId"),
+            JoinEdge::new(0, "Id", 2, "PostId"),
+            JoinEdge::new(0, "Id", 3, "PostId"),
+            JoinEdge::new(0, "Id", 4, "PostId"),
+            JoinEdge::new(0, "Id", 5, "ExcerptPostId"),
+        ],
+        predicates: vec![
+            Predicate::new(0, "Score", Region::ge(0)),
+            Predicate::new(1, "Score", Region::ge(0)),
+        ],
+    };
+    if tables >= 7 {
+        q.tables.push("users".into());
+        q.joins.push(JoinEdge::new(6, "Id", 0, "OwnerUserId"));
+    }
+    if tables >= 8 {
+        q.tables.push("badges".into());
+        q.joins.push(JoinEdge::new(6, "Id", 7, "UserId"));
+    }
+    q
+}
+
+fn median_of(c: &Criterion, id: &str) -> f64 {
+    c.measurements
+        .iter()
+        .find(|m| m.id == id)
+        .unwrap_or_else(|| panic!("no measurement {id}"))
+        .median
+        .as_secs_f64()
+}
+
+fn main() {
+    let smoke = std::env::var("CARDBENCH_FAST").is_ok_and(|v| v == "1");
+    let table_counts: &[usize] = if smoke { &[6] } else { &[6, 7, 8] };
+    let samples = if smoke { 1 } else { 10 };
+
+    // Smoke uses the test-tier tiny dataset; the full run uses the
+    // default benchmark scale (0.02 of real STATS sizes) so model
+    // evaluation, not fixed per-call overhead, dominates inference.
+    let stats = if smoke {
+        StatsConfig::tiny(3)
+    } else {
+        StatsConfig {
+            seed: 3,
+            ..StatsConfig::default()
+        }
+    };
+    let db = &Database::new(stats_catalog(&stats));
+    let settings = EstimatorSettings::fast(3);
+    let (train_qs, train_cards) = training_workload(db, 120, 5, 3 ^ 0x7a);
+    let train = TrainingSet {
+        queries: train_qs,
+        cards: train_cards,
+    };
+
+    let mut c = Criterion::default();
+
+    // --- One-pass enumeration vs per-mask exact execution ---
+    for &nt in table_counts {
+        let q = star_query(nt);
+        let masks = connected_subsets(&q);
+        // Correctness guard: both paths must agree bit-for-bit before we
+        // time them.
+        let one_pass = subplan_true_cards(db, &q).expect("enumeration succeeds");
+        assert_eq!(one_pass.len(), masks.len());
+        for (&mask, &(m, card)) in masks.iter().zip(&one_pass) {
+            assert_eq!(mask, m);
+            let sub = SubPlanQuery::project(&q, mask);
+            let exact = exact_cardinality(db, &sub.query).expect("exact succeeds");
+            assert_eq!(
+                exact.to_bits(),
+                card.to_bits(),
+                "{nt} tables, mask {mask:?}: exact {exact} vs one-pass {card}"
+            );
+        }
+
+        let mut group = c.benchmark_group(format!("truecard_{nt}_tables"));
+        group.sample_size(samples);
+        group.bench_function("per_mask", |b| {
+            b.iter(|| {
+                masks
+                    .iter()
+                    .map(|&m| {
+                        let sub = SubPlanQuery::project(&q, m);
+                        exact_cardinality(db, &sub.query).expect("exact succeeds")
+                    })
+                    .sum::<f64>()
+            })
+        });
+        group.bench_function("one_pass", |b| {
+            b.iter(|| {
+                subplan_true_cards(db, &q)
+                    .expect("enumeration succeeds")
+                    .iter()
+                    .map(|&(_, card)| card)
+                    .sum::<f64>()
+            })
+        });
+        group.finish();
+    }
+
+    // --- Batched vs sequential ML inference ---
+    let widest = *table_counts.last().expect("non-empty");
+    let q = star_query(widest);
+    let subs: Vec<SubPlanQuery> = connected_subsets(&q)
+        .into_iter()
+        .map(|m| SubPlanQuery::project(&q, m))
+        .collect();
+    let ml_kinds = [
+        EstimatorKind::Mscn,
+        EstimatorKind::LwNn,
+        EstimatorKind::DeepDb,
+        EstimatorKind::Flat,
+    ];
+    for kind in ml_kinds {
+        let built = build_estimator(kind, db, &train, &settings);
+        let est = built.est;
+        // Correctness guard: batched inference must be bit-identical.
+        let batched = est.estimate_batch(db, &subs);
+        for (sub, &b) in subs.iter().zip(&batched) {
+            let s = est.estimate(db, sub);
+            assert_eq!(
+                s.to_bits(),
+                b.to_bits(),
+                "{}: sequential {s} vs batched {b}",
+                kind.name()
+            );
+        }
+        let mut group = c.benchmark_group(format!("infer_{}", kind.name()));
+        group.sample_size(samples);
+        group.bench_function("sequential", |b| {
+            b.iter(|| subs.iter().map(|s| est.estimate(db, s)).sum::<f64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter(|| est.estimate_batch(db, &subs).iter().sum::<f64>())
+        });
+        group.finish();
+    }
+
+    let query_entries: Vec<Json> = table_counts
+        .iter()
+        .map(|&nt| {
+            let per_mask = median_of(&c, &format!("truecard_{nt}_tables/per_mask"));
+            let one_pass = median_of(&c, &format!("truecard_{nt}_tables/one_pass"));
+            let speedup = per_mask / one_pass;
+            let subplans = connected_subsets(&star_query(nt)).len();
+            println!(
+                "truecard {nt} tables ({subplans:>3} sub-plans): per-mask {per_mask:.6}s  one-pass {one_pass:.6}s  speedup {speedup:.2}x"
+            );
+            Json::object([
+                ("tables", Json::Number(nt as f64)),
+                ("subplans", Json::Number(subplans as f64)),
+                ("per_mask_median_secs", Json::Number(per_mask)),
+                ("one_pass_median_secs", Json::Number(one_pass)),
+                ("speedup", Json::Number(speedup)),
+            ])
+        })
+        .collect();
+    let ml_entries: Vec<Json> = ml_kinds
+        .iter()
+        .map(|kind| {
+            let seq = median_of(&c, &format!("infer_{}/sequential", kind.name()));
+            let bat = median_of(&c, &format!("infer_{}/batched", kind.name()));
+            let speedup = seq / bat;
+            println!(
+                "infer {:>8}: sequential {seq:.6}s  batched {bat:.6}s  speedup {speedup:.2}x",
+                kind.name()
+            );
+            Json::object([
+                ("method", Json::String(kind.name().to_string())),
+                ("sequential_median_secs", Json::Number(seq)),
+                ("batched_median_secs", Json::Number(bat)),
+                ("speedup", Json::Number(speedup)),
+            ])
+        })
+        .collect();
+
+    if smoke {
+        println!("smoke mode (CARDBENCH_FAST=1): not writing BENCH_subplan.json");
+        return;
+    }
+    let summary = Json::object([
+        ("bench", Json::String("subplan".to_string())),
+        (
+            "setup",
+            Json::String(
+                "STATS-shaped star queries (posts hub + users/badges arm), STATS data at the \
+                 default 0.02 benchmark scale; full connected sub-plan space per query"
+                    .to_string(),
+            ),
+        ),
+        ("truecard_enumeration", Json::Array(query_entries)),
+        ("ml_inference", Json::Array(ml_entries)),
+    ]);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_subplan.json");
+    std::fs::write(&path, summary.pretty()).expect("write BENCH_subplan.json");
+    println!("wrote {}", path.display());
+}

@@ -1,6 +1,8 @@
 //! A catalog wrapped with per-column sorted indexes and cached statistics.
 
+use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex};
 
 use cardbench_query::{BoundPredicate, Region};
@@ -75,17 +77,62 @@ const FILTER_SHARDS: usize = 16;
 #[derive(Debug, Default)]
 struct FilterCache {
     shards: [Mutex<HashMap<u64, Arc<Vec<u32>>>>; FILTER_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl FilterCache {
     fn get(&self, key: u64) -> Option<Arc<Vec<u32>>> {
-        lock_shard(&self.shards[key as usize & (FILTER_SHARDS - 1)])
+        let found = lock_shard(&self.shards[key as usize & (FILTER_SHARDS - 1)])
             .get(&key)
-            .cloned()
+            .cloned();
+        match found {
+            Some(_) => self.hits.fetch_add(1, AtomicOrdering::Relaxed),
+            None => self.misses.fetch_add(1, AtomicOrdering::Relaxed),
+        };
+        found
     }
 
     fn insert(&self, key: u64, rows: Arc<Vec<u32>>) {
         lock_shard(&self.shards[key as usize & (FILTER_SHARDS - 1)]).insert(key, rows);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
+    }
+}
+
+/// Per-join-key weight totals for one `(table, predicate set, join
+/// column)` triple, shared by reference between sub-plans.
+pub type KeyWeightAgg = Arc<HashMap<i64, f64>>;
+
+/// A sharded concurrent memo of key→weight aggregates: for one `(table,
+/// predicate set, join column)` triple, how many filtered rows carry each
+/// join-key value. These are exactly the `by_key` maps true-cardinality
+/// message passing builds at the leaves of every sub-plan — shared here,
+/// they are built once per distinct triple instead of once per sub-plan,
+/// across queries and threads alike.
+#[derive(Debug, Default)]
+struct AggCache {
+    shards: [Mutex<HashMap<u64, KeyWeightAgg>>; FILTER_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AggCache {
+    fn get(&self, key: u64) -> Option<KeyWeightAgg> {
+        let found = lock_shard(&self.shards[key as usize & (FILTER_SHARDS - 1)])
+            .get(&key)
+            .cloned();
+        match found {
+            Some(_) => self.hits.fetch_add(1, AtomicOrdering::Relaxed),
+            None => self.misses.fetch_add(1, AtomicOrdering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, key: u64, agg: KeyWeightAgg) {
+        lock_shard(&self.shards[key as usize & (FILTER_SHARDS - 1)]).insert(key, agg);
     }
 
     fn len(&self) -> usize {
@@ -101,37 +148,75 @@ fn lock_shard<T>(shard: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     shard.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// FNV-1a key for one `(table, predicate set)` pair. Predicate order is
-/// part of the key; binding produces predicates in a stable order, and a
-/// permuted set hashing differently only costs a duplicate cache entry.
+/// Total order on bound predicates: by column, then region (ranges before
+/// IN-lists, each by their values). Used to canonicalize predicate order
+/// before hashing so permuted-but-equal sets share one cache entry.
+fn cmp_predicates(a: &BoundPredicate, b: &BoundPredicate) -> Ordering {
+    a.column
+        .cmp(&b.column)
+        .then_with(|| match (&a.region, &b.region) {
+            (Region::Range { lo: al, hi: ah }, Region::Range { lo: bl, hi: bh }) => {
+                (al, ah).cmp(&(bl, bh))
+            }
+            (Region::Range { .. }, Region::In(_)) => Ordering::Less,
+            (Region::In(_), Region::Range { .. }) => Ordering::Greater,
+            (Region::In(av), Region::In(bv)) => av.cmp(bv),
+        })
+}
+
+/// FNV-1a key for one `(table, predicate set)` pair. Predicates are
+/// hashed in canonical (sorted) order, so a permuted-but-equal set — as
+/// produced by binding the same filters listed differently — maps to the
+/// same entry instead of paying a duplicate scan.
 fn filter_key(table: TableId, predicates: &[BoundPredicate]) -> u64 {
-    const PRIME: u64 = 0x100000001b3;
     let mut h = 0xcbf29ce484222325u64;
-    let word = |mut w: u64, h: &mut u64| {
-        for _ in 0..8 {
-            *h ^= w & 0xff;
-            *h = h.wrapping_mul(PRIME);
-            w >>= 8;
-        }
-    };
-    word(table.0 as u64, &mut h);
-    for p in predicates {
-        word(p.column as u64, &mut h);
+    fnv_word(table.0 as u64, &mut h);
+    let hash_one = |p: &BoundPredicate, h: &mut u64| {
+        fnv_word(p.column as u64, h);
         match &p.region {
             Region::Range { lo, hi } => {
-                word(1, &mut h);
-                word(*lo as u64, &mut h);
-                word(*hi as u64, &mut h);
+                fnv_word(1, h);
+                fnv_word(*lo as u64, h);
+                fnv_word(*hi as u64, h);
             }
             Region::In(vals) => {
-                word(2, &mut h);
-                word(vals.len() as u64, &mut h);
+                fnv_word(2, h);
+                fnv_word(vals.len() as u64, h);
                 for &v in vals {
-                    word(v as u64, &mut h);
+                    fnv_word(v as u64, h);
                 }
             }
         }
+    };
+    if predicates.len() < 2 || predicates.is_sorted_by(|a, b| cmp_predicates(a, b).is_le()) {
+        for p in predicates {
+            hash_one(p, &mut h);
+        }
+    } else {
+        let mut sorted: Vec<&BoundPredicate> = predicates.iter().collect();
+        sorted.sort_by(|a, b| cmp_predicates(a, b));
+        for p in sorted {
+            hash_one(p, &mut h);
+        }
     }
+    h
+}
+
+/// Folds one 64-bit word into an FNV-1a state, byte by byte.
+fn fnv_word(mut w: u64, h: &mut u64) {
+    const PRIME: u64 = 0x100000001b3;
+    for _ in 0..8 {
+        *h ^= w & 0xff;
+        *h = h.wrapping_mul(PRIME);
+        w >>= 8;
+    }
+}
+
+/// Key of one `(table, predicate set, join column)` aggregate: the filter
+/// key extended with the column the weights aggregate over.
+fn agg_key(table: TableId, predicates: &[BoundPredicate], column: usize) -> u64 {
+    let mut h = filter_key(table, predicates);
+    fnv_word(column as u64 ^ 0xa66a_a66a, &mut h);
     h
 }
 
@@ -146,6 +231,8 @@ pub struct Database {
     stats: Vec<Vec<ColumnStats>>,
     /// Memoized filtered scans; rebuilt (emptied) on [`Database::refresh`].
     filter_cache: FilterCache,
+    /// Memoized key→weight aggregates; rebuilt on [`Database::refresh`].
+    agg_cache: AggCache,
 }
 
 impl Database {
@@ -168,6 +255,7 @@ impl Database {
             indexes,
             stats,
             filter_cache: FilterCache::default(),
+            agg_cache: AggCache::default(),
         }
     }
 
@@ -210,12 +298,53 @@ impl Database {
             .collect()
     }
 
-    /// Row ids matching all `predicates`, using the index on the first
-    /// range predicate to avoid the full scan.
+    /// Estimated rows of `table` matching one predicate, from the cached
+    /// [`ColumnStats`]: the fraction of the column's value range a `Range`
+    /// overlaps (uniformity assumption), or `len × rows-per-distinct` for
+    /// an `In` list. Only used to rank candidate driving predicates, so
+    /// only the relative order matters.
+    fn estimated_match_rows(&self, table: TableId, p: &BoundPredicate) -> f64 {
+        let s = self.stats(table, p.column);
+        let non_null = (s.row_count - s.null_count) as f64;
+        match &p.region {
+            Region::Range { lo, hi } => {
+                let (lo, hi) = ((*lo).max(s.min), (*hi).min(s.max));
+                if lo > hi {
+                    return 0.0;
+                }
+                let span = (s.max - s.min) as f64 + 1.0;
+                let overlap = (hi - lo) as f64 + 1.0;
+                non_null * (overlap / span)
+            }
+            Region::In(vals) => {
+                let per_value = non_null / s.distinct_count.max(1) as f64;
+                (vals.len() as f64 * per_value).min(non_null)
+            }
+        }
+    }
+
+    /// Picks the most selective predicate to drive an index scan — the one
+    /// whose [`ColumnStats`]-estimated match count is smallest (first wins
+    /// ties) — so the residual `row_matches` pass visits as few candidate
+    /// rows as the statistics can arrange.
+    fn driving_predicate(&self, table: TableId, predicates: &[BoundPredicate]) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, p) in predicates.iter().enumerate() {
+            let est = self.estimated_match_rows(table, p);
+            if best.is_none_or(|(_, b)| est < b) {
+                best = Some((i, est));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Row ids matching all `predicates`, using the index on the most
+    /// selective predicate (per cached statistics) to avoid a full scan.
     pub fn index_filtered(&self, table: TableId, predicates: &[BoundPredicate]) -> Vec<u32> {
-        let Some((drive, rest)) = split_driving_predicate(predicates) else {
+        let Some(drive_at) = self.driving_predicate(table, predicates) else {
             return self.scan_filtered(table, predicates);
         };
+        let drive = &predicates[drive_at];
         let idx = self.index(table, drive.column);
         let mut rows: Vec<u32> = match &drive.region {
             Region::Range { lo, hi } => idx.range(*lo, *hi).collect(),
@@ -227,7 +356,15 @@ impl Database {
                 out
             }
         };
-        rows.retain(|&r| self.row_matches(table, r, rest));
+        let t = self.catalog.table(table);
+        rows.retain(|&r| {
+            predicates.iter().enumerate().all(|(i, p)| {
+                i == drive_at
+                    || t.column(p.column)
+                        .get(r as usize)
+                        .is_some_and(|v| p.region.contains(v))
+            })
+        });
         rows.sort_unstable();
         rows
     }
@@ -254,6 +391,58 @@ impl Database {
         self.filter_cache.len()
     }
 
+    /// `(hits, misses)` of the filtered-scan memo since construction.
+    pub fn filter_cache_stats(&self) -> (u64, u64) {
+        (
+            self.filter_cache.hits.load(AtomicOrdering::Relaxed),
+            self.filter_cache.misses.load(AtomicOrdering::Relaxed),
+        )
+    }
+
+    /// How many filtered rows of `table` carry each value of `column`,
+    /// memoized per `(table, predicate set, column)`. These are the
+    /// per-leaf `by_key` aggregation maps of true-cardinality message
+    /// passing: every sub-plan in which `table` is a leaf joined through
+    /// `column` needs exactly this map, so sharing it turns
+    /// O(sub-plans × rows) rebuild work into one pass per distinct
+    /// triple. NULLs are excluded (they join nothing). Weights count
+    /// each row once (1.0), summed per key value.
+    pub fn key_weight_aggregate(
+        &self,
+        table: TableId,
+        predicates: &[BoundPredicate],
+        column: usize,
+    ) -> KeyWeightAgg {
+        let key = agg_key(table, predicates, column);
+        if let Some(agg) = self.agg_cache.get(key) {
+            return agg;
+        }
+        let rows = self.filtered_rows(table, predicates);
+        let col = self.catalog.table(table).column(column);
+        let mut by_key: HashMap<i64, f64> = HashMap::new();
+        for &r in rows.iter() {
+            if let Some(v) = col.get(r as usize) {
+                *by_key.entry(v).or_insert(0.0) += 1.0;
+            }
+        }
+        let agg = Arc::new(by_key);
+        self.agg_cache.insert(key, agg.clone());
+        agg
+    }
+
+    /// Number of memoized key→weight aggregates currently cached.
+    pub fn agg_cache_len(&self) -> usize {
+        self.agg_cache.len()
+    }
+
+    /// `(hits, misses)` of the aggregate memo since construction.
+    pub fn agg_cache_stats(&self) -> (u64, u64) {
+        (
+            self.agg_cache.hits.load(AtomicOrdering::Relaxed),
+            self.agg_cache.misses.load(AtomicOrdering::Relaxed),
+        )
+    }
+
     /// Per-table "fanout" degree of a key value: how many rows of
     /// `table.column` equal `value` (used by join estimation and the
     /// true-cardinality service).
@@ -272,14 +461,6 @@ impl Database {
     pub fn catalog_mut(&mut self) -> &mut Catalog {
         &mut self.catalog
     }
-}
-
-/// Picks the driving predicate for an index scan (first predicate) and
-/// returns it with the remaining residual predicates.
-fn split_driving_predicate(
-    predicates: &[BoundPredicate],
-) -> Option<(&BoundPredicate, &[BoundPredicate])> {
-    predicates.split_first()
 }
 
 #[cfg(test)]
@@ -377,5 +558,136 @@ mod tests {
         assert_eq!(db.degree(TableId(0), 1, 20), 2);
         assert_eq!(db.degree(TableId(0), 1, 10), 1);
         assert_eq!(db.degree(TableId(0), 1, 999), 0);
+    }
+
+    #[test]
+    fn permuted_predicates_hit_the_memo() {
+        let db = db();
+        let a = BoundPredicate {
+            column: 0,
+            region: Region::between(2, 5),
+        };
+        let b = BoundPredicate {
+            column: 1,
+            region: Region::between(15, 45),
+        };
+        assert_eq!(
+            filter_key(TableId(0), &[a.clone(), b.clone()]),
+            filter_key(TableId(0), &[b.clone(), a.clone()]),
+            "permuted-but-equal predicate sets must share one key"
+        );
+        let first = db.filtered_rows(TableId(0), &[a.clone(), b.clone()]);
+        let second = db.filtered_rows(TableId(0), &[b, a]);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "permuted bind must hit the memo, not rescan"
+        );
+        assert_eq!(db.filter_cache_len(), 1);
+        let (hits, misses) = db.filter_cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn filter_key_distinguishes_regions_and_columns() {
+        let range = BoundPredicate {
+            column: 0,
+            region: Region::between(1, 3),
+        };
+        let inlist = BoundPredicate {
+            column: 0,
+            region: Region::In(vec![1, 2, 3]),
+        };
+        let other_col = BoundPredicate {
+            column: 1,
+            region: Region::between(1, 3),
+        };
+        let k = |p: &BoundPredicate| filter_key(TableId(0), std::slice::from_ref(p));
+        assert_ne!(k(&range), k(&inlist));
+        assert_ne!(k(&range), k(&other_col));
+        assert_ne!(filter_key(TableId(0), &[]), filter_key(TableId(1), &[]));
+    }
+
+    /// A table shaped so the first-listed predicate is the *wrong* one to
+    /// drive with: `wide` matches every row, `narrow` matches one.
+    fn skewed_db() -> Database {
+        let mut c = Catalog::new();
+        let n = 100i64;
+        let t = Table::from_columns(
+            TableSchema::new(
+                "s",
+                vec![
+                    ColumnDef::new("wide", ColumnKind::Numeric),
+                    ColumnDef::new("narrow", ColumnKind::Numeric),
+                ],
+            ),
+            vec![
+                Column::from_values((0..n).map(|i| i % 10).collect::<Vec<_>>()),
+                Column::from_values((0..n).collect::<Vec<_>>()),
+            ],
+        )
+        .unwrap();
+        c.add_table(t);
+        Database::new(c)
+    }
+
+    #[test]
+    fn driving_predicate_picks_most_selective() {
+        let db = skewed_db();
+        let wide = BoundPredicate {
+            column: 0,
+            region: Region::between(0, 9), // all 100 rows
+        };
+        let narrow = BoundPredicate {
+            column: 1,
+            region: Region::between(42, 42), // 1 row
+        };
+        let preds = vec![wide.clone(), narrow.clone()];
+        // The stats-driven pick must choose `narrow` even listed second.
+        assert_eq!(db.driving_predicate(TableId(0), &preds), Some(1));
+        assert!(
+            db.estimated_match_rows(TableId(0), &narrow)
+                < db.estimated_match_rows(TableId(0), &wide)
+        );
+        // Residual row visits: driving with `narrow` retains over 1
+        // candidate row instead of 100.
+        let via_narrow: Vec<u32> = db.index(TableId(0), 1).range(42, 42).collect();
+        let via_wide: Vec<u32> = db.index(TableId(0), 0).range(0, 9).collect();
+        assert_eq!(via_narrow.len(), 1);
+        assert_eq!(via_wide.len(), 100);
+        // And the result still agrees with the full scan.
+        assert_eq!(
+            db.index_filtered(TableId(0), &preds),
+            db.scan_filtered(TableId(0), &preds)
+        );
+        assert_eq!(db.index_filtered(TableId(0), &preds), vec![42]);
+    }
+
+    #[test]
+    fn key_weight_aggregate_counts_and_memoizes() {
+        let db = db();
+        let agg = db.key_weight_aggregate(TableId(0), &[], 1);
+        // v = [10, 20, 20, NULL, 40]: NULL excluded, 20 counted twice.
+        assert_eq!(agg.len(), 3);
+        assert_eq!(agg.get(&20), Some(&2.0));
+        assert_eq!(agg.get(&10), Some(&1.0));
+        assert_eq!(agg.get(&40), Some(&1.0));
+        let again = db.key_weight_aggregate(TableId(0), &[], 1);
+        assert!(Arc::ptr_eq(&agg, &again), "second call must hit the memo");
+        assert_eq!(db.agg_cache_len(), 1);
+        assert_eq!(db.agg_cache_stats(), (1, 1));
+        // Different column → different entry.
+        let ids = db.key_weight_aggregate(TableId(0), &[], 0);
+        assert_eq!(ids.len(), 5);
+        assert_eq!(db.agg_cache_len(), 2);
+    }
+
+    #[test]
+    fn refresh_clears_agg_cache() {
+        let mut db = db();
+        db.key_weight_aggregate(TableId(0), &[], 1);
+        assert_eq!(db.agg_cache_len(), 1);
+        db.refresh();
+        assert_eq!(db.agg_cache_len(), 0);
+        assert_eq!(db.agg_cache_stats(), (0, 0));
     }
 }

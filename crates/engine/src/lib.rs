@@ -44,7 +44,7 @@ pub use executor::{
 pub use explain::explain;
 pub use optimizer::{clamp_row_est, optimize, optimize_with, plan_cost, CardMap, ClampKind};
 pub use plan::{JoinAlgo, PhysicalPlan, ScanMethod};
-pub use truecard::{exact_cardinality, TrueCardService};
+pub use truecard::{exact_cardinality, subplan_true_cards, TrueCardService};
 
 /// A convenience facade bundling a database with a cost model.
 #[derive(Debug)]

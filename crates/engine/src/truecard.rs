@@ -7,12 +7,13 @@
 //! exactly like the paper's pre-computed true cardinalities.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex};
 
-use cardbench_query::{BoundQuery, JoinQuery};
+use cardbench_query::{connected_subsets, BoundQuery, JoinQuery, SubPlanQuery, TableMask};
 use cardbench_storage::StorageError;
 
-use crate::database::Database;
+use crate::database::{Database, KeyWeightAgg};
 
 /// Shard count of the true-cardinality cache (power of two). With the
 /// harness fanning queries out across threads, a single map-wide lock
@@ -30,6 +31,8 @@ const SHARDS: usize = 16;
 #[derive(Debug, Default)]
 pub struct TrueCardService {
     shards: [Mutex<HashMap<u64, f64>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 /// Locks a cache shard, tolerating poison: estimator panics sandboxed by
@@ -50,6 +53,14 @@ impl TrueCardService {
         self.shards.iter().map(|s| lock_shard(s).len()).sum()
     }
 
+    /// `(hits, misses)` of the true-cardinality cache since construction.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(AtomicOrdering::Relaxed),
+            self.misses.load(AtomicOrdering::Relaxed),
+        )
+    }
+
     /// Exact cardinality of `query` on `db`, cached by canonical hash.
     /// Two threads racing on an uncached query may both compute it; they
     /// insert the same value, so the race is benign.
@@ -57,11 +68,60 @@ impl TrueCardService {
         let key = query.canonical_hash();
         let shard = &self.shards[key as usize & (SHARDS - 1)];
         if let Some(&v) = lock_shard(shard).get(&key) {
+            self.hits.fetch_add(1, AtomicOrdering::Relaxed);
             return Ok(v);
         }
+        self.misses.fetch_add(1, AtomicOrdering::Relaxed);
         let v = exact_cardinality(db, query)?;
         lock_shard(shard).insert(key, v);
         Ok(v)
+    }
+
+    /// Exact cardinalities of *every* connected sub-plan of `query`, in
+    /// [`connected_subsets`] order, filling all `2^n − 1` cache entries
+    /// at once. When every sub-plan is already cached this is pure
+    /// lookups; otherwise one call to [`subplan_true_cards`] enumerates
+    /// them all in a single bottom-up pass — the amortized path the
+    /// harness and the TrueCard oracle use instead of `2^n − 1` separate
+    /// [`exact_cardinality`] traversals.
+    pub fn cardinalities_for_query(
+        &self,
+        db: &Database,
+        query: &JoinQuery,
+    ) -> Result<Vec<(TableMask, f64)>, StorageError> {
+        let masks = connected_subsets(query);
+        let keys: Vec<u64> = masks
+            .iter()
+            .map(|&m| SubPlanQuery::project(query, m).query.canonical_hash())
+            .collect();
+        let cached: Vec<Option<f64>> = keys
+            .iter()
+            .map(|&k| {
+                lock_shard(&self.shards[k as usize & (SHARDS - 1)])
+                    .get(&k)
+                    .copied()
+            })
+            .collect();
+        let hit_count = cached.iter().filter(|c| c.is_some()).count() as u64;
+        self.hits.fetch_add(hit_count, AtomicOrdering::Relaxed);
+        if hit_count == masks.len() as u64 {
+            return Ok(masks
+                .into_iter()
+                .zip(cached)
+                .map(|(m, c)| (m, c.expect("all cached")))
+                .collect());
+        }
+        self.misses
+            .fetch_add(masks.len() as u64 - hit_count, AtomicOrdering::Relaxed);
+        let all = subplan_true_cards(db, query)?;
+        debug_assert_eq!(all.len(), masks.len());
+        for ((&key, cached), &(mask, v)) in keys.iter().zip(&cached).zip(&all) {
+            debug_assert!(masks.contains(&mask));
+            if cached.is_none() {
+                lock_shard(&self.shards[key as usize & (SHARDS - 1)]).insert(key, v);
+            }
+        }
+        Ok(all)
     }
 }
 
@@ -145,6 +205,167 @@ pub fn exact_cardinality(db: &Database, query: &JoinQuery) -> Result<f64, Storag
         }
     }
     Ok(weights[0].iter().sum())
+}
+
+/// Exact cardinalities of **all** connected sub-plans of an acyclic join
+/// query in one bottom-up pass, returned in [`connected_subsets`] order.
+///
+/// The per-mask route pays a full message-passing traversal per sub-plan
+/// — `O(Σ_{S} Σ_{t∈S} rows(t))` over all `2^n − 1` connected subsets.
+/// This enumerator instead roots the join tree once (at the max-degree
+/// table, so the widest cross-product of child subtrees happens at one
+/// node) and runs a single DP: every connected subset has a unique
+/// topmost node in the rooted tree, so at each node `t` we maintain one
+/// weight vector per subset topped at `t`, built incrementally:
+///
+/// - start with the singleton `{t}`, `w[i] = 1` per filtered row `i`;
+/// - per child `c` (in BFS order), aggregate each of `c`'s states into a
+///   key→weight message over `c`'s join column — the singleton message
+///   is the shared [`Database::key_weight_aggregate`] memo — then extend
+///   every existing state `S` of `t` with every state `C` of `c`:
+///   `w_{S∪C}[i] = w_S[i] × msg_C[key(i)]`.
+///
+/// Each subset is materialized exactly once and costs `O(rows(top))`
+/// instead of `O(Σ rows)`, and cardinality is the sum of its top node's
+/// weight vector. All arithmetic is the same sums-of-products of exact
+/// integer counts as [`exact_cardinality`], so per-mask results agree
+/// bit-for-bit with it.
+pub fn subplan_true_cards(
+    db: &Database,
+    query: &JoinQuery,
+) -> Result<Vec<(TableMask, f64)>, StorageError> {
+    assert!(
+        query.joins.is_empty() || query.is_acyclic(),
+        "subplan_true_cards requires an acyclic join query"
+    );
+    let bound = BoundQuery::bind(query, db.catalog())?;
+    let n = query.table_count();
+    let filtered: Vec<Arc<Vec<u32>>> = bound
+        .tables
+        .iter()
+        .map(|t| db.filtered_rows(t.id, &t.predicates))
+        .collect();
+
+    if n == 1 {
+        return Ok(vec![(TableMask::single(0), filtered[0].len() as f64)]);
+    }
+
+    // Root at the max-degree table (lowest position on ties): the node
+    // with the most children is where the DP multiplies the most child
+    // subtrees together, and rooting there keeps every other node's
+    // state count small.
+    let mut degree = vec![0usize; n];
+    for e in &bound.joins {
+        degree[e.left] += 1;
+        degree[e.right] += 1;
+    }
+    let root = (0..n).max_by_key(|&t| (degree[t], n - t)).unwrap_or(0);
+
+    // BFS-root the tree; `parent[t] = (parent position, t's join column,
+    // parent's join column)`.
+    let mut parent: Vec<Option<(usize, usize, usize)>> = vec![None; n];
+    let mut order = vec![root];
+    let mut seen = vec![false; n];
+    seen[root] = true;
+    let mut qi = 0;
+    while qi < order.len() {
+        let t = order[qi];
+        qi += 1;
+        for e in bound.joins.iter() {
+            let (other, child_col, parent_col) = if e.left == t {
+                (e.right, e.right_col, e.left_col)
+            } else if e.right == t {
+                (e.left, e.left_col, e.right_col)
+            } else {
+                continue;
+            };
+            if !seen[other] {
+                seen[other] = true;
+                parent[other] = Some((t, child_col, parent_col));
+                order.push(other);
+            }
+        }
+    }
+    debug_assert!(seen.iter().all(|&s| s), "query must be connected");
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &t in &order {
+        if let Some((p, _, _)) = parent[t] {
+            children[p].push(t);
+        }
+    }
+
+    // states[t]: one (mask, per-row weights) pair per connected subset
+    // whose topmost node is t. Child states are condensed to key→weight
+    // messages before they expand the parent, so extending a state costs
+    // one hash probe per parent row — the amortization this pass exists
+    // for. Messages for singleton children come from the cross-query
+    // aggregate memo; composite states aggregate their own weights.
+    let mut states: Vec<Vec<(u64, Vec<f64>)>> = filtered
+        .iter()
+        .enumerate()
+        .map(|(t, rows)| vec![(1u64 << t, vec![1.0; rows.len()])])
+        .collect();
+    for &t in order.iter().rev() {
+        let t_table = db.catalog().table(bound.tables[t].id);
+        for &c in &children[t] {
+            let (_, child_col, parent_col) = parent[c].expect("child has a parent");
+            let ccol = db.catalog().table(bound.tables[c].id).column(child_col);
+            let msgs: Vec<(u64, KeyWeightAgg)> = states[c]
+                .iter()
+                .map(|(cmask, w)| {
+                    let agg = if *cmask == 1u64 << c {
+                        db.key_weight_aggregate(
+                            bound.tables[c].id,
+                            &bound.tables[c].predicates,
+                            child_col,
+                        )
+                    } else {
+                        let mut by_key: HashMap<i64, f64> =
+                            HashMap::with_capacity(filtered[c].len());
+                        for (i, &r) in filtered[c].iter().enumerate() {
+                            if let Some(v) = ccol.get(r as usize) {
+                                *by_key.entry(v).or_insert(0.0) += w[i];
+                            }
+                        }
+                        Arc::new(by_key)
+                    };
+                    (*cmask, agg)
+                })
+                .collect();
+            let pcol = t_table.column(parent_col);
+            let mut extended: Vec<(u64, Vec<f64>)> =
+                Vec::with_capacity(states[t].len() * msgs.len());
+            for (smask, w) in &states[t] {
+                for (cmask, msg) in &msgs {
+                    let w2: Vec<f64> = filtered[t]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &r)| {
+                            let m = pcol
+                                .get(r as usize)
+                                .and_then(|v| msg.get(&v).copied())
+                                .unwrap_or(0.0);
+                            w[i] * m
+                        })
+                        .collect();
+                    extended.push((smask | cmask, w2));
+                }
+            }
+            states[t].extend(extended);
+        }
+    }
+
+    let mut out: Vec<(TableMask, f64)> = states
+        .into_iter()
+        .flat_map(|per_node| {
+            per_node
+                .into_iter()
+                .map(|(mask, w)| (TableMask(mask), w.iter().sum::<f64>()))
+        })
+        .collect();
+    out.sort_by_key(|&(m, _)| (m.count(), m.0));
+    debug_assert_eq!(out.len(), connected_subsets(query).len());
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -323,5 +544,113 @@ mod tests {
                 "trial {trial}"
             );
         }
+    }
+
+    /// One-pass enumeration must equal per-mask `exact_cardinality` on
+    /// every connected subset, bit for bit.
+    fn assert_one_pass_matches(db: &Database, q: &JoinQuery) {
+        let all = subplan_true_cards(db, q).unwrap();
+        let masks = cardbench_query::connected_subsets(q);
+        assert_eq!(all.len(), masks.len());
+        for (&(mask, card), &want_mask) in all.iter().zip(&masks) {
+            assert_eq!(mask, want_mask, "mask order must match connected_subsets");
+            let sub = cardbench_query::SubPlanQuery::project(q, mask);
+            let per_mask = exact_cardinality(db, &sub.query).unwrap();
+            assert_eq!(
+                card.to_bits(),
+                per_mask.to_bits(),
+                "mask {:b}: one-pass {card} vs per-mask {per_mask}",
+                mask.0
+            );
+        }
+    }
+
+    #[test]
+    fn one_pass_matches_per_mask_on_fixture() {
+        let db = db();
+        let q = JoinQuery {
+            tables: vec!["a".into(), "b".into()],
+            joins: vec![JoinEdge::new(0, "id", 1, "aid")],
+            predicates: vec![Predicate::new(1, "y", Region::eq(10))],
+        };
+        assert_one_pass_matches(&db, &q);
+    }
+
+    #[test]
+    fn one_pass_single_table() {
+        let db = db();
+        let q = JoinQuery::single("b", vec![Predicate::new(0, "y", Region::eq(10))]);
+        let all = subplan_true_cards(&db, &q).unwrap();
+        assert_eq!(all, vec![(cardbench_query::TableMask(1), 2.0)]);
+    }
+
+    #[test]
+    fn one_pass_matches_per_mask_on_random_trees() {
+        use cardbench_support::rand::rngs::StdRng;
+        use cardbench_support::rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..10 {
+            let n = rng.gen_range(2..6);
+            let mut cat = Catalog::new();
+            for i in 0..n {
+                let rows = rng.gen_range(3..12);
+                let key: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..5)).collect();
+                let val: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..4)).collect();
+                cat.add_table(
+                    Table::from_columns(
+                        TableSchema::new(
+                            format!("t{i}"),
+                            vec![
+                                ColumnDef::new("k", ColumnKind::ForeignKey),
+                                ColumnDef::new("v", ColumnKind::Numeric),
+                            ],
+                        ),
+                        vec![Column::from_values(key), Column::from_values(val)],
+                    )
+                    .unwrap(),
+                );
+            }
+            let db = Database::new(cat);
+            // Random tree: node i attaches to a random earlier node.
+            let joins: Vec<JoinEdge> = (1..n)
+                .map(|i| JoinEdge::new(rng.gen_range(0..i), "k", i, "k"))
+                .collect();
+            let q = JoinQuery {
+                tables: (0..n).map(|i| format!("t{i}")).collect(),
+                joins,
+                predicates: vec![Predicate::new(n - 1, "v", Region::le(2))],
+            };
+            assert_one_pass_matches(&db, &q);
+            let _ = trial;
+        }
+    }
+
+    #[test]
+    fn bulk_api_fills_cache_and_matches_per_mask() {
+        let db = db();
+        let svc = TrueCardService::new();
+        let q = JoinQuery {
+            tables: vec!["a".into(), "b".into()],
+            joins: vec![JoinEdge::new(0, "id", 1, "aid")],
+            predicates: vec![],
+        };
+        let all = svc.cardinalities_for_query(&db, &q).unwrap();
+        assert_eq!(all.len(), 3, "two singletons + the pair");
+        assert_eq!(svc.cached(), 3, "bulk call must fill every entry");
+        let (_, misses) = svc.cache_stats();
+        assert_eq!(misses, 3);
+        // Every later per-sub lookup is a hit with the same value.
+        for &(mask, card) in &all {
+            let sub = cardbench_query::SubPlanQuery::project(&q, mask);
+            let one = svc.cardinality(&db, &sub.query).unwrap();
+            assert_eq!(one.to_bits(), card.to_bits());
+        }
+        let (hits, misses) = svc.cache_stats();
+        assert_eq!((hits, misses), (3, 3));
+        // A second bulk call is all hits.
+        let again = svc.cardinalities_for_query(&db, &q).unwrap();
+        assert_eq!(again, all);
+        let (hits, _) = svc.cache_stats();
+        assert_eq!(hits, 6);
     }
 }

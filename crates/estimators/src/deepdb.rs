@@ -16,6 +16,10 @@ impl TableModel for Spn {
         self.query(weights)
     }
 
+    fn expectation_batch(&self, batch: &[&[Option<Vec<f64>>]]) -> Vec<f64> {
+        self.query_batch(batch)
+    }
+
     fn size_bytes(&self) -> usize {
         Spn::size_bytes(self)
     }
@@ -101,6 +105,12 @@ impl CardEst for DeepDb {
 
     fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
         self.inner.estimate(db, sub)
+    }
+
+    /// Batched fanout evaluation: per-table SPNs answer all sub-plans'
+    /// expectations in shared tree walks.
+    fn estimate_batch(&self, db: &Database, subs: &[SubPlanQuery]) -> Vec<f64> {
+        self.inner.estimate_batch(db, subs)
     }
 
     fn model_size_bytes(&self) -> usize {

@@ -12,9 +12,12 @@
 //! accuracy/efficiency trade-off the paper credits for these methods'
 //! wins (O1) and blames for their error growth with join count (O4).
 
+use std::sync::Arc;
+
 use cardbench_engine::Database;
 use cardbench_query::{BoundQuery, Region, SubPlanQuery};
 use cardbench_storage::TableId;
+use cardbench_support::hash::FnvHashMap;
 
 use crate::common::{DirectedEdge, TableCoder};
 
@@ -25,12 +28,49 @@ pub trait TableModel: Send {
     /// model column `i` (`None` = constant 1).
     fn expectation(&self, weights: &[Option<Vec<f64>>]) -> f64;
 
+    /// Batched [`TableModel::expectation`]: one value per weight set, in
+    /// order, bit-identical to evaluating each individually. Models with
+    /// shared traversal work (e.g. SPNs) override this.
+    fn expectation_batch(&self, batch: &[&[Option<Vec<f64>>]]) -> Vec<f64> {
+        batch.iter().map(|w| self.expectation(w)).collect()
+    }
+
     /// Approximate model size in bytes.
     fn size_bytes(&self) -> usize;
 
     /// Absorbs new binned rows (structure preserved).
     fn update(&mut self, binned: &[Vec<u16>]);
 }
+
+/// One multiplicative step of a fanout estimate, recorded in evaluation
+/// order so the sequential and batched paths run the exact same f64
+/// multiplication sequence. Weights sit behind an `Arc` so the batch
+/// path's per-table cache can reuse them across sub-plans for free.
+#[derive(Clone)]
+enum FanoutOp {
+    /// Multiply by a constant (root row count, uniformity fallbacks).
+    Mul(f64),
+    /// Multiply by `models[model].expectation(&weights)`.
+    Expect {
+        model: usize,
+        weights: Arc<Vec<Option<Vec<f64>>>>,
+    },
+}
+
+/// Everything [`FanoutEstimator::table_ops`] reads from a sub-plan for
+/// one table (besides the immutable db/model state): its id, its local
+/// predicates, and its downward join edges in emission order. Sub-plans
+/// sharing a key share the table's op subsequence verbatim.
+#[derive(PartialEq, Eq, Hash)]
+struct TableOpsKey {
+    table: usize,
+    preds: Vec<(usize, Region)>,
+    edges: Vec<DirectedEdge>,
+}
+
+/// Per-batch memo of table op subsequences (`None` = unmodeled
+/// attribute, the whole plan gives up).
+type TableOpsCache = FnvHashMap<TableOpsKey, Option<Vec<FanoutOp>>>;
 
 /// Join estimation built from one [`TableModel`] per catalog table.
 pub struct FanoutEstimator<M: TableModel> {
@@ -45,13 +85,119 @@ pub struct FanoutEstimator<M: TableModel> {
 impl<M: TableModel> FanoutEstimator<M> {
     /// Estimates an acyclic sub-plan query.
     pub fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
+        match self.plan_ops(db, sub) {
+            None => 1.0,
+            Some(ops) => {
+                let mut card = 1.0;
+                for op in &ops {
+                    card *= match op {
+                        FanoutOp::Mul(c) => *c,
+                        FanoutOp::Expect { model, weights } => {
+                            self.models[*model].expectation(weights)
+                        }
+                    };
+                }
+                card.max(0.0)
+            }
+        }
+    }
+
+    /// Estimates every sub-plan, grouping every model expectation across
+    /// the whole batch into one [`TableModel::expectation_batch`] call
+    /// per distinct model. Batch composition never changes an item's own
+    /// arithmetic (`expectation_batch` is per-item bit-identical to
+    /// `expectation`), and each sub-plan's factors still multiply in its
+    /// own op order below, so every result matches the sequential path.
+    pub fn estimate_batch(&self, db: &Database, subs: &[SubPlanQuery]) -> Vec<f64> {
+        let mut cache = TableOpsCache::default();
+        let plans: Vec<Option<Vec<FanoutOp>>> = subs
+            .iter()
+            .map(|sub| self.plan_ops_cached(db, sub, Some(&mut cache)))
+            .collect();
+        // (model idx → every (item, op position) using that model).
+        let mut groups: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
+        for (j, plan) in plans.iter().enumerate() {
+            for (pos, op) in plan.iter().flatten().enumerate() {
+                if let FanoutOp::Expect { model, .. } = op {
+                    match groups.iter_mut().find(|(m, _)| m == model) {
+                        Some((_, items)) => items.push((j, pos)),
+                        None => groups.push((*model, vec![(j, pos)])),
+                    }
+                }
+            }
+        }
+        // expect_vals[j][pos] = the value of item j's Expect op at pos.
+        let mut expect_vals: Vec<Vec<f64>> = plans
+            .iter()
+            .map(|p| vec![0.0; p.as_ref().map_or(0, Vec::len)])
+            .collect();
+        for (model, items) in groups {
+            // The plan cache hands identical weight vectors out as shared
+            // `Arc`s, and the model is deterministic — so evaluate each
+            // distinct vector once and fan its value back out.
+            let mut seen: FnvHashMap<*const Vec<Option<Vec<f64>>>, usize> = FnvHashMap::default();
+            let mut uniq: Vec<&[Option<Vec<f64>>]> = Vec::new();
+            let mut item_to_uniq: Vec<usize> = Vec::with_capacity(items.len());
+            for &(j, pos) in &items {
+                let w = match &plans[j].as_ref().unwrap()[pos] {
+                    FanoutOp::Expect { weights, .. } => weights,
+                    FanoutOp::Mul(_) => unreachable!("grouped ops are Expect"),
+                };
+                let next = uniq.len();
+                let ui = *seen.entry(Arc::as_ptr(w)).or_insert(next);
+                if ui == next {
+                    uniq.push(w.as_slice());
+                }
+                item_to_uniq.push(ui);
+            }
+            let vals = self.models[model].expectation_batch(&uniq);
+            for (&(j, pos), &ui) in items.iter().zip(&item_to_uniq) {
+                expect_vals[j][pos] = vals[ui];
+            }
+        }
+        plans
+            .iter()
+            .enumerate()
+            .map(|(j, plan)| match plan {
+                None => 1.0,
+                Some(ops) => {
+                    let mut card = 1.0;
+                    for (pos, op) in ops.iter().enumerate() {
+                        card *= match op {
+                            FanoutOp::Mul(c) => *c,
+                            FanoutOp::Expect { .. } => expect_vals[j][pos],
+                        };
+                    }
+                    card.max(0.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Compiles one sub-plan into its ordered multiplicative factors;
+    /// `None` means "give up gracefully" (unbindable query or unmodeled
+    /// attribute) and the estimate is the conventional 1.0.
+    fn plan_ops(&self, db: &Database, sub: &SubPlanQuery) -> Option<Vec<FanoutOp>> {
+        self.plan_ops_cached(db, sub, None)
+    }
+
+    /// [`FanoutEstimator::plan_ops`] with an optional cross-sub-plan memo
+    /// of per-table op subsequences. [`FanoutEstimator::table_ops`] is
+    /// deterministic in its key, so cached and uncached plans are
+    /// identical; the batch path saves rebuilding the same merged weight
+    /// vectors for every sub-plan a table appears in.
+    fn plan_ops_cached(
+        &self,
+        db: &Database,
+        sub: &SubPlanQuery,
+        mut cache: Option<&mut TableOpsCache>,
+    ) -> Option<Vec<FanoutOp>> {
         let query = &sub.query;
         let Ok(bound) = BoundQuery::bind(query, db.catalog()) else {
-            return 1.0;
+            return None;
         };
         let n = query.table_count();
         // Root the join tree at position 0.
-        let mut parent: Vec<Option<usize>> = vec![None; n];
         let mut children_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut order = vec![0usize];
         let mut seen = vec![false; n];
@@ -70,53 +216,102 @@ impl<M: TableModel> FanoutEstimator<M> {
                 };
                 if !seen[other] {
                     seen[other] = true;
-                    parent[other] = Some(t);
                     children_edges[t].push(ei);
                     order.push(other);
                 }
             }
         }
 
-        let mut card = self.row_counts[bound.tables[0].id.0];
-        #[allow(clippy::needless_range_loop)] // t indexes three parallel structures
+        let mut ops = vec![FanoutOp::Mul(self.row_counts[bound.tables[0].id.0])];
+        #[allow(clippy::needless_range_loop)] // t indexes two parallel structures
         for t in 0..n {
             let id = bound.tables[t].id;
-            let coder = &self.coders[id.0];
-            let mut weights: Vec<Option<Vec<f64>>> = vec![None; coder.columns.len()];
-            // Filters.
-            for p in &bound.tables[t].predicates {
-                match coder.attr_column(p.column) {
-                    Some(mc) => {
-                        merge_weights(&mut weights[mc], coder.filter_weights(mc, &p.region))
+            let edges: Vec<DirectedEdge> = children_edges[t]
+                .iter()
+                .map(|&ei| {
+                    let e = &bound.joins[ei];
+                    let (my_col, child_pos, child_col) = if e.left == t {
+                        (e.left_col, e.right, e.right_col)
+                    } else {
+                        (e.right_col, e.left, e.left_col)
+                    };
+                    DirectedEdge {
+                        table: id,
+                        my_col,
+                        neighbor: bound.tables[child_pos].id,
+                        neighbor_col: child_col,
                     }
-                    None => return 1.0, // unmodeled attribute; give up gracefully
+                })
+                .collect();
+            let tops = match cache.as_deref_mut() {
+                None => {
+                    let preds: Vec<(usize, Region)> = bound.tables[t]
+                        .predicates
+                        .iter()
+                        .map(|p| (p.column, p.region.clone()))
+                        .collect();
+                    self.table_ops(db, id, &preds, &edges)
                 }
-            }
-            // Downward fanouts.
-            for &ei in &children_edges[t] {
-                let e = &bound.joins[ei];
-                let (my_col, child_pos, child_col) = if e.left == t {
-                    (e.left_col, e.right, e.right_col)
-                } else {
-                    (e.right_col, e.left, e.left_col)
-                };
-                let edge = DirectedEdge {
-                    table: id,
-                    my_col,
-                    neighbor: bound.tables[child_pos].id,
-                    neighbor_col: child_col,
-                };
-                if let Some(mc) = coder.fanout_column(&edge) {
-                    merge_weights(&mut weights[mc], coder.fanout_weights(mc));
-                } else {
-                    // Edge not modeled: fall back to a uniformity factor.
-                    card *= uniformity_factor(db, &edge);
-                    card *= self.row_counts[bound.tables[child_pos].id.0];
+                Some(c) => {
+                    let key = TableOpsKey {
+                        table: id.0,
+                        preds: bound.tables[t]
+                            .predicates
+                            .iter()
+                            .map(|p| (p.column, p.region.clone()))
+                            .collect(),
+                        edges,
+                    };
+                    match c.get(&key) {
+                        Some(v) => v.clone(),
+                        None => {
+                            let v = self.table_ops(db, id, &key.preds, &key.edges);
+                            c.insert(key, v.clone());
+                            v
+                        }
+                    }
                 }
-            }
-            card *= self.models[id.0].expectation(&weights);
+            };
+            ops.extend(tops?);
         }
-        card.max(0.0)
+        Some(ops)
+    }
+
+    /// The op subsequence one table contributes to a plan: uniformity
+    /// fallbacks for unmodeled edges, then the expectation over its
+    /// merged filter/fanout weights. `None` = unmodeled attribute.
+    fn table_ops(
+        &self,
+        db: &Database,
+        id: TableId,
+        preds: &[(usize, Region)],
+        edges: &[DirectedEdge],
+    ) -> Option<Vec<FanoutOp>> {
+        let coder = &self.coders[id.0];
+        let mut weights: Vec<Option<Vec<f64>>> = vec![None; coder.columns.len()];
+        let mut ops = Vec::new();
+        // Filters.
+        for (col, region) in preds {
+            match coder.attr_column(*col) {
+                Some(mc) => merge_weights(&mut weights[mc], coder.filter_weights(mc, region)),
+                None => return None, // unmodeled attribute; give up gracefully
+            }
+        }
+        // Downward fanouts.
+        for edge in edges {
+            if let Some(mc) = coder.fanout_column(edge) {
+                merge_weights(&mut weights[mc], coder.fanout_weights(mc));
+            } else {
+                // Edge not modeled: fall back to a uniformity factor.
+                ops.push(FanoutOp::Mul(uniformity_factor(db, edge)));
+                ops.push(FanoutOp::Mul(self.row_counts[edge.neighbor.0]));
+            }
+        }
+        ops.push(FanoutOp::Expect {
+            model: id.0,
+            weights: Arc::new(weights),
+        });
+        Some(ops)
     }
 
     /// Total model + coder size in bytes.

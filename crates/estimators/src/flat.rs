@@ -39,6 +39,13 @@ impl CardEst for Flat {
         self.inner.estimate(db, sub)
     }
 
+    /// Batched fanout evaluation: per-table FSPNs answer all sub-plans'
+    /// expectations in shared tree walks (each multi-leaf's joint count
+    /// table is iterated once per batch instead of once per sub-plan).
+    fn estimate_batch(&self, db: &Database, subs: &[SubPlanQuery]) -> Vec<f64> {
+        self.inner.estimate_batch(db, subs)
+    }
+
     fn model_size_bytes(&self) -> usize {
         self.inner.size_bytes()
     }

@@ -59,6 +59,17 @@ pub trait CardEst: Send + Sync {
     /// Estimated cardinality of a sub-plan query.
     fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64;
 
+    /// Estimates every sub-plan of one query in a single call. The
+    /// default runs [`CardEst::estimate`] per sub-plan in order; methods
+    /// with real batch leverage (shared featurization, batched forward
+    /// passes, one-pass enumeration) override it. Overrides MUST return
+    /// results bit-identical to the sequential path, in input order —
+    /// the harness treats the two as interchangeable and the
+    /// differential tests enforce it.
+    fn estimate_batch(&self, db: &Database, subs: &[SubPlanQuery]) -> Vec<f64> {
+        subs.iter().map(|s| self.estimate(db, s)).collect()
+    }
+
     /// Approximate model size in bytes (0 for model-free methods).
     fn model_size_bytes(&self) -> usize {
         0

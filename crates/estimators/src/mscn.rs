@@ -124,6 +124,21 @@ impl CardEst for Mscn {
         label_to_card(self.head.forward(&v)[0])
     }
 
+    /// Pools every sub-plan into one matrix and runs a single batched
+    /// head forward pass; `forward_batch` is row-wise bit-identical to
+    /// `forward`, so this matches the per-sub-plan path exactly.
+    fn estimate_batch(&self, db: &Database, subs: &[SubPlanQuery]) -> Vec<f64> {
+        let mut xs = Matrix::zeros(subs.len(), 3 * self.cfg.embed);
+        for (r, sub) in subs.iter().enumerate() {
+            let v = self.pooled(db, &sub.query);
+            xs.data[r * xs.cols..(r + 1) * xs.cols].copy_from_slice(&v);
+        }
+        let out = self.head.forward_batch(&xs);
+        (0..subs.len())
+            .map(|r| label_to_card(out.get(r, 0)))
+            .collect()
+    }
+
     fn model_size_bytes(&self) -> usize {
         self.head.param_bytes() + self.proj.iter().map(Matrix::heap_size).sum::<usize>()
     }

@@ -181,15 +181,17 @@ impl PartitionModel {
         }
     }
 
-    /// Estimates a connected query whose tables all live in this
-    /// partition (given as local indices + per-local filter weights over
-    /// raw attribute regions).
-    fn estimate(
+    /// Plans a connected query whose tables all live in this partition
+    /// (given as local indices + per-local filter weights over raw
+    /// attribute regions): returns the AR weight vector and the empirical
+    /// join-scale factor. The model query itself is deferred to the
+    /// caller so a batch of sub-plans can share one progressive-sampling
+    /// pass per model.
+    fn plan_query(
         &self,
         locals: &[usize],
         filters: &[(usize, usize, cardbench_query::Region)],
-        rng: &mut StdRng,
-    ) -> f64 {
+    ) -> (Vec<Option<Vec<f64>>>, f64) {
         let depths = self.partition.depths();
         let top = *locals
             .iter()
@@ -236,8 +238,7 @@ impl PartitionModel {
             }
             merge_weights(&mut weights[ci], w);
         }
-        let filter_prob = self.model.query(&weights, rng);
-        self.total * filter_prob * self.scale_factor(locals, top)
+        (weights, self.scale_factor(locals, top))
     }
 
     fn size_bytes(&self) -> usize {
@@ -251,6 +252,24 @@ impl PartitionModel {
             + self.bins.len() * 8
             + self.presence.len() * k * 17 // presence + D + g bookkeeping
     }
+}
+
+/// One multiplicative step of a NeuroCard^E estimate, in evaluation
+/// order. Splitting planning (deterministic greedy partition cover) from
+/// evaluation (AR model queries, which consume the progressive-sampling
+/// RNG) lets a batch of sub-plans share one model pass per partition
+/// while keeping per-sub-plan results bit-identical to the sequential
+/// path.
+enum NcOp {
+    /// Multiply by `total · E[filters] · scale` of partition `pi`; the
+    /// expectation is the (RNG-consuming) AR model query over `weights`.
+    Model {
+        pi: usize,
+        weights: Vec<Option<Vec<f64>>>,
+        scale: f64,
+    },
+    /// Multiply by a precomputed constant (uniformity bridge factors).
+    Mul(f64),
 }
 
 /// The NeuroCard^E estimator.
@@ -279,27 +298,24 @@ impl NeuroCardE {
     pub fn partition_count(&self) -> usize {
         self.partitions.len()
     }
-}
 
-impl CardEst for NeuroCardE {
-    fn name(&self) -> &'static str {
-        "NeuroCard^E"
+    /// Per-call inference RNG keyed by the query's canonical hash:
+    /// progressive sampling for one sub-plan is independent of estimation
+    /// order, so parallel (and batched) harness runs reproduce the
+    /// sequential numbers.
+    fn rng_for(&self, sub: &SubPlanQuery) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ sub.query.canonical_hash())
     }
 
-    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
-        let Ok(bound) = BoundQuery::bind(&sub.query, db.catalog()) else {
-            return 1.0;
-        };
-        // Per-call RNG keyed by the query's canonical hash: progressive
-        // sampling for one sub-plan is independent of estimation order,
-        // so parallel harness runs reproduce the sequential numbers.
-        let mut rng = StdRng::seed_from_u64(self.seed ^ sub.query.canonical_hash());
+    /// Greedily covers the query's edges with partitions (leftover edges
+    /// get uniformity factors) and emits the multiplicative steps in
+    /// evaluation order. `None` means "bail out safely with 1.0".
+    fn plan(&self, db: &Database, sub: &SubPlanQuery) -> Option<Vec<NcOp>> {
+        let bound = BoundQuery::bind(&sub.query, db.catalog()).ok()?;
         let n = sub.query.table_count();
-        // Greedily cover query edges with partitions; leftover edges get
-        // uniformity factors.
         let mut remaining_edges: Vec<usize> = (0..bound.joins.len()).collect();
         let mut remaining_tables: Vec<usize> = (0..n).collect();
-        let mut card = 1.0f64;
+        let mut ops = Vec::new();
         while !remaining_tables.is_empty() {
             // Pick the partition covering the most remaining edges from
             // the first remaining table's component.
@@ -315,11 +331,9 @@ impl CardEst for NeuroCardE {
                     best = Some((pi, covered, tabs));
                 }
             }
-            let Some((pi, covered, covered_tables)) = best else {
-                // No partition covers anything (shouldn't happen: every
-                // table alone is coverable) — bail out safely.
-                return 1.0;
-            };
+            // No partition covers anything (shouldn't happen: every table
+            // alone is coverable) — bail out safely.
+            let (pi, covered, covered_tables) = best?;
             // Filters for covered tables.
             let pm = &self.partitions[pi];
             let mut local_list = Vec::new();
@@ -336,7 +350,8 @@ impl CardEst for NeuroCardE {
                     filters.push((local, p.column, p.region.clone()));
                 }
             }
-            card *= pm.estimate(&local_list, &filters, &mut rng);
+            let (weights, scale) = pm.plan_query(&local_list, &filters);
+            ops.push(NcOp::Model { pi, weights, scale });
             // Remove covered tables/edges; bridge uncovered edges between
             // covered and uncovered tables with uniformity.
             remaining_tables.retain(|t| !covered_tables.contains(t));
@@ -350,7 +365,7 @@ impl CardEst for NeuroCardE {
                 let r_cov = covered_tables.contains(&e.right);
                 if l_cov || r_cov {
                     // Bridge across component boundary.
-                    card *= uniformity_factor(
+                    ops.push(NcOp::Mul(uniformity_factor(
                         db,
                         &DirectedEdge {
                             table: bound.tables[e.left].id,
@@ -358,7 +373,7 @@ impl CardEst for NeuroCardE {
                             neighbor: bound.tables[e.right].id,
                             neighbor_col: e.right_col,
                         },
-                    );
+                    )));
                     if l_cov && r_cov {
                         // Both sides already counted: the bridge factor
                         // alone corrects the product.
@@ -371,7 +386,87 @@ impl CardEst for NeuroCardE {
             }
             remaining_edges = still;
         }
+        Some(ops)
+    }
+}
+
+impl CardEst for NeuroCardE {
+    fn name(&self) -> &'static str {
+        "NeuroCard^E"
+    }
+
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
+        let Some(ops) = self.plan(db, sub) else {
+            return 1.0;
+        };
+        let mut rng = self.rng_for(sub);
+        let mut card = 1.0f64;
+        for op in &ops {
+            match op {
+                NcOp::Model { pi, weights, scale } => {
+                    let pm = &self.partitions[*pi];
+                    card *= pm.total * pm.model.query(weights, &mut rng) * *scale;
+                }
+                NcOp::Mul(f) => card *= f,
+            }
+        }
         card.max(0.0)
+    }
+
+    /// Batched inference: plans every sub-plan, then walks the op lists
+    /// position by position, grouping same-partition model queries into
+    /// one [`AutoRegModel::query_batch`] call with each sub-plan's own
+    /// RNG threaded through. Each sub-plan has at most one op per
+    /// position, so its multiplications happen in exactly the sequential
+    /// order, and `query_batch` advances each RNG exactly as the
+    /// per-item `query` would — results are bit-identical.
+    fn estimate_batch(&self, db: &Database, subs: &[SubPlanQuery]) -> Vec<f64> {
+        let plans: Vec<Option<Vec<NcOp>>> = subs.iter().map(|s| self.plan(db, s)).collect();
+        let mut rngs: Vec<StdRng> = subs.iter().map(|s| self.rng_for(s)).collect();
+        let mut cards = vec![1.0f64; subs.len()];
+        let max_ops = plans.iter().flatten().map(Vec::len).max().unwrap_or(0);
+        for pos in 0..max_ops {
+            // Constants apply inline; model ops group by partition.
+            let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (i, plan) in plans.iter().enumerate() {
+                let Some(ops) = plan else { continue };
+                match ops.get(pos) {
+                    Some(NcOp::Mul(f)) => cards[i] *= f,
+                    Some(NcOp::Model { pi, .. }) => {
+                        if let Some(g) = groups.iter_mut().find(|(p, _)| p == pi) {
+                            g.1.push(i);
+                        } else {
+                            groups.push((*pi, vec![i]));
+                        }
+                    }
+                    None => {}
+                }
+            }
+            for (pi, items) in groups {
+                let pm = &self.partitions[pi];
+                let batch: Vec<&[Option<Vec<f64>>]> = items
+                    .iter()
+                    .map(
+                        |&i| match plans[i].as_deref().and_then(|ops| ops.get(pos)) {
+                            Some(NcOp::Model { weights, .. }) => weights.as_slice(),
+                            _ => unreachable!("grouped item has a model op"),
+                        },
+                    )
+                    .collect();
+                let mut grp_rngs: Vec<StdRng> = items.iter().map(|&i| rngs[i].clone()).collect();
+                let qs = pm.model.query_batch(&batch, &mut grp_rngs);
+                for ((&i, q), r) in items.iter().zip(qs).zip(grp_rngs) {
+                    let Some(NcOp::Model { scale, .. }) =
+                        plans[i].as_deref().and_then(|ops| ops.get(pos))
+                    else {
+                        unreachable!("grouped item has a model op");
+                    };
+                    cards[i] *= pm.total * q * *scale;
+                    rngs[i] = r;
+                }
+            }
+        }
+        cards.into_iter().map(|c| c.max(0.0)).collect()
     }
 
     fn model_size_bytes(&self) -> usize {
@@ -558,6 +653,35 @@ mod tests {
         // construction (paper O3); only require the right ballpark.
         let qerr = (e / truth).max(truth / e);
         assert!(qerr < 12.0, "qerr {qerr} (est {e}, true {truth})");
+    }
+
+    #[test]
+    fn batch_bit_identical_to_sequential() {
+        let db = Database::new(stats_catalog(&StatsConfig::tiny(1)));
+        let est = NeuroCardE::fit(&db, &fast_cfg());
+        let q = JoinQuery {
+            tables: vec!["users".into(), "comments".into(), "badges".into()],
+            joins: vec![
+                JoinEdge::new(0, "Id", 1, "UserId"),
+                JoinEdge::new(1, "UserId", 2, "UserId"),
+            ],
+            predicates: vec![Predicate::new(0, "Reputation", Region::ge(5))],
+        };
+        let subs: Vec<SubPlanQuery> = cardbench_query::connected_subsets(&q)
+            .into_iter()
+            .map(|m| SubPlanQuery::project(&q, m))
+            .collect();
+        let batched = est.estimate_batch(&db, &subs);
+        assert_eq!(batched.len(), subs.len());
+        for (sub, b) in subs.iter().zip(&batched) {
+            let s = est.estimate(&db, sub);
+            assert_eq!(
+                s.to_bits(),
+                b.to_bits(),
+                "mask {:?}: sequential {s} vs batched {b}",
+                sub.mask
+            );
+        }
     }
 
     #[test]

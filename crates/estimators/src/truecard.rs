@@ -27,6 +27,27 @@ impl CardEst for TrueCardEst {
         self.service.cardinality(db, &sub.query).unwrap_or(0.0)
     }
 
+    /// Routes through the engine's one-pass enumerator: the widest
+    /// sub-plans seed the service cache with exact counts for *all* of
+    /// their connected subsets in a single bottom-up traversal, so the
+    /// narrower sub-plans below resolve as cache hits instead of
+    /// independent join executions. The one-pass counts are bit-identical
+    /// to per-mask [`cardbench_engine::exact_cardinality`].
+    fn estimate_batch(&self, db: &Database, subs: &[SubPlanQuery]) -> Vec<f64> {
+        let mut order: Vec<usize> = (0..subs.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(subs[i].query.table_count()));
+        for &i in &order {
+            if subs[i].query.table_count() > 1 {
+                // Errors fall through to the per-sub path below, which
+                // degrades exactly like the sequential estimate.
+                let _ = self.service.cardinalities_for_query(db, &subs[i].query);
+            }
+        }
+        subs.iter()
+            .map(|s| self.service.cardinality(db, &s.query).unwrap_or(0.0))
+            .collect()
+    }
+
     fn is_oracle(&self) -> bool {
         true
     }

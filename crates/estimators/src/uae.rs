@@ -75,6 +75,20 @@ impl CardEst for UaeQ {
         label_to_card(self.model.forward(&v)[0])
     }
 
+    /// One batched forward pass over the featurized sub-plan set;
+    /// `forward_batch` is row-wise bit-identical to `forward`.
+    fn estimate_batch(&self, db: &Database, subs: &[SubPlanQuery]) -> Vec<f64> {
+        let mut xs = Matrix::zeros(subs.len(), self.featurizer.dim());
+        for (r, sub) in subs.iter().enumerate() {
+            let v = self.featurizer.features(db, &sub.query);
+            xs.data[r * xs.cols..(r + 1) * xs.cols].copy_from_slice(&v);
+        }
+        let out = self.model.forward_batch(&xs);
+        (0..subs.len())
+            .map(|r| label_to_card(out.get(r, 0)))
+            .collect()
+    }
+
     fn model_size_bytes(&self) -> usize {
         self.model.param_bytes()
     }
@@ -148,6 +162,28 @@ impl CardEst for Uae {
         let v =
             data_augmented_features(db, &self.featurizer, &self.hists, self.n_tables, &sub.query);
         label_to_card(self.model.forward(&v)[0])
+    }
+
+    /// Builds the augmented feature matrix for the whole sub-plan set and
+    /// runs one batched forward pass; `forward_batch` is row-wise
+    /// bit-identical to `forward`.
+    fn estimate_batch(&self, db: &Database, subs: &[SubPlanQuery]) -> Vec<f64> {
+        let dim = self.featurizer.dim() + self.n_tables;
+        let mut xs = Matrix::zeros(subs.len(), dim);
+        for (r, sub) in subs.iter().enumerate() {
+            let v = data_augmented_features(
+                db,
+                &self.featurizer,
+                &self.hists,
+                self.n_tables,
+                &sub.query,
+            );
+            xs.data[r * xs.cols..(r + 1) * xs.cols].copy_from_slice(&v);
+        }
+        let out = self.model.forward_batch(&xs);
+        (0..subs.len())
+            .map(|r| label_to_card(out.get(r, 0)))
+            .collect()
     }
 
     fn model_size_bytes(&self) -> usize {

@@ -292,6 +292,7 @@ pub fn run_workload_with_options(
         format!("{} / {}", wl.name, est.name())
     });
     let threads = par::resolve_threads(opts.threads);
+    let caches_before = CacheCounters::snapshot(db, truth);
 
     // Resume: load completed (estimator, workload, query) records.
     let mut resumed: HashMap<usize, QueryRun> = HashMap::new();
@@ -361,7 +362,67 @@ pub fn run_workload_with_options(
         .filter_map(|wq| resumed.remove(&wq.id).or_else(|| computed.remove(&wq.id)))
         .collect();
     record_run_metrics(est.name(), &runs);
+    record_cache_metrics(
+        est.name(),
+        &caches_before,
+        &CacheCounters::snapshot(db, truth),
+    );
     runs
+}
+
+/// Point-in-time (hits, misses) of the three engine-side caches: the
+/// predicate filter cache, the one-pass enumerator's per-(table,
+/// predicate-set, join-column) aggregate memo, and the true-cardinality
+/// cache.
+struct CacheCounters {
+    filter: (u64, u64),
+    agg: (u64, u64),
+    truecard: (u64, u64),
+}
+
+impl CacheCounters {
+    fn snapshot(db: &Database, truth: &TrueCardService) -> CacheCounters {
+        CacheCounters {
+            filter: db.filter_cache_stats(),
+            agg: db.agg_cache_stats(),
+            truecard: truth.cache_stats(),
+        }
+    }
+}
+
+/// Folds this run's engine-cache traffic into the observability registry.
+/// The underlying counters are cumulative across runs sharing a
+/// `Database`/`TrueCardService`, so only the before/after delta is
+/// attributed to this method.
+fn record_cache_metrics(method: &str, before: &CacheCounters, after: &CacheCounters) {
+    use cardbench_obs::counter_add;
+    if !cardbench_obs::enabled() {
+        return;
+    }
+    let m = [("method", method)];
+    for (hits_family, misses_family, b, a) in [
+        (
+            "cardbench_filter_cache_hits_total",
+            "cardbench_filter_cache_misses_total",
+            before.filter,
+            after.filter,
+        ),
+        (
+            "cardbench_agg_memo_hits_total",
+            "cardbench_agg_memo_misses_total",
+            before.agg,
+            after.agg,
+        ),
+        (
+            "cardbench_truecard_cache_hits_total",
+            "cardbench_truecard_cache_misses_total",
+            before.truecard,
+            after.truecard,
+        ),
+    ] {
+        counter_add(hits_family, &m, a.0.saturating_sub(b.0));
+        counter_add(misses_family, &m, a.1.saturating_sub(b.1));
+    }
 }
 
 /// Folds one workload run's counters into the observability registry in
@@ -417,6 +478,54 @@ fn record_run_metrics(method: &str, runs: &[QueryRun]) {
     );
 }
 
+/// Estimation outcomes for one query's whole sub-plan space, batch-first.
+///
+/// The sandboxed batch path ([`crate::fault::guarded_estimate_batch`])
+/// runs the estimator's `estimate_batch` once over every sub-plan;
+/// estimators with real batching (one forward pass, shared SPN walks,
+/// the one-pass true-card enumerator) amortize their per-call overhead
+/// there, and batched values are bit-identical to sequential ones by the
+/// trait's contract. When the batch is unusable — a panic mid-batch, a
+/// wrong-arity result, or an aggregate budget overrun — the query
+/// degrades to the guarded per-sub-plan path, which restores exact
+/// per-sub-plan fault attribution (per-call timeouts, panic messages),
+/// so `EstFailure` accounting, clamping, and the PostgreSQL fallback
+/// behave exactly as in the sequential harness.
+fn estimate_all(
+    est: &dyn CardEst,
+    db: &Database,
+    subs: &[SubPlanQuery],
+    timeout: Option<Duration>,
+) -> Vec<(Result<f64, EstimateError>, Duration)> {
+    use crate::fault::{guarded_estimate, guarded_estimate_batch};
+
+    if let Some(mut results) = guarded_estimate_batch(est, db, subs, timeout) {
+        if est.is_oracle() {
+            // The paper injects precomputed true cardinalities; time a
+            // warm (cached) batch instead of the first computation.
+            if let Some(warm) = guarded_estimate_batch(est, db, subs, timeout) {
+                for (r, w) in results.iter_mut().zip(warm) {
+                    if r.0.is_ok() {
+                        r.1 = w.1;
+                    }
+                }
+            }
+        }
+        return results;
+    }
+    subs.iter()
+        .map(|sub| {
+            let (outcome, mut dt) = guarded_estimate(est, db, sub, timeout);
+            if est.is_oracle() && outcome.is_ok() {
+                // Warm (cached) call, as above.
+                let (_, warm) = guarded_estimate(est, db, sub, timeout);
+                dt = warm;
+            }
+            (outcome, dt)
+        })
+        .collect()
+}
+
 /// Phase-1 work for one query: sandboxed estimation over the sub-plan
 /// space, sanitized injection, plan choice, and metrics.
 fn plan_one(
@@ -428,8 +537,6 @@ fn plan_one(
     opts: &RunOptions,
     fallback: &OnceLock<PostgresEst>,
 ) -> PlannedQuery {
-    use crate::fault::guarded_estimate;
-
     let _sp = cardbench_obs::span_with("plan", "plan", || format!("Q{}", wq.id));
     let query = &wq.query;
     let failed = |plan_time, failure| PlannedQuery {
@@ -461,6 +568,26 @@ fn plan_one(
         }
     };
     let masks = connected_subsets(query);
+    // Bulk truth first: the one-pass enumerator fills every connected
+    // subset's exact count in a single bottom-up traversal instead of one
+    // join execution per mask.
+    let truths = match truth.cardinalities_for_query(db, query) {
+        Ok(t) => t,
+        Err(e) => {
+            return failed(
+                Duration::ZERO,
+                QueryFailure::Truth {
+                    message: e.to_string(),
+                },
+            )
+        }
+    };
+    debug_assert_eq!(truths.len(), masks.len());
+    let subs: Vec<SubPlanQuery> = masks
+        .iter()
+        .map(|&mask| SubPlanQuery::project(query, mask))
+        .collect();
+    let outcomes = estimate_all(est, db, &subs, opts.timeout);
     let mut est_cards = CardMap::new();
     let mut true_cards = CardMap::new();
     let mut plan_time = Duration::ZERO;
@@ -470,27 +597,10 @@ fn plan_one(
     let mut sub_true_cards = Vec::with_capacity(masks.len());
     let mut est_failures = Vec::new();
     let mut fallback_subplans = 0u64;
-    for &mask in &masks {
-        let sp = SubPlanQuery::project(query, mask);
-        let (outcome, mut dt) = guarded_estimate(est, db, &sp, opts.timeout);
-        if est.is_oracle() && outcome.is_ok() {
-            // The paper injects precomputed true cardinalities; time a
-            // warm (cached) call instead of the first computation.
-            let (_, warm) = guarded_estimate(est, db, &sp, opts.timeout);
-            dt = warm;
-        }
+    for (((&mask, sp), &(_, t)), (outcome, dt)) in
+        masks.iter().zip(&subs).zip(&truths).zip(outcomes)
+    {
         plan_time += dt;
-        let t = match truth.cardinality(db, &sp.query) {
-            Ok(t) => t,
-            Err(e) => {
-                return failed(
-                    plan_time,
-                    QueryFailure::Truth {
-                        message: e.to_string(),
-                    },
-                )
-            }
-        };
         let upper = cross_product_bound(db, &bound, mask);
         // Decide what the optimizer sees and what the metrics score.
         // Clean estimates keep their raw value for Q-Error; hard failures
@@ -509,7 +619,7 @@ fn plan_one(
                     fallback_subplans += 1;
                     fallback
                         .get_or_init(|| PostgresEst::fit(db))
-                        .estimate(db, &sp)
+                        .estimate(db, sp)
                 } else {
                     // Soft failure: the raw value survives to the clamp.
                     match err {

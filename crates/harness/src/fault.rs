@@ -295,6 +295,84 @@ pub fn guarded_estimate(
     (result, elapsed)
 }
 
+/// Runs one sandboxed, budgeted *batched* estimate over a whole sub-plan
+/// set ([`CardEst::estimate_batch`]).
+///
+/// `Some(results)` mirrors per-sub-plan [`guarded_estimate`] outcomes —
+/// one `(value-or-soft-error, duration)` per sub-plan, with the batch's
+/// wall time split evenly across sub-plans (batch inference has no
+/// per-sub-plan attribution) and the same NonFinite/Degenerate value
+/// checks applied per value.
+///
+/// `None` means the batch path is unusable for this query — the
+/// estimator panicked mid-batch, returned the wrong number of values, or
+/// overran the *aggregate* budget (per-sub-plan budget × batch size) —
+/// and the caller must degrade to guarded per-sub-plan calls, which
+/// re-establish exact per-sub-plan fault attribution (panic messages,
+/// per-call timeouts). No per-sub-plan metrics are emitted in that case;
+/// the per-sub-plan path emits its own.
+pub fn guarded_estimate_batch(
+    est: &dyn CardEst,
+    db: &Database,
+    subs: &[SubPlanQuery],
+    timeout: Option<Duration>,
+) -> Option<Vec<(Result<f64, EstimateError>, Duration)>> {
+    if subs.is_empty() {
+        return Some(Vec::new());
+    }
+    install_quiet_panic_hook();
+    let sp = cardbench_obs::span_with("subplan_batch", "plan", || {
+        format!("{} x{}", est.name(), subs.len())
+    });
+    SANDBOXED.with(|c| c.set(true));
+    let t0 = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| est.estimate_batch(db, subs)));
+    let elapsed = t0.elapsed();
+    SANDBOXED.with(|c| c.set(false));
+    drop(sp);
+    let values = match outcome {
+        Ok(v) if v.len() == subs.len() => v,
+        // Panic or wrong arity: no usable per-sub-plan attribution.
+        _ => return None,
+    };
+    // Aggregate budget check (overflow of the multiplied budget means it
+    // is effectively unlimited).
+    if timeout.is_some_and(|budget| {
+        budget
+            .checked_mul(subs.len() as u32)
+            .is_some_and(|agg| elapsed > agg)
+    }) {
+        return None;
+    }
+    let per_sub = elapsed / subs.len() as u32;
+    let results = values
+        .into_iter()
+        .map(|v| {
+            let result = if !v.is_finite() {
+                Err(EstimateError::NonFinite { value: v })
+            } else if v < 0.0 || (v > 0.0 && !v.is_normal()) {
+                Err(EstimateError::Degenerate { value: v })
+            } else {
+                Ok(v)
+            };
+            cardbench_obs::observe_secs(
+                "cardbench_estimate_latency_seconds",
+                &[("method", est.name())],
+                per_sub.as_secs_f64(),
+            );
+            if let Err(e) = &result {
+                cardbench_obs::counter_add(
+                    "cardbench_est_failures_total",
+                    &[("method", est.name()), ("kind", e.kind())],
+                    1,
+                );
+            }
+            (result, per_sub)
+        })
+        .collect();
+    Some(results)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +484,84 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, EstimateError::NonFinite { value: 1.0 });
         assert_ne!(a, EstimateError::Degenerate { value: f64::NAN });
+    }
+
+    /// Returns one value per sub-plan from a fixed list (cycling).
+    struct ListEst(Vec<f64>);
+    impl CardEst for ListEst {
+        fn name(&self) -> &'static str {
+            "List"
+        }
+        fn estimate(&self, _db: &Database, _sub: &SubPlanQuery) -> f64 {
+            self.0[0]
+        }
+        fn estimate_batch(&self, _db: &Database, subs: &[SubPlanQuery]) -> Vec<f64> {
+            (0..subs.len()).map(|i| self.0[i % self.0.len()]).collect()
+        }
+    }
+
+    /// Misbehaving batch: returns the wrong number of values.
+    struct ShortBatchEst;
+    impl CardEst for ShortBatchEst {
+        fn name(&self) -> &'static str {
+            "ShortBatch"
+        }
+        fn estimate(&self, _db: &Database, _sub: &SubPlanQuery) -> f64 {
+            1.0
+        }
+        fn estimate_batch(&self, _db: &Database, _subs: &[SubPlanQuery]) -> Vec<f64> {
+            vec![1.0]
+        }
+    }
+
+    #[test]
+    fn batch_mirrors_per_sub_outcomes() {
+        let (db, sub) = fixture();
+        let subs = vec![sub.clone(), sub.clone(), sub.clone(), sub.clone()];
+        let est = ListEst(vec![42.0, f64::NAN, -3.0, 0.0]);
+        let results = guarded_estimate_batch(&est, &db, &subs, None).expect("clean batch");
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].0, Ok(42.0));
+        assert_eq!(results[1].0.as_ref().unwrap_err().kind(), "non_finite");
+        assert_eq!(results[2].0.as_ref().unwrap_err().kind(), "degenerate");
+        assert_eq!(results[3].0, Ok(0.0), "zero is legal");
+    }
+
+    #[test]
+    fn batch_panic_degrades_to_none() {
+        let (db, sub) = fixture();
+        let subs = vec![sub.clone(), sub.clone()];
+        assert!(guarded_estimate_batch(&PanicEst, &db, &subs, None).is_none());
+        // The sandbox flag is clear again afterwards.
+        let r = guarded_estimate_batch(&ListEst(vec![1.0]), &db, &subs, None);
+        assert!(r.is_some());
+    }
+
+    #[test]
+    fn batch_wrong_arity_degrades_to_none() {
+        let (db, sub) = fixture();
+        let subs = vec![sub.clone(), sub.clone()];
+        assert!(guarded_estimate_batch(&ShortBatchEst, &db, &subs, None).is_none());
+    }
+
+    #[test]
+    fn batch_aggregate_overrun_degrades_to_none() {
+        let (db, sub) = fixture();
+        let subs = vec![sub.clone()];
+        // SlowEst's default batch takes ≥20ms for one sub: over a 1ms
+        // aggregate budget, under a generous one.
+        assert!(
+            guarded_estimate_batch(&SlowEst, &db, &subs, Some(Duration::from_millis(1))).is_none()
+        );
+        let r = guarded_estimate_batch(&SlowEst, &db, &subs, Some(Duration::from_secs(30)));
+        assert_eq!(r.expect("fits budget")[0].0, Ok(7.0));
+    }
+
+    #[test]
+    fn empty_batch_is_trivially_ok() {
+        let (db, _) = fixture();
+        let r = guarded_estimate_batch(&PanicEst, &db, &[], None);
+        assert_eq!(r, Some(Vec::new()));
     }
 
     #[test]

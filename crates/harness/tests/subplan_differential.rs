@@ -1,0 +1,157 @@
+//! Differential tests for the amortized sub-plan pipeline.
+//!
+//! Two contracts, both bit-level:
+//!
+//! - `CardEst::estimate_batch` over a query's whole sub-plan set must be
+//!   bit-identical to calling `estimate` per sub-plan, for every
+//!   registered estimator kind — including under injected chaos value
+//!   faults (NaN/±inf/negative/zero propagate unchanged through the
+//!   batch path);
+//! - the engine's one-pass true-cardinality enumerator
+//!   ([`subplan_true_cards`]) must be bit-identical to per-mask
+//!   [`exact_cardinality`] on real STATS-schema queries.
+
+use std::sync::OnceLock;
+
+use cardbench_engine::{exact_cardinality, subplan_true_cards, TrueCardService};
+use cardbench_estimators::chaos::{ChaosEst, FaultClass};
+use cardbench_estimators::{CardEst, EstimatorKind};
+use cardbench_harness::{build_estimator, Bench, BenchConfig};
+use cardbench_query::{connected_subsets, JoinQuery, SubPlanQuery};
+use cardbench_support::proptest::prelude::*;
+use cardbench_workload::{stats_ceb, WorkloadConfig};
+
+/// One shared tier-1 benchmark for the whole test binary.
+fn bench() -> &'static Bench {
+    static B: OnceLock<Bench> = OnceLock::new();
+    B.get_or_init(|| Bench::build(BenchConfig::fast(9)))
+}
+
+/// Every estimator kind, built once on the shared STATS database.
+fn estimators() -> &'static Vec<(EstimatorKind, Box<dyn CardEst>)> {
+    static E: OnceLock<Vec<(EstimatorKind, Box<dyn CardEst>)>> = OnceLock::new();
+    E.get_or_init(|| {
+        let b = bench();
+        EstimatorKind::ALL
+            .into_iter()
+            .map(|kind| {
+                let built = build_estimator(kind, &b.stats_db, &b.stats_train, &b.config.settings);
+                (kind, built.est)
+            })
+            .collect()
+    })
+}
+
+/// Random acyclic 2–5-table queries on the STATS schema, derived from a
+/// proptest-chosen generator seed.
+fn random_queries(seed: u64) -> Vec<JoinQuery> {
+    let b = bench();
+    let cfg = WorkloadConfig {
+        seed,
+        templates: 6,
+        queries: 3,
+        max_tables: 5,
+        max_predicates: 4,
+        retries: 10,
+        max_subplan_card: 1e6,
+    };
+    stats_ceb(&b.stats_db, &cfg)
+        .queries
+        .into_iter()
+        .map(|wq| wq.query)
+        .collect()
+}
+
+/// Projects a query's full connected sub-plan space.
+fn subplans(q: &JoinQuery) -> Vec<SubPlanQuery> {
+    connected_subsets(q)
+        .into_iter()
+        .map(|m| SubPlanQuery::project(q, m))
+        .collect()
+}
+
+/// Asserts `estimate_batch` == per-sub `estimate`, bit for bit (NaN
+/// compares by bit pattern too).
+fn assert_batch_matches(name: &str, est: &dyn CardEst, subs: &[SubPlanQuery]) {
+    let db = &bench().stats_db;
+    let batched = est.estimate_batch(db, subs);
+    assert_eq!(batched.len(), subs.len(), "{name}: batch arity");
+    for (sub, b) in subs.iter().zip(&batched) {
+        let s = est.estimate(db, sub);
+        assert_eq!(
+            s.to_bits(),
+            b.to_bits(),
+            "{name} mask {:?}: sequential {s} vs batched {b}",
+            sub.mask
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Every registered estimator's batch path is bit-identical to its
+    /// sequential path on random acyclic STATS queries.
+    #[test]
+    fn estimate_batch_bit_identical_for_all_kinds(seed in 0u64..1000) {
+        for q in random_queries(seed) {
+            let subs = subplans(&q);
+            for (kind, est) in estimators() {
+                assert_batch_matches(kind.name(), est.as_ref(), &subs);
+            }
+        }
+    }
+
+    /// Chaos value faults (NaN, ±inf, negative, zero) flow through the
+    /// batch path unchanged: a faulted wrapper's batch equals its
+    /// per-sub-plan answers bit for bit.
+    #[test]
+    fn estimate_batch_bit_identical_under_chaos_values(
+        seed in 0u64..1000,
+        chaos_seed in 0u64..1000,
+    ) {
+        let b = bench();
+        let built = build_estimator(
+            EstimatorKind::Postgres,
+            &b.stats_db,
+            &b.stats_train,
+            &b.config.settings,
+        );
+        let est = ChaosEst::with_classes(built.est, chaos_seed, 0.6, FaultClass::VALUES.to_vec());
+        for q in random_queries(seed) {
+            assert_batch_matches("Chaos", &est, &subplans(&q));
+        }
+    }
+
+    /// The one-pass enumerator agrees bit-for-bit with per-mask exact
+    /// execution on random acyclic STATS queries, and the bulk service
+    /// API returns the same values.
+    #[test]
+    fn one_pass_enumeration_bit_identical_to_per_mask(seed in 0u64..1000) {
+        let db = &bench().stats_db;
+        let truth = TrueCardService::new();
+        for q in random_queries(seed) {
+            let masks = connected_subsets(&q);
+            let one_pass = subplan_true_cards(db, &q).expect("enumeration succeeds");
+            let bulk = truth
+                .cardinalities_for_query(db, &q)
+                .expect("bulk service succeeds");
+            assert_eq!(one_pass.len(), masks.len());
+            assert_eq!(bulk.len(), masks.len());
+            for ((&mask, &(m1, c1)), &(m2, c2)) in
+                masks.iter().zip(&one_pass).zip(&bulk)
+            {
+                assert_eq!(mask, m1);
+                assert_eq!(mask, m2);
+                let sub = SubPlanQuery::project(&q, mask);
+                let exact = exact_cardinality(db, &sub.query).expect("exact succeeds");
+                assert_eq!(
+                    exact.to_bits(),
+                    c1.to_bits(),
+                    "mask {mask:?}: exact {exact} vs one-pass {c1}"
+                );
+                assert_eq!(exact.to_bits(), c2.to_bits());
+            }
+        }
+    }
+}

@@ -94,6 +94,123 @@ impl AutoRegModel {
         total / self.cfg.samples as f64
     }
 
+    /// Batched [`AutoRegModel::query`]: evaluates every weight set in
+    /// lockstep — sample-major, then column-major, with items innermost —
+    /// so each column's conditionals for all still-active items run as
+    /// one [`Mlp::forward_softmax_batch`] call instead of one forward
+    /// pass per item. `rngs[j]` must be the exact generator (state
+    /// included) the caller would have passed to a per-item `query` for
+    /// `batch[j]`: each item draws from its own generator at exactly the
+    /// `(sample, column)` points the per-item walk would, so results and
+    /// final RNG states are bit-identical to the sequential path.
+    pub fn query_batch(&self, batch: &[&[Option<Vec<f64>>]], rngs: &mut [StdRng]) -> Vec<f64> {
+        assert_eq!(batch.len(), rngs.len());
+        for weights in batch {
+            assert_eq!(weights.len(), self.bins.len());
+        }
+        let n = batch.len();
+        let k = self.bins.len();
+        let mut totals = vec![0.0f64; n];
+        let mut prefixes: Vec<Vec<f32>> = vec![Vec::with_capacity(k); n];
+        let mut ws = vec![1.0f64; n];
+        let mut active = vec![true; n];
+        let mut scratch: Vec<f64> = Vec::new();
+        for _ in 0..self.cfg.samples {
+            for p in &mut prefixes {
+                p.clear();
+            }
+            ws.fill(1.0);
+            active.fill(true);
+            for i in 0..k {
+                if i == 0 {
+                    for j in 0..n {
+                        let total: f64 = self.marginal0.iter().sum();
+                        scratch.clear();
+                        scratch.extend(
+                            self.marginal0
+                                .iter()
+                                .map(|&c| (c + 0.1) / (total + 0.1 * self.bins[0] as f64)),
+                        );
+                        self.advance_item(
+                            i,
+                            batch[j],
+                            &mut scratch,
+                            &mut ws[j],
+                            &mut active[j],
+                            &mut prefixes[j],
+                            &mut rngs[j],
+                        );
+                    }
+                } else {
+                    let act: Vec<usize> = (0..n).filter(|&j| active[j]).collect();
+                    if act.is_empty() {
+                        break;
+                    }
+                    let xs = Matrix::from_fn(act.len(), i, |r, c| prefixes[act[r]][c]);
+                    let probs = self.mlps[i - 1].forward_softmax_batch(&xs);
+                    for (r, &j) in act.iter().enumerate() {
+                        scratch.clear();
+                        scratch.extend(probs.row(r).iter().map(|&p| p as f64));
+                        self.advance_item(
+                            i,
+                            batch[j],
+                            &mut scratch,
+                            &mut ws[j],
+                            &mut active[j],
+                            &mut prefixes[j],
+                            &mut rngs[j],
+                        );
+                    }
+                }
+            }
+            for j in 0..n {
+                if active[j] {
+                    totals[j] += ws[j];
+                }
+            }
+        }
+        totals
+            .into_iter()
+            .map(|t| t / self.cfg.samples as f64)
+            .collect()
+    }
+
+    /// One item's column step of progressive sampling, shared verbatim
+    /// with the per-item path's loop body: fold the constrained mass into
+    /// `w`, sample the next bin, extend the prefix. `scratch` holds the
+    /// conditional distribution of column `i` and is consumed.
+    #[allow(clippy::too_many_arguments)] // lockstep state is inherently wide
+    fn advance_item(
+        &self,
+        i: usize,
+        weights: &[Option<Vec<f64>>],
+        scratch: &mut [f64],
+        w: &mut f64,
+        active: &mut bool,
+        prefix: &mut Vec<f32>,
+        rng: &mut StdRng,
+    ) {
+        let mass: f64 = match &weights[i] {
+            None => 1.0,
+            Some(wv) => scratch.iter().zip(wv).map(|(p, wv)| p * wv).sum(),
+        };
+        if mass <= 0.0 {
+            *active = false;
+            return;
+        }
+        *w *= mass;
+        let bin = match &weights[i] {
+            None => sample_from(scratch, 1.0, rng),
+            Some(wv) => {
+                for (p, wv) in scratch.iter_mut().zip(wv) {
+                    *p *= wv;
+                }
+                sample_from(scratch, mass, rng)
+            }
+        };
+        prefix.push(bin as f32 / self.bins[i].max(1) as f32);
+    }
+
     fn one_sample(&self, weights: &[Option<Vec<f64>>], rng: &mut StdRng) -> f64 {
         let k = self.bins.len();
         let mut prefix = Vec::with_capacity(k);
@@ -221,5 +338,45 @@ mod tests {
     fn size_accounting() {
         let m = fit_simple();
         assert!(m.size_bytes() > 100);
+    }
+
+    #[test]
+    fn query_batch_bit_identical_with_rng_lockstep() {
+        let m = AutoRegModel::fit(
+            &[
+                (0..200).map(|i| (i % 3) as u16).collect(),
+                (0..200).map(|i| ((i / 2) % 3) as u16).collect(),
+            ],
+            &[3, 3],
+            ArConfig {
+                epochs: 2,
+                samples: 23,
+                ..ArConfig::default()
+            },
+        );
+        let queries: Vec<Vec<Option<Vec<f64>>>> = vec![
+            vec![None, None],
+            vec![indicator(3, &[0]), None],
+            vec![indicator(3, &[0, 2]), indicator(3, &[1])],
+            vec![Some(vec![0.0, 0.0, 0.0]), None], // goes inactive at col 0
+            vec![None, indicator(3, &[2])],
+        ];
+        let refs: Vec<&[Option<Vec<f64>>]> = queries.iter().map(|q| q.as_slice()).collect();
+        let mut batch_rngs: Vec<StdRng> = (0..queries.len())
+            .map(|j| StdRng::seed_from_u64(90 + j as u64))
+            .collect();
+        let batched = m.query_batch(&refs, &mut batch_rngs);
+        for (j, q) in queries.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(90 + j as u64);
+            let single = m.query(q, &mut rng);
+            assert_eq!(single.to_bits(), batched[j].to_bits(), "query {j}");
+            // The generator must land in the same state, so later queries
+            // sharing it stay deterministic too.
+            assert_eq!(
+                rng.gen::<u64>(),
+                batch_rngs[j].gen::<u64>(),
+                "rng state diverged for query {j}"
+            );
+        }
     }
 }

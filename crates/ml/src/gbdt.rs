@@ -180,6 +180,22 @@ impl Gbdt {
         self.base + self.shrinkage * self.trees.iter().map(|t| t.predict(x)).sum::<f32>()
     }
 
+    /// Predicts every row of `xs`. Trees walk outermost so each tree's
+    /// arena stays hot across items; each item still accumulates its
+    /// per-tree outputs in ensemble order, so every prediction is
+    /// bit-identical to [`Gbdt::predict`] on that row.
+    pub fn predict_batch(&self, xs: &Matrix) -> Vec<f32> {
+        let mut sums = vec![0.0f32; xs.rows];
+        for tree in &self.trees {
+            for (r, sum) in sums.iter_mut().enumerate() {
+                *sum += tree.predict(xs.row(r));
+            }
+        }
+        sums.into_iter()
+            .map(|s| self.base + self.shrinkage * s)
+            .collect()
+    }
+
     /// Approximate model size in bytes.
     pub fn size_bytes(&self) -> usize {
         self.trees.iter().map(Tree::size_bytes).sum::<usize>() + 8
@@ -224,6 +240,22 @@ mod tests {
         let ys = vec![3.5f32; 10];
         let g = Gbdt::fit(&xs, &ys, &GbdtConfig::default());
         assert!((g.predict(&[100.0, -5.0]) - 3.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn predict_batch_bit_identical_to_per_row() {
+        let xs = Matrix::from_fn(40, 2, |r, c| ((r * 7 + c * 3) % 11) as f32);
+        let ys: Vec<f32> = (0..40).map(|r| (r % 5) as f32 - 2.0).collect();
+        let g = Gbdt::fit(&xs, &ys, &GbdtConfig::default());
+        let batched = g.predict_batch(&xs);
+        assert_eq!(batched.len(), xs.rows);
+        for r in 0..xs.rows {
+            assert_eq!(
+                g.predict(xs.row(r)).to_bits(),
+                batched[r].to_bits(),
+                "row {r}"
+            );
+        }
     }
 
     #[test]

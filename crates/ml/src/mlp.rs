@@ -106,6 +106,55 @@ impl Mlp {
         softmax(&self.forward(x))
     }
 
+    /// Batched forward pass over `xs` (`n × input_dim`), returning the
+    /// `n × output_dim` raw outputs. The inner loops run input-major with
+    /// the item loop innermost so each weight row is read once per layer
+    /// instead of once per item, but every per-item accumulation visits
+    /// the same inputs in the same ascending order (with the same
+    /// skip-zero short-circuit) as [`Mlp::forward`], so each output row
+    /// is bit-identical to the per-item pass.
+    pub fn forward_batch(&self, xs: &Matrix) -> Matrix {
+        assert_eq!(xs.cols, self.dims[0]);
+        let n = xs.rows;
+        let mut acts = xs.clone();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let out_dim = layer.b.len();
+            let mut out = Matrix::from_fn(n, out_dim, |_, o| layer.b[o]);
+            for i in 0..acts.cols {
+                let wrow = layer.w.row(i);
+                for item in 0..n {
+                    let xi = acts.get(item, i);
+                    if xi == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut out.data[item * out_dim..(item + 1) * out_dim];
+                    for (ov, &wv) in orow.iter_mut().zip(wrow) {
+                        *ov += xi * wv;
+                    }
+                }
+            }
+            if li + 1 < self.layers.len() {
+                for v in &mut out.data {
+                    *v = v.max(0.0); // ReLU
+                }
+            }
+            acts = out;
+        }
+        acts
+    }
+
+    /// Batched forward pass returning per-row softmax probabilities,
+    /// bit-identical to [`Mlp::forward_softmax`] per row.
+    pub fn forward_softmax_batch(&self, xs: &Matrix) -> Matrix {
+        let mut out = self.forward_batch(xs);
+        for r in 0..out.rows {
+            let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
+            let p = softmax(row);
+            row.copy_from_slice(&p);
+        }
+        out
+    }
+
     fn forward_pass(&self, x: &[f32]) -> Pass {
         assert_eq!(x.len(), self.dims[0]);
         let mut acts = Vec::with_capacity(self.layers.len() + 1);
@@ -329,5 +378,38 @@ mod tests {
     fn param_bytes_positive() {
         let net = Mlp::new(&[4, 8, 1], 0);
         assert_eq!(net.param_bytes(), (4 * 8 + 8 + 8 + 1) * 4);
+    }
+
+    #[test]
+    fn forward_batch_bit_identical_to_per_item() {
+        let net = Mlp::new(&[3, 8, 4], 5);
+        // Include exact zeros to exercise the skip-zero short-circuit.
+        let xs = Matrix::from_fn(7, 3, |r, c| {
+            if (r + c) % 3 == 0 {
+                0.0
+            } else {
+                (r as f32 - 2.5) * 0.3 + c as f32
+            }
+        });
+        let batched = net.forward_batch(&xs);
+        for r in 0..xs.rows {
+            let single = net.forward(xs.row(r));
+            for (o, &v) in single.iter().enumerate() {
+                assert_eq!(v.to_bits(), batched.get(r, o).to_bits(), "row {r} out {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_softmax_batch_bit_identical() {
+        let net = Mlp::new(&[2, 6, 3], 11);
+        let xs = Matrix::from_fn(5, 2, |r, c| (r * 2 + c) as f32 * 0.25);
+        let batched = net.forward_softmax_batch(&xs);
+        for r in 0..xs.rows {
+            let single = net.forward_softmax(xs.row(r));
+            for (o, &v) in single.iter().enumerate() {
+                assert_eq!(v.to_bits(), batched.get(r, o).to_bits(), "row {r} out {o}");
+            }
+        }
     }
 }

@@ -1,0 +1,74 @@
+//! A minimal FNV-1a hasher (the `fxhash`/`fnv` role) for hot in-process
+//! hash maps keyed by small structured values, where the DoS-resistant
+//! default SipHash costs more than the lookup's payload work. Not for
+//! maps keyed by untrusted external input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a streaming hasher with a one-multiply fast path for integer
+/// writes (the common case for derived `Hash` on index/id fields).
+#[derive(Clone)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(OFFSET)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(PRIME);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FnvHasher`].
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+/// `HashMap` using [`FnvHasher`]; construct with `FnvHashMap::default()`.
+pub type FnvHashMap<K, V> = HashMap<K, V, FnvBuildHasher>;
+
+/// `HashSet` using [`FnvHasher`]; construct with `FnvHashSet::default()`.
+pub type FnvHashSet<T> = HashSet<T, FnvBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FnvHashMap<(usize, Vec<i64>), u32> = FnvHashMap::default();
+        m.insert((1, vec![2, 3]), 7);
+        m.insert((1, vec![2, 4]), 8);
+        assert_eq!(m.get(&(1, vec![2, 3])), Some(&7));
+        assert_eq!(m.get(&(1, vec![2, 4])), Some(&8));
+        assert_eq!(m.get(&(2, vec![2, 3])), None);
+    }
+
+    #[test]
+    fn distinct_integers_hash_distinctly() {
+        let mut s: FnvHashSet<u64> = FnvHashSet::default();
+        for v in 0..1000u64 {
+            s.insert(v);
+        }
+        assert_eq!(s.len(), 1000);
+    }
+}

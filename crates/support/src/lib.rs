@@ -15,8 +15,11 @@
 //!   `proptest!` macro subset used by the workspace's tests.
 //! - [`criterion`]: a micro-benchmark harness compatible with the
 //!   `criterion_group!`/`criterion_main!` subset used under `benches/`.
+//! - [`hash`]: an FNV-1a hasher (the `fxhash` role) for hot hash maps
+//!   keyed by small trusted values.
 
 pub mod criterion;
+pub mod hash;
 pub mod json;
 pub mod par;
 pub mod proptest;

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Measures the amortized sub-plan pipeline: one-pass true-cardinality
+# enumeration vs per-mask exact execution on 6-8-table STATS-shaped star
+# queries, and batched vs sequential estimator inference over the full
+# sub-plan space. Leaves a machine-readable summary in BENCH_subplan.json
+# at the repo root. Run on an otherwise idle machine.
+set -e
+cd "$(dirname "$0")/.."
+cargo bench -p cardbench-bench --bench subplan
+echo "--- BENCH_subplan.json ---"
+cat BENCH_subplan.json
