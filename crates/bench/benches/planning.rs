@@ -1,50 +1,231 @@
-//! Planner micro-benchmarks: DP join enumeration and the P-Error
-//! computation path (optimize twice + cost twice).
+//! Plan-search benchmarks: the dense topology-driven DP against the
+//! reference `HashMap`+clone DP on 6–8-table STATS-shaped star queries,
+//! and the shared-topology P-Error path against its
+//! double-enumeration predecessor. Writes `BENCH_planning.json` at the
+//! repo root with medians, speedups, and the topology-cache hit rate so
+//! the amortization claim stays reproducible. `CARDBENCH_FAST=1` runs a
+//! 1-sample smoke on the smallest query and skips the JSON.
+
+use std::path::PathBuf;
 
 use cardbench_support::criterion::Criterion;
-use cardbench_support::{criterion_group, criterion_main};
+use cardbench_support::json::Json;
 
-use cardbench_engine::{exact_cardinality, optimize, CardMap, CostModel, TrueCardService};
-use cardbench_harness::{Bench, BenchConfig};
+use cardbench_datagen::{stats_catalog, StatsConfig};
+use cardbench_engine::{
+    optimize_reference, optimize_with, plan_cost, subplan_true_cards, CardMap, CostModel, Database,
+};
 use cardbench_metrics::p_error;
-use cardbench_query::{connected_subsets, BoundQuery, SubPlanQuery};
+use cardbench_query::{BoundQuery, JoinEdge, JoinQuery, Predicate, Region, TableMask};
 
-fn bench_planning(c: &mut Criterion) {
-    let bench = Bench::build(BenchConfig::fast(8));
-    let wq = bench
-        .stats_wl
-        .queries
-        .iter()
-        .max_by_key(|q| q.query.table_count())
-        .unwrap();
-    let db = &bench.stats_db;
-    let bound = BoundQuery::bind(&wq.query, db.catalog()).unwrap();
-    let cost = CostModel::default();
-    let mut cards = CardMap::new();
-    for mask in connected_subsets(&wq.query) {
-        let sp = SubPlanQuery::project(&wq.query, mask);
-        cards.insert(mask, exact_cardinality(db, &sp.query).unwrap());
+/// STATS-shaped star query on `tables` ∈ 6..=8 tables: `posts` is the
+/// hub with five FK children; 7 adds the `users` arm, 8 extends it with
+/// `badges` (a two-hop arm, as STATS-CEB queries have).
+fn star_query(tables: usize) -> JoinQuery {
+    let mut q = JoinQuery {
+        tables: vec![
+            "posts".into(),
+            "comments".into(),
+            "votes".into(),
+            "postHistory".into(),
+            "postLinks".into(),
+            "tags".into(),
+        ],
+        joins: vec![
+            JoinEdge::new(0, "Id", 1, "PostId"),
+            JoinEdge::new(0, "Id", 2, "PostId"),
+            JoinEdge::new(0, "Id", 3, "PostId"),
+            JoinEdge::new(0, "Id", 4, "PostId"),
+            JoinEdge::new(0, "Id", 5, "ExcerptPostId"),
+        ],
+        predicates: vec![
+            Predicate::new(0, "Score", Region::ge(0)),
+            Predicate::new(1, "Score", Region::ge(0)),
+        ],
+    };
+    if tables >= 7 {
+        q.tables.push("users".into());
+        q.joins.push(JoinEdge::new(6, "Id", 0, "OwnerUserId"));
     }
-    c.bench_function(
-        format!("dp_optimize_{}_tables", wq.query.table_count()),
-        |b| b.iter(|| optimize(&wq.query, &bound, db, &cards, &cost)),
-    );
-    c.bench_function("p_error_path", |b| {
-        b.iter(|| p_error(db, &cost, &wq.query, &bound, &cards, &cards))
-    });
-    let truth = TrueCardService::new();
-    c.bench_function("subplan_space_truth_cached", |b| {
-        b.iter(|| {
-            connected_subsets(&wq.query)
-                .into_iter()
-                .map(|m| {
-                    let sp = SubPlanQuery::project(&wq.query, m);
-                    truth.cardinality(db, &sp.query).unwrap()
-                })
-                .sum::<f64>()
-        })
-    });
+    if tables >= 8 {
+        q.tables.push("badges".into());
+        q.joins.push(JoinEdge::new(6, "Id", 7, "UserId"));
+    }
+    q
 }
 
-criterion_group!(benches, bench_planning);
-criterion_main!(benches);
+fn median_of(c: &Criterion, id: &str) -> f64 {
+    c.measurements
+        .iter()
+        .find(|m| m.id == id)
+        .unwrap_or_else(|| panic!("no measurement {id}"))
+        .median
+        .as_secs_f64()
+}
+
+/// The pre-topology P-Error path: two full reference DP runs (each with
+/// its own subset enumeration and cloned subtrees) plus two re-costings
+/// under truth — what `p_error` did before the shared topology.
+fn p_error_reference(
+    db: &Database,
+    cost: &CostModel,
+    query: &JoinQuery,
+    bound: &BoundQuery,
+    est_cards: &CardMap,
+    true_cards: &CardMap,
+) -> f64 {
+    let (_, plan_e) = optimize_reference(query, bound, db, est_cards, cost, false);
+    let (_, plan_t) = optimize_reference(query, bound, db, true_cards, cost, false);
+    let rows_t = |m: TableMask| true_cards.rows(m);
+    let ppc_e = plan_cost(&plan_e, db, bound, cost, &rows_t);
+    let ppc_t = plan_cost(&plan_t, db, bound, cost, &rows_t);
+    if ppc_t <= 0.0 {
+        1.0
+    } else {
+        ppc_e / ppc_t
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("CARDBENCH_FAST").is_ok_and(|v| v == "1");
+    let table_counts: &[usize] = if smoke { &[6] } else { &[6, 7, 8] };
+    let samples = if smoke { 1 } else { 20 };
+
+    // Plan search never touches row data (only catalog row counts), so
+    // the test-tier dataset suffices at every table count.
+    let db = &Database::new(stats_catalog(&StatsConfig::tiny(3)));
+    let cost = CostModel::default();
+
+    let mut c = Criterion::default();
+    let mut dp_entries: Vec<Json> = Vec::new();
+    let mut cache_entries: Vec<Json> = Vec::new();
+
+    for &nt in table_counts {
+        let q = star_query(nt);
+        let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+        let truths = subplan_true_cards(db, &q).expect("enumeration succeeds");
+        let subplans = truths.len();
+        let mut true_cards = CardMap::new();
+        let mut est_cards = CardMap::new();
+        for &(mask, card) in &truths {
+            true_cards.insert(mask, card);
+            // A deterministic mask-dependent misestimate so the P-Error
+            // path plans two genuinely different queries.
+            est_cards.insert(mask, (card + 1.0) * (1.0 + (mask.0 % 7) as f64));
+        }
+
+        // Correctness guards: dense and reference DPs must agree
+        // bit-for-bit, and the shared-topology P-Error must equal the
+        // double-enumeration one, before we time either.
+        let (hits0, misses0) = db.topology_cache_stats();
+        for cards in [&true_cards, &est_cards] {
+            let dense = optimize_with(&q, &bound, db, cards, &cost, false);
+            let (ref_cost, ref_plan) = optimize_reference(&q, &bound, db, cards, &cost, false);
+            assert!(
+                dense.structurally_identical(&ref_plan),
+                "{nt} tables: dense and reference plans diverged"
+            );
+            let recosted = plan_cost(&dense, db, &bound, &cost, &|m| cards.rows(m));
+            assert_eq!(recosted.to_bits(), ref_cost.to_bits(), "{nt} tables: cost");
+        }
+        let pe_new = p_error(db, &cost, &q, &bound, &est_cards, &true_cards);
+        let pe_old = p_error_reference(db, &cost, &q, &bound, &est_cards, &true_cards);
+        assert_eq!(
+            pe_new.to_bits(),
+            pe_old.to_bits(),
+            "{nt} tables: P-Error diverged (new {pe_new} vs reference {pe_old})"
+        );
+
+        let mut group = c.benchmark_group(format!("dp_optimize_{nt}_tables"));
+        group.sample_size(samples);
+        group.bench_function("reference", |b| {
+            b.iter(|| optimize_reference(&q, &bound, db, &true_cards, &cost, false))
+        });
+        group.bench_function("dense", |b| {
+            b.iter(|| optimize_with(&q, &bound, db, &true_cards, &cost, false))
+        });
+        group.finish();
+
+        if nt == *table_counts.last().expect("non-empty") {
+            let mut group = c.benchmark_group("p_error_path");
+            group.sample_size(samples);
+            group.bench_function("reference", |b| {
+                b.iter(|| p_error_reference(db, &cost, &q, &bound, &est_cards, &true_cards))
+            });
+            group.bench_function("shared_topology", |b| {
+                b.iter(|| p_error(db, &cost, &q, &bound, &est_cards, &true_cards))
+            });
+            group.finish();
+        }
+
+        let (hits1, misses1) = db.topology_cache_stats();
+        let (hits, misses) = (hits1 - hits0, misses1 - misses0);
+        let probes = hits + misses;
+        let hit_rate = if probes == 0 {
+            0.0
+        } else {
+            hits as f64 / probes as f64
+        };
+        println!(
+            "topology cache at {nt} tables: {hits} hits / {misses} misses ({:.4} hit rate)",
+            hit_rate
+        );
+        cache_entries.push(Json::object([
+            ("tables", Json::Number(nt as f64)),
+            ("hits", Json::Number(hits as f64)),
+            ("misses", Json::Number(misses as f64)),
+            ("hit_rate", Json::Number(hit_rate)),
+        ]));
+
+        let reference = median_of(&c, &format!("dp_optimize_{nt}_tables/reference"));
+        let dense = median_of(&c, &format!("dp_optimize_{nt}_tables/dense"));
+        let speedup = reference / dense;
+        println!(
+            "dp_optimize {nt} tables ({subplans:>3} sub-plans): reference {reference:.9}s  dense {dense:.9}s  speedup {speedup:.2}x"
+        );
+        dp_entries.push(Json::object([
+            ("tables", Json::Number(nt as f64)),
+            ("subplans", Json::Number(subplans as f64)),
+            ("reference_median_secs", Json::Number(reference)),
+            ("dense_median_secs", Json::Number(dense)),
+            ("speedup", Json::Number(speedup)),
+        ]));
+    }
+
+    let pe_ref = median_of(&c, "p_error_path/reference");
+    let pe_shared = median_of(&c, "p_error_path/shared_topology");
+    let pe_speedup = pe_ref / pe_shared;
+    println!(
+        "p_error_path: reference {pe_ref:.9}s  shared-topology {pe_shared:.9}s  speedup {pe_speedup:.2}x"
+    );
+
+    if smoke {
+        println!("smoke mode (CARDBENCH_FAST=1): not writing BENCH_planning.json");
+        return;
+    }
+    let summary = Json::object([
+        ("bench", Json::String("planning".to_string())),
+        (
+            "setup",
+            Json::String(
+                "STATS-shaped star queries (posts hub + users/badges arm) over the test-tier \
+                 STATS catalog; reference = HashMap DP with cloned subtrees and per-call subset \
+                 enumeration, dense = cached JoinTopology + Vec-indexed DP cells"
+                    .to_string(),
+            ),
+        ),
+        ("dp_optimize", Json::Array(dp_entries)),
+        (
+            "p_error_path",
+            Json::object([
+                ("reference_median_secs", Json::Number(pe_ref)),
+                ("shared_topology_median_secs", Json::Number(pe_shared)),
+                ("speedup", Json::Number(pe_speedup)),
+            ]),
+        ),
+        ("topology_cache", Json::Array(cache_entries)),
+    ]);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_planning.json");
+    std::fs::write(&path, summary.pretty()).expect("write BENCH_planning.json");
+    println!("wrote {}", path.display());
+}

@@ -14,8 +14,10 @@
 //!   a `tid`;
 //! - the span hierarchy holds: every `execute` span is time-contained in
 //!   a `workload` span on the same thread, every `estimate` span in a
-//!   `plan` span, and (when a `run` span exists on that thread) every
-//!   `workload` span in a `run` span;
+//!   `plan` span, every `topology` span (a shared-topology build on a
+//!   cache miss) in a `plan` span when that thread planned anything, and
+//!   (when a `run` span exists on that thread) every `workload` span in
+//!   a `run` span;
 //! - the sidecar parses line-wise: every series line belongs to a family
 //!   announced by a `# TYPE` line.
 //!
@@ -137,6 +139,10 @@ fn check_trace(path: &str, required: &[String]) -> Result<usize, String> {
         let parent = match child.name.as_str() {
             "execute" => "workload",
             "estimate" => "plan",
+            // Topology builds are memoized: a miss inside planning emits
+            // the span under `plan`, but a thread that never planned
+            // (tests, case studies) may build one bare — hence the guard.
+            "topology" if spans.iter().any(|p| p.name == "plan" && p.tid == child.tid) => "plan",
             "workload" if spans.iter().any(|p| p.name == "run" && p.tid == child.tid) => "run",
             _ => continue,
         };

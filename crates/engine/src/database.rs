@@ -5,8 +5,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex};
 
-use cardbench_query::{BoundPredicate, Region};
+use cardbench_query::{BoundPredicate, BoundQuery, JoinQuery, Region};
 use cardbench_storage::{Catalog, ColumnStats, Table, TableId};
+
+use crate::topology::JoinTopology;
 
 /// A sorted index over one column: `(value, row)` pairs ordered by value.
 /// NULL rows are excluded (no predicate or join matches NULL).
@@ -140,6 +142,40 @@ impl AggCache {
     }
 }
 
+/// A sharded concurrent memo of [`JoinTopology`] values keyed by
+/// [`JoinTopology::structural_key`]. Plan search runs ~17× per query (15
+/// estimator kinds plus the double optimize inside p-error), and every
+/// run shares the same cardinality-independent query shape; memoizing the
+/// shape here means one lattice enumeration per distinct join structure
+/// — across estimators, repeated templates, and threads alike.
+#[derive(Debug, Default)]
+struct TopologyCache {
+    shards: [Mutex<HashMap<u64, Arc<JoinTopology>>>; FILTER_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TopologyCache {
+    fn get(&self, key: u64) -> Option<Arc<JoinTopology>> {
+        let found = lock_shard(&self.shards[key as usize & (FILTER_SHARDS - 1)])
+            .get(&key)
+            .cloned();
+        match found {
+            Some(_) => self.hits.fetch_add(1, AtomicOrdering::Relaxed),
+            None => self.misses.fetch_add(1, AtomicOrdering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, key: u64, topo: Arc<JoinTopology>) {
+        lock_shard(&self.shards[key as usize & (FILTER_SHARDS - 1)]).insert(key, topo);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
+    }
+}
+
 /// Locks a cache shard, tolerating poison: the harness sandboxes
 /// estimator panics with `catch_unwind`, and a panic unwinding through a
 /// thread that held a shard lock poisons it. Cached entries are only
@@ -233,6 +269,8 @@ pub struct Database {
     filter_cache: FilterCache,
     /// Memoized key→weight aggregates; rebuilt on [`Database::refresh`].
     agg_cache: AggCache,
+    /// Memoized join topologies; rebuilt on [`Database::refresh`].
+    topology_cache: TopologyCache,
 }
 
 impl Database {
@@ -256,6 +294,7 @@ impl Database {
             stats,
             filter_cache: FilterCache::default(),
             agg_cache: AggCache::default(),
+            topology_cache: TopologyCache::default(),
         }
     }
 
@@ -440,6 +479,41 @@ impl Database {
         (
             self.agg_cache.hits.load(AtomicOrdering::Relaxed),
             self.agg_cache.misses.load(AtomicOrdering::Relaxed),
+        )
+    }
+
+    /// The precomputed plan-search shape of `(query, bound)`, memoized by
+    /// [`JoinTopology::structural_key`]. The first call per distinct join
+    /// structure enumerates the connected-subset lattice and partition
+    /// list (under a `topology` span); every later call — from another
+    /// estimator, a p-error replay, or another thread — is a shard-local
+    /// map lookup. Concurrent first calls may both build; both produce
+    /// the same value, so the race is benign.
+    pub fn topology(&self, query: &JoinQuery, bound: &BoundQuery) -> Arc<JoinTopology> {
+        let key = JoinTopology::structural_key(query, bound);
+        if let Some(topo) = self.topology_cache.get(key) {
+            return topo;
+        }
+        let topo = {
+            let _sp = cardbench_obs::span_with("topology", "plan", || {
+                format!("n={}", query.table_count())
+            });
+            Arc::new(JoinTopology::build(query, bound, self))
+        };
+        self.topology_cache.insert(key, topo.clone());
+        topo
+    }
+
+    /// Number of memoized join topologies currently cached.
+    pub fn topology_cache_len(&self) -> usize {
+        self.topology_cache.len()
+    }
+
+    /// `(hits, misses)` of the topology memo since construction.
+    pub fn topology_cache_stats(&self) -> (u64, u64) {
+        (
+            self.topology_cache.hits.load(AtomicOrdering::Relaxed),
+            self.topology_cache.misses.load(AtomicOrdering::Relaxed),
         )
     }
 
@@ -679,6 +753,43 @@ mod tests {
         let ids = db.key_weight_aggregate(TableId(0), &[], 0);
         assert_eq!(ids.len(), 5);
         assert_eq!(db.agg_cache_len(), 2);
+    }
+
+    #[test]
+    fn topology_memoizes_and_refresh_clears() {
+        use cardbench_query::{JoinEdge, Predicate};
+        let mut c = Catalog::new();
+        for name in ["a", "b"] {
+            c.add_table(
+                Table::from_columns(
+                    TableSchema::new(name, vec![ColumnDef::new("k", ColumnKind::ForeignKey)]),
+                    vec![Column::from_values(vec![1, 2, 3])],
+                )
+                .unwrap(),
+            );
+        }
+        let mut db = Database::new(c);
+        let q1 = JoinQuery {
+            tables: vec!["a".into(), "b".into()],
+            joins: vec![JoinEdge::new(0, "k", 1, "k")],
+            predicates: vec![],
+        };
+        // Same structure, different predicate: must share the entry.
+        let mut q2 = q1.clone();
+        q2.predicates = vec![Predicate::new(0, "k", Region::eq(2))];
+        let b1 = BoundQuery::bind(&q1, db.catalog()).unwrap();
+        let b2 = BoundQuery::bind(&q2, db.catalog()).unwrap();
+        let t1 = db.topology(&q1, &b1);
+        let t2 = db.topology(&q2, &b2);
+        assert!(
+            Arc::ptr_eq(&t1, &t2),
+            "shape-equal queries share one topology"
+        );
+        assert_eq!(db.topology_cache_len(), 1);
+        assert_eq!(db.topology_cache_stats(), (1, 1));
+        db.refresh();
+        assert_eq!(db.topology_cache_len(), 0, "refresh must drop topologies");
+        assert_eq!(db.topology_cache_stats(), (0, 0));
     }
 
     #[test]

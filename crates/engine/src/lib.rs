@@ -9,9 +9,13 @@
 //! - [`cost`]: a PostgreSQL-shaped cost model (seq/index scan, hash /
 //!   merge / indexed-nested-loop join, hash spill penalty).
 //! - [`plan`]: physical plan trees annotated with masks and row estimates.
+//! - [`topology`]: the cardinality-independent shape of plan search
+//!   (connected-subset lattice, partition lists, cross-product bounds),
+//!   computed once per join structure and cached on the database.
 //! - [`optimizer`]: exact dynamic-programming join enumeration (DPsub)
 //!   driven by an injected cardinality map — the analogue of overriding
-//!   `calc_joinrel_size_estimate`.
+//!   `calc_joinrel_size_estimate` — replayed densely over a cached
+//!   [`topology::JoinTopology`].
 //! - [`executor`]: real execution of physical plans over column data.
 //! - [`explain`]: EXPLAIN-style plan rendering with costs.
 //! - [`truecard`]: exact sub-plan cardinalities via join-tree message
@@ -33,6 +37,7 @@ pub mod executor;
 pub mod explain;
 pub mod optimizer;
 pub mod plan;
+pub mod topology;
 pub mod truecard;
 
 pub use cost::CostModel;
@@ -42,8 +47,12 @@ pub use executor::{
     ExecScratch, ExecStats, HASH_SPILL_ROWS,
 };
 pub use explain::explain;
-pub use optimizer::{clamp_row_est, optimize, optimize_with, plan_cost, CardMap, ClampKind};
+pub use optimizer::{
+    clamp_row_est, optimize, optimize_costed, optimize_reference, optimize_topo, optimize_with,
+    plan_cost, CardMap, ClampKind,
+};
 pub use plan::{JoinAlgo, PhysicalPlan, ScanMethod};
+pub use topology::{JoinTopology, Partition};
 pub use truecard::{exact_cardinality, subplan_true_cards, TrueCardService};
 
 /// A convenience facade bundling a database with a cost model.

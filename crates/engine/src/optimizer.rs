@@ -6,6 +6,30 @@
 //! method is under test — and picks join order, join algorithms, and scan
 //! methods with the [`CostModel`]. The estimator therefore fully controls
 //! plan choice, and nothing else about the engine changes between methods.
+//!
+//! ## Two-phase search
+//!
+//! Plan search is split into a cardinality-independent *shape* phase and a
+//! cardinality-dependent *DP* phase. The shape — connected-subset lattice,
+//! partition list with resolved connecting edges, cross-product bounds —
+//! is precomputed once per join structure as a [`JoinTopology`] (cached on
+//! the [`Database`]). The DP ([`optimize_topo`]) then replays over dense
+//! arrays indexed by the topology: each cell stores `(cost, split, algo,
+//! scan)` as plain words, and the winning [`PhysicalPlan`] tree is
+//! reconstructed exactly once at the end — no per-cell hashing, no subtree
+//! cloning. [`optimize_reference`] keeps the original single-pass
+//! `HashMap` DP as the differential-testing and benchmarking baseline.
+//!
+//! ## Deterministic tie-breaking
+//!
+//! When two candidates for the same subset have exactly equal cost, the DP
+//! keeps the one with the **lower left-child mask**, then the **lower join
+//! algorithm rank** (`Hash < Merge < IndexNestedLoop`). Scan ties keep
+//! `Seq`. Plan choice is therefore a pure function of `(topology, cards,
+//! cost model)`, independent of partition enumeration order — the dense
+//! rewrite relies on this, `tests/optimizer_differential.rs` proves both
+//! implementations agree bit-for-bit, and `tie_break_is_deterministic`
+//! below pins the rule itself.
 
 use std::collections::HashMap;
 
@@ -14,6 +38,7 @@ use cardbench_query::{connected_subsets, BoundQuery, JoinQuery, TableMask};
 use crate::cost::CostModel;
 use crate::database::Database;
 use crate::plan::{JoinAlgo, PhysicalPlan, ScanMethod};
+use crate::topology::{connecting_edge, JoinTopology};
 
 /// Why [`clamp_row_est`] had to intervene on an estimate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +131,14 @@ impl CardMap {
         self.rows.get(&mask.0).copied().unwrap_or(1.0)
     }
 
+    /// The map re-keyed by `topo`'s dense index: `view[i]` is the
+    /// estimate for `topo.masks()[i]`, `1.0` where absent (same default
+    /// as [`CardMap::rows`]). The DP inner loop does three array loads
+    /// per candidate against this instead of three hash probes.
+    pub fn dense_view(&self, topo: &JoinTopology) -> Vec<f64> {
+        topo.masks().iter().map(|&m| self.rows(m)).collect()
+    }
+
     /// How many inserted estimates required clamping (NaN/±inf,
     /// degenerate, or above the bound).
     pub fn clamped(&self) -> u64 {
@@ -137,7 +170,10 @@ pub fn optimize(
 
 /// Like [`optimize`], but restricted to left-deep join trees when
 /// `left_deep` is set (the classic restricted search space; used by the
-/// `optimizer_shapes` ablation to quantify what bushy DP buys).
+/// `optimizer_shapes` ablation to quantify what bushy DP buys). The
+/// left-deep search consumes the same cached partition list as the bushy
+/// one, filtered to single-table splits — no re-enumeration, no wasted
+/// `connecting_edge` probes on disconnected partitions.
 pub fn optimize_with(
     query: &JoinQuery,
     bound: &BoundQuery,
@@ -146,9 +182,194 @@ pub fn optimize_with(
     cost: &CostModel,
     left_deep: bool,
 ) -> PhysicalPlan {
-    let _sp = cardbench_obs::span_with("optimize", "plan", || {
-        format!("{} tables", query.table_count())
-    });
+    let topo = db.topology(query, bound);
+    let dense = cards.dense_view(&topo);
+    optimize_topo(&topo, bound, db, &dense, cost, left_deep).1
+}
+
+/// Like [`optimize`], but also returns the DP's own cost of the winning
+/// plan (the cost under the *injected* cardinalities), sparing callers a
+/// [`plan_cost`] recomputation.
+pub fn optimize_costed(
+    query: &JoinQuery,
+    bound: &BoundQuery,
+    db: &Database,
+    cards: &CardMap,
+    cost: &CostModel,
+) -> (f64, PhysicalPlan) {
+    let topo = db.topology(query, bound);
+    let dense = cards.dense_view(&topo);
+    optimize_topo(&topo, bound, db, &dense, cost, false)
+}
+
+/// Sentinel child index marking a DP cell as a scan node.
+const SCAN_CHILD: u32 = u32::MAX;
+
+/// One dense DP cell: the winning candidate for one connected subset,
+/// as plain words. The plan tree is only materialized once, from the
+/// root's cell, after the whole table is filled.
+#[derive(Debug, Clone, Copy)]
+struct DpCell {
+    cost: f64,
+    /// Dense index of the left child, or [`SCAN_CHILD`] for a scan.
+    left: u32,
+    /// Dense index of the right child (unused for scans).
+    right: u32,
+    /// Edge index into `bound.joins` (unused for scans).
+    edge: u32,
+    algo: JoinAlgo,
+    scan: ScanMethod,
+}
+
+/// Rank of a join algorithm in the tie-break order (see module docs).
+#[inline]
+fn algo_rank(algo: JoinAlgo) -> u8 {
+    match algo {
+        JoinAlgo::Hash => 0,
+        JoinAlgo::Merge => 1,
+        JoinAlgo::IndexNestedLoop => 2,
+    }
+}
+
+/// The cardinality-dependent half of plan search: a dense DPsub over a
+/// precomputed [`JoinTopology`]. `dense` must be a per-dense-index row
+/// view (see [`CardMap::dense_view`]) aligned with `topo.masks()`.
+/// Returns the winning plan and its cost under `dense`.
+///
+/// Candidates, float operation order, and the tie-break are identical to
+/// [`optimize_reference`]; the differential suite asserts bit-equal
+/// output.
+pub fn optimize_topo(
+    topo: &JoinTopology,
+    bound: &BoundQuery,
+    db: &Database,
+    dense: &[f64],
+    cost: &CostModel,
+    left_deep: bool,
+) -> (f64, PhysicalPlan) {
+    let n = topo.table_count();
+    let _sp = cardbench_obs::span_with("optimize", "plan", || format!("{n} tables"));
+    let masks = topo.masks();
+    debug_assert_eq!(dense.len(), masks.len());
+    let mut cells: Vec<DpCell> = Vec::with_capacity(masks.len());
+
+    // Singletons come first in the lattice (ascending size, then mask),
+    // so dense index `i < n` is exactly table position `i`.
+    for pos in 0..n {
+        debug_assert_eq!(masks[pos], TableMask::single(pos));
+        let table_rows = db.row_count(bound.tables[pos].id) as f64;
+        let est = dense[pos];
+        let seq = cost.scan_cost(ScanMethod::Seq, table_rows, est);
+        let mut scan = ScanMethod::Seq;
+        let mut c = seq;
+        if !bound.tables[pos].predicates.is_empty() {
+            let idx = cost.scan_cost(ScanMethod::Index, table_rows, est);
+            if idx < seq {
+                scan = ScanMethod::Index;
+                c = idx;
+            }
+        }
+        cells.push(DpCell {
+            cost: c,
+            left: SCAN_CHILD,
+            right: SCAN_CHILD,
+            edge: 0,
+            algo: JoinAlgo::Hash,
+            scan,
+        });
+    }
+
+    // Composites in ascending size: every child cell is already filled.
+    for i in n..masks.len() {
+        let out_rows = dense[i];
+        // (cost, (left mask, algo rank)) of the incumbent, for ties.
+        let mut best: Option<(f64, (u64, u8), DpCell)> = None;
+        for p in topo.partitions_of(i) {
+            if left_deep && !p.single_side {
+                continue;
+            }
+            let (i1, i2) = (p.s1 as usize, p.s2 as usize);
+            let (c1, c2) = (cells[i1].cost, cells[i2].cost);
+            let (r1, r2) = (dense[i1], dense[i2]);
+            for (left, right, lc, rc, lr, rr) in
+                [(i1, i2, c1, c2, r1, r2), (i2, i1, c2, c1, r2, r1)]
+            {
+                for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::IndexNestedLoop] {
+                    let total = lc + rc + cost.join_cost(algo, lr, rr, out_rows);
+                    let key = (masks[left].0, algo_rank(algo));
+                    let wins = match &best {
+                        None => true,
+                        Some((bc, bk, _)) => total < *bc || (total == *bc && key < *bk),
+                    };
+                    if wins {
+                        best = Some((
+                            total,
+                            key,
+                            DpCell {
+                                cost: total,
+                                left: left as u32,
+                                right: right as u32,
+                                edge: p.edge,
+                                algo,
+                                scan: ScanMethod::Seq,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        let (_, _, cell) = best.expect("connected subset must admit a connected partition");
+        cells.push(cell);
+    }
+
+    let root = masks.len() - 1;
+    assert_eq!(
+        masks[root],
+        TableMask::full(n),
+        "connected query must have a full plan"
+    );
+    (cells[root].cost, rebuild(topo, &cells, dense, root))
+}
+
+/// Materializes the winning plan tree from the filled DP table — the one
+/// and only tree construction per optimize call.
+fn rebuild(topo: &JoinTopology, cells: &[DpCell], dense: &[f64], i: usize) -> PhysicalPlan {
+    let cell = &cells[i];
+    let mask = topo.masks()[i];
+    if cell.left == SCAN_CHILD {
+        PhysicalPlan::Scan {
+            table_pos: mask.0.trailing_zeros() as usize,
+            method: cell.scan,
+            mask,
+            est_rows: dense[i],
+        }
+    } else {
+        PhysicalPlan::Join {
+            algo: cell.algo,
+            left: Box::new(rebuild(topo, cells, dense, cell.left as usize)),
+            right: Box::new(rebuild(topo, cells, dense, cell.right as usize)),
+            edge: cell.edge as usize,
+            mask,
+            est_rows: dense[i],
+        }
+    }
+}
+
+/// The pre-topology optimizer: single-pass `HashMap` DP that re-enumerates
+/// `connected_subsets` and re-probes `connecting_edge` per call, cloning
+/// partial plans at every cell. Kept as the ground truth for
+/// `tests/optimizer_differential.rs` (bit-identical plans and costs) and
+/// as the "old" side of `benches/planning.rs`. Not part of the public
+/// surface.
+#[doc(hidden)]
+pub fn optimize_reference(
+    query: &JoinQuery,
+    bound: &BoundQuery,
+    db: &Database,
+    cards: &CardMap,
+    cost: &CostModel,
+    left_deep: bool,
+) -> (f64, PhysicalPlan) {
     let n = query.table_count();
     assert!((1..=64).contains(&n));
     let mut best: HashMap<u64, (f64, PhysicalPlan)> = HashMap::new();
@@ -190,7 +411,7 @@ pub fn optimize_with(
         }
         let m = mask.0;
         let out_rows = cards.rows(mask);
-        let mut best_here: Option<(f64, PhysicalPlan)> = None;
+        let mut best_here: Option<(f64, (u64, u8), PhysicalPlan)> = None;
         // Enumerate proper submasks of m.
         let mut s1 = (m - 1) & m;
         while s1 > 0 {
@@ -217,9 +438,15 @@ pub fn optimize_with(
                     {
                         for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::IndexNestedLoop] {
                             let total = lc + rc + cost.join_cost(algo, lr, rr, out_rows);
-                            if best_here.as_ref().is_none_or(|(bc, _)| total < *bc) {
+                            let key = (left.mask().0, algo_rank(algo));
+                            let wins = match &best_here {
+                                None => true,
+                                Some((bc, bk, _)) => total < *bc || (total == *bc && key < *bk),
+                            };
+                            if wins {
                                 best_here = Some((
                                     total,
+                                    key,
                                     PhysicalPlan::Join {
                                         algo,
                                         left: Box::new(left.clone()),
@@ -236,14 +463,13 @@ pub fn optimize_with(
             }
             s1 = (s1 - 1) & m;
         }
-        if let Some((c, p)) = best_here {
+        if let Some((c, _, p)) = best_here {
             best.insert(m, (c, p));
         }
     }
 
     best.remove(&TableMask::full(n).0)
         .expect("connected query must have a full plan")
-        .1
 }
 
 /// Total plan cost when every node's input/output rows are given by
@@ -284,13 +510,6 @@ pub fn plan_cost(
                 )
         }
     }
-}
-
-/// Finds the bound-join edge connecting two disjoint masks, if any.
-fn connecting_edge(bound: &BoundQuery, a: TableMask, b: TableMask) -> Option<usize> {
-    bound.joins.iter().position(|e| {
-        (a.contains(e.left) && b.contains(e.right)) || (b.contains(e.left) && a.contains(e.right))
-    })
 }
 
 #[cfg(test)]
@@ -454,6 +673,79 @@ mod tests {
             let sp = SubPlanQuery::project(&q, mask);
             assert!(sp.query.is_connected());
         }
+    }
+
+    #[test]
+    fn dense_matches_reference_on_chain() {
+        let db = db();
+        let q = chain_query();
+        let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+        let cm = CostModel::default();
+        let cards = cards_for(&q, |m| 7.0 * m.0 as f64);
+        for left_deep in [false, true] {
+            let new = optimize_with(&q, &bound, &db, &cards, &cm, left_deep);
+            let (ref_cost, ref_plan) = optimize_reference(&q, &bound, &db, &cards, &cm, left_deep);
+            assert!(
+                new.structurally_identical(&ref_plan),
+                "left_deep={left_deep}"
+            );
+            let (new_cost, _) = {
+                let topo = db.topology(&q, &bound);
+                let dense = cards.dense_view(&topo);
+                optimize_topo(&topo, &bound, &db, &dense, &cm, left_deep)
+            };
+            assert_eq!(new_cost.to_bits(), ref_cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn optimize_costed_cost_matches_plan_cost() {
+        let db = db();
+        let q = chain_query();
+        let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+        let cm = CostModel::default();
+        let cards = cards_for(&q, |m| 3.0 + m.0 as f64);
+        let (c, plan) = optimize_costed(&q, &bound, &db, &cards, &cm);
+        let recosted = plan_cost(&plan, &db, &bound, &cm, &|m| cards.rows(m));
+        assert!((c - recosted).abs() <= 1e-9 * recosted.abs().max(1.0));
+    }
+
+    /// Pins the documented tie-break: with two identical tables and
+    /// identical cardinalities everywhere, every role assignment ties on
+    /// cost, and the winner must be the lower left-child mask (table 0 on
+    /// the left), with the reference DP agreeing exactly.
+    #[test]
+    fn tie_break_is_deterministic() {
+        let mut cat = Catalog::new();
+        for name in ["x", "y"] {
+            cat.add_table(
+                Table::from_columns(
+                    TableSchema::new(name, vec![ColumnDef::new("k", ColumnKind::ForeignKey)]),
+                    vec![Column::from_values((0..20).collect::<Vec<i64>>())],
+                )
+                .unwrap(),
+            );
+        }
+        let db = Database::new(cat);
+        let q = JoinQuery {
+            tables: vec!["x".into(), "y".into()],
+            joins: vec![JoinEdge::new(0, "k", 1, "k")],
+            predicates: vec![],
+        };
+        let bound = BoundQuery::bind(&q, db.catalog()).unwrap();
+        let cards = cards_for(&q, |_| 20.0);
+        let cm = CostModel::default();
+        let plan = optimize(&q, &bound, &db, &cards, &cm);
+        match &plan {
+            PhysicalPlan::Join { left, .. } => assert_eq!(
+                left.mask(),
+                TableMask::single(0),
+                "cost tie must resolve to the lower left-child mask"
+            ),
+            other => panic!("expected a join, got {other:?}"),
+        }
+        let (_, ref_plan) = optimize_reference(&q, &bound, &db, &cards, &cm, false);
+        assert!(plan.structurally_identical(&ref_plan));
     }
 }
 

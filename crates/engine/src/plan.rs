@@ -70,6 +70,56 @@ impl PhysicalPlan {
         }
     }
 
+    /// Bit-exact structural equality: every field of every node must
+    /// match, with `est_rows` compared by bit pattern (so `-0.0 != 0.0`
+    /// and NaN payloads count). This is the equality the optimizer
+    /// differential suite uses to prove the dense DP reproduces the
+    /// reference DP's plans exactly.
+    pub fn structurally_identical(&self, other: &PhysicalPlan) -> bool {
+        match (self, other) {
+            (
+                PhysicalPlan::Scan {
+                    table_pos: tp_a,
+                    method: m_a,
+                    mask: k_a,
+                    est_rows: r_a,
+                },
+                PhysicalPlan::Scan {
+                    table_pos: tp_b,
+                    method: m_b,
+                    mask: k_b,
+                    est_rows: r_b,
+                },
+            ) => tp_a == tp_b && m_a == m_b && k_a == k_b && r_a.to_bits() == r_b.to_bits(),
+            (
+                PhysicalPlan::Join {
+                    algo: a_a,
+                    left: l_a,
+                    right: r_a,
+                    edge: e_a,
+                    mask: k_a,
+                    est_rows: er_a,
+                },
+                PhysicalPlan::Join {
+                    algo: a_b,
+                    left: l_b,
+                    right: r_b,
+                    edge: e_b,
+                    mask: k_b,
+                    est_rows: er_b,
+                },
+            ) => {
+                a_a == a_b
+                    && e_a == e_b
+                    && k_a == k_b
+                    && er_a.to_bits() == er_b.to_bits()
+                    && l_a.structurally_identical(l_b)
+                    && r_a.structurally_identical(r_b)
+            }
+            _ => false,
+        }
+    }
+
     /// Number of join nodes.
     pub fn join_count(&self) -> usize {
         match self {
@@ -170,6 +220,27 @@ mod tests {
         let mut order = Vec::new();
         p.visit(&mut |n| order.push(n.mask().count()));
         assert_eq!(order, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn structural_identity_is_bit_exact() {
+        let p = sample();
+        assert!(p.structurally_identical(&p.clone()));
+        // Flipping any field breaks identity.
+        let mut q = sample();
+        if let PhysicalPlan::Join { algo, .. } = &mut q {
+            *algo = JoinAlgo::Merge;
+        }
+        assert!(!p.structurally_identical(&q));
+        let mut r = sample();
+        if let PhysicalPlan::Join { est_rows, .. } = &mut r {
+            *est_rows *= -0.0; // same value class, different bits
+        }
+        assert!(!p.structurally_identical(&r));
+        // A scan never equals a join.
+        if let PhysicalPlan::Join { left, .. } = &p {
+            assert!(!p.structurally_identical(left));
+        }
     }
 
     #[test]

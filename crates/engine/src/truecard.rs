@@ -89,11 +89,25 @@ impl TrueCardService {
         db: &Database,
         query: &JoinQuery,
     ) -> Result<Vec<(TableMask, f64)>, StorageError> {
-        let masks = connected_subsets(query);
-        let keys: Vec<u64> = masks
-            .iter()
-            .map(|&m| SubPlanQuery::project(query, m).query.canonical_hash())
-            .collect();
+        let subs = SubPlanQuery::project_all(query);
+        self.cardinalities_for_subplans(db, query, &subs)
+    }
+
+    /// [`TrueCardService::cardinalities_for_query`] with the sub-plan
+    /// projections supplied by the caller. The harness already projects
+    /// every connected subset for estimator inference; passing those in
+    /// here spares a second full projection pass per query. `subs` must
+    /// be the projections of `connected_subsets(query)`, in that order
+    /// (the same order a cached `JoinTopology`'s mask list follows).
+    pub fn cardinalities_for_subplans(
+        &self,
+        db: &Database,
+        query: &JoinQuery,
+        subs: &[SubPlanQuery],
+    ) -> Result<Vec<(TableMask, f64)>, StorageError> {
+        let masks: Vec<TableMask> = subs.iter().map(|s| s.mask).collect();
+        debug_assert_eq!(masks, connected_subsets(query));
+        let keys: Vec<u64> = subs.iter().map(|s| s.query.canonical_hash()).collect();
         let cached: Vec<Option<f64>> = keys
             .iter()
             .map(|&k| {

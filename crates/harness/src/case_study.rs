@@ -5,9 +5,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use cardbench_engine::{execute, optimize, CardMap, CostModel, Database, TrueCardService};
+use cardbench_engine::{execute, optimize_topo, CardMap, CostModel, Database, TrueCardService};
 use cardbench_estimators::CardEst;
-use cardbench_query::{connected_subsets, BoundQuery, SubPlanQuery};
+use cardbench_query::{BoundQuery, SubPlanQuery};
 use cardbench_workload::{Workload, WorkloadQuery};
 
 use crate::report::fmt_duration;
@@ -32,14 +32,18 @@ pub fn case_study(
 ) -> String {
     let query = &wq.query;
     let bound = BoundQuery::bind(query, db.catalog()).expect("query binds");
+    // Enumerate the sub-plan space from the cached topology — the same
+    // (shared) shape the end-to-end runs planned this query with.
+    let topo = db.topology(query, &bound);
     let mut est_cards = CardMap::new();
     let mut true_cards = CardMap::new();
-    for mask in connected_subsets(query) {
+    for &mask in topo.masks() {
         let sp = SubPlanQuery::project(query, mask);
         est_cards.insert(mask, est.estimate(db, &sp));
         true_cards.insert(mask, truth.cardinality(db, &sp.query).expect("truth"));
     }
-    let plan = optimize(query, &bound, db, &est_cards, cost);
+    let dense_est = est_cards.dense_view(&topo);
+    let (_, plan) = optimize_topo(&topo, &bound, db, &dense_est, cost, false);
     let t0 = Instant::now();
     let (rows, stats) = execute(&plan, &bound, db);
     let exec = t0.elapsed();

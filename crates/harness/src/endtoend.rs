@@ -26,13 +26,13 @@ use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use cardbench_engine::{
-    optimize, try_execute_with, CardMap, CostModel, Database, ExecError, ExecScratch, ExecStats,
-    PhysicalPlan, TrueCardService,
+    optimize_topo, try_execute_with, CardMap, CostModel, Database, ExecError, ExecScratch,
+    ExecStats, PhysicalPlan, TrueCardService,
 };
 use cardbench_estimators::postgres::PostgresEst;
 use cardbench_estimators::{CardEst, EstimatorKind};
 use cardbench_metrics::{p_error, q_error_checked, MetricInput};
-use cardbench_query::{connected_subsets, BoundQuery, SubPlanQuery, TableMask};
+use cardbench_query::{BoundQuery, SubPlanQuery, TableMask};
 use cardbench_support::par;
 use cardbench_workload::{Workload, WorkloadQuery};
 
@@ -370,14 +370,15 @@ pub fn run_workload_with_options(
     runs
 }
 
-/// Point-in-time (hits, misses) of the three engine-side caches: the
+/// Point-in-time (hits, misses) of the four engine-side caches: the
 /// predicate filter cache, the one-pass enumerator's per-(table,
-/// predicate-set, join-column) aggregate memo, and the true-cardinality
-/// cache.
+/// predicate-set, join-column) aggregate memo, the true-cardinality
+/// cache, and the plan-search topology cache.
 struct CacheCounters {
     filter: (u64, u64),
     agg: (u64, u64),
     truecard: (u64, u64),
+    topology: (u64, u64),
 }
 
 impl CacheCounters {
@@ -386,6 +387,7 @@ impl CacheCounters {
             filter: db.filter_cache_stats(),
             agg: db.agg_cache_stats(),
             truecard: truth.cache_stats(),
+            topology: db.topology_cache_stats(),
         }
     }
 }
@@ -418,6 +420,12 @@ fn record_cache_metrics(method: &str, before: &CacheCounters, after: &CacheCount
             "cardbench_truecard_cache_misses_total",
             before.truecard,
             after.truecard,
+        ),
+        (
+            "cardbench_topology_cache_hits_total",
+            "cardbench_topology_cache_misses_total",
+            before.topology,
+            after.topology,
         ),
     ] {
         counter_add(hits_family, &m, a.0.saturating_sub(b.0));
@@ -567,11 +575,19 @@ fn plan_one(
             )
         }
     };
-    let masks = connected_subsets(query);
+    // The cached plan-search shape: its mask list is `connected_subsets`
+    // order, so dense index i ↔ subs[i] ↔ truths[i] throughout.
+    let topo = db.topology(query, &bound);
+    let masks = topo.masks();
+    let subs: Vec<SubPlanQuery> = masks
+        .iter()
+        .map(|&mask| SubPlanQuery::project(query, mask))
+        .collect();
     // Bulk truth first: the one-pass enumerator fills every connected
     // subset's exact count in a single bottom-up traversal instead of one
-    // join execution per mask.
-    let truths = match truth.cardinalities_for_query(db, query) {
+    // join execution per mask. The pre-projected sub-plans above feed the
+    // cache-key pass, so projection happens once per query, not twice.
+    let truths = match truth.cardinalities_for_subplans(db, query, &subs) {
         Ok(t) => t,
         Err(e) => {
             return failed(
@@ -583,10 +599,6 @@ fn plan_one(
         }
     };
     debug_assert_eq!(truths.len(), masks.len());
-    let subs: Vec<SubPlanQuery> = masks
-        .iter()
-        .map(|&mask| SubPlanQuery::project(query, mask))
-        .collect();
     let outcomes = estimate_all(est, db, &subs, opts.timeout);
     let mut est_cards = CardMap::new();
     let mut true_cards = CardMap::new();
@@ -597,11 +609,20 @@ fn plan_one(
     let mut sub_true_cards = Vec::with_capacity(masks.len());
     let mut est_failures = Vec::new();
     let mut fallback_subplans = 0u64;
-    for (((&mask, sp), &(_, t)), (outcome, dt)) in
-        masks.iter().zip(&subs).zip(&truths).zip(outcomes)
+    for (i, ((&mask, sp), (&(_, t), (outcome, dt)))) in masks
+        .iter()
+        .zip(&subs)
+        .zip(truths.iter().zip(outcomes))
+        .enumerate()
     {
         plan_time += dt;
-        let upper = cross_product_bound(db, &bound, mask);
+        // Dense index i aligns with `masks` by construction; the cached
+        // bound is the same product `cross_product_bound` computes.
+        let upper = topo.cross_bound(i);
+        debug_assert_eq!(
+            upper.to_bits(),
+            cross_product_bound(db, &bound, mask).to_bits()
+        );
         // Decide what the optimizer sees and what the metrics score.
         // Clean estimates keep their raw value for Q-Error; hard failures
         // score the baseline actually substituted (the plan ran on it);
@@ -653,7 +674,11 @@ fn plan_one(
         sub_est_cards.push(seen);
         sub_true_cards.push(t);
     }
-    let plan = optimize(query, &bound, db, &est_cards, cost);
+    // Replay the dense DP directly over the topology in hand; `p_error`
+    // refetches it from the cache (a hit) and shares it across its own
+    // two optimize calls and both costings.
+    let dense_est = est_cards.dense_view(&topo);
+    let (_, plan) = optimize_topo(&topo, &bound, db, &dense_est, cost, false);
     let pe = p_error(db, cost, query, &bound, &est_cards, &true_cards);
     PlannedQuery {
         id: wq.id,

@@ -10,7 +10,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
-use cardbench_engine::{optimize, plan_cost, CardMap, CostModel, Database, PhysicalPlan};
+use cardbench_engine::{optimize_topo, plan_cost, CardMap, CostModel, Database, PhysicalPlan};
 use cardbench_query::{BoundQuery, JoinQuery};
 
 /// Q-Error of one estimate: `max(est/true, true/est)` with both sides
@@ -83,6 +83,11 @@ pub fn ppc(
 /// `PPC(P(C^E), C^T) / PPC(P(C^T), C^T)` — the plan chosen from the
 /// estimates, costed with the truth, relative to the truth-chosen plan.
 /// ≥ 1 whenever the optimizer is exact over its own cost model.
+///
+/// One [`cardbench_engine::JoinTopology`] is fetched from the database's
+/// topology cache and shared by all four steps: both optimize calls
+/// replay the dense DP over it, and both PPC costings read true rows
+/// through its dense index instead of hashing masks.
 pub fn p_error(
     db: &Database,
     cost: &CostModel,
@@ -91,10 +96,23 @@ pub fn p_error(
     est_cards: &CardMap,
     true_cards: &CardMap,
 ) -> f64 {
-    let plan_e = optimize(query, bound, db, est_cards, cost);
-    let plan_t = optimize(query, bound, db, true_cards, cost);
-    let ppc_e = ppc(&plan_e, db, bound, cost, true_cards);
-    let ppc_t = ppc(&plan_t, db, bound, cost, true_cards);
+    let topo = db.topology(query, bound);
+    let dense_e = est_cards.dense_view(&topo);
+    let dense_t = true_cards.dense_view(&topo);
+    let (_, plan_e) = optimize_topo(&topo, bound, db, &dense_e, cost, false);
+    let (ppc_t_own, plan_t) = optimize_topo(&topo, bound, db, &dense_t, cost, false);
+    // Dense truth lookup; 1.0 default for unindexed masks matches
+    // `CardMap::rows` (plans only ever carry connected masks, so the
+    // default is never hit in practice).
+    let rows_t =
+        |m: cardbench_query::TableMask| topo.index_of(m).map(|i| dense_t[i]).unwrap_or(1.0);
+    let ppc_e = plan_cost(&plan_e, db, bound, cost, &rows_t);
+    let ppc_t = plan_cost(&plan_t, db, bound, cost, &rows_t);
+    debug_assert_eq!(
+        ppc_t.to_bits(),
+        ppc_t_own.to_bits(),
+        "truth-planned cost must equal the DP's own cost under truth"
+    );
     if ppc_t <= 0.0 {
         1.0
     } else {

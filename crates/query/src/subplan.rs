@@ -126,6 +126,17 @@ impl SubPlanQuery {
     pub fn canonical_key(&self) -> String {
         self.query.canonical_key()
     }
+
+    /// Projects every connected subset of `parent`, in
+    /// [`connected_subsets`] order — the order the engine's topology
+    /// dense indices follow, so `project_all(q)[i]` always corresponds
+    /// to dense index `i`.
+    pub fn project_all(parent: &JoinQuery) -> Vec<SubPlanQuery> {
+        connected_subsets(parent)
+            .into_iter()
+            .map(|m| SubPlanQuery::project(parent, m))
+            .collect()
+    }
 }
 
 /// Enumerates every connected subset of the query's join graph, in
@@ -307,6 +318,18 @@ mod tests {
         assert_eq!(sp.query.tables, vec!["t2"]);
         assert!(sp.query.joins.is_empty());
         assert_eq!(sp.query.predicates.len(), 1);
+    }
+
+    #[test]
+    fn project_all_follows_enumeration_order() {
+        let q = chain(4);
+        let subs = SubPlanQuery::project_all(&q);
+        let masks = connected_subsets(&q);
+        assert_eq!(subs.len(), masks.len());
+        for (sub, &mask) in subs.iter().zip(&masks) {
+            assert_eq!(sub.mask, mask);
+            assert!(sub.query.is_connected());
+        }
     }
 
     #[test]

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Measures the amortized plan search: the dense topology-driven DP vs the
+# reference HashMap+clone DP on 6-8-table STATS-shaped star queries, the
+# shared-topology P-Error path vs its double-enumeration predecessor, and
+# the topology-cache hit rate. Leaves a machine-readable summary in
+# BENCH_planning.json at the repo root. Run on an otherwise idle machine.
+set -e
+cd "$(dirname "$0")/.."
+cargo bench -p cardbench-bench --bench planning
+echo "--- BENCH_planning.json ---"
+cat BENCH_planning.json
