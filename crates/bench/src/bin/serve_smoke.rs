@@ -1,0 +1,164 @@
+//! Serving smoke test: stands up the concurrent estimation service,
+//! drives a short load through concurrent coalesced sessions, and
+//! asserts the service's invariants held — nonzero completed queries,
+//! zero unattributed faults, no deadlock, and (optionally) a live
+//! Prometheus endpoint answering scrapes mid-run.
+//!
+//! Knobs (beyond the shared `--trace` / `CARDBENCH_FAST` harness knobs):
+//! - `--sessions N`      — concurrent sessions (default 4).
+//! - `--arrival-qps F`   — open-loop arrival rate; omitted = closed loop.
+//! - `--coalesce-max N`  — max jobs combined per drain tick (default 64).
+//! - `--prom-addr ADDR`  — serve live metrics over HTTP at `ADDR`
+//!   (e.g. `127.0.0.1:0`) and self-scrape once during the run.
+//! - `--sequential`      — disable coalescing (baseline mode).
+//!
+//! Exits non-zero on any violation, so CI can gate on it.
+
+use std::sync::Arc;
+
+use cardbench_bench::config_from_env;
+use cardbench_engine::{CostModel, Database, TrueCardService};
+use cardbench_estimators::{CardEst, EstimatorKind};
+use cardbench_harness::{build_estimator, Bench};
+use cardbench_metrics::percentile;
+use cardbench_serve::{run_load, LoadConfig, PromServer, ServeConfig, Server};
+
+fn main() {
+    let _trace = cardbench_bench::init_tracing();
+    let sessions: usize = arg_value("--sessions")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let arrival_qps: Option<f64> = arg_value("--arrival-qps").and_then(|v| v.parse().ok());
+    let coalesce_max: usize = arg_value("--coalesce-max")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let sequential = std::env::args().any(|a| a == "--sequential");
+
+    let cfg = config_from_env();
+    eprintln!(
+        "[serve-smoke] building benchmark (seed {})...",
+        cfg.settings.seed
+    );
+    let mut bench = Bench::build(cfg);
+    let db = Arc::new(std::mem::replace(
+        &mut bench.stats_db,
+        Database::new(cardbench_storage::Catalog::new()),
+    ));
+    let wl = bench.stats_wl.clone();
+    let built = build_estimator(
+        EstimatorKind::Mscn,
+        &db,
+        &bench.stats_train,
+        &bench.config.settings,
+    );
+    let est: Arc<dyn CardEst> = Arc::from(built.est);
+
+    let server = Arc::new(Server::start(
+        Arc::clone(&db),
+        Arc::new(TrueCardService::new()),
+        est,
+        CostModel::default(),
+        ServeConfig {
+            max_sessions: sessions.max(1),
+            coalesce_max,
+            sequential,
+            ..ServeConfig::default()
+        },
+    ));
+    let prom = arg_value("--prom-addr").map(|addr| {
+        let srv = PromServer::bind(&addr).unwrap_or_else(|e| {
+            eprintln!("[serve-smoke] FAIL: cannot bind prometheus endpoint {addr}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "[serve-smoke] prometheus endpoint at http://{}",
+            srv.local_addr()
+        );
+        srv
+    });
+
+    eprintln!(
+        "[serve-smoke] {} sessions, {} mode, {} arrivals over {} queries",
+        sessions,
+        if sequential {
+            "sequential"
+        } else {
+            "coalesced"
+        },
+        arrival_qps.map_or("closed-loop".to_string(), |q| format!("{q:.0}/s")),
+        wl.queries.len(),
+    );
+    let report = run_load(
+        &server,
+        &wl,
+        &LoadConfig {
+            sessions,
+            arrival_qps,
+            replays: 1,
+        },
+    );
+
+    // Mid-process scrape: the live endpoint must answer with the serve
+    // families while the server still exists.
+    if let Some(prom) = &prom {
+        let body = prom.scrape().unwrap_or_else(|e| {
+            eprintln!("[serve-smoke] FAIL: self-scrape failed: {e}");
+            std::process::exit(1);
+        });
+        let live = cardbench_obs::enabled();
+        if live && !body.contains("cardbench_serve_queries_total") {
+            eprintln!("[serve-smoke] FAIL: scrape lacks cardbench_serve_queries_total");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[serve-smoke] scrape OK ({} bytes{})",
+            body.len(),
+            if live { "" } else { ", recording off" }
+        );
+    }
+
+    let (p50, p95, p99) = (
+        percentile(&report.latencies, 0.50),
+        percentile(&report.latencies, 0.95),
+        percentile(&report.latencies, 0.99),
+    );
+    eprintln!(
+        "[serve-smoke] {} completed, {} failed, {} rejected, {} typed estimate failures in {:.2?} ({:.0} qps)",
+        report.completed, report.failed, report.rejected, report.est_failures, report.wall, report.qps,
+    );
+    eprintln!("[serve-smoke] plan latency p50 {p50:.4}s  p95 {p95:.4}s  p99 {p99:.4}s");
+
+    if report.completed == 0 {
+        eprintln!("[serve-smoke] FAIL: no queries completed");
+        std::process::exit(1);
+    }
+    if report.unattributed != 0 {
+        eprintln!(
+            "[serve-smoke] FAIL: {} unattributed faults (every degradation must be typed)",
+            report.unattributed
+        );
+        std::process::exit(1);
+    }
+    if report.rejected != 0 {
+        eprintln!(
+            "[serve-smoke] FAIL: {} rejections under a fitting session cap",
+            report.rejected
+        );
+        std::process::exit(1);
+    }
+    println!("serve smoke OK");
+}
+
+/// First value of `--flag v` or `--flag=v` in the process arguments.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}

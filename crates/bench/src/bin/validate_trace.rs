@@ -13,11 +13,11 @@
 //! - every complete event carries `name`, `cat`, finite `ts`/`dur`, and
 //!   a `tid`;
 //! - the span hierarchy holds: every `execute` span is time-contained in
-//!   a `workload` span on the same thread, every `estimate` span in a
-//!   `plan` span, every `topology` span (a shared-topology build on a
-//!   cache miss) in a `plan` span when that thread planned anything, and
-//!   (when a `run` span exists on that thread) every `workload` span in
-//!   a `run` span;
+//!   a `workload` span on the same thread, every `estimate` and
+//!   `topology` span (a shared-topology build on a cache miss) in a
+//!   `plan` span when that thread planned anything, every `session` span
+//!   in a `run` span, and (when a `run` span exists on that thread)
+//!   every `workload` span in a `run` span;
 //! - the sidecar parses line-wise: every series line belongs to a family
 //!   announced by a `# TYPE` line.
 //!
@@ -135,21 +135,41 @@ fn check_trace(path: &str, required: &[String]) -> Result<usize, String> {
                 && child.end <= p.end
         })
     };
+    let tid_has = |name: &str, tid: u64| spans.iter().any(|p| p.name == name && p.tid == tid);
     for child in &spans {
-        let parent = match child.name.as_str() {
-            "execute" => "workload",
-            "estimate" => "plan",
+        let parents: &[&str] = match child.name.as_str() {
+            "execute" => &["workload"],
+            // Estimates normally run on the thread that planned the
+            // query, inside its `plan` span — but the serve crate's
+            // coalescer drains cross-session batches on a dedicated
+            // thread that never plans, so the rule is guarded like
+            // `topology`'s.
+            "estimate" if tid_has("plan", child.tid) => &["plan"],
             // Topology builds are memoized: a miss inside planning emits
-            // the span under `plan`, but a thread that never planned
-            // (tests, case studies) may build one bare — hence the guard.
-            "topology" if spans.iter().any(|p| p.name == "plan" && p.tid == child.tid) => "plan",
-            "workload" if spans.iter().any(|p| p.name == "run" && p.tid == child.tid) => "run",
+            // the span under `plan`; a serve session's budget gate counts
+            // the sub-plan space (a possible cold miss) before its plan
+            // span opens, so inside a session the `session` span is the
+            // containing parent. A thread that never planned (tests, case
+            // studies) may build one bare — hence the guard.
+            "topology" if tid_has("session", child.tid) => &["plan", "session"],
+            "topology" if tid_has("plan", child.tid) => &["plan"],
+            "workload" if tid_has("run", child.tid) => &["run"],
+            // A serve session always opens its own per-thread `run` span,
+            // so the rule is unconditional.
+            "session" => &["run"],
             _ => continue,
         };
-        if !contained(child, parent) {
+        if !parents.iter().any(|p| contained(child, p)) {
             return Err(format!(
-                "`{}` span at ts={} (tid {}) not contained in any `{parent}` span",
-                child.name, child.start, child.tid
+                "`{}` span at ts={} (tid {}) not contained in any {} span",
+                child.name,
+                child.start,
+                child.tid,
+                parents
+                    .iter()
+                    .map(|p| format!("`{p}`"))
+                    .collect::<Vec<_>>()
+                    .join("/"),
             ));
         }
     }

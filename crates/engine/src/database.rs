@@ -102,6 +102,12 @@ impl FilterCache {
     fn len(&self) -> usize {
         self.shards.iter().map(|s| lock_shard(s).len()).sum()
     }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            lock_shard(s).clear();
+        }
+    }
 }
 
 /// Per-join-key weight totals for one `(table, predicate set, join
@@ -140,6 +146,12 @@ impl AggCache {
     fn len(&self) -> usize {
         self.shards.iter().map(|s| lock_shard(s).len()).sum()
     }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            lock_shard(s).clear();
+        }
+    }
 }
 
 /// A sharded concurrent memo of [`JoinTopology`] values keyed by
@@ -173,6 +185,12 @@ impl TopologyCache {
 
     fn len(&self) -> usize {
         self.shards.iter().map(|s| lock_shard(s).len()).sum()
+    }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            lock_shard(s).clear();
+        }
     }
 }
 
@@ -524,6 +542,19 @@ impl Database {
         self.index(table, column).count_equal(value)
     }
 
+    /// Empties the shared derived-data memos (filtered-scan cache,
+    /// key-weight aggregate memo, topology memo) without rebuilding
+    /// indexes or statistics. Interior mutability (`&self`) so a server
+    /// holding the `Database` behind an `Arc` — shared by every live
+    /// session — can bound memory or force cold-cache measurements
+    /// without exclusive access. Hit/miss counters are *not* reset: they
+    /// are monotone by contract, and run-level accounting reads deltas.
+    pub fn clear_shared_caches(&self) {
+        self.filter_cache.clear();
+        self.agg_cache.clear();
+        self.topology_cache.clear();
+    }
+
     /// Rebuilds indexes and statistics (after bulk inserts).
     pub fn refresh(&mut self) {
         let catalog = std::mem::take(&mut self.catalog);
@@ -624,6 +655,32 @@ mod tests {
         assert_eq!(db.filter_cache_len(), 2);
         db.refresh();
         assert_eq!(db.filter_cache_len(), 0, "refresh must drop stale scans");
+    }
+
+    #[test]
+    fn clear_shared_caches_empties_memos_keeps_counters() {
+        let db = db();
+        let preds = vec![BoundPredicate {
+            column: 1,
+            region: Region::between(15, 45),
+        }];
+        db.filtered_rows(TableId(0), &preds);
+        db.filtered_rows(TableId(0), &preds);
+        assert_eq!(db.filter_cache_len(), 1);
+        let (hits, misses) = db.filter_cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+        // &self: works through a shared reference, unlike `refresh`.
+        db.clear_shared_caches();
+        assert_eq!(db.filter_cache_len(), 0);
+        assert_eq!(db.agg_cache_len(), 0);
+        assert_eq!(db.topology_cache_len(), 0);
+        // Counters stay monotone so delta-based accounting never
+        // underflows.
+        assert_eq!(db.filter_cache_stats(), (hits, misses));
+        // Repopulation works and counts a fresh miss.
+        let again = db.filtered_rows(TableId(0), &preds);
+        assert_eq!(*again, vec![1, 2, 4]);
+        assert_eq!(db.filter_cache_stats(), (hits, misses + 1));
     }
 
     #[test]

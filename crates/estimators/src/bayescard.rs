@@ -65,6 +65,17 @@ impl CardEst for BayesCard {
         self.inner.estimate(db, sub)
     }
 
+    /// Batched fanout evaluation: per-table Bayesian networks answer all
+    /// sub-plans' expectations in grouped inference calls (per-item
+    /// bit-identical to the sequential path, like DeepDB/FLAT).
+    fn estimate_batch(&self, db: &Database, subs: &[SubPlanQuery]) -> Vec<f64> {
+        self.inner.estimate_batch(db, subs)
+    }
+
+    fn batch_leverage(&self) -> bool {
+        true
+    }
+
     fn model_size_bytes(&self) -> usize {
         self.inner.size_bytes()
     }

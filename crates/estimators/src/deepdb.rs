@@ -113,6 +113,10 @@ impl CardEst for DeepDb {
         self.inner.estimate_batch(db, subs)
     }
 
+    fn batch_leverage(&self) -> bool {
+        true
+    }
+
     fn model_size_bytes(&self) -> usize {
         self.inner.size_bytes()
     }

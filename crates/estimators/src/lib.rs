@@ -70,6 +70,16 @@ pub trait CardEst: Send + Sync {
         subs.iter().map(|s| self.estimate(db, s)).collect()
     }
 
+    /// Whether [`CardEst::estimate_batch`] actually amortizes work (a
+    /// real override: shared featurization, batched forward passes,
+    /// one-pass enumeration) rather than the sequential default. A
+    /// serving layer uses this to decide whether cross-session batch
+    /// coalescing can pay for its queueing; it never changes values —
+    /// the batch contract stays bit-identical either way.
+    fn batch_leverage(&self) -> bool {
+        false
+    }
+
     /// Approximate model size in bytes (0 for model-free methods).
     fn model_size_bytes(&self) -> usize {
         0

@@ -80,6 +80,10 @@ impl CardEst for LwXgb {
             .collect()
     }
 
+    fn batch_leverage(&self) -> bool {
+        true
+    }
+
     fn model_size_bytes(&self) -> usize {
         self.model.size_bytes()
     }
@@ -162,6 +166,10 @@ impl CardEst for LwNn {
         (0..subs.len())
             .map(|r| label_to_card(out.get(r, 0)))
             .collect()
+    }
+
+    fn batch_leverage(&self) -> bool {
+        true
     }
 
     fn model_size_bytes(&self) -> usize {

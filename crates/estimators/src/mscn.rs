@@ -139,6 +139,10 @@ impl CardEst for Mscn {
             .collect()
     }
 
+    fn batch_leverage(&self) -> bool {
+        true
+    }
+
     fn model_size_bytes(&self) -> usize {
         self.head.param_bytes() + self.proj.iter().map(Matrix::heap_size).sum::<usize>()
     }

@@ -469,6 +469,10 @@ impl CardEst for NeuroCardE {
         cards.into_iter().map(|c| c.max(0.0)).collect()
     }
 
+    fn batch_leverage(&self) -> bool {
+        true
+    }
+
     fn model_size_bytes(&self) -> usize {
         self.partitions.iter().map(PartitionModel::size_bytes).sum()
     }

@@ -48,6 +48,10 @@ impl CardEst for TrueCardEst {
             .collect()
     }
 
+    fn batch_leverage(&self) -> bool {
+        true
+    }
+
     fn is_oracle(&self) -> bool {
         true
     }

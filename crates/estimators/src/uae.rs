@@ -89,6 +89,10 @@ impl CardEst for UaeQ {
             .collect()
     }
 
+    fn batch_leverage(&self) -> bool {
+        true
+    }
+
     fn model_size_bytes(&self) -> usize {
         self.model.param_bytes()
     }
@@ -184,6 +188,10 @@ impl CardEst for Uae {
         (0..subs.len())
             .map(|r| label_to_card(out.get(r, 0)))
             .collect()
+    }
+
+    fn batch_leverage(&self) -> bool {
+        true
     }
 
     fn model_size_bytes(&self) -> usize {

@@ -207,23 +207,41 @@ impl MethodRun {
 }
 
 /// One query after phase 1: everything except timed execution.
-struct PlannedQuery {
-    id: usize,
-    n_tables: usize,
-    true_card: f64,
-    plan_time: Duration,
-    subplans: usize,
-    p_error: f64,
-    q_errors: Vec<f64>,
-    excluded_qerrors: u64,
-    sub_est_cards: Vec<f64>,
-    sub_true_cards: Vec<f64>,
-    est_failures: Vec<EstFailure>,
-    clamped_subplans: u64,
-    fallback_subplans: u64,
+///
+/// Public so serving layers ([`plan_query_via`]) can run the planning
+/// pipeline without the harness's sequential execution phase; the fields
+/// mirror [`QueryRun`]'s planning-side subset.
+#[derive(Debug)]
+pub struct PlannedQuery {
+    /// Workload query id.
+    pub id: usize,
+    /// Number of joined tables.
+    pub n_tables: usize,
+    /// True result cardinality.
+    pub true_card: f64,
+    /// Summed inference latency over the sub-plan space.
+    pub plan_time: Duration,
+    /// Number of sub-plan queries estimated.
+    pub subplans: usize,
+    /// P-Error of the chosen plan.
+    pub p_error: f64,
+    /// Valid sub-plan Q-Errors (see [`QueryRun::q_errors`]).
+    pub q_errors: Vec<f64>,
+    /// Sub-plans excluded from `q_errors` (invalid estimates).
+    pub excluded_qerrors: u64,
+    /// Estimated cardinality per sub-plan, `connected_subsets` order.
+    pub sub_est_cards: Vec<f64>,
+    /// True cardinality per sub-plan, in the same order.
+    pub sub_true_cards: Vec<f64>,
+    /// Typed per-sub-plan estimate failures.
+    pub est_failures: Vec<EstFailure>,
+    /// Sub-plan estimates the engine's clamp intervened on.
+    pub clamped_subplans: u64,
+    /// Sub-plans degraded to the PostgreSQL baseline estimate.
+    pub fallback_subplans: u64,
     /// `Ok`: ready to execute. `Err`: the query failed before planning
     /// completed (bind or truth error) and must not execute.
-    plan: Result<(BoundQuery, PhysicalPlan), QueryFailure>,
+    pub plan: Result<(BoundQuery, PhysicalPlan), QueryFailure>,
 }
 
 /// Cross-product cardinality of the masked tables: the PostgreSQL-style
@@ -499,7 +517,7 @@ fn record_run_metrics(method: &str, runs: &[QueryRun]) {
 /// per-sub-plan fault attribution (per-call timeouts, panic messages),
 /// so `EstFailure` accounting, clamping, and the PostgreSQL fallback
 /// behave exactly as in the sequential harness.
-fn estimate_all(
+pub fn estimate_all(
     est: &dyn CardEst,
     db: &Database,
     subs: &[SubPlanQuery],
@@ -543,6 +561,40 @@ fn plan_one(
     truth: &TrueCardService,
     cost: &CostModel,
     opts: &RunOptions,
+    fallback: &OnceLock<PostgresEst>,
+) -> PlannedQuery {
+    plan_query_via(
+        db,
+        wq,
+        &|subs| estimate_all(est, db, subs, opts.timeout),
+        truth,
+        cost,
+        fallback,
+    )
+}
+
+/// Per-sub-plan `(outcome, latency)` results, in the same order as the
+/// sub-plan slice they were computed from.
+pub type SubPlanOutcomes = Vec<(Result<f64, EstimateError>, Duration)>;
+
+/// The planning pipeline with the estimation step abstracted out: bind,
+/// enumerate the connected sub-plan space, bulk true cardinalities, call
+/// `estimate` for the per-sub-plan outcomes, then sanitized injection,
+/// plan choice, and Q-/P-Error — exactly [`run_workload`]'s phase 1.
+///
+/// `estimate` receives the query's sub-plans in `connected_subsets`
+/// order and must return one `(outcome, latency)` per sub-plan in the
+/// same order. The harness passes [`estimate_all`] (batch-first guarded
+/// estimation); a serving layer passes a closure that routes the slice
+/// through a shared cross-session batch coalescer. Hard failures in the
+/// returned outcomes still degrade to the shared PostgreSQL `fallback`
+/// here, so fault semantics do not depend on who estimated.
+pub fn plan_query_via(
+    db: &Database,
+    wq: &WorkloadQuery,
+    estimate: &(dyn Fn(&[SubPlanQuery]) -> SubPlanOutcomes + Sync),
+    truth: &TrueCardService,
+    cost: &CostModel,
     fallback: &OnceLock<PostgresEst>,
 ) -> PlannedQuery {
     let _sp = cardbench_obs::span_with("plan", "plan", || format!("Q{}", wq.id));
@@ -599,7 +651,8 @@ fn plan_one(
         }
     };
     debug_assert_eq!(truths.len(), masks.len());
-    let outcomes = estimate_all(est, db, &subs, opts.timeout);
+    let outcomes = estimate(&subs);
+    debug_assert_eq!(outcomes.len(), subs.len());
     let mut est_cards = CardMap::new();
     let mut true_cards = CardMap::new();
     let mut plan_time = Duration::ZERO;

@@ -33,9 +33,12 @@ pub mod update_exp;
 pub use checkpoint::{load_checkpoint, CheckpointRecord, CheckpointWriter};
 pub use config::{Bench, BenchConfig, EstimatorSettings};
 pub use endtoend::{
-    run_workload, run_workload_with_options, run_workload_with_threads, MethodRun, QueryRun,
+    estimate_all, plan_query_via, run_workload, run_workload_with_options,
+    run_workload_with_threads, MethodRun, PlannedQuery, QueryRun,
 };
 pub use factory::{build_estimator, BuiltEstimator};
-pub use fault::{guarded_estimate, EstFailure, EstimateError, QueryFailure, RunOptions};
+pub use fault::{
+    guarded_estimate, guarded_estimate_batch, EstFailure, EstimateError, QueryFailure, RunOptions,
+};
 pub use observations::{check_observations, render_checks, ObservationCheck};
 pub use results::{MethodSummary, QueryRecord, RunResults};

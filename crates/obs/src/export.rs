@@ -132,6 +132,14 @@ pub fn prometheus(snap: &RegistrySnapshot) -> String {
     out
 }
 
+/// On-demand Prometheus scrape: snapshots the live registry and renders
+/// it as text exposition. Unlike [`write_trace`] this touches no file
+/// and drains no spans — a serving layer can answer `/metrics` requests
+/// mid-run without perturbing the at-drop trace export.
+pub fn prometheus_snapshot() -> String {
+    prometheus(&snapshot())
+}
+
 /// Spans exported so far: [`write_trace`] accumulates drained spans here
 /// so repeated exports write the whole profile, not just the new tail.
 static EXPORTED: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
@@ -201,6 +209,25 @@ mod tests {
             .and_then(|a| a.get("depth"))
             .and_then(Json::as_f64);
         assert_eq!(depth, Some(1.0));
+    }
+
+    #[cfg(not(feature = "noop"))]
+    #[test]
+    fn prometheus_snapshot_serves_live_registry() {
+        use crate::metrics::{counter_add, test_lock, test_reset};
+        use crate::span::set_enabled;
+        let _g = test_lock();
+        set_enabled(true);
+        test_reset();
+        counter_add("cardbench_serve_queries_total", &[("mode", "test")], 7);
+        set_enabled(false);
+        let text = prometheus_snapshot();
+        assert!(text.contains("# TYPE cardbench_serve_queries_total counter"));
+        assert!(text.contains("cardbench_serve_queries_total{mode=\"test\"} 7"));
+        // A second scrape sees the same state: snapshotting drains
+        // nothing.
+        assert_eq!(text, prometheus_snapshot());
+        test_reset();
     }
 
     #[test]

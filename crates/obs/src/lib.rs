@@ -33,7 +33,7 @@ pub mod export;
 pub mod metrics;
 pub mod span;
 
-pub use export::{chrome_trace, prometheus, write_trace};
+pub use export::{chrome_trace, prometheus, prometheus_snapshot, write_trace};
 pub use metrics::{
     counter_add, gauge_max, gauge_set, observe_secs, snapshot, Histogram, MetricKind,
     RegistrySnapshot, LATENCY_BUCKETS,

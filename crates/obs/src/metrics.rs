@@ -69,6 +69,49 @@ impl Histogram {
         self.sum += v;
         self.count += 1;
     }
+
+    /// Estimated value at quantile `p` (`0.0..=1.0`), Prometheus
+    /// `histogram_quantile` style: find the bucket where the cumulative
+    /// count crosses `p × count` and interpolate linearly between its
+    /// bounds. Comparisons go through [`f64::total_cmp`], so a NaN `p`
+    /// yields NaN (never a spurious bucket) and the aggregate totals
+    /// stay NaN-proof like the metric crate's percentile — `observe`
+    /// already drops NaN samples at the door.
+    ///
+    /// Returns NaN for an empty histogram or a NaN `p`; `p` is clamped
+    /// to `[0, 1]` otherwise. Observations above the last bound resolve
+    /// to the last finite bound (the `+Inf` bucket has no width to
+    /// interpolate into), so tail quantiles are a lower bound there —
+    /// the same convention Prometheus uses.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 || p.is_nan() {
+            return f64::NAN;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let target = p * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n;
+            if (next as f64).total_cmp(&target).is_ge() {
+                let lo = if i == 0 { 0.0 } else { LATENCY_BUCKETS[i - 1] };
+                let hi = LATENCY_BUCKETS[i];
+                let within = ((target - cum as f64) / n as f64).clamp(0.0, 1.0);
+                return lo + within * (hi - lo);
+            }
+            cum = next;
+        }
+        // Only the overflow bucket remains.
+        LATENCY_BUCKETS[LATENCY_BUCKETS.len() - 1]
+    }
+
+    /// [`Histogram::percentile`] for several quantiles at once, in input
+    /// order (the p50/p95/p99 extraction the serving layer reports).
+    pub fn percentiles(&self, ps: &[f64]) -> Vec<f64> {
+        ps.iter().map(|&p| self.percentile(p)).collect()
+    }
 }
 
 /// What a metric family is (drives the Prometheus `# TYPE` line).
@@ -187,6 +230,21 @@ pub fn snapshot() -> RegistrySnapshot {
     }
 }
 
+/// Serializes tests (across this crate's modules) that touch the global
+/// registry or the enabled switch.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Clears the global registry (test-only).
+#[cfg(test)]
+pub(crate) fn test_reset() {
+    let mut guard = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    *guard = None;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,13 +252,11 @@ mod tests {
     use std::sync::MutexGuard;
 
     fn serial() -> MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+        test_lock()
     }
 
     fn reset() {
-        let mut guard = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
-        *guard = None;
+        test_reset();
     }
 
     #[test]
@@ -213,6 +269,56 @@ mod tests {
         observe_secs("h_seconds", &[], 0.5);
         let s = snapshot();
         assert!(s.counters.is_empty() && s.gauges.is_empty() && s.histograms.is_empty());
+    }
+
+    #[test]
+    fn percentile_interpolates_within_buckets() {
+        let mut h = Histogram::new();
+        // 100 observations spread across the 1e-3 bucket (bounds
+        // (2.5e-4, 1e-3]): p50 lands mid-bucket by interpolation.
+        for _ in 0..100 {
+            h.observe(5e-4);
+        }
+        let p50 = h.percentile(0.5);
+        let lo = 2.5e-4;
+        let hi = 1e-3;
+        assert!((p50 - (lo + 0.5 * (hi - lo))).abs() < 1e-12, "p50={p50}");
+        // p1.0 is the bucket's upper bound exactly.
+        assert!((h.percentile(1.0) - hi).abs() < 1e-12);
+        // p0 clamps to the bucket's lower bound.
+        assert!((h.percentile(0.0) - lo).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_spans_buckets_and_overflow() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(5e-7); // first bucket (<= 1e-6)
+        }
+        for _ in 0..10 {
+            h.observe(100.0); // overflow (> 10s)
+        }
+        assert!(h.percentile(0.5) <= 1e-6);
+        // Tail quantile in the overflow bucket resolves to the last
+        // finite bound.
+        let last = LATENCY_BUCKETS[LATENCY_BUCKETS.len() - 1];
+        assert_eq!(h.percentile(0.99), last);
+        assert_eq!(h.percentiles(&[0.5, 0.95, 0.99])[2], last);
+    }
+
+    #[test]
+    fn percentile_nan_safety() {
+        let empty = Histogram::new();
+        assert!(empty.percentile(0.5).is_nan());
+        let mut h = Histogram::new();
+        h.observe(f64::NAN); // dropped
+        assert!(h.percentile(0.5).is_nan(), "NaN-only histogram is empty");
+        h.observe(1e-5);
+        assert!(h.percentile(f64::NAN).is_nan(), "NaN quantile yields NaN");
+        assert!(!h.percentile(0.5).is_nan());
+        // Out-of-range quantiles clamp instead of panicking.
+        assert!(h.percentile(-3.0) >= 0.0);
+        assert!(h.percentile(7.0) <= LATENCY_BUCKETS[LATENCY_BUCKETS.len() - 1]);
     }
 
     #[cfg(not(feature = "noop"))]

@@ -1,0 +1,298 @@
+//! The cross-session batch coalescer: drains concurrent sessions'
+//! sub-plan estimation jobs from one bounded queue into a single
+//! `CardEst::estimate_batch` call per tick, deduplicating identical
+//! sub-plans across sessions, and routes per-slot results (or typed
+//! faults) back over each job's reply channel.
+//!
+//! Safety of the rewrite rests on two contracts the estimator crate
+//! pins with differential tests:
+//!
+//! 1. **Composition independence** — `estimate_batch` values are
+//!    per-slot bit-identical to sequential `estimate` regardless of what
+//!    else is in the batch (per-call RNG is keyed by the sub-plan's
+//!    canonical hash). Concatenating jobs or deduplicating slots can
+//!    therefore never change any job's numbers.
+//! 2. **Guarded degradation** — when a combined batch is unusable (a
+//!    panic mid-batch, wrong arity, aggregate budget overrun), the tick
+//!    falls back to the harness's own per-job path
+//!    ([`cardbench_harness::estimate_all`]), which restores exact
+//!    per-sub-plan fault attribution. A fault injected by one session's
+//!    query degrades only that query's slots, identically to what the
+//!    batch harness would have produced.
+
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::time::Duration;
+
+use cardbench_engine::Database;
+use cardbench_estimators::CardEst;
+use cardbench_harness::{estimate_all, guarded_estimate_batch, EstimateError};
+use cardbench_obs::counter_add;
+use cardbench_query::SubPlanQuery;
+
+use crate::Shared;
+
+/// One session's estimation request: a query's sub-plan slice plus the
+/// channel its per-slot outcomes go back on.
+pub(crate) struct EstimateJob {
+    /// Sub-plans in `connected_subsets` order.
+    pub(crate) subs: Vec<SubPlanQuery>,
+    /// Per-slot `(outcome, latency)` results, same order as `subs`.
+    /// Send errors are ignored: a session dropped mid-request simply
+    /// stops caring about its answer, and the tick proceeds for everyone
+    /// else.
+    pub(crate) reply: Sender<Vec<(Result<f64, EstimateError>, Duration)>>,
+}
+
+/// Per-tick outcome of [`coalesce_estimate`], for accounting.
+pub struct CoalesceOutcome {
+    /// Per-job results, aligned with the input jobs.
+    pub results: Vec<Vec<(Result<f64, EstimateError>, Duration)>>,
+    /// Whether the combined batch was unusable and the tick degraded to
+    /// the per-job guarded path.
+    pub fell_back: bool,
+    /// Distinct sub-plans actually estimated.
+    pub unique_subplans: usize,
+    /// Total sub-plan slots across all jobs.
+    pub total_subplans: usize,
+}
+
+/// Estimates several jobs' sub-plan slices in one coalesced call.
+///
+/// A single job takes the harness's own per-query path
+/// ([`estimate_all`]: batch-first, guarded, oracle warm-timing) — a tick
+/// with no concurrency behaves exactly like the batch harness. Multiple
+/// jobs are deduplicated by sub-plan identity `(canonical_hash, mask)`
+/// and estimated in one guarded combined batch; each slot's value is
+/// then routed back to every job that asked for it. On a poisoned
+/// combined batch every job degrades independently through
+/// [`estimate_all`], preserving per-sub-plan fault attribution.
+///
+/// Values are bit-identical to the sequential path in all cases (see
+/// the module docs); only latency attribution differs — combined-batch
+/// slots share the batch's elapsed time evenly, and the oracle
+/// warm-timing refinement applies only to single-job ticks (it adjusts
+/// durations, never values).
+pub fn coalesce_estimate(
+    est: &dyn CardEst,
+    db: &Database,
+    jobs: &[&[SubPlanQuery]],
+    timeout: Option<Duration>,
+) -> CoalesceOutcome {
+    let total_subplans: usize = jobs.iter().map(|j| j.len()).sum();
+    if jobs.len() <= 1 {
+        return CoalesceOutcome {
+            results: jobs
+                .iter()
+                .map(|subs| estimate_all(est, db, subs, timeout))
+                .collect(),
+            fell_back: false,
+            unique_subplans: total_subplans,
+            total_subplans,
+        };
+    }
+
+    // Dedup across sessions: identical sub-plans (same canonical query
+    // hash and table mask — sessions replaying a shared workload overlap
+    // heavily) are estimated once. `slot_of[job][i]` maps each original
+    // slot to its index in the unique batch.
+    let mut unique: Vec<SubPlanQuery> = Vec::with_capacity(total_subplans);
+    let mut index: std::collections::HashMap<(u64, u64), usize> =
+        std::collections::HashMap::with_capacity(total_subplans);
+    let mut slot_of: Vec<Vec<usize>> = Vec::with_capacity(jobs.len());
+    for subs in jobs {
+        let mut slots = Vec::with_capacity(subs.len());
+        for sub in *subs {
+            let key = (sub.query.canonical_hash(), sub.mask.0);
+            let idx = *index.entry(key).or_insert_with(|| {
+                unique.push(sub.clone());
+                unique.len() - 1
+            });
+            slots.push(idx);
+        }
+        slot_of.push(slots);
+    }
+
+    match guarded_estimate_batch(est, db, &unique, timeout) {
+        Some(shared) => CoalesceOutcome {
+            results: slot_of
+                .iter()
+                .map(|slots| slots.iter().map(|&i| shared[i].clone()).collect())
+                .collect(),
+            fell_back: false,
+            unique_subplans: unique.len(),
+            total_subplans,
+        },
+        None => CoalesceOutcome {
+            // The combined batch died (panic / arity / budget): degrade
+            // per job, exactly the path the batch harness takes for one
+            // query — including its own batch-then-per-sub retry.
+            results: jobs
+                .iter()
+                .map(|subs| estimate_all(est, db, subs, timeout))
+                .collect(),
+            fell_back: true,
+            unique_subplans: unique.len(),
+            total_subplans,
+        },
+    }
+}
+
+/// The drainer loop: blocking-receive one job, drain whatever else is
+/// queued, then — only while more sessions are live than jobs gathered —
+/// wait up to `coalesce_window` for the stragglers. A lone session is
+/// always served immediately (gathering never waits on sessions that
+/// don't exist), and the tick doubles as a barrier that keeps concurrent
+/// replays of a shared workload aligned on the same query, which is what
+/// makes cross-session dedup actually fire. Exits when every submit
+/// sender is gone.
+pub(crate) fn drain_loop(rx: Receiver<EstimateJob>, shared: &Shared) {
+    let cap = shared.cfg.coalesce_max.max(1);
+    let window = shared.cfg.coalesce_window;
+    loop {
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let mut jobs = vec![first];
+        let drain_queued = |jobs: &mut Vec<EstimateJob>| {
+            while jobs.len() < cap {
+                match rx.try_recv() {
+                    Ok(job) => jobs.push(job),
+                    Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+                }
+            }
+        };
+        drain_queued(&mut jobs);
+        if !window.is_zero() {
+            let deadline = std::time::Instant::now() + window;
+            while jobs.len() < cap && jobs.len() < shared.live_sessions() {
+                let now = std::time::Instant::now();
+                let Some(left) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                match rx.recv_timeout(left) {
+                    Ok(job) => {
+                        jobs.push(job);
+                        drain_queued(&mut jobs);
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        let _sp = cardbench_obs::span_with("coalesced_batch", "serve", || {
+            format!("{} jobs", jobs.len())
+        });
+        let slices: Vec<&[SubPlanQuery]> = jobs.iter().map(|j| j.subs.as_slice()).collect();
+        let out = coalesce_estimate(
+            shared.est.as_ref(),
+            &shared.db,
+            &slices,
+            shared.cfg.estimate_timeout,
+        );
+        counter_add("cardbench_serve_coalesced_batches_total", &[], 1);
+        counter_add(
+            "cardbench_serve_coalesced_jobs_total",
+            &[],
+            jobs.len() as u64,
+        );
+        counter_add(
+            "cardbench_serve_deduped_subplans_total",
+            &[],
+            (out.total_subplans - out.unique_subplans) as u64,
+        );
+        counter_add(
+            "cardbench_serve_coalesce_fallbacks_total",
+            &[],
+            u64::from(out.fell_back),
+        );
+        for (job, result) in jobs.iter().zip(out.results) {
+            // A dropped session means a dead receiver; everyone else
+            // still gets their answer.
+            let _ = job.reply.send(result);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServeConfig, Shared};
+    use cardbench_datagen::{stats_catalog, StatsConfig};
+    use cardbench_engine::{CostModel, TrueCardService};
+    use cardbench_estimators::postgres::PostgresEst;
+    use cardbench_query::{connected_subsets, SubPlanQuery};
+    use cardbench_workload::{stats_ceb, WorkloadConfig};
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::{mpsc, Arc, OnceLock};
+
+    /// A session that vanishes mid-request (its reply receiver is
+    /// already gone when the drainer answers) must not stall or poison
+    /// the drainer: the next job still gets served.
+    #[test]
+    fn dropped_reply_receiver_never_stalls_the_drainer() {
+        let db = Arc::new(cardbench_engine::Database::new(stats_catalog(
+            &StatsConfig::tiny(3),
+        )));
+        let est: Arc<dyn cardbench_estimators::CardEst> = Arc::new(PostgresEst::fit(&db));
+        let wl = stats_ceb(
+            &db,
+            &WorkloadConfig {
+                seed: 5,
+                templates: 2,
+                queries: 2,
+                max_tables: 3,
+                max_predicates: 3,
+                retries: 10,
+                max_subplan_card: 1e6,
+            },
+        );
+        let q = &wl.queries[0].query;
+        let subs: Vec<SubPlanQuery> = connected_subsets(q)
+            .iter()
+            .map(|&m| SubPlanQuery::project(q, m))
+            .collect();
+
+        let shared = Arc::new(Shared {
+            db,
+            truth: Arc::new(TrueCardService::new()),
+            est,
+            cost: CostModel::default(),
+            cfg: ServeConfig::default(),
+            fallback: OnceLock::new(),
+            live: AtomicUsize::new(0),
+        });
+        let (tx, rx) = mpsc::sync_channel(8);
+        let drainer = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || drain_loop(rx, &shared))
+        };
+
+        // Job 1: the "session" is already gone.
+        let (dead_reply, dead_rx) = mpsc::channel();
+        drop(dead_rx);
+        tx.send(EstimateJob {
+            subs: subs.clone(),
+            reply: dead_reply,
+        })
+        .expect("queue accepts");
+
+        // Job 2: a live session; it must still be answered promptly.
+        let (reply, live_rx) = mpsc::channel();
+        tx.send(EstimateJob {
+            subs: subs.clone(),
+            reply,
+        })
+        .expect("queue accepts");
+        let out = live_rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("drainer survived the dead receiver");
+        assert_eq!(out.len(), subs.len());
+        assert!(out.iter().all(|(r, _)| r.is_ok()));
+
+        drop(tx);
+        drainer.join().expect("drainer exits cleanly");
+    }
+}

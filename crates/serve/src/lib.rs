@@ -1,0 +1,437 @@
+//! Estimation-as-a-service: a long-running, thread-per-session serving
+//! layer over the benchmark's planning pipeline, with **cross-session
+//! batch coalescing** as its core performance mechanism.
+//!
+//! The batch harness measures inference one query stream at a time; a
+//! production estimator serves many concurrent streams against one
+//! database. The two amortization layers the repo already has —
+//! per-query `estimate_batch` (one forward pass over a query's whole
+//! sub-plan space) and the shared engine memos (filtered scans,
+//! key-weight aggregates, true-cardinality cache, topology cache) —
+//! both compose naturally across sessions, and this crate adds the
+//! third: concurrent sessions' sub-plan batches are drained from a
+//! bounded submission queue into **one** `CardEst::estimate_batch` call
+//! per drain tick, with duplicate sub-plans across sessions estimated
+//! once. Per-request fault attribution is preserved — each submitted
+//! slot gets its own `Result<f64, EstimateError>` routed back over the
+//! session's reply channel, and a poisoned combined batch degrades only
+//! to the per-job guarded path, never to a whole-tick failure.
+//!
+//! Correctness rests on the batch contract the estimator crate already
+//! enforces: `estimate_batch` values are per-slot bit-identical to
+//! sequential `estimate` regardless of batch composition (per-call RNG
+//! is keyed by the sub-plan's canonical hash). Coalescing and
+//! deduplication therefore never change any session's numbers — the
+//! differential tests pin this for every estimator kind.
+//!
+//! Admission control keeps the service loss-tolerant instead of
+//! unboundedly queued: a hard cap on live sessions (typed
+//! [`ServeError::Overloaded`] rejection) plus a per-session sub-plan
+//! budget (typed [`ServeError::BudgetExhausted`]), reusing the fault
+//! taxonomy's philosophy that overload is a *typed response*, not a
+//! hang. The submission queue itself is bounded, so a slow estimator
+//! back-pressures sessions rather than growing a queue.
+//!
+//! Observability: sessions open `run` > `session` spans on their own
+//! thread, drain ticks open `coalesced_batch` spans on the drainer
+//! thread, and the service maintains `cardbench_serve_*` counters and
+//! latency histograms (p50/p95/p99 via `Histogram::percentiles`). A
+//! live Prometheus text snapshot is served on demand by
+//! [`prom_http::PromServer`] — no need to wait for the at-drop trace
+//! export.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod coalesce;
+pub mod loadgen;
+pub mod prom_http;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cardbench_engine::{CostModel, Database, TrueCardService};
+use cardbench_estimators::postgres::PostgresEst;
+use cardbench_estimators::CardEst;
+use cardbench_harness::{estimate_all, plan_query_via, EstimateError, PlannedQuery};
+use cardbench_obs::{counter_add, gauge_set, observe_secs};
+use cardbench_query::{BoundQuery, SubPlanQuery};
+use cardbench_workload::WorkloadQuery;
+
+use coalesce::EstimateJob;
+
+pub use coalesce::{coalesce_estimate, CoalesceOutcome};
+pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use prom_http::PromServer;
+
+/// Service tuning knobs. Every bound is a hard limit, not a hint.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum live sessions; the next [`Server::session`] past this is
+    /// rejected with [`ServeError::Overloaded`].
+    pub max_sessions: usize,
+    /// Maximum sub-plan estimates one session may submit over its
+    /// lifetime; exceeded → [`ServeError::BudgetExhausted`].
+    pub session_subplan_budget: u64,
+    /// Maximum jobs (one job = one query's sub-plan slice) combined per
+    /// drain tick.
+    pub coalesce_max: usize,
+    /// How long a drain tick may wait for more sessions' jobs once it
+    /// holds at least one. The drainer only waits while *more sessions
+    /// are live than jobs gathered* — a lone session is always served
+    /// immediately, and a full house stops the clock early. This bounded
+    /// wait is what lets concurrent replays of a shared workload land in
+    /// the same tick and dedup; `Duration::ZERO` disables gathering
+    /// (drain-what's-queued only).
+    pub coalesce_window: Duration,
+    /// Bound of the submission queue. A full queue back-pressures the
+    /// submitting session (blocking send), never grows unboundedly.
+    pub queue_cap: usize,
+    /// Per-estimate wall-clock budget, as in the harness's `RunOptions`.
+    pub estimate_timeout: Option<Duration>,
+    /// `true` disables cross-session coalescing: each session estimates
+    /// on its own thread exactly like the batch harness. The load
+    /// generator's baseline mode.
+    pub sequential: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_sessions: 64,
+            session_subplan_budget: u64::MAX,
+            coalesce_max: 64,
+            coalesce_window: Duration::from_micros(500),
+            queue_cap: 256,
+            estimate_timeout: None,
+            sequential: false,
+        }
+    }
+}
+
+/// Typed service rejections. Like the estimator fault taxonomy, overload
+/// is an *answer*, not a hang or a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Session admission denied: the live-session cap is reached.
+    Overloaded {
+        /// Live sessions at rejection time.
+        live: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The session spent its sub-plan budget; this query would exceed it.
+    BudgetExhausted {
+        /// Sub-plans already estimated by this session.
+        used: u64,
+        /// Sub-plans this query needs.
+        requested: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { live, limit } => {
+                write!(f, "overloaded: {live} live sessions (limit {limit})")
+            }
+            ServeError::BudgetExhausted {
+                used,
+                requested,
+                budget,
+            } => write!(
+                f,
+                "session sub-plan budget exhausted: {used} used + {requested} requested > {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// State shared by the server, every session, and the drainer thread.
+pub(crate) struct Shared {
+    pub(crate) db: Arc<Database>,
+    pub(crate) truth: Arc<TrueCardService>,
+    pub(crate) est: Arc<dyn CardEst>,
+    pub(crate) cost: CostModel,
+    pub(crate) cfg: ServeConfig,
+    /// Graceful-degradation estimator for hard failures, built at most
+    /// once per server and shared by every session (the harness builds
+    /// one per run; a server *is* one long run).
+    pub(crate) fallback: OnceLock<PostgresEst>,
+    live: AtomicUsize,
+}
+
+impl Shared {
+    pub(crate) fn live_sessions(&self) -> usize {
+        self.live.load(Ordering::Acquire)
+    }
+}
+
+/// The estimation service: owns the shared engine state and the
+/// coalescer drainer thread; hands out [`Session`]s.
+pub struct Server {
+    shared: Arc<Shared>,
+    submit: SyncSender<EstimateJob>,
+    drainer: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the service: spawns the drainer thread over a bounded
+    /// submission queue. All sessions share `db`, `truth`, and `est`
+    /// by reference — the engine memos and the true-cardinality cache
+    /// warm up across *users*, not just across queries.
+    pub fn start(
+        db: Arc<Database>,
+        truth: Arc<TrueCardService>,
+        est: Arc<dyn CardEst>,
+        cost: CostModel,
+        cfg: ServeConfig,
+    ) -> Server {
+        let (submit, rx) = mpsc::sync_channel(cfg.queue_cap.max(1));
+        let shared = Arc::new(Shared {
+            db,
+            truth,
+            est,
+            cost,
+            cfg,
+            fallback: OnceLock::new(),
+            live: AtomicUsize::new(0),
+        });
+        let drainer = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-coalescer".into())
+                .spawn(move || coalesce::drain_loop(rx, &shared))
+                .ok()
+        };
+        Server {
+            shared,
+            submit,
+            drainer,
+        }
+    }
+
+    /// Opens a session, or rejects with [`ServeError::Overloaded`] when
+    /// the live-session cap is reached. Open the session on the thread
+    /// that will use it: its `run` > `session` spans belong to that
+    /// thread's timeline.
+    pub fn session(&self) -> Result<Session, ServeError> {
+        let limit = self.shared.cfg.max_sessions.max(1);
+        let admitted = self
+            .shared
+            .live
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |live| {
+                (live < limit).then_some(live + 1)
+            });
+        match admitted {
+            Ok(prev) => {
+                gauge_set("cardbench_serve_sessions_active", &[], (prev + 1) as f64);
+                let run = cardbench_obs::span_with("run", "run", || "serve-session".to_string());
+                let session = cardbench_obs::span("session", "run");
+                Ok(Session {
+                    shared: Arc::clone(&self.shared),
+                    submit: self.submit.clone(),
+                    used: 0,
+                    _session: session,
+                    _run: run,
+                })
+            }
+            Err(live) => {
+                counter_add(
+                    "cardbench_serve_rejected_total",
+                    &[("reason", "overloaded")],
+                    1,
+                );
+                Err(ServeError::Overloaded { live, limit })
+            }
+        }
+    }
+
+    /// Live session count (tests and load reporting).
+    pub fn live_sessions(&self) -> usize {
+        self.shared.live_sessions()
+    }
+
+    /// The served estimator's display name.
+    pub fn estimator_name(&self) -> &'static str {
+        self.shared.est.name()
+    }
+
+    /// Whether the served estimator has real batch leverage (coalescing
+    /// can amortize more than queueing costs).
+    pub fn batch_leverage(&self) -> bool {
+        self.shared.est.batch_leverage()
+    }
+
+    /// Drops the submission side and joins the drainer. Call after all
+    /// sessions are closed; with sessions still live the drainer keeps
+    /// serving them and this blocks until they finish.
+    pub fn shutdown(mut self) {
+        // Swap in a detached sender so dropping `self` disconnects the
+        // drainer's receiver (once session clones are gone too).
+        self.submit = mpsc::sync_channel(1).0;
+        if let Some(h) = self.drainer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Detach the drainer: it exits as soon as every submit sender
+        // (ours and the sessions') is gone. Joining here could deadlock
+        // against still-live sessions, and tests drop servers freely.
+        self.drainer.take();
+    }
+}
+
+/// One client session. Thread-affine by design (create and use it on one
+/// thread): its spans record on the dropping thread's timeline.
+pub struct Session {
+    shared: Arc<Shared>,
+    submit: SyncSender<EstimateJob>,
+    used: u64,
+    // Declaration order = drop order: close `session` before `run`.
+    _session: cardbench_obs::Span,
+    _run: cardbench_obs::Span,
+}
+
+impl Session {
+    /// Plans one workload query through the service: sub-plan estimation
+    /// routed through the cross-session coalescer (or inline when the
+    /// server runs sequential), then injection, plan choice, and
+    /// Q-/P-Error — semantically identical to the harness's phase 1.
+    ///
+    /// Returns [`ServeError::BudgetExhausted`] without estimating when
+    /// the query's sub-plan count would exceed the session budget.
+    pub fn plan(&mut self, wq: &WorkloadQuery) -> Result<PlannedQuery, ServeError> {
+        let t0 = Instant::now();
+        let sh = Arc::clone(&self.shared);
+        // Budget gate: the topology is memoized, so counting the
+        // sub-plan space here costs one shard lookup on the warm path
+        // and `plan_query_via` reuses the same entry below. Bind errors
+        // surface as a typed `PlannedQuery` failure, not a budget hit.
+        let requested = match BoundQuery::bind(&wq.query, sh.db.catalog()) {
+            Ok(bound) => sh.db.topology(&wq.query, &bound).masks().len() as u64,
+            Err(_) => 0,
+        };
+        let budget = sh.cfg.session_subplan_budget;
+        if self.used.saturating_add(requested) > budget {
+            counter_add("cardbench_serve_rejected_total", &[("reason", "budget")], 1);
+            return Err(ServeError::BudgetExhausted {
+                used: self.used,
+                requested,
+                budget,
+            });
+        }
+        self.used += requested;
+        let mode = if sh.cfg.sequential {
+            "sequential"
+        } else {
+            "coalesced"
+        };
+        let planned = if sh.cfg.sequential {
+            plan_query_via(
+                &sh.db,
+                wq,
+                &|subs| {
+                    let t = Instant::now();
+                    let out = estimate_all(sh.est.as_ref(), &sh.db, subs, sh.cfg.estimate_timeout);
+                    observe_serve_estimate(sh.est.name(), t.elapsed());
+                    out
+                },
+                &sh.truth,
+                &sh.cost,
+                &sh.fallback,
+            )
+        } else {
+            plan_query_via(
+                &sh.db,
+                wq,
+                &|subs| self.submit_and_wait(subs),
+                &sh.truth,
+                &sh.cost,
+                &sh.fallback,
+            )
+        };
+        counter_add("cardbench_serve_queries_total", &[("mode", mode)], 1);
+        observe_secs(
+            "cardbench_serve_plan_latency_seconds",
+            &[("method", sh.est.name())],
+            t0.elapsed().as_secs_f64(),
+        );
+        Ok(planned)
+    }
+
+    /// Sub-plans this session has spent of its budget.
+    pub fn subplans_used(&self) -> u64 {
+        self.used
+    }
+
+    /// Ships one query's sub-plan slice to the coalescer and blocks for
+    /// the per-slot outcomes. The wait *includes* queue delay — that is
+    /// the latency a client of the service actually sees.
+    ///
+    /// If the service is torn down mid-request the slots degrade to
+    /// typed hard failures (never a hang): `plan_query_via` then
+    /// substitutes the PostgreSQL baseline per sub-plan, the same
+    /// graceful degradation a panicking estimator gets.
+    fn submit_and_wait(
+        &self,
+        subs: &[SubPlanQuery],
+    ) -> Vec<(Result<f64, EstimateError>, Duration)> {
+        if subs.is_empty() {
+            return Vec::new();
+        }
+        let t0 = Instant::now();
+        let (reply, outcome) = mpsc::channel();
+        let job = EstimateJob {
+            subs: subs.to_vec(),
+            reply,
+        };
+        let received = match self.submit.send(job) {
+            Ok(()) => outcome.recv().ok(),
+            Err(_) => None,
+        };
+        let out = received.unwrap_or_else(|| {
+            subs.iter()
+                .map(|_| {
+                    (
+                        Err(EstimateError::Panicked {
+                            message: "serve: estimation pipeline unavailable".to_string(),
+                        }),
+                        Duration::ZERO,
+                    )
+                })
+                .collect()
+        });
+        observe_serve_estimate(self.shared.est.name(), t0.elapsed());
+        out
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        let prev = self.shared.live.fetch_sub(1, Ordering::AcqRel);
+        gauge_set(
+            "cardbench_serve_sessions_active",
+            &[],
+            prev.saturating_sub(1) as f64,
+        );
+    }
+}
+
+/// Records one service-side estimate wait (queue delay included).
+fn observe_serve_estimate(method: &str, elapsed: Duration) {
+    observe_secs(
+        "cardbench_serve_estimate_latency_seconds",
+        &[("method", method)],
+        elapsed.as_secs_f64(),
+    );
+}

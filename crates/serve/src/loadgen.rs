@@ -1,0 +1,145 @@
+//! Deterministic load generation against a [`Server`]: closed-loop
+//! (back-to-back, measures sustained throughput) and open-loop (fixed
+//! arrival schedule, measures the latency a client actually sees).
+//!
+//! The open-loop generator is deliberately **Poisson-free**: query `i`
+//! of the run arrives at exactly `start + i / rate`, round-robin across
+//! sessions, so two runs at the same rate issue bit-identical request
+//! streams and tail-latency differences are attributable to the service,
+//! not to sampled arrival noise. Latency is measured from the
+//! *scheduled* arrival to completion — when the service falls behind,
+//! queueing delay counts against it (the coordinated-omission-safe
+//! convention). A closed-loop driver would hide exactly that delay by
+//! slowing the clients down with the server, which is why sustained QPS
+//! comes from the closed loop and tail latency from the open loop.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cardbench_harness::PlannedQuery;
+use cardbench_workload::Workload;
+
+use crate::Server;
+
+/// One load phase's shape.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent sessions (each is one thread with one [`crate::Session`]).
+    pub sessions: usize,
+    /// Open-loop arrival rate in queries/second over the whole run;
+    /// `None` runs closed-loop (every session issues back-to-back).
+    pub arrival_qps: Option<f64>,
+    /// Workload replays per session.
+    pub replays: usize,
+}
+
+/// What a load phase produced.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Queries that planned to completion.
+    pub completed: u64,
+    /// Queries whose plan failed (typed bind/truth failure).
+    pub failed: u64,
+    /// Queries rejected by admission control (typed `ServeError`).
+    pub rejected: u64,
+    /// Wall time of the whole phase.
+    pub wall: Duration,
+    /// Completed queries per wall-clock second.
+    pub qps: f64,
+    /// Per-query latency samples in seconds: from *scheduled arrival*
+    /// (open loop) or call start (closed loop) to completion.
+    pub latencies: Vec<f64>,
+    /// Typed per-sub-plan estimate failures across all queries.
+    pub est_failures: u64,
+    /// Faults that escaped typed attribution (arity mismatch or a
+    /// non-finite injected estimate with no failure record). Must be 0:
+    /// the service's whole fault story is that nothing fails silently.
+    pub unattributed: u64,
+}
+
+/// Sub-plan slots of one planned query that lack typed attribution.
+fn unattributed(p: &PlannedQuery) -> u64 {
+    let mut n = 0u64;
+    if p.sub_est_cards.len() != p.subplans {
+        n += 1;
+    }
+    // The clamp sanitizes every injected estimate; a non-finite value
+    // surviving to the optimizer means a fault bypassed the taxonomy.
+    n + p.sub_est_cards.iter().filter(|v| !v.is_finite()).count() as u64
+}
+
+/// Runs one load phase: `cfg.sessions` threads each open a session and
+/// replay `wl` `cfg.replays` times, closed- or open-loop. Returns the
+/// merged report (latencies unsorted, in no particular order).
+pub fn run_load(server: &Arc<Server>, wl: &Workload, cfg: &LoadConfig) -> LoadReport {
+    let sessions = cfg.sessions.max(1);
+    let per_session = wl.queries.len() * cfg.replays.max(1);
+    let t0 = Instant::now();
+    // Shared t=0 for the arrival schedule; a small lead so no session
+    // starts behind schedule before it even spawns.
+    let start = t0 + Duration::from_millis(20);
+    let handles: Vec<_> = (0..sessions)
+        .map(|s| {
+            let server = Arc::clone(server);
+            let wl = wl.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let mut report = LoadReport::default();
+                let mut session = match server.session() {
+                    Ok(session) => session,
+                    Err(_) => {
+                        report.rejected = per_session as u64;
+                        return report;
+                    }
+                };
+                for k in 0..per_session {
+                    let wq = &wl.queries[k % wl.queries.len()];
+                    // Global arrival index: query k of session s is the
+                    // (k * sessions + s)-th arrival of the run.
+                    let scheduled = cfg.arrival_qps.map(|rate| {
+                        start + Duration::from_secs_f64((k * sessions + s) as f64 / rate)
+                    });
+                    if let Some(at) = scheduled {
+                        let now = Instant::now();
+                        if at > now {
+                            std::thread::sleep(at - now);
+                        }
+                    }
+                    let issued = Instant::now();
+                    let t0 = scheduled.unwrap_or(issued);
+                    match session.plan(wq) {
+                        Ok(p) => {
+                            report.latencies.push((Instant::now() - t0).as_secs_f64());
+                            report.est_failures += p.est_failures.len() as u64;
+                            report.unattributed += unattributed(&p);
+                            if p.plan.is_ok() {
+                                report.completed += 1;
+                            } else {
+                                report.failed += 1;
+                            }
+                        }
+                        Err(_) => report.rejected += 1,
+                    }
+                }
+                report
+            })
+        })
+        .collect();
+    let mut merged = LoadReport::default();
+    for h in handles {
+        let r = h.join().unwrap_or_default();
+        merged.completed += r.completed;
+        merged.failed += r.failed;
+        merged.rejected += r.rejected;
+        merged.est_failures += r.est_failures;
+        merged.unattributed += r.unattributed;
+        merged.latencies.extend(r.latencies);
+    }
+    merged.wall = t0.elapsed();
+    merged.qps = if merged.wall.is_zero() {
+        0.0
+    } else {
+        merged.completed as f64 / merged.wall.as_secs_f64()
+    };
+    merged
+}

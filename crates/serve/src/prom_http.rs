@@ -1,0 +1,135 @@
+//! A minimal std-only HTTP endpoint serving the live Prometheus
+//! snapshot: `GET` anything, get `cardbench_obs::prometheus_snapshot()`
+//! back as `text/plain`. No routing, no keep-alive, no TLS — one
+//! response per connection, which is exactly what a scrape is.
+//!
+//! The at-drop `<trace>.prom` file export still exists; this endpoint
+//! adds *live* scrapes for long-running servers (and the load
+//! generator's `--prom-addr` flag). Zero new dependencies: blocking
+//! `std::net` plus one accept-loop thread.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running metrics endpoint; shuts down on [`PromServer::shutdown`] or
+/// drop.
+pub struct PromServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl PromServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, or port `0` for an ephemeral
+    /// port) and serves scrapes on a background thread.
+    pub fn bind(addr: &str) -> std::io::Result<PromServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("serve-prom".into())
+                .spawn(move || accept_loop(&listener, &stop))?
+        };
+        Ok(PromServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Scrapes the endpoint once over a real TCP connection (the load
+    /// generator's self-check) and returns the response body.
+    pub fn scrape(&self) -> std::io::Result<String> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: cardbench\r\n\r\n")?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response)?;
+        response
+            .split_once("\r\n\r\n")
+            .map(|(_, body)| body.to_string())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response")
+            })
+    }
+
+    /// Stops accepting and joins the endpoint thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PromServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+        // Drain whatever request line arrived; the response is the same
+        // for every path.
+        let mut buf = [0u8; 1024];
+        let _ = stream.read(&mut buf);
+        let body = cardbench_obs::prometheus_snapshot();
+        let header = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        let _ = stream
+            .write_all(header.as_bytes())
+            .and_then(|()| stream.write_all(body.as_bytes()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_live_snapshot_over_http() {
+        let srv = PromServer::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = srv.local_addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("Content-Type: text/plain"));
+        // Body is a (possibly empty) Prometheus exposition; with
+        // recording off it is empty but the response is still well
+        // formed.
+        srv.shutdown();
+    }
+}

@@ -1,0 +1,204 @@
+//! Admission control and graceful degradation under load:
+//!
+//! - past the live-session cap, `session()` answers with a typed
+//!   [`ServeError::Overloaded`] — never queues unboundedly;
+//! - a spent per-session sub-plan budget answers with a typed
+//!   [`ServeError::BudgetExhausted`] without touching the estimator;
+//! - a panicking estimator inside a coalesced batch degrades only the
+//!   affected requests (PR 5's batch→per-call fallback semantics hold
+//!   under concurrency);
+//! - abrupt session teardown mid-flight leaves the service serving
+//!   everyone else (no deadlock, no poisoned drainer).
+
+use std::sync::{Arc, OnceLock};
+
+use cardbench_datagen::{stats_catalog, StatsConfig};
+use cardbench_engine::{CostModel, Database, TrueCardService};
+use cardbench_estimators::chaos::{ChaosEst, FaultClass};
+use cardbench_estimators::postgres::PostgresEst;
+use cardbench_estimators::CardEst;
+use cardbench_harness::EstimateError;
+use cardbench_query::{connected_subsets, SubPlanQuery};
+use cardbench_serve::{coalesce_estimate, ServeConfig, Server};
+use cardbench_workload::{stats_ceb, Workload, WorkloadConfig};
+
+fn db() -> &'static Arc<Database> {
+    static D: OnceLock<Arc<Database>> = OnceLock::new();
+    D.get_or_init(|| Arc::new(Database::new(stats_catalog(&StatsConfig::tiny(3)))))
+}
+
+fn workload() -> &'static Workload {
+    static W: OnceLock<Workload> = OnceLock::new();
+    W.get_or_init(|| {
+        let cfg = WorkloadConfig {
+            seed: 5,
+            templates: 4,
+            queries: 6,
+            max_tables: 3,
+            max_predicates: 3,
+            retries: 10,
+            max_subplan_card: 1e6,
+        };
+        let wl = stats_ceb(db(), &cfg);
+        assert!(!wl.queries.is_empty(), "fixture workload must be nonempty");
+        wl
+    })
+}
+
+fn server(cfg: ServeConfig) -> Server {
+    let est: Arc<dyn CardEst> = Arc::new(PostgresEst::fit(db()));
+    Server::start(
+        Arc::clone(db()),
+        Arc::new(TrueCardService::new()),
+        est,
+        CostModel::default(),
+        cfg,
+    )
+}
+
+#[test]
+fn session_cap_rejects_with_typed_overloaded() {
+    let srv = server(ServeConfig {
+        max_sessions: 2,
+        ..ServeConfig::default()
+    });
+    let s1 = srv.session().expect("first session admitted");
+    let _s2 = srv.session().expect("second session admitted");
+    match srv.session().map(|_| ()) {
+        Err(cardbench_serve::ServeError::Overloaded { live, limit }) => {
+            assert_eq!((live, limit), (2, 2));
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert_eq!(srv.live_sessions(), 2);
+    // Capacity frees as sessions close.
+    drop(s1);
+    assert_eq!(srv.live_sessions(), 1);
+    let _s3 = srv.session().expect("slot freed by dropped session");
+}
+
+#[test]
+fn subplan_budget_rejects_typed_without_estimating() {
+    let wl = workload();
+    let first = &wl.queries[0];
+    let first_subs = connected_subsets(&first.query).len() as u64;
+    let srv = server(ServeConfig {
+        session_subplan_budget: first_subs,
+        ..ServeConfig::default()
+    });
+    let mut session = srv.session().expect("admitted");
+    let planned = session.plan(first).expect("first query fits its budget");
+    assert!(planned.plan.is_ok());
+    assert_eq!(session.subplans_used(), first_subs);
+    match session.plan(&wl.queries[1]) {
+        Err(cardbench_serve::ServeError::BudgetExhausted {
+            used,
+            requested,
+            budget,
+        }) => {
+            assert_eq!(used, first_subs);
+            assert_eq!(budget, first_subs);
+            assert!(requested > 0);
+        }
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+    // The rejection consumed nothing: the budget state is unchanged.
+    assert_eq!(session.subplans_used(), first_subs);
+}
+
+/// A panic injected into one job of a coalesced batch must fault exactly
+/// that job's affected sub-plan and leave every other slot — in both
+/// jobs — with its clean value.
+#[test]
+fn coalesced_panic_degrades_only_affected_requests() {
+    let wl = workload();
+    let subs_of = |i: usize| -> Vec<SubPlanQuery> {
+        let q = &wl.queries[i].query;
+        connected_subsets(q)
+            .iter()
+            .map(|&m| SubPlanQuery::project(q, m))
+            .collect()
+    };
+    let job_a = subs_of(0);
+    let job_b = subs_of(1);
+    // Find a chaos seed whose panic hits job A but not job B.
+    let inner = || -> Box<dyn CardEst> { Box::new(PostgresEst::fit(db())) };
+    let clean = PostgresEst::fit(db());
+    let (est, faulted_a) = (0..200u64)
+        .find_map(|seed| {
+            let est = ChaosEst::with_classes(inner(), seed, 0.25, vec![FaultClass::Panic]);
+            let hit_a: Vec<usize> = job_a
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| est.fault_for(&s.query).is_some())
+                .map(|(i, _)| i)
+                .collect();
+            let hit_b = job_b.iter().any(|s| est.fault_for(&s.query).is_some());
+            (!hit_a.is_empty() && !hit_b).then_some((est, hit_a))
+        })
+        .expect("some seed faults job A only");
+
+    let out = coalesce_estimate(&est, db(), &[&job_a, &job_b], None);
+    assert!(out.fell_back, "a mid-batch panic must fall back per job");
+    assert_eq!(out.results.len(), 2);
+    // Job A: exactly the chaos-chosen sub-plans are typed panics; the
+    // rest carry the clean estimator's bit-exact values.
+    for (i, (outcome, _)) in out.results[0].iter().enumerate() {
+        if faulted_a.contains(&i) {
+            assert!(
+                matches!(outcome, Err(EstimateError::Panicked { .. })),
+                "slot {i} of job A should be a typed panic, got {outcome:?}"
+            );
+        } else {
+            let want = clean.estimate(db(), &job_a[i]);
+            assert_eq!(
+                outcome.as_ref().expect("clean slot").to_bits(),
+                want.to_bits()
+            );
+        }
+    }
+    // Job B: completely untouched by its neighbor's fault.
+    for (i, (outcome, _)) in out.results[1].iter().enumerate() {
+        let want = clean.estimate(db(), &job_b[i]);
+        assert_eq!(
+            outcome.as_ref().expect("job B stays clean").to_bits(),
+            want.to_bits(),
+            "job B slot {i} perturbed by a sibling job's panic"
+        );
+    }
+}
+
+/// Abrupt session teardown must not wedge the service: sessions that
+/// vanish (threads dropping their session whenever) leave the server
+/// fully usable for the next client.
+#[test]
+fn abrupt_session_teardown_leaves_service_live() {
+    let srv = Arc::new(server(ServeConfig {
+        max_sessions: 8,
+        queue_cap: 2, // tiny queue: teardown under backpressure
+        ..ServeConfig::default()
+    }));
+    let wl = workload();
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            let srv = Arc::clone(&srv);
+            std::thread::spawn(move || {
+                let mut session = srv.session().expect("admitted");
+                // Each session plans a prefix then drops without any
+                // orderly goodbye (the thread just ends).
+                for wq in wl.queries.iter().take(1 + i % wl.queries.len()) {
+                    let _ = session.plan(wq);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("session threads finish (no deadlock)");
+    }
+    assert_eq!(srv.live_sessions(), 0);
+    // The drainer is still serving: a fresh session completes a query.
+    let mut session = srv.session().expect("post-churn admission");
+    let planned = session.plan(&wl.queries[0]).expect("service still live");
+    assert!(planned.plan.is_ok());
+    assert!(planned.est_failures.is_empty());
+}

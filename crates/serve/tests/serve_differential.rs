@@ -1,0 +1,237 @@
+//! Concurrent-vs-sequential bit-identity: N coalesced sessions replaying
+//! a fixed workload must produce per-query planning results bit-identical
+//! to the sequential harness path, for every registered estimator kind
+//! and under injected chaos faults.
+//!
+//! This is the serving layer's core correctness contract: cross-session
+//! coalescing (batch concatenation + deduplication, arbitrary tick
+//! composition under scheduler nondeterminism) must never perturb any
+//! session's numbers. It holds because per-call RNG is keyed by the
+//! sub-plan's canonical hash and `estimate_batch` is per-slot
+//! composition-independent — both already pinned at the estimator layer;
+//! here we pin the end-to-end service path.
+
+use std::sync::{Arc, OnceLock};
+
+use cardbench_engine::{CostModel, Database, TrueCardService};
+use cardbench_estimators::chaos::{ChaosEst, FaultClass};
+use cardbench_estimators::{CardEst, EstimatorKind};
+use cardbench_harness::{
+    build_estimator, estimate_all, plan_query_via, Bench, BenchConfig, PlannedQuery,
+};
+use cardbench_serve::{ServeConfig, Server};
+use cardbench_workload::Workload;
+
+/// Shared fixture: the fast STATS benchmark with the database behind an
+/// `Arc` so the server and its sessions can own it.
+struct Ctx {
+    db: Arc<Database>,
+    wl: Workload,
+    bench: Bench,
+}
+
+fn ctx() -> &'static Ctx {
+    static C: OnceLock<Ctx> = OnceLock::new();
+    C.get_or_init(|| {
+        let mut bench = Bench::build(BenchConfig::fast(11));
+        let db = Arc::new(std::mem::replace(
+            &mut bench.stats_db,
+            Database::new(cardbench_storage::Catalog::new()),
+        ));
+        let wl = bench.stats_wl.clone();
+        Ctx { db, wl, bench }
+    })
+}
+
+const SESSIONS: usize = 4;
+
+/// Sequential reference: the harness's own planning path (phase 1 of
+/// `run_workload`), one query at a time on one thread.
+fn reference(est: &dyn CardEst, truth: &TrueCardService) -> Vec<PlannedQuery> {
+    let c = ctx();
+    let cost = CostModel::default();
+    let fallback = std::sync::OnceLock::new();
+    c.wl.queries
+        .iter()
+        .map(|wq| {
+            plan_query_via(
+                &c.db,
+                wq,
+                &|subs| estimate_all(est, &c.db, subs, None),
+                truth,
+                &cost,
+                &fallback,
+            )
+        })
+        .collect()
+}
+
+/// Replays the whole workload in `SESSIONS` concurrent coalesced
+/// sessions; returns each session's per-query results.
+fn concurrent_replay(est: Arc<dyn CardEst>, truth: Arc<TrueCardService>) -> Vec<Vec<PlannedQuery>> {
+    let c = ctx();
+    let server = Arc::new(Server::start(
+        Arc::clone(&c.db),
+        truth,
+        est,
+        CostModel::default(),
+        ServeConfig::default(),
+    ));
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let mut session = server.session().expect("admission under the default cap");
+                ctx()
+                    .wl
+                    .queries
+                    .iter()
+                    .map(|wq| session.plan(wq).expect("no budget in this test"))
+                    .collect::<Vec<PlannedQuery>>()
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("session thread completes"))
+        .collect()
+}
+
+/// Bit-level comparison of every value-bearing planning field.
+fn assert_planned_eq(name: &str, sess: usize, got: &PlannedQuery, want: &PlannedQuery) {
+    let q = want.id;
+    assert_eq!(got.id, q);
+    assert_eq!(got.subplans, want.subplans, "{name} S{sess} Q{q}: subplans");
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&got.sub_est_cards),
+        bits(&want.sub_est_cards),
+        "{name} S{sess} Q{q}: sub-plan estimates diverge"
+    );
+    assert_eq!(
+        bits(&got.sub_true_cards),
+        bits(&want.sub_true_cards),
+        "{name} S{sess} Q{q}: sub-plan truths diverge"
+    );
+    assert_eq!(
+        bits(&got.q_errors),
+        bits(&want.q_errors),
+        "{name} S{sess} Q{q}: q-errors diverge"
+    );
+    assert_eq!(
+        got.p_error.to_bits(),
+        want.p_error.to_bits(),
+        "{name} S{sess} Q{q}: p-error diverges"
+    );
+    assert_eq!(
+        got.excluded_qerrors, want.excluded_qerrors,
+        "{name} S{sess} Q{q}: excluded q-errors"
+    );
+    assert_eq!(
+        got.clamped_subplans, want.clamped_subplans,
+        "{name} S{sess} Q{q}: clamp count"
+    );
+    assert_eq!(
+        got.fallback_subplans, want.fallback_subplans,
+        "{name} S{sess} Q{q}: fallback count"
+    );
+    assert_eq!(
+        got.est_failures, want.est_failures,
+        "{name} S{sess} Q{q}: fault attribution diverges"
+    );
+    assert_eq!(
+        got.plan.is_ok(),
+        want.plan.is_ok(),
+        "{name} S{sess} Q{q}: plan viability"
+    );
+}
+
+/// Every estimator kind: 4 concurrent coalesced sessions are
+/// bit-identical to the sequential harness path.
+#[test]
+fn concurrent_sessions_bit_identical_for_all_kinds() {
+    let c = ctx();
+    // One shared truth cache across kinds (truth is estimator-free); the
+    // server side gets its own to prove no cross-talk is needed.
+    let truth_ref = TrueCardService::new();
+    let truth_srv = Arc::new(TrueCardService::new());
+    for kind in EstimatorKind::ALL {
+        let built = build_estimator(kind, &c.db, &c.bench.stats_train, &c.bench.config.settings);
+        let est: Arc<dyn CardEst> = Arc::from(built.est);
+        let want = reference(est.as_ref(), &truth_ref);
+        let sessions = concurrent_replay(Arc::clone(&est), Arc::clone(&truth_srv));
+        assert_eq!(sessions.len(), SESSIONS);
+        for (s, got) in sessions.iter().enumerate() {
+            assert_eq!(got.len(), want.len(), "{} S{s}: query count", kind.name());
+            for (g, w) in got.iter().zip(&want) {
+                assert_planned_eq(kind.name(), s, g, w);
+            }
+        }
+    }
+}
+
+/// Chaos faults under concurrency: value faults and panics injected at a
+/// high rate attribute to exactly the same sub-plans with the same typed
+/// errors as the sequential path — coalesced batches degrade only the
+/// affected requests.
+#[test]
+fn concurrent_sessions_bit_identical_under_chaos() {
+    let c = ctx();
+    let mut classes = FaultClass::VALUES.to_vec();
+    classes.push(FaultClass::Panic);
+    let wrap = |rate_seed: u64| {
+        let built = build_estimator(
+            EstimatorKind::Postgres,
+            &c.db,
+            &c.bench.stats_train,
+            &c.bench.config.settings,
+        );
+        ChaosEst::with_classes(built.est, rate_seed, 0.4, classes.clone())
+    };
+    let truth_ref = TrueCardService::new();
+    let want = reference(&wrap(7), &truth_ref);
+    // Some fault must actually fire for this test to mean anything.
+    assert!(
+        want.iter().any(|p| !p.est_failures.is_empty()),
+        "chaos rate too low: no faults injected"
+    );
+    let est: Arc<dyn CardEst> = Arc::new(wrap(7));
+    let sessions = concurrent_replay(est, Arc::new(TrueCardService::new()));
+    for (s, got) in sessions.iter().enumerate() {
+        for (g, w) in got.iter().zip(&want) {
+            assert_planned_eq("Chaos", s, g, w);
+        }
+    }
+}
+
+/// The server's per-session-sequential mode (the load generator's
+/// baseline) is also bit-identical to the harness path.
+#[test]
+fn sequential_mode_bit_identical() {
+    let c = ctx();
+    let built = build_estimator(
+        EstimatorKind::Mscn,
+        &c.db,
+        &c.bench.stats_train,
+        &c.bench.config.settings,
+    );
+    let est: Arc<dyn CardEst> = Arc::from(built.est);
+    let truth = TrueCardService::new();
+    let want = reference(est.as_ref(), &truth);
+    let server = Server::start(
+        Arc::clone(&c.db),
+        Arc::new(TrueCardService::new()),
+        est,
+        CostModel::default(),
+        ServeConfig {
+            sequential: true,
+            ..ServeConfig::default()
+        },
+    );
+    let mut session = server.session().expect("admission");
+    for wq in &c.wl.queries {
+        let got = session.plan(wq).expect("no budget in this test");
+        let w = want.iter().find(|p| p.id == got.id).expect("same ids");
+        assert_planned_eq("MSCN/sequential", 0, &got, w);
+    }
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Measures the concurrent estimation service: sustained QPS (closed loop)
+# and p50/p95/p99 tail latency (open loop at 0.7x the sustained rate,
+# deterministic arrivals) at 1/4/16/64 sessions, cross-session coalescing
+# vs per-session-sequential estimation, on batched ML estimators. Leaves
+# a machine-readable summary in BENCH_serve.json at the repo root. Run on
+# an otherwise idle machine.
+set -e
+cd "$(dirname "$0")/.."
+cargo bench -p cardbench-bench --bench serve
+echo "--- BENCH_serve.json ---"
+cat BENCH_serve.json

@@ -1,18 +1,24 @@
 #!/bin/sh
-# Runs the full evaluation and every auxiliary experiment sequentially,
-# writing one results file per run. Execute on an otherwise idle machine:
-# wall-clock execution times are part of the measurements.
+# Runs the full evaluation, every auxiliary experiment, and the three
+# performance benches sequentially, writing one results file per run
+# under results/ (gitignored; the benches' BENCH_*.json summaries at the
+# repo root are the committed artifacts). Execute on an otherwise idle
+# machine: wall-clock execution times are part of the measurements.
 set -e
 cd "$(dirname "$0")/.."
 cargo build --release -p cardbench-bench
+mkdir -p results
 T=target/release
-$T/all_tables        > results_standard.txt        2> results_standard.log
-$T/ablation          > results_ablation.txt        2>&1
-$T/workload_shift    > results_workload_shift.txt  2>&1
-$T/noise_sensitivity > results_noise.txt           2>&1
-$T/optimizer_shapes  > results_optimizer_shapes.txt 2>&1
-$T/cost_alignment    > results_cost_alignment.txt  2>&1
-$T/rd3_calibration   > results_rd3.txt             2>&1
-$T/update_scaling    > results_update_scaling.txt  2>&1
-$T/observations      > results_observations.txt    2>&1 || true
-echo "all runs complete"
+$T/all_tables        > results/standard.txt         2> results/standard.log
+$T/ablation          > results/ablation.txt         2>&1
+$T/workload_shift    > results/workload_shift.txt   2>&1
+$T/noise_sensitivity > results/noise.txt            2>&1
+$T/optimizer_shapes  > results/optimizer_shapes.txt 2>&1
+$T/cost_alignment    > results/cost_alignment.txt   2>&1
+$T/rd3_calibration   > results/rd3.txt              2>&1
+$T/update_scaling    > results/update_scaling.txt   2>&1
+$T/observations      > results/observations.txt     2>&1 || true
+sh scripts/bench_subplan.sh  > results/bench_subplan.txt  2>&1
+sh scripts/bench_planning.sh > results/bench_planning.txt 2>&1
+sh scripts/bench_serve.sh    > results/bench_serve.txt    2>&1
+echo "all runs complete (per-run logs under results/)"
