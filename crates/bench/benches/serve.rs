@@ -93,6 +93,7 @@ fn run_point(
         sessions,
         arrival_qps: None,
         replays,
+        deadline: None,
     };
     let server = start_server(db, truth, est, sessions, sequential);
     let closed = run_load(&server, wl, &cfg);
@@ -185,6 +186,7 @@ fn main() {
                     sessions: 1,
                     arrival_qps: None,
                     replays: 1,
+                    deadline: None,
                 },
             );
             guard(&format!("{} warmup", kind.name()), &warm);

@@ -1,0 +1,260 @@
+//! Service-level chaos smoke test: drives the estimation service through
+//! the three chaos regimes — estimator fault storms (circuit breaker),
+//! slow ticks against request deadlines, and drainer panics (watchdog) —
+//! and asserts the self-healing invariants held:
+//!
+//! - every query completes with *typed* fault attribution (zero
+//!   unattributed faults, zero failed plans, zero hangs);
+//! - a total storm trips the breaker, slots short, and transient faults
+//!   are retried;
+//! - queue-expired deadlines fast-fail typed without estimator calls;
+//! - every injected drainer death is answered by a watchdog restart and
+//!   serving recovers to clean answers;
+//! - with `--prom-addr`, `/healthz` stays 200 while `/readyz` reports
+//!   503 with the breaker open.
+//!
+//! Knobs: `--sessions N` (default 4), `--prom-addr ADDR`, plus the
+//! shared `--trace` / `CARDBENCH_FAST` harness knobs. Exits non-zero on
+//! any violation, so CI can gate on it.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cardbench_bench::config_from_env;
+use cardbench_engine::{CostModel, Database, TrueCardService};
+use cardbench_estimators::postgres::PostgresEst;
+use cardbench_estimators::CardEst;
+use cardbench_harness::Bench;
+use cardbench_serve::{
+    run_load, BreakerConfig, BreakerState, ChaosServeConfig, LoadConfig, LoadReport, PromServer,
+    ServeConfig, Server,
+};
+use cardbench_workload::Workload;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("[chaos-serve-smoke] FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Core invariants every phase must satisfy.
+fn guard(phase: &str, r: &LoadReport) {
+    eprintln!(
+        "[chaos-serve-smoke] {phase}: {} completed ({:.0} qps), {} typed failures, \
+         {} clean / {} shorted / {} degraded",
+        r.completed,
+        r.qps,
+        r.est_failures,
+        r.clean_latencies.len(),
+        r.shorted_latencies.len(),
+        r.degraded_latencies.len(),
+    );
+    if r.completed == 0 {
+        fail(&format!("{phase}: no queries completed"));
+    }
+    if r.failed != 0 {
+        fail(&format!("{phase}: {} queries failed to plan", r.failed));
+    }
+    if r.unattributed != 0 {
+        fail(&format!(
+            "{phase}: {} unattributed faults (every degradation must be typed)",
+            r.unattributed
+        ));
+    }
+    if r.rejected != 0 {
+        fail(&format!("{phase}: {} unexpected rejections", r.rejected));
+    }
+}
+
+fn main() {
+    let _trace = cardbench_bench::init_tracing();
+    let sessions: usize = arg_value("--sessions")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+
+    let cfg = config_from_env();
+    eprintln!(
+        "[chaos-serve-smoke] building benchmark (seed {})...",
+        cfg.settings.seed
+    );
+    let mut bench = Bench::build(cfg);
+    let db = Arc::new(std::mem::replace(
+        &mut bench.stats_db,
+        Database::new(cardbench_storage::Catalog::new()),
+    ));
+    let wl: Workload = bench.stats_wl.clone();
+    let truth = Arc::new(TrueCardService::new());
+    let est = || -> Arc<dyn CardEst> { Arc::new(PostgresEst::fit(&db)) };
+    let server = |serve: ServeConfig| -> Arc<Server> {
+        Arc::new(Server::start(
+            Arc::clone(&db),
+            Arc::clone(&truth),
+            est(),
+            CostModel::default(),
+            serve,
+        ))
+    };
+    let load = LoadConfig {
+        sessions,
+        arrival_qps: None,
+        replays: 2,
+        deadline: None,
+    };
+
+    // Phase 1: permanent estimator storm behind a tight breaker. The
+    // first tick's slots time out (and are retried — still storming),
+    // the breaker opens, and everything after shorts to the fallback.
+    let srv = server(ServeConfig {
+        max_sessions: sessions.max(1),
+        chaos: Some(ChaosServeConfig {
+            seed: 17,
+            storm_rate: 1.0,
+            storm_ticks: u32::MAX,
+            storm_stall: Duration::from_millis(5),
+            ..ChaosServeConfig::default()
+        }),
+        breaker: Some(BreakerConfig {
+            window: 32,
+            open_threshold: 0.5,
+            min_samples: 4,
+            cooldown: Duration::from_secs(600),
+        }),
+        ..ServeConfig::default()
+    });
+    let prom = arg_value("--prom-addr").map(|addr| {
+        let p = PromServer::bind_with_probes(&addr, srv.probes())
+            .unwrap_or_else(|e| fail(&format!("cannot bind prometheus endpoint {addr}: {e}")));
+        eprintln!(
+            "[chaos-serve-smoke] prometheus endpoint at http://{}",
+            p.local_addr()
+        );
+        p
+    });
+    guard("storm/breaker", &run_load(&srv, &wl, &load));
+    let stats = srv.stats();
+    if stats.breaker.opens == 0 || stats.breaker_state != Some(BreakerState::Open) {
+        fail("a total storm must trip the breaker");
+    }
+    if stats.breaker.shorted_slots == 0 {
+        fail("an open breaker must short slots");
+    }
+    if stats.retries == 0 {
+        fail("first-tick transient timeouts must be retried");
+    }
+    if let Some(prom) = &prom {
+        // Satellite probes against the live (storming) server: still
+        // healthy — the drainer heartbeat is fresh — but not ready.
+        let (code, body) = prom
+            .get("/healthz")
+            .unwrap_or_else(|e| fail(&format!("healthz request failed: {e}")));
+        if code != 200 {
+            fail(&format!(
+                "/healthz under storm must be 200, got {code} ({body})"
+            ));
+        }
+        let (code, body) = prom
+            .get("/readyz")
+            .unwrap_or_else(|e| fail(&format!("readyz request failed: {e}")));
+        if code != 503 || !body.contains("breaker") {
+            fail(&format!(
+                "/readyz with the breaker open must be 503 naming the breaker, \
+                 got {code} ({body})"
+            ));
+        }
+        let scrape = prom
+            .scrape()
+            .unwrap_or_else(|e| fail(&format!("self-scrape failed: {e}")));
+        if cardbench_obs::enabled() && !scrape.contains("cardbench_serve_breaker_state") {
+            fail("scrape lacks cardbench_serve_breaker_state");
+        }
+        eprintln!(
+            "[chaos-serve-smoke] probes OK (healthz 200, readyz 503, scrape {} bytes)",
+            scrape.len()
+        );
+    }
+    drop(prom);
+    drop(srv);
+
+    // Phase 2: chaos-slowed drain ticks against a per-request deadline;
+    // slots expire in the queue and fast-fail typed.
+    let srv = server(ServeConfig {
+        max_sessions: sessions.max(1),
+        chaos: Some(ChaosServeConfig {
+            seed: 19,
+            slow_rate: 1.0,
+            slow_stall: Duration::from_millis(20),
+            ..ChaosServeConfig::default()
+        }),
+        breaker: None,
+        max_retries: 0,
+        ..ServeConfig::default()
+    });
+    guard(
+        "slow/deadline",
+        &run_load(
+            &srv,
+            &wl,
+            &LoadConfig {
+                deadline: Some(Duration::from_millis(4)),
+                ..load.clone()
+            },
+        ),
+    );
+    if srv.stats().deadline_expired_slots == 0 {
+        fail("slow ticks against a tight deadline must expire slots in the queue");
+    }
+    drop(srv);
+
+    // Phase 3: the chaos injector kills the drainer (bounded budget);
+    // the watchdog replaces it every time and serving ends clean.
+    let srv = server(ServeConfig {
+        max_sessions: sessions.max(1),
+        chaos: Some(ChaosServeConfig {
+            seed: 23,
+            panic_rate: 0.5,
+            max_panics: 2,
+            ..ChaosServeConfig::default()
+        }),
+        watchdog_interval: Duration::from_millis(5),
+        ..ServeConfig::default()
+    });
+    guard("drainer-panics", &run_load(&srv, &wl, &load));
+    let stats = srv.stats();
+    if stats.chaos_panics == 0 {
+        fail("the panic phase must actually kill the drainer");
+    }
+    if stats.watchdog_restarts < u64::from(stats.chaos_panics) {
+        fail(&format!(
+            "every drainer death needs a watchdog restart: {} panics, {} restarts",
+            stats.chaos_panics, stats.watchdog_restarts
+        ));
+    }
+    // Panic budget spent: a final session must plan cleanly.
+    let mut session = srv
+        .session()
+        .unwrap_or_else(|e| fail(&format!("post-chaos admission failed: {e}")));
+    let planned = session
+        .plan(&wl.queries[0])
+        .unwrap_or_else(|e| fail(&format!("post-chaos plan failed: {e}")));
+    if !planned.est_failures.is_empty() || planned.plan.is_err() {
+        fail("serving must recover to clean answers once the panic budget is spent");
+    }
+    eprintln!(
+        "[chaos-serve-smoke] watchdog restarts: {}, injected panics: {}",
+        stats.watchdog_restarts, stats.chaos_panics
+    );
+    println!("chaos serve smoke OK");
+}
+
+/// First value of `--flag v` or `--flag=v` in the process arguments.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}

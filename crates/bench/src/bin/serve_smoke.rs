@@ -95,6 +95,7 @@ fn main() {
             sessions,
             arrival_qps,
             replays: 1,
+            deadline: None,
         },
     );
 

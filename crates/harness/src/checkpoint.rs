@@ -188,6 +188,11 @@ fn est_failure_to_json(f: &EstFailure) -> Json {
         EstimateError::NonFinite { value } | EstimateError::Degenerate { value } => {
             pairs.push(("value".to_string(), f64_to_json_string(*value)));
         }
+        // The breaker short carries no payload: the call never ran.
+        EstimateError::Shorted => {}
+        EstimateError::DeadlineExceeded { late } => {
+            pairs.push(("late_ns".to_string(), duration_to_json(*late)));
+        }
     }
     Json::object(pairs)
 }
@@ -207,6 +212,10 @@ fn est_failure_from_json(v: &Json) -> Option<EstFailure> {
         },
         "degenerate" => EstimateError::Degenerate {
             value: v.get("value").and_then(f64_from_json_string)?,
+        },
+        "shorted" => EstimateError::Shorted,
+        "deadline_exceeded" => EstimateError::DeadlineExceeded {
+            late: v.get("late_ns").and_then(duration_from_json)?,
         },
         _ => return None,
     };

@@ -59,6 +59,19 @@ pub enum EstimateError {
         /// The offending value.
         value: f64,
     },
+    /// The serving layer's circuit breaker was open: the estimator call
+    /// was never made and the caller degrades to the baseline
+    /// immediately. Distinguished from [`EstimateError::TimedOut`] /
+    /// [`EstimateError::Panicked`] ("failed, then degraded") because a
+    /// shorted slot never paid the doomed call's latency.
+    Shorted,
+    /// The request blew its end-to-end deadline before this estimate
+    /// started (e.g. while queued behind other sessions); it was failed
+    /// fast instead of consuming an estimator slot.
+    DeadlineExceeded {
+        /// How far past the deadline the request was when rejected.
+        late: Duration,
+    },
 }
 
 impl EstimateError {
@@ -69,17 +82,30 @@ impl EstimateError {
             EstimateError::TimedOut { .. } => "timed_out",
             EstimateError::NonFinite { .. } => "non_finite",
             EstimateError::Degenerate { .. } => "degenerate",
+            EstimateError::Shorted => "shorted",
+            EstimateError::DeadlineExceeded { .. } => "deadline_exceeded",
         }
     }
 
     /// True when no usable value exists and the caller must fall back to
-    /// the baseline estimate (panic/timeout). Soft failures carry a value
-    /// the clamp can sanitize.
+    /// the baseline estimate (panic/timeout/breaker-short/blown
+    /// deadline). Soft failures carry a value the clamp can sanitize.
     pub fn is_hard(&self) -> bool {
         matches!(
             self,
-            EstimateError::Panicked { .. } | EstimateError::TimedOut { .. }
+            EstimateError::Panicked { .. }
+                | EstimateError::TimedOut { .. }
+                | EstimateError::Shorted
+                | EstimateError::DeadlineExceeded { .. }
         )
+    }
+
+    /// True for transient faults worth retrying when deadline budget
+    /// remains: the call was slow, not wrong, so a bounded retry with
+    /// backoff can still land a usable value. Panics, breaker shorts,
+    /// and value faults are not transient — repeating them buys nothing.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EstimateError::TimedOut { .. })
     }
 }
 
@@ -92,6 +118,12 @@ impl std::fmt::Display for EstimateError {
             }
             EstimateError::NonFinite { value } => write!(f, "non-finite estimate ({value})"),
             EstimateError::Degenerate { value } => write!(f, "degenerate estimate ({value})"),
+            EstimateError::Shorted => {
+                write!(f, "circuit breaker open: estimator call skipped")
+            }
+            EstimateError::DeadlineExceeded { late } => {
+                write!(f, "deadline exceeded before estimation ({late:?} late)")
+            }
         }
     }
 }
@@ -121,6 +153,11 @@ impl PartialEq for EstimateError {
             | (EstimateError::Degenerate { value: a }, EstimateError::Degenerate { value: b }) => {
                 a.to_bits() == b.to_bits()
             }
+            (EstimateError::Shorted, EstimateError::Shorted) => true,
+            (
+                EstimateError::DeadlineExceeded { late: a },
+                EstimateError::DeadlineExceeded { late: b },
+            ) => a == b,
             _ => false,
         }
     }
@@ -215,6 +252,29 @@ impl RunOptions {
     }
 }
 
+/// The effective per-estimate wall-clock budget once an end-to-end
+/// request deadline is in play: the tighter of the configured
+/// per-estimate `timeout` and the time remaining until `deadline` at
+/// `now`. With no deadline the configured budget passes through
+/// unchanged (so deadline-free runs stay bit-identical to the
+/// historical path); an already-expired deadline yields `Some(ZERO)` —
+/// every subsequent estimate times out instead of silently overrunning
+/// the request.
+pub fn deadline_budget(
+    timeout: Option<Duration>,
+    deadline: Option<Instant>,
+    now: Instant,
+) -> Option<Duration> {
+    let Some(deadline) = deadline else {
+        return timeout;
+    };
+    let remaining = deadline.saturating_duration_since(now);
+    Some(match timeout {
+        Some(budget) => budget.min(remaining),
+        None => remaining,
+    })
+}
+
 thread_local! {
     /// Set while this thread is inside a sandboxed estimate: the process
     /// panic hook stays quiet for expected (caught) estimator panics.
@@ -236,6 +296,16 @@ fn install_quiet_panic_hook() {
             prev(info);
         }));
     });
+}
+
+/// Marks the current thread as about to raise an *expected* panic (fault
+/// injection): the process panic hook stays quiet for it. The serving
+/// layer's chaos injector calls this before deliberately killing the
+/// drainer thread — the panic is the test, not noise. The flag is
+/// thread-local and the panicking thread dies with it.
+pub fn expect_panic_quietly() {
+    install_quiet_panic_hook();
+    SANDBOXED.with(|c| c.set(true));
 }
 
 /// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`).
@@ -484,6 +554,54 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, EstimateError::NonFinite { value: 1.0 });
         assert_ne!(a, EstimateError::Degenerate { value: f64::NAN });
+    }
+
+    #[test]
+    fn serving_failures_are_hard_and_typed() {
+        let shorted = EstimateError::Shorted;
+        assert_eq!(shorted.kind(), "shorted");
+        assert!(shorted.is_hard());
+        assert!(!shorted.is_transient());
+        assert_eq!(shorted, EstimateError::Shorted);
+        let late = EstimateError::DeadlineExceeded {
+            late: Duration::from_millis(3),
+        };
+        assert_eq!(late.kind(), "deadline_exceeded");
+        assert!(late.is_hard());
+        assert!(!late.is_transient());
+        assert_ne!(late, shorted);
+        // Only timeouts are worth a retry.
+        assert!(EstimateError::TimedOut {
+            elapsed: Duration::from_millis(2),
+            budget: Duration::from_millis(1),
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn deadline_budget_takes_the_tighter_bound() {
+        let now = Instant::now();
+        let timeout = Some(Duration::from_millis(100));
+        // No deadline: the configured budget passes through untouched.
+        assert_eq!(deadline_budget(timeout, None, now), timeout);
+        assert_eq!(deadline_budget(None, None, now), None);
+        // A far deadline leaves the per-call budget in charge.
+        let far = now + Duration::from_secs(10);
+        assert_eq!(deadline_budget(timeout, Some(far), now), timeout);
+        // A near deadline tightens it.
+        let near = now + Duration::from_millis(7);
+        assert_eq!(
+            deadline_budget(timeout, Some(near), now),
+            Some(Duration::from_millis(7))
+        );
+        // No per-call budget: the deadline alone bounds the call.
+        assert_eq!(
+            deadline_budget(None, Some(near), now),
+            Some(Duration::from_millis(7))
+        );
+        // An expired deadline means a zero budget, not a free pass.
+        let past = now - Duration::from_millis(1);
+        assert_eq!(deadline_budget(None, Some(past), now), Some(Duration::ZERO));
     }
 
     /// Returns one value per sub-plan from a fixed list (cycling).

@@ -19,28 +19,171 @@
 //!    per-sub-plan fault attribution. A fault injected by one session's
 //!    query degrades only that query's slots, identically to what the
 //!    batch harness would have produced.
+//!
+//! Since the self-healing PR the submission queue is a crate-local
+//! [`JobQueue`] instead of an `mpsc` channel: queued jobs live in
+//! `Shared`, so they **survive a drainer crash** — the watchdog's
+//! replacement drainer picks up exactly where the dead one stopped, and
+//! only the jobs the dead drainer held in hand degrade (their reply
+//! senders drop, each waiting session fails its own slots with a typed
+//! hard error). Each tick additionally consults the circuit breaker
+//! (open → every slot answers [`EstimateError::Shorted`] without
+//! touching the estimator), fast-fails jobs whose end-to-end deadline
+//! already expired in the queue, and asks ChaosServe for injected
+//! service-level faults.
 
-use std::sync::mpsc::{Receiver, Sender, TryRecvError};
-use std::time::Duration;
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use cardbench_engine::Database;
 use cardbench_estimators::CardEst;
-use cardbench_harness::{estimate_all, guarded_estimate_batch, EstimateError};
+use cardbench_harness::{deadline_budget, estimate_all, guarded_estimate_batch, EstimateError};
 use cardbench_obs::counter_add;
 use cardbench_query::SubPlanQuery;
 
+use crate::breaker::Admission;
+use crate::chaos::TickFault;
 use crate::Shared;
+
+/// How often a blocked drainer wakes to beat its heartbeat and re-check
+/// its generation. Far below any sane staleness threshold.
+const HEARTBEAT_POLL: Duration = Duration::from_millis(20);
 
 /// One session's estimation request: a query's sub-plan slice plus the
 /// channel its per-slot outcomes go back on.
 pub(crate) struct EstimateJob {
     /// Sub-plans in `connected_subsets` order.
     pub(crate) subs: Vec<SubPlanQuery>,
+    /// End-to-end deadline the request carries; a job still queued past
+    /// it is failed fast with [`EstimateError::DeadlineExceeded`]
+    /// instead of consuming estimator slots.
+    pub(crate) deadline: Option<Instant>,
     /// Per-slot `(outcome, latency)` results, same order as `subs`.
     /// Send errors are ignored: a session dropped mid-request simply
     /// stops caring about its answer, and the tick proceeds for everyone
     /// else.
     pub(crate) reply: Sender<Vec<(Result<f64, EstimateError>, Duration)>>,
+}
+
+/// What a queue pop produced.
+pub(crate) enum Pop {
+    /// A job.
+    Job(EstimateJob),
+    /// Timed out with the queue still open: poll again (heartbeat tick).
+    Empty,
+    /// The queue is closed and drained: the drainer should exit.
+    Closed,
+}
+
+struct QueueInner {
+    jobs: VecDeque<EstimateJob>,
+    closed: bool,
+}
+
+/// The bounded submission queue. Crate-local (Mutex + two Condvars)
+/// rather than `mpsc` for one load-bearing reason: the buffer lives
+/// *here*, in `Shared`, not inside a channel owned by a thread — so
+/// queued jobs survive a drainer panic, a replacement drainer resumes
+/// them, and `close()` can hand the unserved remainder back for typed
+/// fast-failure at teardown.
+pub(crate) struct JobQueue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl JobQueue {
+    pub(crate) fn new(cap: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Blocking bounded push: waits while the queue is full (the slow
+    /// estimator back-pressures sessions, the queue never grows
+    /// unboundedly). Returns the job back if the queue is closed.
+    pub(crate) fn push(&self, job: EstimateJob) -> Result<(), EstimateJob> {
+        let mut g = self.lock();
+        loop {
+            if g.closed {
+                return Err(job);
+            }
+            if g.jobs.len() < self.cap {
+                g.jobs.push_back(job);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            g = self.not_full.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Pops one job, waiting up to `timeout`. [`Pop::Empty`] means "no
+    /// job yet, queue still open" — the drainer's cue to beat its
+    /// heartbeat and wait again.
+    pub(crate) fn pop_timeout(&self, timeout: Duration) -> Pop {
+        let mut g = self.lock();
+        if let Some(job) = g.jobs.pop_front() {
+            self.not_full.notify_one();
+            return Pop::Job(job);
+        }
+        if g.closed {
+            return Pop::Closed;
+        }
+        let (mut g, _) = self
+            .not_empty
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(|p| p.into_inner());
+        match g.jobs.pop_front() {
+            Some(job) => {
+                self.not_full.notify_one();
+                Pop::Job(job)
+            }
+            None if g.closed => Pop::Closed,
+            None => Pop::Empty,
+        }
+    }
+
+    /// Non-blocking pop (tick gathering).
+    pub(crate) fn try_pop(&self) -> Option<EstimateJob> {
+        let job = self.lock().jobs.pop_front();
+        if job.is_some() {
+            self.not_full.notify_one();
+        }
+        job
+    }
+
+    /// Closes the queue and returns every unserved job so the caller
+    /// can fail them with typed per-slot errors. Pushes after this
+    /// return `Err`; the drainer exits at its next pop.
+    pub(crate) fn close(&self) -> Vec<EstimateJob> {
+        let mut g = self.lock();
+        g.closed = true;
+        let drained = g.jobs.drain(..).collect();
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+        drained
+    }
+
+    /// Queued (unserved) jobs right now.
+    pub(crate) fn len(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueInner> {
+        // A drainer panicking while holding this lock would poison it;
+        // the queue's state is plain data, so recover rather than wedge
+        // every session.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
 }
 
 /// Per-tick outcome of [`coalesce_estimate`], for accounting.
@@ -137,108 +280,265 @@ pub fn coalesce_estimate(
     }
 }
 
-/// The drainer loop: blocking-receive one job, drain whatever else is
-/// queued, then — only while more sessions are live than jobs gathered —
-/// wait up to `coalesce_window` for the stragglers. A lone session is
-/// always served immediately (gathering never waits on sessions that
-/// don't exist), and the tick doubles as a barrier that keeps concurrent
-/// replays of a shared workload aligned on the same query, which is what
-/// makes cross-session dedup actually fire. Exits when every submit
-/// sender is gone.
-pub(crate) fn drain_loop(rx: Receiver<EstimateJob>, shared: &Shared) {
+/// The drainer loop for generation `gen`: pop one job (beating the
+/// heartbeat while idle), gather whatever else is queued — only while
+/// more sessions are live than jobs gathered, up to `coalesce_window` —
+/// then run the tick. A lone session is always served immediately, and
+/// the tick doubles as a barrier that keeps concurrent replays of a
+/// shared workload aligned on the same query, which is what makes
+/// cross-session dedup actually fire.
+///
+/// Exits when the queue closes (teardown) or when `Shared::drainer_gen`
+/// moves past `gen` — the watchdog superseded this drainer as wedged; a
+/// superseded drainer finishes answering the jobs it holds (each job is
+/// popped by exactly one drainer, so answers never duplicate) and then
+/// stands down.
+pub(crate) fn drain_loop(shared: &Shared, gen: u64) {
     let cap = shared.cfg.coalesce_max.max(1);
     let window = shared.cfg.coalesce_window;
     loop {
-        let first = match rx.recv() {
-            Ok(job) => job,
-            Err(_) => return,
+        if shared.superseded(gen) {
+            return;
+        }
+        shared.beat();
+        let first = match shared.queue.pop_timeout(HEARTBEAT_POLL) {
+            Pop::Job(job) => job,
+            Pop::Empty => continue,
+            Pop::Closed => return,
         };
+        shared.set_drainer_busy(true);
+        shared.beat();
         let mut jobs = vec![first];
-        let drain_queued = |jobs: &mut Vec<EstimateJob>| {
-            while jobs.len() < cap {
-                match rx.try_recv() {
-                    Ok(job) => jobs.push(job),
-                    Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
-                }
+        while jobs.len() < cap {
+            match shared.queue.try_pop() {
+                Some(job) => jobs.push(job),
+                None => break,
             }
-        };
-        drain_queued(&mut jobs);
+        }
         if !window.is_zero() {
-            let deadline = std::time::Instant::now() + window;
-            while jobs.len() < cap && jobs.len() < shared.live_sessions() {
-                let now = std::time::Instant::now();
+            let deadline = Instant::now() + window;
+            'gather: while jobs.len() < cap && jobs.len() < shared.live_sessions() {
+                let now = Instant::now();
                 let Some(left) = deadline
                     .checked_duration_since(now)
                     .filter(|d| !d.is_zero())
                 else {
                     break;
                 };
-                match rx.recv_timeout(left) {
-                    Ok(job) => {
+                shared.beat();
+                match shared.queue.pop_timeout(left.min(HEARTBEAT_POLL)) {
+                    Pop::Job(job) => {
                         jobs.push(job);
-                        drain_queued(&mut jobs);
+                        while jobs.len() < cap {
+                            match shared.queue.try_pop() {
+                                Some(job) => jobs.push(job),
+                                None => break,
+                            }
+                        }
                     }
-                    Err(_) => break,
+                    Pop::Empty => continue,
+                    Pop::Closed => break 'gather,
                 }
             }
         }
-        let _sp = cardbench_obs::span_with("coalesced_batch", "serve", || {
-            format!("{} jobs", jobs.len())
-        });
-        let slices: Vec<&[SubPlanQuery]> = jobs.iter().map(|j| j.subs.as_slice()).collect();
-        let out = coalesce_estimate(
-            shared.est.as_ref(),
-            &shared.db,
-            &slices,
-            shared.cfg.estimate_timeout,
-        );
-        counter_add("cardbench_serve_coalesced_batches_total", &[], 1);
+        run_tick(shared, jobs);
+        shared.set_drainer_busy(false);
+        shared.beat();
+    }
+}
+
+/// Serves one gathered tick: chaos faults, deadline fast-fail, breaker
+/// admission, the coalesced estimate, and per-job replies. A chaos
+/// `Panic` unwinds out of here with the jobs in hand — their reply
+/// senders drop, each waiting session degrades its own slots to a typed
+/// hard failure, and the watchdog restarts the drainer over the
+/// still-intact queue.
+fn run_tick(shared: &Shared, jobs: Vec<EstimateJob>) {
+    let fault = shared
+        .chaos
+        .as_ref()
+        .map_or(TickFault::None, |c| c.fault_for_tick());
+    if fault == TickFault::Panic {
         counter_add(
-            "cardbench_serve_coalesced_jobs_total",
-            &[],
-            jobs.len() as u64,
+            "cardbench_serve_chaos_faults_total",
+            &[("class", "panic")],
+            1,
         );
+        // An injected panic is the experiment, not noise: keep the
+        // process panic hook quiet for this thread's death.
+        cardbench_harness::expect_panic_quietly();
+        panic!(
+            "chaos-serve: injected drainer panic ({} jobs in hand)",
+            jobs.len()
+        );
+    }
+    if let TickFault::Slow(stall) = fault {
         counter_add(
-            "cardbench_serve_deduped_subplans_total",
-            &[],
-            (out.total_subplans - out.unique_subplans) as u64,
+            "cardbench_serve_chaos_faults_total",
+            &[("class", "slow")],
+            1,
         );
-        counter_add(
-            "cardbench_serve_coalesce_fallbacks_total",
-            &[],
-            u64::from(out.fell_back),
-        );
-        for (job, result) in jobs.iter().zip(out.results) {
-            // A dropped session means a dead receiver; everyone else
-            // still gets their answer.
-            let _ = job.reply.send(result);
+        std::thread::sleep(stall);
+    }
+
+    let now = Instant::now();
+    // Fast-fail jobs whose end-to-end deadline expired while queued:
+    // typed per-slot errors, zero estimator slots consumed.
+    let mut live: Vec<EstimateJob> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        match job.deadline {
+            Some(d) if now >= d => {
+                let late = now.duration_since(d);
+                let slots = job.subs.len();
+                shared.note_deadline_expired(slots as u64);
+                let _ = job.reply.send(
+                    job.subs
+                        .iter()
+                        .map(|_| {
+                            (
+                                Err(EstimateError::DeadlineExceeded { late }),
+                                Duration::ZERO,
+                            )
+                        })
+                        .collect(),
+                );
+            }
+            _ => live.push(job),
         }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let total_slots: usize = live.iter().map(|j| j.subs.len()).sum();
+    let admission = shared
+        .breaker
+        .as_ref()
+        .map_or(Admission::Estimate, |b| b.admit(now, total_slots));
+
+    let results: Vec<Vec<(Result<f64, EstimateError>, Duration)>> = match admission {
+        // Breaker open: every slot is shorted to the fallback without
+        // paying the doomed call's latency.
+        Admission::Short => live
+            .iter()
+            .map(|job| {
+                job.subs
+                    .iter()
+                    .map(|_| (Err(EstimateError::Shorted), Duration::ZERO))
+                    .collect()
+            })
+            .collect(),
+        Admission::Estimate => {
+            if let TickFault::Storm(stall) = fault {
+                // Injected estimator storm: the admitted call pays the
+                // stall, then hard-faults every slot ("failed, then
+                // degraded") — exactly the latency profile the breaker
+                // exists to cut short.
+                counter_add(
+                    "cardbench_serve_chaos_faults_total",
+                    &[("class", "storm")],
+                    1,
+                );
+                std::thread::sleep(stall);
+                if let Some(b) = &shared.breaker {
+                    b.record(Instant::now(), total_slots, total_slots);
+                }
+                let per_slot = stall / (total_slots.max(1) as u32);
+                live.iter()
+                    .map(|job| {
+                        job.subs
+                            .iter()
+                            .map(|_| {
+                                (
+                                    Err(EstimateError::TimedOut {
+                                        elapsed: stall,
+                                        budget: shared.cfg.estimate_timeout.unwrap_or(stall),
+                                    }),
+                                    per_slot,
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect()
+            } else {
+                // A lone job's deadline tightens its estimate budget; a
+                // multi-job tick keeps the configured timeout so one
+                // tight deadline never perturbs other sessions' outcomes.
+                let timeout = if live.len() == 1 {
+                    deadline_budget(shared.cfg.estimate_timeout, live[0].deadline, now)
+                } else {
+                    shared.cfg.estimate_timeout
+                };
+                let slices: Vec<&[SubPlanQuery]> = live.iter().map(|j| j.subs.as_slice()).collect();
+                let out = coalesce_estimate(shared.est.as_ref(), &shared.db, &slices, timeout);
+                if let Some(b) = &shared.breaker {
+                    let hard = out
+                        .results
+                        .iter()
+                        .flatten()
+                        .filter(|(r, _)| matches!(r, Err(e) if e.is_hard()))
+                        .count();
+                    b.record(Instant::now(), out.total_subplans, hard);
+                }
+                counter_add("cardbench_serve_coalesced_batches_total", &[], 1);
+                counter_add(
+                    "cardbench_serve_coalesced_jobs_total",
+                    &[],
+                    live.len() as u64,
+                );
+                counter_add(
+                    "cardbench_serve_deduped_subplans_total",
+                    &[],
+                    (out.total_subplans - out.unique_subplans) as u64,
+                );
+                counter_add(
+                    "cardbench_serve_coalesce_fallbacks_total",
+                    &[],
+                    u64::from(out.fell_back),
+                );
+                out.results
+            }
+        }
+    };
+
+    let _sp = cardbench_obs::span_with("coalesced_batch", "serve", || {
+        format!("{} jobs", live.len())
+    });
+    for (job, result) in live.iter().zip(results) {
+        // A dropped session means a dead receiver; everyone else
+        // still gets their answer.
+        let _ = job.reply.send(result);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ServeConfig, Shared};
+    use crate::ServeConfig;
     use cardbench_datagen::{stats_catalog, StatsConfig};
     use cardbench_engine::{CostModel, TrueCardService};
     use cardbench_estimators::postgres::PostgresEst;
     use cardbench_query::{connected_subsets, SubPlanQuery};
     use cardbench_workload::{stats_ceb, WorkloadConfig};
-    use std::sync::atomic::AtomicUsize;
-    use std::sync::{mpsc, Arc, OnceLock};
+    use std::sync::{mpsc, Arc};
 
-    /// A session that vanishes mid-request (its reply receiver is
-    /// already gone when the drainer answers) must not stall or poison
-    /// the drainer: the next job still gets served.
-    #[test]
-    fn dropped_reply_receiver_never_stalls_the_drainer() {
+    fn test_shared(cfg: ServeConfig) -> Arc<Shared> {
         let db = Arc::new(cardbench_engine::Database::new(stats_catalog(
             &StatsConfig::tiny(3),
         )));
         let est: Arc<dyn cardbench_estimators::CardEst> = Arc::new(PostgresEst::fit(&db));
+        Arc::new(Shared::new(
+            db,
+            Arc::new(TrueCardService::new()),
+            est,
+            CostModel::default(),
+            cfg,
+        ))
+    }
+
+    fn test_subs(shared: &Shared) -> Vec<SubPlanQuery> {
         let wl = stats_ceb(
-            &db,
+            &shared.db,
             &WorkloadConfig {
                 seed: 5,
                 templates: 2,
@@ -250,49 +550,105 @@ mod tests {
             },
         );
         let q = &wl.queries[0].query;
-        let subs: Vec<SubPlanQuery> = connected_subsets(q)
+        connected_subsets(q)
             .iter()
             .map(|&m| SubPlanQuery::project(q, m))
-            .collect();
+            .collect()
+    }
 
-        let shared = Arc::new(Shared {
-            db,
-            truth: Arc::new(TrueCardService::new()),
-            est,
-            cost: CostModel::default(),
-            cfg: ServeConfig::default(),
-            fallback: OnceLock::new(),
-            live: AtomicUsize::new(0),
-        });
-        let (tx, rx) = mpsc::sync_channel(8);
+    /// A session that vanishes mid-request (its reply receiver is
+    /// already gone when the drainer answers) must not stall or poison
+    /// the drainer: the next job still gets served.
+    #[test]
+    fn dropped_reply_receiver_never_stalls_the_drainer() {
+        let shared = test_shared(ServeConfig::default());
+        let subs = test_subs(&shared);
         let drainer = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || drain_loop(rx, &shared))
+            std::thread::spawn(move || drain_loop(&shared, 0))
         };
 
         // Job 1: the "session" is already gone.
         let (dead_reply, dead_rx) = mpsc::channel();
         drop(dead_rx);
-        tx.send(EstimateJob {
-            subs: subs.clone(),
-            reply: dead_reply,
-        })
-        .expect("queue accepts");
+        shared
+            .queue
+            .push(EstimateJob {
+                subs: subs.clone(),
+                deadline: None,
+                reply: dead_reply,
+            })
+            .unwrap_or_else(|_| panic!("queue accepts"));
 
         // Job 2: a live session; it must still be answered promptly.
         let (reply, live_rx) = mpsc::channel();
-        tx.send(EstimateJob {
-            subs: subs.clone(),
-            reply,
-        })
-        .expect("queue accepts");
+        shared
+            .queue
+            .push(EstimateJob {
+                subs: subs.clone(),
+                deadline: None,
+                reply,
+            })
+            .unwrap_or_else(|_| panic!("queue accepts"));
         let out = live_rx
             .recv_timeout(std::time::Duration::from_secs(30))
             .expect("drainer survived the dead receiver");
         assert_eq!(out.len(), subs.len());
         assert!(out.iter().all(|(r, _)| r.is_ok()));
 
-        drop(tx);
+        let unserved = shared.queue.close();
+        assert!(unserved.is_empty());
         drainer.join().expect("drainer exits cleanly");
+    }
+
+    /// A job whose deadline expired while queued is failed fast with
+    /// typed `DeadlineExceeded` slots and consumes no estimator call.
+    #[test]
+    fn queue_expired_jobs_fail_fast_and_typed() {
+        let shared = test_shared(ServeConfig::default());
+        let subs = test_subs(&shared);
+        let (reply, rx) = mpsc::channel();
+        let expired = EstimateJob {
+            subs: subs.clone(),
+            deadline: Some(Instant::now() - Duration::from_millis(5)),
+            reply,
+        };
+        run_tick(&shared, vec![expired]);
+        let out = rx.recv().expect("expired job still gets an answer");
+        assert_eq!(out.len(), subs.len());
+        for (r, lat) in &out {
+            assert!(
+                matches!(r, Err(EstimateError::DeadlineExceeded { late }) if *late > Duration::ZERO),
+                "expected typed deadline failure, got {r:?}"
+            );
+            assert_eq!(*lat, Duration::ZERO);
+        }
+        assert_eq!(shared.stats_deadline_expired(), subs.len() as u64);
+    }
+
+    /// Closing the queue hands unserved jobs back and fails later
+    /// pushes, so teardown can fast-fail everything typed.
+    #[test]
+    fn close_returns_unserved_jobs_and_rejects_pushes() {
+        let queue = JobQueue::new(4);
+        let (reply, _rx) = mpsc::channel();
+        queue
+            .push(EstimateJob {
+                subs: Vec::new(),
+                deadline: None,
+                reply: reply.clone(),
+            })
+            .unwrap_or_else(|_| panic!("open queue accepts"));
+        assert_eq!(queue.len(), 1);
+        let unserved = queue.close();
+        assert_eq!(unserved.len(), 1);
+        assert!(queue
+            .push(EstimateJob {
+                subs: Vec::new(),
+                deadline: None,
+                reply,
+            })
+            .is_err());
+        assert!(matches!(queue.pop_timeout(Duration::ZERO), Pop::Closed));
     }
 }

@@ -12,6 +12,12 @@
 //! convention). A closed-loop driver would hide exactly that delay by
 //! slowing the clients down with the server, which is why sustained QPS
 //! comes from the closed loop and tail latency from the open loop.
+//!
+//! For the self-healing layer the report additionally classifies each
+//! completed query's latency by its *worst* fault outcome — clean,
+//! **breaker-shorted** (skipped the doomed call), or
+//! **failed-then-degraded** (paid it) — which is the comparison the
+//! chaos bench exists to make.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -19,7 +25,7 @@ use std::time::{Duration, Instant};
 use cardbench_harness::PlannedQuery;
 use cardbench_workload::Workload;
 
-use crate::Server;
+use crate::{ServeError, Server};
 
 /// One load phase's shape.
 #[derive(Debug, Clone)]
@@ -31,6 +37,18 @@ pub struct LoadConfig {
     pub arrival_qps: Option<f64>,
     /// Workload replays per session.
     pub replays: usize,
+    /// Per-request end-to-end deadline, measured from the scheduled
+    /// arrival (open loop) or issue time (closed loop); `None` sends
+    /// undeadlined requests.
+    pub deadline: Option<Duration>,
+}
+
+/// How a completed query's sub-plan estimation fared, worst case wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultClass {
+    Clean,
+    Shorted,
+    Degraded,
 }
 
 /// What a load phase produced.
@@ -42,6 +60,10 @@ pub struct LoadReport {
     pub failed: u64,
     /// Queries rejected by admission control (typed `ServeError`).
     pub rejected: u64,
+    /// Of `rejected`, those rejected for a blown deadline
+    /// (`ServeError::DeadlineExceeded`, preflight) — they consumed no
+    /// estimator slot.
+    pub deadline_rejected: u64,
     /// Wall time of the whole phase.
     pub wall: Duration,
     /// Completed queries per wall-clock second.
@@ -49,6 +71,15 @@ pub struct LoadReport {
     /// Per-query latency samples in seconds: from *scheduled arrival*
     /// (open loop) or call start (closed loop) to completion.
     pub latencies: Vec<f64>,
+    /// Latencies of completed queries with no sub-plan fault at all.
+    pub clean_latencies: Vec<f64>,
+    /// Latencies of completed queries whose worst fault was
+    /// breaker-shorted (`EstimateError::Shorted` / `DeadlineExceeded`:
+    /// the slot never paid the doomed call).
+    pub shorted_latencies: Vec<f64>,
+    /// Latencies of completed queries that hard-failed the real call
+    /// first (`Panicked`/`TimedOut`) and then degraded to the fallback.
+    pub degraded_latencies: Vec<f64>,
     /// Typed per-sub-plan estimate failures across all queries.
     pub est_failures: u64,
     /// Faults that escaped typed attribution (arity mismatch or a
@@ -66,6 +97,23 @@ fn unattributed(p: &PlannedQuery) -> u64 {
     // The clamp sanitizes every injected estimate; a non-finite value
     // surviving to the optimizer means a fault bypassed the taxonomy.
     n + p.sub_est_cards.iter().filter(|v| !v.is_finite()).count() as u64
+}
+
+/// Classifies a completed query by its worst sub-plan fault:
+/// failed-then-degraded (paid the doomed call's latency) dominates
+/// breaker-shorted (skipped it), which dominates clean.
+fn fault_class(p: &PlannedQuery) -> FaultClass {
+    let mut class = FaultClass::Clean;
+    for f in &p.est_failures {
+        match f.error.kind() {
+            "shorted" | "deadline_exceeded" if class == FaultClass::Clean => {
+                class = FaultClass::Shorted;
+            }
+            "panicked" | "timed_out" => return FaultClass::Degraded,
+            _ => {}
+        }
+    }
+    class
 }
 
 /// Runs one load phase: `cfg.sessions` threads each open a session and
@@ -107,18 +155,35 @@ pub fn run_load(server: &Arc<Server>, wl: &Workload, cfg: &LoadConfig) -> LoadRe
                     }
                     let issued = Instant::now();
                     let t0 = scheduled.unwrap_or(issued);
-                    match session.plan(wq) {
+                    let outcome = match cfg.deadline {
+                        Some(budget) => session.plan_with_deadline(wq, t0 + budget),
+                        None => session.plan(wq),
+                    };
+                    match outcome {
                         Ok(p) => {
-                            report.latencies.push((Instant::now() - t0).as_secs_f64());
+                            let latency = (Instant::now() - t0).as_secs_f64();
+                            report.latencies.push(latency);
                             report.est_failures += p.est_failures.len() as u64;
                             report.unattributed += unattributed(&p);
                             if p.plan.is_ok() {
                                 report.completed += 1;
+                                match fault_class(&p) {
+                                    FaultClass::Clean => report.clean_latencies.push(latency),
+                                    FaultClass::Shorted => report.shorted_latencies.push(latency),
+                                    FaultClass::Degraded => {
+                                        report.degraded_latencies.push(latency);
+                                    }
+                                }
                             } else {
                                 report.failed += 1;
                             }
                         }
-                        Err(_) => report.rejected += 1,
+                        Err(e) => {
+                            if matches!(e, ServeError::DeadlineExceeded { .. }) {
+                                report.deadline_rejected += 1;
+                            }
+                            report.rejected += 1;
+                        }
                     }
                 }
                 report
@@ -131,9 +196,13 @@ pub fn run_load(server: &Arc<Server>, wl: &Workload, cfg: &LoadConfig) -> LoadRe
         merged.completed += r.completed;
         merged.failed += r.failed;
         merged.rejected += r.rejected;
+        merged.deadline_rejected += r.deadline_rejected;
         merged.est_failures += r.est_failures;
         merged.unattributed += r.unattributed;
         merged.latencies.extend(r.latencies);
+        merged.clean_latencies.extend(r.clean_latencies);
+        merged.shorted_latencies.extend(r.shorted_latencies);
+        merged.degraded_latencies.extend(r.degraded_latencies);
     }
     merged.wall = t0.elapsed();
     merged.qps = if merged.wall.is_zero() {

@@ -1,0 +1,101 @@
+//! The drainer watchdog: detects a dead or wedged coalescer thread and
+//! restarts it over the still-intact submission queue.
+//!
+//! Two failure signals, two probes:
+//!
+//! - **Death** — the drainer thread finished while the service is still
+//!   up (a panic, injected or real). `JoinHandle::is_finished` is the
+//!   probe. Jobs the dead drainer held in hand already degraded per-job
+//!   (their reply senders dropped with it); everything still *queued*
+//!   lives in [`crate::coalesce::JobQueue`] inside `Shared` and is
+//!   served by the replacement drainer — no request is ever lost to a
+//!   crash, and post-restart results are bit-identical to the sequential
+//!   harness because the replacement runs the identical tick code over
+//!   identical state.
+//! - **Wedge** — the drainer is alive but stuck: its heartbeat (beaten
+//!   every queue poll and tick boundary) has gone stale *while it was
+//!   busy in a tick*. The watchdog cannot kill a thread in safe Rust, so
+//!   it **supersedes** it: bumps `Shared::drainer_gen` and spawns a
+//!   replacement. The wedged drainer, if it ever wakes, answers the jobs
+//!   it holds (each job is popped by exactly one drainer, so answers
+//!   never duplicate) and exits at its next generation check.
+//!
+//! On shutdown the watchdog joins the current drainer (which exits at
+//! its next pop of the closed queue) and stands down instead of
+//! restarting.
+
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use cardbench_obs::counter_add;
+
+use crate::coalesce;
+use crate::Shared;
+
+/// The drainer's join handle, shared between the watchdog (probe +
+/// restart) and `Server::shutdown` (final join).
+pub(crate) type DrainerCell = Arc<Mutex<Option<JoinHandle<()>>>>;
+
+/// Spawns a drainer for generation `gen`. Spawn failure is a service
+/// that cannot estimate: propagate loudly, never start silently degraded.
+pub(crate) fn spawn_drainer(shared: &Arc<Shared>, gen: u64) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("serve-coalescer-{gen}"))
+        .spawn(move || coalesce::drain_loop(&shared, gen))
+        .expect("serve: failed to spawn the coalescer drainer thread")
+}
+
+/// The watchdog loop. Runs until shutdown; each `watchdog_interval` it
+/// probes the drainer and restarts/supersedes as needed.
+pub(crate) fn watchdog_loop(shared: &Arc<Shared>, cell: &DrainerCell) {
+    loop {
+        if shared.is_shutting_down() {
+            // Teardown: the queue is closed (or about to be); the
+            // drainer exits at its next pop. Join it so `shutdown()`
+            // observes a fully quiesced service, then stand down.
+            let handle = lock_cell(cell).take();
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
+            return;
+        }
+        std::thread::sleep(shared.cfg.watchdog_interval);
+        let dead = lock_cell(cell).as_ref().is_none_or(JoinHandle::is_finished);
+        if dead {
+            if shared.is_shutting_down() {
+                continue; // normal exit on a closed queue, not a crash
+            }
+            restart(shared, cell, "dead");
+        } else if shared.drainer_wedged() {
+            restart(shared, cell, "wedged");
+        }
+    }
+}
+
+/// Replaces the drainer: bumps the generation (a wedged survivor exits
+/// at its next check), spawns the successor over the intact queue, and
+/// reaps the old handle if it already finished (a wedged-but-alive one
+/// is left detached — safe Rust cannot kill it).
+fn restart(shared: &Arc<Shared>, cell: &DrainerCell, reason: &'static str) {
+    let gen = shared.bump_drainer_gen();
+    shared.set_drainer_busy(false);
+    shared.beat();
+    let fresh = spawn_drainer(shared, gen);
+    let old = lock_cell(cell).replace(fresh);
+    if let Some(h) = old {
+        if h.is_finished() {
+            let _ = h.join();
+        }
+    }
+    shared.note_watchdog_restart();
+    counter_add(
+        "cardbench_serve_watchdog_restarts_total",
+        &[("reason", reason)],
+        1,
+    );
+}
+
+fn lock_cell(cell: &DrainerCell) -> std::sync::MutexGuard<'_, Option<JoinHandle<()>>> {
+    cell.lock().unwrap_or_else(|p| p.into_inner())
+}

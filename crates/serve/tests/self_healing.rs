@@ -1,0 +1,454 @@
+//! The self-healing serving contract, end to end:
+//!
+//! - a dead drainer is detected and replaced by the watchdog, queued
+//!   jobs survive the crash, and post-restart serving is bit-identical
+//!   to a clean sequential reference;
+//! - a fault storm opens the circuit breaker, after which requests
+//!   *short* to the fallback (typed `Shorted`, no doomed call paid)
+//!   instead of timing out one by one;
+//! - dropping the `Server` with live sessions mid-flight never
+//!   deadlocks and answers every subsequent request with a typed
+//!   `ShuttingDown`;
+//! - wholly degraded queries refund their sub-plan budget charge, so
+//!   transient faults don't permanently eat a session's quota;
+//! - expired deadlines are typed fast-fails at preflight and per slot
+//!   in the queue — never a consumed estimator call;
+//! - transient (`TimedOut`) faults are retried with backoff and the
+//!   retried run is bit-identical to a never-faulted one.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use cardbench_datagen::{stats_catalog, StatsConfig};
+use cardbench_engine::{CostModel, Database, TrueCardService};
+use cardbench_estimators::chaos::{ChaosEst, FaultClass};
+use cardbench_estimators::postgres::PostgresEst;
+use cardbench_estimators::CardEst;
+use cardbench_harness::{estimate_all, plan_query_via, PlannedQuery};
+use cardbench_query::{connected_subsets, SubPlanQuery};
+use cardbench_serve::{
+    BreakerConfig, BreakerState, ChaosServeConfig, ServeConfig, ServeError, Server,
+};
+use cardbench_workload::{stats_ceb, Workload, WorkloadConfig, WorkloadQuery};
+
+fn db() -> &'static Arc<Database> {
+    static D: OnceLock<Arc<Database>> = OnceLock::new();
+    D.get_or_init(|| Arc::new(Database::new(stats_catalog(&StatsConfig::tiny(3)))))
+}
+
+fn workload() -> &'static Workload {
+    static W: OnceLock<Workload> = OnceLock::new();
+    W.get_or_init(|| {
+        let cfg = WorkloadConfig {
+            seed: 5,
+            templates: 4,
+            queries: 6,
+            max_tables: 3,
+            max_predicates: 3,
+            retries: 10,
+            max_subplan_card: 1e6,
+        };
+        let wl = stats_ceb(db(), &cfg);
+        assert!(!wl.queries.is_empty(), "fixture workload must be nonempty");
+        wl
+    })
+}
+
+fn server_with(est: Arc<dyn CardEst>, cfg: ServeConfig) -> Server {
+    Server::start(
+        Arc::clone(db()),
+        Arc::new(TrueCardService::new()),
+        est,
+        CostModel::default(),
+        cfg,
+    )
+}
+
+fn server(cfg: ServeConfig) -> Server {
+    server_with(Arc::new(PostgresEst::fit(db())), cfg)
+}
+
+/// The clean sequential reference for one query: the harness's own
+/// planning path with an un-faulted PostgreSQL estimator.
+fn reference(wq: &WorkloadQuery) -> PlannedQuery {
+    let est = PostgresEst::fit(db());
+    let truth = TrueCardService::new();
+    let cost = CostModel::default();
+    let fallback = OnceLock::new();
+    plan_query_via(
+        db(),
+        wq,
+        &|subs| estimate_all(&est, db(), subs, None),
+        &truth,
+        &cost,
+        &fallback,
+    )
+}
+
+fn assert_bits_eq(got: &PlannedQuery, want: &PlannedQuery, what: &str) {
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&got.sub_est_cards),
+        bits(&want.sub_est_cards),
+        "{what}: sub-plan estimates diverge"
+    );
+    assert_eq!(
+        bits(&got.sub_true_cards),
+        bits(&want.sub_true_cards),
+        "{what}: sub-plan truths diverge"
+    );
+    assert_eq!(
+        got.plan.is_ok(),
+        want.plan.is_ok(),
+        "{what}: plan viability"
+    );
+}
+
+/// Chaos kills the drainer twice; both affected queries must degrade
+/// with *typed* panic slots (never hang, never silently wrong), the
+/// watchdog must replace the drainer each time, and once the panic
+/// budget is spent serving must return to clean bit-identical answers.
+#[test]
+fn watchdog_restarts_dead_drainer_and_recovers_bit_identical() {
+    let wl = workload();
+    let srv = server(ServeConfig {
+        chaos: Some(ChaosServeConfig {
+            seed: 1,
+            panic_rate: 1.0,
+            max_panics: 2,
+            ..ChaosServeConfig::default()
+        }),
+        watchdog_interval: Duration::from_millis(5),
+        ..ServeConfig::default()
+    });
+    let mut session = srv.session().expect("admitted");
+    let wq = &wl.queries[0];
+
+    // Plans 1–2 land on panicking ticks: every slot is a typed hard
+    // failure and the whole query degrades to the fallback.
+    for round in 0..2 {
+        let planned = session.plan(wq).expect("degrades, never errors");
+        assert_eq!(
+            planned.fallback_subplans, planned.subplans as u64,
+            "round {round}: a drainer crash degrades every slot"
+        );
+        assert!(
+            planned
+                .est_failures
+                .iter()
+                .all(|f| f.error.kind() == "panicked"),
+            "round {round}: crash slots must be typed panics, got {:?}",
+            planned.est_failures
+        );
+    }
+
+    // Panic budget spent: the replacement drainer serves cleanly and the
+    // answers are bit-identical to the sequential reference.
+    let planned = session.plan(wq).expect("post-restart serving is clean");
+    assert!(
+        planned.est_failures.is_empty(),
+        "post-restart query must be fault-free, got {:?}",
+        planned.est_failures
+    );
+    assert_bits_eq(&planned, &reference(wq), "post-restart");
+
+    let stats = srv.stats();
+    assert_eq!(stats.chaos_panics, 2, "exactly the budgeted panics fired");
+    assert!(
+        stats.watchdog_restarts >= 2,
+        "each drainer death must be answered by a restart, saw {}",
+        stats.watchdog_restarts
+    );
+    // The service is healthy again: a fresh heartbeat, nothing queued.
+    let probes = srv.probes();
+    assert_eq!((probes.healthy)(), Ok(()));
+    assert_eq!((probes.ready)(), Ok(()));
+}
+
+/// A sustained fault storm must open the breaker, after which slots are
+/// answered `Shorted` without paying the storm's per-call stall, the
+/// degraded values stay bit-identical to the clean fallback, and
+/// `/readyz` reports the open breaker.
+#[test]
+fn storm_opens_breaker_and_shorts_to_fallback() {
+    let wl = workload();
+    let srv = server(ServeConfig {
+        chaos: Some(ChaosServeConfig {
+            seed: 7,
+            storm_rate: 1.0,
+            storm_ticks: 100_000,
+            storm_stall: Duration::from_millis(5),
+            ..ChaosServeConfig::default()
+        }),
+        breaker: Some(BreakerConfig {
+            window: 8,
+            open_threshold: 0.5,
+            min_samples: 4,
+            // No probes during this test: once open, stays open.
+            cooldown: Duration::from_secs(600),
+        }),
+        max_retries: 0,
+        ..ServeConfig::default()
+    });
+    let mut session = srv.session().expect("admitted");
+    let wq = &wl.queries[0];
+
+    // Storm ticks hard-fail every admitted slot; within a few queries
+    // the rolling window trips the breaker.
+    let mut opened = false;
+    for _ in 0..20 {
+        let planned = session.plan(wq).expect("storm degrades, never errors");
+        assert_eq!(planned.fallback_subplans, planned.subplans as u64);
+        if srv.stats().breaker.opens >= 1 {
+            opened = true;
+            break;
+        }
+    }
+    assert!(opened, "a total storm must trip the breaker");
+    assert_eq!(srv.stats().breaker_state, Some(BreakerState::Open));
+
+    // With the breaker open, slots short: typed `Shorted`, no storm
+    // stall paid, values bit-identical to the clean fallback (which is
+    // this server's PostgreSQL estimator).
+    let planned = session.plan(wq).expect("shorted, not failed");
+    assert_eq!(planned.fallback_subplans, planned.subplans as u64);
+    assert!(
+        planned
+            .est_failures
+            .iter()
+            .all(|f| f.error.kind() == "shorted"),
+        "open-breaker slots must be typed shorts, got {:?}",
+        planned.est_failures
+    );
+    assert_bits_eq(&planned, &reference(wq), "breaker-shorted");
+
+    let stats = srv.stats();
+    assert!(stats.breaker.shorted_slots >= planned.subplans as u64);
+    // Not ready while the breaker is open — but still healthy (the
+    // drainer heartbeat is fresh; shorting *is* the service working).
+    let probes = srv.probes();
+    assert_eq!((probes.healthy)(), Ok(()));
+    assert!((probes.ready)().is_err(), "open breaker must fail /readyz");
+}
+
+/// Dropping the `Server` while sessions are mid-flight must never hang:
+/// in-flight queries either complete (possibly degraded with typed
+/// pipeline-unavailable slots) or are rejected `ShuttingDown`; every
+/// request after teardown is a typed `ShuttingDown`.
+#[test]
+fn server_drop_with_live_sessions_is_deadlock_free_and_typed() {
+    let wl = workload();
+    let srv = server(ServeConfig::default());
+    let mut session = srv.session().expect("admitted");
+
+    let dropper = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(50));
+        drop(srv);
+    });
+
+    // Keep planning through the teardown; every outcome must be typed.
+    let giveup = Instant::now() + Duration::from_secs(30);
+    let mut saw_shutdown = false;
+    while Instant::now() < giveup {
+        match session.plan(&wl.queries[0]) {
+            Ok(planned) => {
+                for f in &planned.est_failures {
+                    assert_eq!(
+                        f.error.kind(),
+                        "panicked",
+                        "teardown slots must be typed pipeline failures"
+                    );
+                }
+            }
+            Err(ServeError::ShuttingDown) => {
+                saw_shutdown = true;
+                break;
+            }
+            Err(other) => panic!("teardown must answer ShuttingDown, got {other:?}"),
+        }
+    }
+    dropper.join().expect("dropper thread finishes");
+    assert!(saw_shutdown, "post-teardown requests must be rejected");
+    // And it stays that way: teardown is terminal.
+    assert!(matches!(
+        session.plan(&wl.queries[0]),
+        Err(ServeError::ShuttingDown)
+    ));
+}
+
+/// A query that degrades wholly to the fallback refunds its budget
+/// charge: transient faults must not permanently consume a session's
+/// quota. A clean control server still charges normally.
+#[test]
+fn wholly_degraded_queries_refund_subplan_budget() {
+    let wl = workload();
+    let wq = &wl.queries[0];
+    let n = connected_subsets(&wq.query).len() as u64;
+
+    // Every estimate panics: every plan is wholly degraded.
+    let est: Arc<dyn CardEst> = Arc::new(ChaosEst::with_classes(
+        Box::new(PostgresEst::fit(db())),
+        3,
+        1.0,
+        vec![FaultClass::Panic],
+    ));
+    let srv = server_with(
+        est,
+        ServeConfig {
+            session_subplan_budget: n,
+            breaker: None,
+            ..ServeConfig::default()
+        },
+    );
+    let mut session = srv.session().expect("admitted");
+    for round in 0..3 {
+        let planned = session.plan(wq).expect("degrades, never errors");
+        assert_eq!(planned.fallback_subplans, planned.subplans as u64);
+        assert_eq!(
+            session.subplans_used(),
+            0,
+            "round {round}: a wholly degraded query must refund its charge"
+        );
+    }
+
+    // Control: a healthy server charges and exhausts the same budget.
+    let srv = server(ServeConfig {
+        session_subplan_budget: n,
+        ..ServeConfig::default()
+    });
+    let mut session = srv.session().expect("admitted");
+    let planned = session.plan(wq).expect("clean plan");
+    assert_eq!(planned.fallback_subplans, 0);
+    assert_eq!(
+        session.subplans_used(),
+        n,
+        "clean queries keep their charge"
+    );
+    assert!(matches!(
+        session.plan(wq),
+        Err(ServeError::BudgetExhausted { .. })
+    ));
+}
+
+/// A deadline that has already passed is rejected at preflight — typed,
+/// instantly, without consuming any estimator slot or budget.
+#[test]
+fn expired_deadline_rejects_at_preflight() {
+    let wl = workload();
+    let srv = server(ServeConfig::default());
+    let mut session = srv.session().expect("admitted");
+    let past = Instant::now() - Duration::from_millis(1);
+    match session.plan_with_deadline(&wl.queries[0], past) {
+        Err(ServeError::DeadlineExceeded { late }) => {
+            assert!(late >= Duration::from_millis(1));
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(session.subplans_used(), 0, "preflight rejection is free");
+    assert_eq!(srv.stats().breaker.observed_slots, 0, "no estimator call");
+}
+
+/// A deadline that expires while the job waits in the queue (here:
+/// behind a chaos-slowed tick) fast-fails each slot with a typed
+/// `DeadlineExceeded` — the doomed estimate is never run — and the
+/// query still completes via the fallback.
+#[test]
+fn queue_expired_slots_fail_fast_and_typed() {
+    let wl = workload();
+    let srv = server(ServeConfig {
+        chaos: Some(ChaosServeConfig {
+            seed: 11,
+            slow_rate: 1.0,
+            slow_stall: Duration::from_millis(60),
+            ..ChaosServeConfig::default()
+        }),
+        ..ServeConfig::default()
+    });
+    let mut session = srv.session().expect("admitted");
+    let wq = &wl.queries[0];
+    let planned = session
+        .plan_with_deadline(wq, Instant::now() + Duration::from_millis(5))
+        .expect("queue expiry degrades, never errors");
+    assert_eq!(planned.fallback_subplans, planned.subplans as u64);
+    assert!(
+        planned
+            .est_failures
+            .iter()
+            .all(|f| f.error.kind() == "deadline_exceeded"),
+        "queue-expired slots must be typed, got {:?}",
+        planned.est_failures
+    );
+    assert!(
+        srv.stats().deadline_expired_slots > 0,
+        "expiry must be counted"
+    );
+}
+
+/// A flaky estimator: the first call per sub-plan overruns the
+/// configured timeout (a *transient* fault), every later call is the
+/// clean inner estimator. Retries must recover bit-identical answers.
+struct FlakyEst {
+    inner: PostgresEst,
+    seen: Mutex<HashSet<(u64, u64)>>,
+}
+
+impl CardEst for FlakyEst {
+    fn name(&self) -> &'static str {
+        "flaky-postgres"
+    }
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
+        let key = (sub.query.canonical_hash(), sub.mask.0);
+        let first = {
+            let mut seen = self.seen.lock().expect("seen lock");
+            seen.insert(key)
+        };
+        if first {
+            // Overrun the serving layer's per-call budget → `TimedOut`.
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        self.inner.estimate(db, sub)
+    }
+    fn estimate_batch(&self, _db: &Database, _subs: &[SubPlanQuery]) -> Vec<f64> {
+        // Wrong arity makes the batch path unusable, forcing the guarded
+        // per-call path — without consuming the "first call" markers.
+        Vec::new()
+    }
+}
+
+/// Transient (`TimedOut`) slots are retried with backoff; the second
+/// attempt lands clean, the retry counter advances, and the final
+/// answers are bit-identical to a never-faulted run.
+#[test]
+fn transient_timeouts_are_retried_to_clean_answers() {
+    let wl = workload();
+    let wq = &wl.queries[0];
+    let est: Arc<dyn CardEst> = Arc::new(FlakyEst {
+        inner: PostgresEst::fit(db()),
+        seen: Mutex::new(HashSet::new()),
+    });
+    let srv = server_with(
+        est,
+        ServeConfig {
+            sequential: true,
+            estimate_timeout: Some(Duration::from_millis(10)),
+            max_retries: 2,
+            breaker: None,
+            ..ServeConfig::default()
+        },
+    );
+    let mut session = srv.session().expect("admitted");
+    let planned = session.plan(wq).expect("retries recover the query");
+    assert!(
+        planned.est_failures.is_empty(),
+        "retried slots must end clean, got {:?}",
+        planned.est_failures
+    );
+    assert_eq!(planned.fallback_subplans, 0);
+    assert_eq!(
+        srv.stats().retries,
+        planned.subplans as u64,
+        "every slot timed out once and was retried exactly once"
+    );
+    assert_bits_eq(&planned, &reference(wq), "retried");
+}

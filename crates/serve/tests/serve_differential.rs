@@ -67,8 +67,12 @@ fn reference(est: &dyn CardEst, truth: &TrueCardService) -> Vec<PlannedQuery> {
 }
 
 /// Replays the whole workload in `SESSIONS` concurrent coalesced
-/// sessions; returns each session's per-query results.
-fn concurrent_replay(est: Arc<dyn CardEst>, truth: Arc<TrueCardService>) -> Vec<Vec<PlannedQuery>> {
+/// sessions; returns each session's per-query results plus the server's
+/// final self-healing stats.
+fn concurrent_replay(
+    est: Arc<dyn CardEst>,
+    truth: Arc<TrueCardService>,
+) -> (Vec<Vec<PlannedQuery>>, cardbench_serve::ServeStats) {
     let c = ctx();
     let server = Arc::new(Server::start(
         Arc::clone(&c.db),
@@ -91,10 +95,11 @@ fn concurrent_replay(est: Arc<dyn CardEst>, truth: Arc<TrueCardService>) -> Vec<
             })
         })
         .collect();
-    handles
+    let sessions = handles
         .into_iter()
         .map(|h| h.join().expect("session thread completes"))
-        .collect()
+        .collect();
+    (sessions, server.stats())
 }
 
 /// Bit-level comparison of every value-bearing planning field.
@@ -159,7 +164,7 @@ fn concurrent_sessions_bit_identical_for_all_kinds() {
         let built = build_estimator(kind, &c.db, &c.bench.stats_train, &c.bench.config.settings);
         let est: Arc<dyn CardEst> = Arc::from(built.est);
         let want = reference(est.as_ref(), &truth_ref);
-        let sessions = concurrent_replay(Arc::clone(&est), Arc::clone(&truth_srv));
+        let (sessions, stats) = concurrent_replay(Arc::clone(&est), Arc::clone(&truth_srv));
         assert_eq!(sessions.len(), SESSIONS);
         for (s, got) in sessions.iter().enumerate() {
             assert_eq!(got.len(), want.len(), "{} S{s}: query count", kind.name());
@@ -167,6 +172,20 @@ fn concurrent_sessions_bit_identical_for_all_kinds() {
                 assert_planned_eq(kind.name(), s, g, w);
             }
         }
+        // Fault-free serving: the default-on breaker must be observation
+        // only — closed the whole run, nothing shorted, retried, expired,
+        // or restarted.
+        let name = kind.name();
+        assert_eq!(
+            stats.breaker_state,
+            Some(cardbench_serve::BreakerState::Closed),
+            "{name}: breaker left Closed on a healthy run"
+        );
+        assert_eq!(stats.breaker.opens, 0, "{name}: breaker opened");
+        assert_eq!(stats.breaker.shorted_slots, 0, "{name}: slots shorted");
+        assert_eq!(stats.retries, 0, "{name}: slots retried");
+        assert_eq!(stats.deadline_expired_slots, 0, "{name}: slots expired");
+        assert_eq!(stats.watchdog_restarts, 0, "{name}: drainer restarted");
     }
 }
 
@@ -196,7 +215,7 @@ fn concurrent_sessions_bit_identical_under_chaos() {
         "chaos rate too low: no faults injected"
     );
     let est: Arc<dyn CardEst> = Arc::new(wrap(7));
-    let sessions = concurrent_replay(est, Arc::new(TrueCardService::new()));
+    let (sessions, _) = concurrent_replay(est, Arc::new(TrueCardService::new()));
     for (s, got) in sessions.iter().enumerate() {
         for (g, w) in got.iter().zip(&want) {
             assert_planned_eq("Chaos", s, g, w);

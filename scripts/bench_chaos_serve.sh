@@ -1,0 +1,13 @@
+#!/bin/sh
+# Measures the estimation service under injected faults: baseline,
+# estimator fault storms with the circuit breaker off vs on (the
+# breaker-shorted vs failed-then-degraded p99 comparison), chaos-slowed
+# ticks against request deadlines, and bounded drainer panics answered
+# by the watchdog. Asserts zero unattributed faults in every phase and
+# leaves a machine-readable summary in BENCH_chaos.json at the repo
+# root. Run on an otherwise idle machine.
+set -e
+cd "$(dirname "$0")/.."
+cargo bench -p cardbench-bench --bench chaos_serve
+echo "--- BENCH_chaos.json ---"
+cat BENCH_chaos.json
