@@ -1,0 +1,176 @@
+//! Adaptive feedback smoke test: a short warmup + temporal-shift replay
+//! proving the feedback loop's contracts end to end, sized for CI.
+//!
+//! Runs the four-pass drift experiment (warmup, warm replay, post-shift,
+//! recovered) with the PostgreSQL baseline wrapped in the feedback
+//! estimator, then asserts:
+//!
+//! - the warm replay and the recovered pass are oracle-exact (median
+//!   Q-Error and P-Error 1.0) — accuracy improved with queries seen and
+//!   survived the data shift;
+//! - the store actually observed and overrode (non-vacuous);
+//! - with `--feedback off` the wrapper is bit-identical to the parallel
+//!   harness — adaptivity is strictly opt-in.
+//!
+//! Knobs (beyond the shared harness flags):
+//! - `--feedback MODE`      — `on` (default) runs the drift experiment;
+//!   `off` runs only the bit-identity differential.
+//! - `--feedback-warmup N`  — template warmup threshold (default 4).
+//!
+//! Exits non-zero on any violation, so CI can gate on it. `--trace`
+//! records the `feedback` spans and `cardbench_feedback_*` metric
+//! families validated by `validate_trace`.
+
+use cardbench_bench::{config_from_env, run_options_from_args};
+use cardbench_engine::{CostModel, Database, TrueCardService};
+use cardbench_estimators::lw::TrainingSet;
+use cardbench_estimators::EstimatorKind;
+use cardbench_feedback::{FeedbackConfig, FeedbackEst, FeedbackStore};
+use cardbench_harness::{
+    build_estimator, median_p_error, median_q_error, run_adaptive_experiment, run_workload,
+    run_workload_adaptive,
+};
+use cardbench_workload::stats_ceb;
+
+fn main() {
+    let _trace = cardbench_bench::init_tracing();
+    let _run_sp = cardbench_obs::span_with("run", "run", || "adaptive-smoke".to_string());
+    let cfg = config_from_env();
+    let threads = cfg.threads;
+    let mode = arg_value("--feedback").unwrap_or_else(|| "on".to_string());
+    if !matches!(mode.as_str(), "on" | "off") {
+        eprintln!("[adaptive-smoke] --feedback must be `on` or `off`, got `{mode}`");
+        std::process::exit(2);
+    }
+    let fb_cfg = FeedbackConfig {
+        warmup: arg_value("--feedback-warmup")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(FeedbackConfig::default().warmup),
+        ..FeedbackConfig::default()
+    };
+    let opts = run_options_from_args(threads);
+    let cost = CostModel::default();
+
+    eprintln!(
+        "[adaptive-smoke] building STATS dataset + workload (seed {})...",
+        cfg.settings.seed
+    );
+    // The drift experiment regenerates its own pre-/post-cutoff halves
+    // from the same config; the workload shares the schema.
+    let db = Database::new(cardbench_datagen::stats_catalog(&cfg.stats));
+    let wl = stats_ceb(&db, &cfg.stats_workload);
+    assert!(!wl.queries.is_empty(), "adaptive smoke workload is empty");
+
+    if mode == "off" {
+        differential(&cfg, &db, &wl, &cost);
+        println!("adaptive smoke OK (feedback off: bit-identical)");
+        return;
+    }
+
+    eprintln!(
+        "[adaptive-smoke] drift experiment: {} queries x 4 passes, warmup {}",
+        wl.queries.len(),
+        fb_cfg.warmup
+    );
+    let exp = run_adaptive_experiment(
+        &cfg.stats,
+        &wl,
+        EstimatorKind::Postgres,
+        &TrainingSet::default(),
+        &cfg.settings,
+        &cost,
+        fb_cfg,
+        &opts,
+    );
+    let (qw, qr, qp, qc) = (
+        median_q_error(&exp.warmup),
+        median_q_error(&exp.replay),
+        median_q_error(&exp.post_shift),
+        median_q_error(&exp.recovered),
+    );
+    eprintln!(
+        "[adaptive-smoke] median q-error: warmup {qw:.4} | replay {qr:.4} | post-shift {qp:.4} \
+         | recovered {qc:.4}"
+    );
+    eprintln!(
+        "[adaptive-smoke] store: {} observations, {} overrides, {} corrections, {} rejected",
+        exp.stats.observations, exp.stats.overrides, exp.stats.corrections, exp.stats.rejected
+    );
+    let fail = |msg: &str| {
+        eprintln!("[adaptive-smoke] FAIL: {msg}");
+        std::process::exit(1);
+    };
+    if (qr - 1.0).abs() > 1e-9 || (median_p_error(&exp.replay) - 1.0).abs() > 1e-9 {
+        fail("warm replay is not oracle-exact");
+    }
+    if qr > qw + 1e-9 {
+        fail("replay worse than warmup: feedback made accuracy worse");
+    }
+    if (qc - 1.0).abs() > 1e-9 {
+        fail("no recovery after the temporal shift");
+    }
+    if exp.stats.observations == 0 || exp.stats.overrides == 0 {
+        fail("store never observed/overrode — smoke test is vacuous");
+    }
+    println!("adaptive smoke OK");
+}
+
+/// `--feedback off`: the adaptive runner with a disabled wrapper must be
+/// bit-identical (non-timing fields) to the parallel harness.
+fn differential(
+    cfg: &cardbench_harness::BenchConfig,
+    db: &Database,
+    wl: &cardbench_workload::Workload,
+    cost: &CostModel,
+) {
+    use std::sync::Arc;
+    eprintln!("[adaptive-smoke] feedback off: bit-identity differential");
+    let store = Arc::new(FeedbackStore::default());
+    let built = build_estimator(
+        EstimatorKind::Postgres,
+        db,
+        &TrainingSet::default(),
+        &cfg.settings,
+    );
+    let wrapped = FeedbackEst::new(built.est, Arc::clone(&store), false);
+    let truth = TrueCardService::new();
+    let adaptive = run_workload_adaptive(
+        db,
+        wl,
+        &wrapped,
+        &store,
+        &truth,
+        cost,
+        &cardbench_harness::RunOptions::default(),
+    );
+    let baseline = run_workload(db, wl, wrapped.inner(), &truth, cost);
+    assert_eq!(adaptive.len(), baseline.len());
+    for (a, r) in adaptive.iter().zip(&baseline) {
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        if a.id != r.id
+            || bits(&a.sub_est_cards) != bits(&r.sub_est_cards)
+            || a.p_error.to_bits() != r.p_error.to_bits()
+            || a.result_rows != r.result_rows
+        {
+            eprintln!(
+                "[adaptive-smoke] FAIL: Q{} diverged with feedback off",
+                a.id
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// First value of `--flag v` or `--flag=v` in the process arguments.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}

@@ -153,6 +153,11 @@ fn check_trace(path: &str, required: &[String]) -> Result<usize, String> {
             // studies) may build one bare — hence the guard.
             "topology" if tid_has("session", child.tid) => &["plan", "session"],
             "topology" if tid_has("plan", child.tid) => &["plan"],
+            // Feedback observation runs after execution: inside the
+            // adaptive runner's `workload` span, or inside a serve
+            // session's `session` span (sessions never open `workload`).
+            "feedback" if tid_has("session", child.tid) => &["session"],
+            "feedback" if tid_has("workload", child.tid) => &["workload"],
             "workload" if tid_has("run", child.tid) => &["run"],
             // A serve session always opens its own per-thread `run` span,
             // so the rule is unconditional.

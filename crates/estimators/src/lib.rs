@@ -137,6 +137,12 @@ pub enum EstimatorKind {
     Flat,
     /// Unified query+data autoregressive (UAE).
     Uae,
+    /// Execution-feedback wrapper: any inner estimator plus a cache of
+    /// observed true sub-plan cardinalities that overrides (exact hit) or
+    /// corrects (structural-sibling hit) the inner estimates. Not part of
+    /// [`EstimatorKind::ALL`] — the paper's tables evaluate the fifteen
+    /// base methods; the wrapper is the adaptive-estimation extension.
+    Feedback,
 }
 
 impl EstimatorKind {
@@ -177,6 +183,7 @@ impl EstimatorKind {
             EstimatorKind::DeepDb => "DeepDB",
             EstimatorKind::Flat => "FLAT",
             EstimatorKind::Uae => "UAE",
+            EstimatorKind::Feedback => "Feedback",
         }
     }
 
@@ -197,6 +204,7 @@ impl EstimatorKind {
             | EstimatorKind::DeepDb
             | EstimatorKind::Flat => "Data-driven",
             EstimatorKind::Uae => "Query+Data",
+            EstimatorKind::Feedback => "Adaptive",
         }
     }
 }

@@ -554,7 +554,7 @@ pub fn estimate_all(
 
 /// Phase-1 work for one query: sandboxed estimation over the sub-plan
 /// space, sanitized injection, plan choice, and metrics.
-fn plan_one(
+pub(crate) fn plan_one(
     db: &Database,
     wq: &WorkloadQuery,
     est: &dyn CardEst,
@@ -753,7 +753,7 @@ pub fn plan_query_via(
 
 /// Phase-2 work for one planned query: warm-up plus median-of-three
 /// timed executions, under the optional memory budget.
-fn execute_one(
+pub(crate) fn execute_one(
     db: &Database,
     p: PlannedQuery,
     opts: &RunOptions,

@@ -1,5 +1,6 @@
 //! Estimator construction by kind, with training-time measurement.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cardbench_engine::Database;
@@ -17,6 +18,7 @@ use cardbench_estimators::uae::{Uae, UaeQ};
 use cardbench_estimators::unisample::UniSample;
 use cardbench_estimators::wjsample::WjSample;
 use cardbench_estimators::{CardEst, EstimatorKind};
+use cardbench_feedback::{FeedbackEst, FeedbackStore};
 
 use crate::config::EstimatorSettings;
 
@@ -55,6 +57,14 @@ pub fn build_estimator(
         EstimatorKind::DeepDb => Box::new(DeepDb::fit(db, s.max_bins, s.seed)),
         EstimatorKind::Flat => Box::new(Flat::fit(db, s.max_bins, s.seed)),
         EstimatorKind::Uae => Box::new(Uae::fit(db, train, &s.uae)),
+        // Bare `Feedback` wraps the PostgreSQL baseline with a fresh
+        // store; use [`build_feedback_estimator`] to pick the inner kind
+        // and share a store across runs/sessions.
+        EstimatorKind::Feedback => Box::new(FeedbackEst::new(
+            Box::new(PostgresEst::fit(db)),
+            Arc::new(FeedbackStore::default()),
+            true,
+        )),
     };
     let train_time = t0.elapsed();
     let model_size = est.model_size_bytes();
@@ -62,6 +72,28 @@ pub fn build_estimator(
         est,
         train_time,
         model_size,
+    }
+}
+
+/// Builds the estimator of `inner` and wraps it in a [`FeedbackEst`]
+/// sharing `store`. Training time and model size are the inner
+/// estimator's (the wrapper adds none of either); the reported kind is
+/// [`EstimatorKind::Feedback`] from the wrapper's perspective, but
+/// callers typically keep reporting under `inner` since the wrapper is
+/// transparent until observations accumulate.
+pub fn build_feedback_estimator(
+    inner: EstimatorKind,
+    db: &Database,
+    train: &TrainingSet,
+    s: &EstimatorSettings,
+    store: Arc<FeedbackStore>,
+    enabled: bool,
+) -> BuiltEstimator {
+    let built = build_estimator(inner, db, train, s);
+    BuiltEstimator {
+        est: Box::new(FeedbackEst::new(built.est, store, enabled)),
+        train_time: built.train_time,
+        model_size: built.model_size,
     }
 }
 

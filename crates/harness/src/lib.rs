@@ -9,6 +9,8 @@
 //!   per-run guard-rail options.
 //! - [`endtoend`]: per-query runs (planning time, execution time,
 //!   Q-Errors, P-Error).
+//! - [`adaptive`]: sequential plan→execute→observe runs feeding executed
+//!   true cardinalities back into planning, plus the drift experiment.
 //! - [`checkpoint`]: append-only JSONL per-query records for kill/resume.
 //! - [`report`]: text renderers for Tables 1–7.
 //! - [`results`]: serializable JSON results for downstream analysis.
@@ -19,6 +21,7 @@
 // errors instead of unwrapping them (tests may unwrap).
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod adaptive;
 pub mod case_study;
 pub mod checkpoint;
 pub mod config;
@@ -30,6 +33,10 @@ pub mod report;
 pub mod results;
 pub mod update_exp;
 
+pub use adaptive::{
+    median_p_error, median_q_error, record_feedback_metrics, run_adaptive_experiment,
+    run_workload_adaptive, AdaptiveExperiment,
+};
 pub use checkpoint::{load_checkpoint, CheckpointRecord, CheckpointWriter};
 pub use config::{Bench, BenchConfig, EstimatorSettings};
 pub use endtoend::{

@@ -40,15 +40,48 @@ pub const UPDATABLE: [EstimatorKind; 4] = [
     EstimatorKind::Flat,
 ];
 
-/// Runs the full update experiment: returns one [`UpdateResult`] per
-/// updatable method. `stats_cfg` regenerates the same full dataset the
+/// One Table 6 column: either a measured update or a typed skip. Kinds
+/// outside [`UPDATABLE`] used to be silently omitted from the results;
+/// now every evaluated kind gets a row, so a rendered table shows *why*
+/// a method has no update numbers (the paper's O9 presentation) and
+/// partial runs stay legible.
+#[derive(Debug, Clone)]
+pub struct UpdateRow {
+    /// Which estimator.
+    pub kind: EstimatorKind,
+    /// Measured result, or the reason the kind was skipped.
+    pub outcome: Result<UpdateResult, String>,
+}
+
+/// Why a kind outside [`UPDATABLE`] is skipped, per the paper's O9.
+fn skip_reason(kind: EstimatorKind) -> String {
+    match kind {
+        EstimatorKind::TrueCard => "oracle recomputes truths; nothing to update".to_string(),
+        EstimatorKind::Postgres
+        | EstimatorKind::MultiHist
+        | EstimatorKind::UniSample
+        | EstimatorKind::WjSample
+        | EstimatorKind::PessEst => "rebuilds from data; no incremental update path".to_string(),
+        EstimatorKind::Feedback => {
+            "adaptive wrapper; updates via observations, not inserts".to_string()
+        }
+        _ => format!(
+            "{} method retrains on new executions (O9)",
+            kind.class().to_lowercase()
+        ),
+    }
+}
+
+/// Runs the full update experiment: returns one [`UpdateRow`] per
+/// evaluated kind — measured for [`UPDATABLE`] methods, skip-and-report
+/// for the rest. `stats_cfg` regenerates the same full dataset the
 /// workload was built on.
 pub fn run_update_experiment(
     stats_cfg: &StatsConfig,
     wl: &Workload,
     settings: &EstimatorSettings,
     cost: &CostModel,
-) -> Vec<UpdateResult> {
+) -> Vec<UpdateRow> {
     let full = stats_catalog(stats_cfg);
     let (stale_catalog, inserts) = temporal_split(&full, SPLIT_DAY);
     let full_db = Database::new(full);
@@ -58,7 +91,14 @@ pub fn run_update_experiment(
     let empty_train = cardbench_estimators::lw::TrainingSet::default();
 
     let mut results = Vec::new();
-    for kind in UPDATABLE {
+    for kind in EstimatorKind::ALL {
+        if !UPDATABLE.contains(&kind) {
+            results.push(UpdateRow {
+                kind,
+                outcome: Err(skip_reason(kind)),
+            });
+            continue;
+        }
         // Fresh model on the full data (the Table 3 number).
         let fresh = build_estimator(kind, &full_db, &empty_train, settings);
         let fresh_runs = run_workload(&full_db, wl, fresh.est.as_ref(), &truth, cost);
@@ -94,40 +134,59 @@ pub fn run_update_experiment(
         }
         .e2e_total();
 
-        results.push(UpdateResult {
+        results.push(UpdateRow {
             kind,
-            update_time,
-            e2e_fresh,
-            e2e_updated,
+            outcome: Ok(UpdateResult {
+                kind,
+                update_time,
+                e2e_fresh,
+                e2e_updated,
+            }),
         });
     }
     results
 }
 
-/// Renders paper Table 6.
-pub fn table6(results: &[UpdateResult]) -> String {
+/// The measured results of a row set (the [`UPDATABLE`] columns).
+pub fn updated_results(rows: &[UpdateRow]) -> Vec<&UpdateResult> {
+    rows.iter()
+        .filter_map(|r| r.outcome.as_ref().ok())
+        .collect()
+}
+
+/// Renders paper Table 6. Skipped kinds render `—` cells in the timing
+/// rows plus one trailing `skipped:` line each with the reason, so a
+/// partial or full run always shows every evaluated method.
+pub fn table6(rows: &[UpdateRow]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Table 6: Update performance of CardEst algorithms");
     let _ = write!(s, "{:<28}", "Criteria");
-    for r in results {
+    for r in rows {
         let _ = write!(s, " {:>12}", r.kind.name());
     }
     let _ = writeln!(s);
-    let _ = write!(s, "{:<28}", "Update time");
-    for r in results {
-        let _ = write!(s, " {:>12}", fmt_duration(r.update_time));
+    let timing_row = |s: &mut String, label: &str, f: &dyn Fn(&UpdateResult) -> Duration| {
+        let _ = write!(s, "{label:<28}");
+        for r in rows {
+            match &r.outcome {
+                Ok(u) => {
+                    let _ = write!(s, " {:>12}", fmt_duration(f(u)));
+                }
+                Err(_) => {
+                    let _ = write!(s, " {:>12}", "—");
+                }
+            }
+        }
+        let _ = writeln!(s);
+    };
+    timing_row(&mut s, "Update time", &|u| u.update_time);
+    timing_row(&mut s, "Original E2E time (fresh)", &|u| u.e2e_fresh);
+    timing_row(&mut s, "E2E time after update", &|u| u.e2e_updated);
+    for r in rows {
+        if let Err(reason) = &r.outcome {
+            let _ = writeln!(s, "skipped: {:<12} {reason}", r.kind.name());
+        }
     }
-    let _ = writeln!(s);
-    let _ = write!(s, "{:<28}", "Original E2E time (fresh)");
-    for r in results {
-        let _ = write!(s, " {:>12}", fmt_duration(r.e2e_fresh));
-    }
-    let _ = writeln!(s);
-    let _ = write!(s, "{:<28}", "E2E time after update");
-    for r in results {
-        let _ = write!(s, " {:>12}", fmt_duration(r.e2e_updated));
-    }
-    let _ = writeln!(s);
     s
 }
 
@@ -150,14 +209,26 @@ mod tests {
             },
         );
         let settings = EstimatorSettings::fast(4);
-        let results = run_update_experiment(&stats_cfg, &wl, &settings, &CostModel::default());
-        assert_eq!(results.len(), 4);
+        let rows = run_update_experiment(&stats_cfg, &wl, &settings, &CostModel::default());
+        // Every evaluated kind gets a row; exactly the UPDATABLE four
+        // carry measurements, the rest are typed skips.
+        assert_eq!(rows.len(), EstimatorKind::ALL.len());
+        let measured = updated_results(&rows);
+        assert_eq!(measured.len(), 4);
+        for row in &rows {
+            assert_eq!(
+                row.outcome.is_ok(),
+                UPDATABLE.contains(&row.kind),
+                "{:?}",
+                row.kind
+            );
+        }
         // BayesCard's incremental count update beats NeuroCard's retrain.
-        let bc = results
+        let bc = measured
             .iter()
             .find(|r| r.kind == EstimatorKind::BayesCard)
             .unwrap();
-        let nc = results
+        let nc = measured
             .iter()
             .find(|r| r.kind == EstimatorKind::NeuroCardE)
             .unwrap();
@@ -167,8 +238,13 @@ mod tests {
             bc.update_time,
             nc.update_time
         );
-        let rendered = table6(&results);
+        let rendered = table6(&rows);
         assert!(rendered.contains("Update time"));
         assert!(rendered.contains("BayesCard"));
+        // Skipped kinds render dash cells plus a reason line.
+        assert!(rendered.contains("MSCN"), "{rendered}");
+        assert!(rendered.contains('—'), "{rendered}");
+        assert!(rendered.contains("skipped: MSCN"), "{rendered}");
+        assert!(rendered.contains("skipped: PostgreSQL"), "{rendered}");
     }
 }

@@ -1,0 +1,201 @@
+//! Differential and property tests for the adaptive feedback layer.
+//!
+//! Three contracts:
+//!
+//! - a [`FeedbackEst`] whose store holds **zero observations** is
+//!   bit-identical to its inner estimator — for every registered kind,
+//!   on both the sequential and batch paths;
+//! - replaying a workload against a warm store never makes any query's
+//!   q-error worse than the warmup pass (warmup monotonicity);
+//! - poisoned observations (NaN/±inf/negative estimates or truths) can
+//!   never make the store emit a non-finite or negative estimate, and
+//!   corrections stay within the configured clamp band.
+
+use std::sync::{Arc, OnceLock};
+
+use cardbench_engine::{CostModel, TrueCardService};
+use cardbench_estimators::{CardEst, EstimatorKind};
+use cardbench_feedback::{FeedbackConfig, FeedbackEst, FeedbackStore};
+use cardbench_harness::{
+    build_estimator, median_q_error, run_workload_adaptive, Bench, BenchConfig, RunOptions,
+};
+use cardbench_query::{connected_subsets, JoinQuery, SubPlanQuery};
+use cardbench_support::proptest::prelude::*;
+use cardbench_workload::{stats_ceb, WorkloadConfig};
+
+fn bench() -> &'static Bench {
+    static B: OnceLock<Bench> = OnceLock::new();
+    B.get_or_init(|| Bench::build(BenchConfig::fast(17)))
+}
+
+/// Random acyclic 2–5-table queries on the STATS schema.
+fn random_queries(seed: u64) -> Vec<JoinQuery> {
+    let b = bench();
+    let cfg = WorkloadConfig {
+        seed,
+        templates: 6,
+        queries: 3,
+        max_tables: 5,
+        max_predicates: 4,
+        retries: 10,
+        max_subplan_card: 1e6,
+    };
+    stats_ceb(&b.stats_db, &cfg)
+        .queries
+        .into_iter()
+        .map(|wq| wq.query)
+        .collect()
+}
+
+fn subplans(q: &JoinQuery) -> Vec<SubPlanQuery> {
+    connected_subsets(q)
+        .into_iter()
+        .map(|m| SubPlanQuery::project(q, m))
+        .collect()
+}
+
+/// Every kind, wrapped around an *empty* enabled store: the wrapper must
+/// be a bit-exact no-op on both the per-sub-plan and the batch path.
+#[test]
+fn empty_store_is_bit_identical_to_inner_for_all_kinds() {
+    let b = bench();
+    let db = &b.stats_db;
+    for kind in EstimatorKind::ALL {
+        let built = build_estimator(kind, db, &b.stats_train, &b.config.settings);
+        let wrapped = FeedbackEst::new(built.est, Arc::new(FeedbackStore::default()), true);
+        for q in random_queries(31) {
+            let subs = subplans(&q);
+            let inner_batch = wrapped.inner().estimate_batch(db, &subs);
+            let outer_batch = wrapped.estimate_batch(db, &subs);
+            for (i, sub) in subs.iter().enumerate() {
+                let want = wrapped.inner().estimate(db, sub);
+                let got = wrapped.estimate(db, sub);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{} mask {:?}: empty-store wrapper perturbed estimate",
+                    kind.name(),
+                    sub.mask
+                );
+                assert_eq!(
+                    outer_batch[i].to_bits(),
+                    inner_batch[i].to_bits(),
+                    "{} mask {:?}: empty-store wrapper perturbed batch",
+                    kind.name(),
+                    sub.mask
+                );
+            }
+        }
+        assert!(
+            wrapped.store().is_empty(),
+            "{}: estimation alone must not populate the store",
+            kind.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Warmup monotonicity: a second adaptive pass over the same
+    /// workload never has a worse q-error than the first on any query,
+    /// and the medians are non-increasing (observed truths only ever
+    /// add information).
+    #[test]
+    fn replay_qerror_never_worse_than_warmup(seed in 0u64..1000) {
+        let b = bench();
+        let built = build_estimator(
+            EstimatorKind::Postgres,
+            &b.stats_db,
+            &b.stats_train,
+            &b.config.settings,
+        );
+        let store = Arc::new(FeedbackStore::new(FeedbackConfig::default()));
+        let est = FeedbackEst::new(built.est, Arc::clone(&store), true);
+        let truth = TrueCardService::new();
+        let cost = CostModel::default();
+        let wl = {
+            let cfg = WorkloadConfig { seed, templates: 4, queries: 4, ..WorkloadConfig::stats_ceb(seed) };
+            stats_ceb(&b.stats_db, &cfg)
+        };
+        let opts = RunOptions::default();
+        let warm = run_workload_adaptive(&b.stats_db, &wl, &est, est.store(), &truth, &cost, &opts);
+        let replay = run_workload_adaptive(&b.stats_db, &wl, &est, est.store(), &truth, &cost, &opts);
+        for (w, r) in warm.iter().zip(&replay) {
+            let wq = w.q_errors.iter().cloned().fold(1.0, f64::max);
+            let rq = r.q_errors.iter().cloned().fold(1.0, f64::max);
+            prop_assert!(
+                rq <= wq,
+                "Q{}: replay max q-error {rq} worse than warmup {wq}",
+                w.id
+            );
+        }
+        prop_assert!(median_q_error(&replay) <= median_q_error(&warm));
+    }
+
+    /// Poisoning: arbitrary garbage observations (non-finite or negative
+    /// estimates and truths, plus wild-but-valid magnitudes) never make
+    /// `apply` return a non-finite or negative value, and any correction
+    /// stays inside the configured clamp band around the inner estimate.
+    #[test]
+    fn poisoned_store_never_emits_non_finite_or_unclamped(
+        seed in 0u64..1000,
+        est_picks in prop::collection::vec(0usize..7, 8),
+        truth_picks in prop::collection::vec(0usize..6, 8),
+    ) {
+        const EST_POISON: [f64; 7] = [
+            f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, 0.0, 1e-300, 1e300,
+        ];
+        const TRUTH_POISON: [f64; 6] = [
+            f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -5.0, 0.0, 1e18,
+        ];
+        let ests: Vec<f64> = est_picks.iter().map(|&i| EST_POISON[i]).collect();
+        let truths: Vec<f64> = truth_picks.iter().map(|&i| TRUTH_POISON[i]).collect();
+        let cfg = FeedbackConfig { warmup: 1, ..FeedbackConfig::default() };
+        let max_c = cfg.max_correction;
+        let store = FeedbackStore::new(cfg);
+        let queries = random_queries(seed);
+        let q = &queries[0];
+        // Poison the store: same structural template, garbage values.
+        for (e, t) in ests.iter().zip(&truths) {
+            store.observe(q, *e, *t);
+        }
+        for inner in [0.0, 1.0, 42.5, 1e12, f64::MAX] {
+            let out = store.apply(q, inner);
+            prop_assert!(
+                out.is_finite() && out >= 0.0,
+                "apply({inner}) produced {out}"
+            );
+        }
+        // A structural sibling (no exact entry) only ever sees a clamped
+        // multiplicative correction.
+        if queries.len() > 1 && queries[1].template_hash() == q.template_hash() {
+            let sib = &queries[1];
+            for inner in [1.0, 1e6] {
+                let out = store.apply(sib, inner);
+                prop_assert!(out.is_finite() && out >= 0.0);
+                if out != inner {
+                    let ratio = out / inner;
+                    prop_assert!(
+                        ratio >= 1.0 / max_c - 1e-12 && ratio <= max_c + 1e-12,
+                        "correction ratio {ratio} escaped the clamp band"
+                    );
+                }
+            }
+        }
+        // Every call is accounted for: each either counts as an
+        // observation or a rejected truth, plus at most one extra
+        // `rejected` tick when the first accepted truth arrived with a
+        // poisoned estimate (recorded but useless as a correction).
+        let stats = store.stats();
+        let total = stats.observations + stats.rejected;
+        let n = ests.len() as u64;
+        prop_assert!(
+            total == n || total == n + 1,
+            "observations {} + rejected {} vs {} calls",
+            stats.observations,
+            stats.rejected,
+            n
+        );
+    }
+}

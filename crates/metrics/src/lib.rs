@@ -131,8 +131,10 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
     }
     v.sort_by(f64::total_cmp);
     let pos = p.clamp(0.0, 1.0) * (v.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
+    // Both indices clamped to the last element: `ceil` of a boundary
+    // quantile must never step one past the end of a short slice.
+    let lo = (pos.floor() as usize).min(v.len() - 1);
+    let hi = (pos.ceil() as usize).min(v.len() - 1);
     if lo == hi {
         v[lo]
     } else {
@@ -256,6 +258,29 @@ mod tests {
         assert_eq!(percentile(&w, 0.5), 0.0);
         let (p50, _, _) = percentile_triple(&[f64::NAN, 7.0]);
         assert_eq!(p50, 7.0);
+    }
+
+    #[test]
+    fn percentile_boundary_quantiles_stay_in_bounds() {
+        // Empty and all-NaN samples: NaN, no panic.
+        assert!(percentile(&[], 0.0).is_nan());
+        assert!(percentile(&[], 1.0).is_nan());
+        // Single element: every quantile is that element.
+        for p in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[42.0], p), 42.0);
+        }
+        // p=0 / p=100%: exact extremes on short slices.
+        let v = [5.0, 1.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+        // Out-of-range p is clamped, not extrapolated.
+        assert_eq!(percentile(&v, -3.0), 1.0);
+        assert_eq!(percentile(&v, 7.0), 5.0);
+        // A p chosen so pos lands exactly on the last index: lo == hi
+        // must hit the final element, never one past it.
+        let w = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&w, 1.0), 3.0);
+        assert_eq!(percentile(&w, 0.5), 2.0);
     }
 
     #[test]

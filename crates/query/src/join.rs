@@ -176,6 +176,47 @@ impl JoinQuery {
         h
     }
 
+    /// A stable 64-bit *template* hash: like [`JoinQuery::canonical_hash`]
+    /// but invariant under the predicate literals. Two queries with the
+    /// same tables, the same join edges, and predicates on the same
+    /// `table.column` with the same region *kind* (range vs. in-list)
+    /// collide here even when their constants differ — they are
+    /// "structural siblings" for the execution-feedback cache, which
+    /// transfers a multiplicative correction between them.
+    pub fn template_hash(&self) -> u64 {
+        let mut tabs: Vec<u64> = self.tables.iter().map(|t| fnv_str(FNV_SEED, t)).collect();
+        tabs.sort_unstable();
+        let mut joins: Vec<u64> = self
+            .joins
+            .iter()
+            .map(|e| {
+                let a = fnv_str(fnv_str(FNV_SEED, &self.tables[e.left]), &e.left_col);
+                let b = fnv_str(fnv_str(FNV_SEED, &self.tables[e.right]), &e.right_col);
+                fnv_u64(fnv_u64(FNV_SEED, a.min(b)), a.max(b))
+            })
+            .collect();
+        joins.sort_unstable();
+        let mut preds: Vec<u64> = self
+            .predicates
+            .iter()
+            .map(|p| {
+                let h = fnv_str(fnv_str(FNV_SEED, &self.tables[p.table]), &p.column);
+                // Region kind only — the literals are deliberately omitted.
+                match &p.region {
+                    Region::Range { .. } => fnv_u64(h, 1),
+                    Region::In(_) => fnv_u64(h, 2),
+                }
+            })
+            .collect();
+        preds.sort_unstable();
+        let mut h = FNV_SEED;
+        h = fnv_u64(h, self.tables.len() as u64);
+        for v in tabs.iter().chain(&joins).chain(&preds) {
+            h = fnv_u64(h, *v);
+        }
+        h
+    }
+
     /// A stable canonical key for caching results keyed by query identity
     /// (sorted tables/joins/predicates rendered to text).
     pub fn canonical_key(&self) -> String {
@@ -277,6 +318,33 @@ mod tests {
         let q4 = JoinQuery::single("a", vec![]);
         let q5 = JoinQuery::single("b", vec![]);
         assert_ne!(q4.canonical_hash(), q5.canonical_hash());
+    }
+
+    #[test]
+    fn template_hash_ignores_literals_but_not_structure() {
+        let q1 = chain3();
+        // Same structure, different literal: canonical hashes differ,
+        // template hashes agree.
+        let mut q2 = chain3();
+        q2.predicates[0].region = Region::eq(9);
+        assert_ne!(q1.canonical_hash(), q2.canonical_hash());
+        assert_eq!(q1.template_hash(), q2.template_hash());
+        // Order-invariant like canonical_hash.
+        let mut q3 = chain3();
+        q3.joins.reverse();
+        assert_eq!(q1.template_hash(), q3.template_hash());
+        // Different predicate column: different template.
+        let mut q4 = chain3();
+        q4.predicates[0].column = "y".into();
+        assert_ne!(q1.template_hash(), q4.template_hash());
+        // Different region kind (range vs. in-list): different template.
+        let mut q5 = chain3();
+        q5.predicates[0].region = Region::In(vec![1]);
+        assert_ne!(q1.template_hash(), q5.template_hash());
+        // Different tables: different template.
+        let mut q6 = chain3();
+        q6.tables[2] = "d".into();
+        assert_ne!(q1.template_hash(), q6.template_hash());
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! every connected sub-join of a query, which is exactly what a cost-based
 //! optimizer asks a cardinality estimator about.
 
+// Parsing and binding surface typed errors, never unwraps (tests may).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod bind;
 pub mod join;
 pub mod parser;

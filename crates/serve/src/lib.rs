@@ -90,8 +90,10 @@ use std::time::{Duration, Instant};
 use cardbench_engine::{CostModel, Database, TrueCardService};
 use cardbench_estimators::postgres::PostgresEst;
 use cardbench_estimators::CardEst;
+use cardbench_feedback::{FeedbackEst, FeedbackStore};
 use cardbench_harness::{
-    deadline_budget, estimate_all, plan_query_via, EstimateError, PlannedQuery,
+    deadline_budget, estimate_all, plan_query_via, record_feedback_metrics, EstimateError,
+    PlannedQuery,
 };
 use cardbench_obs::{counter_add, gauge_set, observe_secs};
 use cardbench_query::{BoundQuery, SubPlanQuery};
@@ -104,6 +106,7 @@ use chaos::ChaosServe;
 use coalesce::EstimateJob;
 
 pub use breaker::{BreakerConfig, BreakerState, BreakerStats};
+pub use cardbench_feedback::{FeedbackConfig, FeedbackStats};
 pub use chaos::{ChaosServeConfig, TickFault};
 pub use coalesce::{coalesce_estimate, CoalesceOutcome};
 pub use loadgen::{run_load, LoadConfig, LoadReport};
@@ -167,6 +170,13 @@ pub struct ServeConfig {
     /// Heartbeat age past which a *busy* drainer counts as wedged and is
     /// superseded. Must comfortably exceed an honest tick's duration.
     pub heartbeat_stale_after: Duration,
+    /// Execution-feedback cache shared by every session: `Some` wraps
+    /// the served estimator in a [`FeedbackEst`] over one
+    /// [`FeedbackStore`], and each planned query's true sub-plan
+    /// cardinalities are observed back into the store. `None` (the
+    /// default) leaves the service bit-identical to a feedback-less
+    /// build — pinned by the differential tests.
+    pub feedback: Option<FeedbackConfig>,
 }
 
 impl Default for ServeConfig {
@@ -186,6 +196,7 @@ impl Default for ServeConfig {
             retry_backoff_cap: Duration::from_millis(20),
             watchdog_interval: Duration::from_millis(25),
             heartbeat_stale_after: Duration::from_secs(5),
+            feedback: None,
         }
     }
 }
@@ -245,6 +256,36 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Delegating adapter so an `Arc<dyn CardEst>` can sit inside the boxed
+/// [`FeedbackEst`] wrapper. Inference-side methods forward; the
+/// `&mut self` update entry point is unreachable through the shared
+/// `Arc` and keeps the trait's no-op default.
+struct SharedEst(Arc<dyn CardEst>);
+
+impl CardEst for SharedEst {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn estimate(&self, db: &Database, sub: &SubPlanQuery) -> f64 {
+        self.0.estimate(db, sub)
+    }
+    fn estimate_batch(&self, db: &Database, subs: &[SubPlanQuery]) -> Vec<f64> {
+        self.0.estimate_batch(db, subs)
+    }
+    fn batch_leverage(&self) -> bool {
+        self.0.batch_leverage()
+    }
+    fn model_size_bytes(&self) -> usize {
+        self.0.model_size_bytes()
+    }
+    fn is_oracle(&self) -> bool {
+        self.0.is_oracle()
+    }
+    fn supports_update(&self) -> bool {
+        false
+    }
+}
+
 /// State shared by the server, every session, the drainer, and the
 /// watchdog. The submission queue lives *here* — not inside a channel
 /// owned by the drainer thread — so queued jobs survive a drainer crash
@@ -262,6 +303,9 @@ pub(crate) struct Shared {
     live: AtomicUsize,
     /// The bounded submission queue (crash-surviving; see module docs).
     pub(crate) queue: coalesce::JobQueue,
+    /// Cross-session execution-feedback store, if enabled. The served
+    /// `est` is then already the [`FeedbackEst`] wrapper over it.
+    pub(crate) feedback: Option<Arc<FeedbackStore>>,
     /// Circuit breaker for the served estimator, if enabled.
     pub(crate) breaker: Option<Breaker>,
     /// Service-level fault injector, if enabled.
@@ -290,12 +334,28 @@ impl Shared {
         cfg: ServeConfig,
     ) -> Shared {
         let queue = coalesce::JobQueue::new(cfg.queue_cap.max(1));
+        // Feedback wraps the estimator *inside* the service, so both the
+        // coalesced drain path and the inline sequential path resolve
+        // through the same shared store.
+        let (est, feedback) = match cfg.feedback {
+            Some(fc) => {
+                let store = Arc::new(FeedbackStore::new(fc));
+                let wrapped: Arc<dyn CardEst> = Arc::new(FeedbackEst::new(
+                    Box::new(SharedEst(est)),
+                    Arc::clone(&store),
+                    true,
+                ));
+                (wrapped, Some(store))
+            }
+            None => (est, None),
+        };
         let breaker = cfg.breaker.clone().map(|bc| Breaker::new(bc, est.name()));
         let chaos = cfg.chaos.clone().map(ChaosServe::new);
         Shared {
             db,
             truth,
             est,
+            feedback,
             cost,
             cfg,
             fallback: OnceLock::new(),
@@ -405,6 +465,8 @@ pub struct ServeStats {
     pub breaker: BreakerStats,
     /// Drainer panics injected by ChaosServe so far.
     pub chaos_panics: u32,
+    /// Feedback-store counters, `None` when feedback is disabled.
+    pub feedback: Option<FeedbackStats>,
 }
 
 /// The estimation service: owns the shared engine state, the coalescer
@@ -521,6 +583,7 @@ impl Server {
             breaker_state: sh.breaker.as_ref().map(Breaker::state),
             breaker: sh.breaker.as_ref().map(Breaker::stats).unwrap_or_default(),
             chaos_panics: sh.chaos.as_ref().map_or(0, ChaosServe::panics_injected),
+            feedback: sh.feedback.as_ref().map(|s| s.stats()),
         }
     }
 
@@ -707,6 +770,11 @@ impl Session {
         } else {
             "coalesced"
         };
+        // Snapshot before planning: the estimate calls inside
+        // `plan_query_via` hit the feedback store (hits/overrides/
+        // corrections), and the observation below refreshes it; the
+        // folded delta must cover both sides.
+        let fb_before = sh.feedback.as_ref().map(|s| s.stats());
         let planned = plan_query_via(
             &sh.db,
             wq,
@@ -715,6 +783,25 @@ impl Session {
             &sh.cost,
             &sh.fallback,
         );
+        if let Some(store) = &sh.feedback {
+            if let Ok((bound, _)) = &planned.plan {
+                let _fb =
+                    cardbench_obs::span_with("feedback", "serve", || format!("Q{}", planned.id));
+                // Re-project the sub-plan space (topology is memoized) so
+                // slot i of the planned cards aligns with its sub-query,
+                // then feed the observed truths back into the store.
+                let topo = sh.db.topology(&wq.query, bound);
+                let subs: Vec<SubPlanQuery> = topo
+                    .masks()
+                    .iter()
+                    .map(|&mask| SubPlanQuery::project(&wq.query, mask))
+                    .collect();
+                store.observe_subplans(&subs, &planned.sub_est_cards, &planned.sub_true_cards);
+            }
+            if let Some(before) = &fb_before {
+                record_feedback_metrics(sh.est.name(), before, &store.stats());
+            }
+        }
         // Refund the budget charge on full-query degradation: the query
         // either produced no plan at all (bind/truth failure) or every
         // sub-plan slot hard-failed to the fallback — the session got

@@ -10,6 +10,9 @@
 //! - [`value`]: nullable datum type and helpers.
 //! - [`column`]: columns with null bitmaps and cached statistics.
 //! - [`schema`]: column/table schemas and join-relation metadata.
+
+// Load/append paths surface typed errors, never unwraps (tests may).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! - [`table`]: row/column access and bulk append.
 //! - [`catalog`]: the database — named tables plus the join graph.
 //! - [`csv`]: plain-text persistence for datasets.

@@ -9,6 +9,10 @@
 //! predicates anchored at real data values and zero-result candidates
 //! rejected (the paper hand-picks for real-world semantics).
 
+// Generation and (de)serialization surface typed errors, never unwraps
+// (tests may).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod generator;
 pub mod io;
 pub mod templates;

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Measures adaptive estimation: for three inner estimator kinds, four
+# strictly sequential passes over one workload sharing a feedback store
+# of executed true cardinalities — the cold warmup (its per-quartile
+# medians are the learning curve), the oracle-exact warm replay, the
+# stale-feedback spike after a temporal bulk insert, and the recovery
+# pass. Also asserts the feedback-off path is bit-identical to the
+# parallel harness. Leaves a machine-readable summary in
+# BENCH_adaptive.json at the repo root. Run on an otherwise idle
+# machine.
+set -e
+cd "$(dirname "$0")/.."
+cargo bench -p cardbench-bench --bench adaptive
+echo "--- BENCH_adaptive.json ---"
+cat BENCH_adaptive.json
