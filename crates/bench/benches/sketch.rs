@@ -1,0 +1,368 @@
+//! Sketch-estimator benchmark: sharded build throughput (with the
+//! bit-identity check that makes the sharding free), model size against
+//! the other fifteen kinds, per-estimate latency, and the
+//! refresh-in-place vs retrain comparison on a temporal shift.
+//!
+//! Writes `BENCH_sketch.json` at the repo root; `CARDBENCH_FAST=1` runs
+//! a tiny smoke and skips the JSON.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use cardbench_support::json::Json;
+
+use cardbench_datagen::{stats_catalog, StatsConfig};
+use cardbench_engine::{CostModel, Database};
+use cardbench_estimators::EstimatorKind;
+use cardbench_harness::{
+    build_estimator, run_refresh_experiment, EstimatorSettings, RefreshExperiment,
+};
+use cardbench_query::{connected_subsets, SubPlanQuery};
+use cardbench_sketch::{SketchConfig, SketchEst};
+use cardbench_workload::{stats_ceb, training_workload, Workload, WorkloadConfig};
+
+/// One sharded-build measurement.
+struct BuildPoint {
+    shards: usize,
+    secs: f64,
+    rows_per_sec: f64,
+    speedup: f64,
+    digest_matches: bool,
+}
+
+/// Best-of-`reps` wall time of a sharded fit.
+fn time_build(db: &Database, cfg: &SketchConfig, shards: usize, reps: usize) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut digest = 0;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let est = SketchEst::fit_sharded(db, cfg, shards);
+        best = best.min(t0.elapsed().as_secs_f64());
+        digest = est.state_digest();
+    }
+    (best, digest)
+}
+
+/// `q`-th latency percentile of a sorted nanosecond sample.
+fn pct(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Per-estimate latency of `est` over every connected sub-plan of the
+/// workload: (p50_ns, p99_ns, calls).
+fn estimate_latency(
+    db: &Database,
+    wl: &Workload,
+    est: &dyn cardbench_estimators::CardEst,
+    reps: usize,
+) -> (u64, u64, usize) {
+    let subs: Vec<SubPlanQuery> = wl
+        .queries
+        .iter()
+        .flat_map(|wq| {
+            connected_subsets(&wq.query)
+                .into_iter()
+                .map(|mask| SubPlanQuery::project(&wq.query, mask))
+        })
+        .collect();
+    let mut ns = Vec::with_capacity(subs.len() * reps);
+    for _ in 0..reps {
+        for sub in &subs {
+            let t0 = Instant::now();
+            let e = est.estimate(db, sub);
+            ns.push(t0.elapsed().as_nanos() as u64);
+            assert!(e.is_finite() && e >= 0.0);
+        }
+    }
+    ns.sort_unstable();
+    (pct(&ns, 0.5), pct(&ns, 0.99), subs.len())
+}
+
+fn refresh_json(r: &RefreshExperiment) -> Json {
+    Json::object([
+        ("stale_median_q_error", Json::Number(r.stale_q)),
+        ("refreshed_median_q_error", Json::Number(r.refreshed_q)),
+        ("retrained_median_q_error", Json::Number(r.retrained_q)),
+        (
+            "refresh_ms",
+            Json::Number(r.refresh_time.as_secs_f64() * 1e3),
+        ),
+        (
+            "retrain_ms",
+            Json::Number(r.retrain_time.as_secs_f64() * 1e3),
+        ),
+        ("delta_rows", Json::Number(r.delta_rows as f64)),
+        ("model_bytes", Json::Number(r.model_bytes as f64)),
+        (
+            "refresh_matches_retrain",
+            Json::Bool(r.refresh_matches_retrain),
+        ),
+    ])
+}
+
+fn main() {
+    let smoke = std::env::var("CARDBENCH_FAST").is_ok_and(|v| v == "1");
+    let seed = 17;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let stats_cfg = if smoke {
+        StatsConfig::tiny(seed)
+    } else {
+        StatsConfig {
+            seed,
+            ..StatsConfig::default()
+        }
+    };
+    let db = Database::new(stats_catalog(&stats_cfg));
+    let total_rows: usize = db.catalog().tables().iter().map(|t| t.row_count()).sum();
+    let settings = if smoke {
+        EstimatorSettings::fast(seed)
+    } else {
+        EstimatorSettings::standard(seed)
+    };
+    let sketch_cfg = &settings.sketch;
+    let reps = if smoke { 1 } else { 3 };
+
+    // --- Sharded build throughput, bit-identity enforced per point. ---
+    let (seq_secs, seq_digest) = time_build(&db, sketch_cfg, 1, reps);
+    let mut build = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let (secs, digest) = time_build(&db, sketch_cfg, shards, reps);
+        let point = BuildPoint {
+            shards,
+            secs,
+            rows_per_sec: total_rows as f64 / secs,
+            speedup: seq_secs / secs,
+            digest_matches: digest == seq_digest,
+        };
+        assert!(point.digest_matches, "{shards}-shard digest diverged");
+        println!(
+            "build {:>2} shards: {:>8.1} ms  {:>12.0} rows/s  speedup {:>5.2}x  bit-identical",
+            point.shards,
+            point.secs * 1e3,
+            point.rows_per_sec,
+            point.speedup
+        );
+        build.push(point);
+    }
+    let speedup4 = build
+        .iter()
+        .find(|p| p.shards == 4)
+        .map_or(1.0, |p| p.speedup);
+
+    // --- Per-estimate latency: sketch vs the traditional baseline. ---
+    let wl = stats_ceb(
+        &db,
+        &WorkloadConfig {
+            templates: if smoke { 6 } else { 12 },
+            queries: if smoke { 8 } else { 24 },
+            max_tables: 4,
+            ..WorkloadConfig::stats_ceb(seed ^ 0x51)
+        },
+    );
+    let train = if smoke {
+        cardbench_estimators::lw::TrainingSet::default()
+    } else {
+        let (qs, cs) = training_workload(&db, 400, 4, seed ^ 0x7a);
+        cardbench_estimators::lw::TrainingSet {
+            queries: qs,
+            cards: cs,
+        }
+    };
+    let sketch = SketchEst::fit(&db, sketch_cfg);
+    let lat_reps = if smoke { 2 } else { 5 };
+    let (p50, p99, subplans) = estimate_latency(&db, &wl, &sketch, lat_reps);
+    let pg = build_estimator(EstimatorKind::Postgres, &db, &train, &settings);
+    let (pg_p50, pg_p99, _) = estimate_latency(&db, &wl, pg.est.as_ref(), lat_reps);
+    println!(
+        "estimate latency over {subplans} sub-plans: sketch p50 {:.1} us / p99 {:.1} us, \
+         postgres p50 {:.1} us / p99 {:.1} us",
+        p50 as f64 / 1e3,
+        p99 as f64 / 1e3,
+        pg_p50 as f64 / 1e3,
+        pg_p99 as f64 / 1e3
+    );
+
+    // --- Refresh-in-place vs retrain on the temporal split. ---
+    let refresh = run_refresh_experiment(&stats_cfg, &wl, &settings, &CostModel::default());
+    assert!(refresh.refresh_matches_retrain, "refresh != retrain state");
+    assert!(
+        refresh.refreshed_q <= refresh.stale_q,
+        "refresh did not beat stale: {} vs {}",
+        refresh.refreshed_q,
+        refresh.stale_q
+    );
+    println!(
+        "refresh: stale q {:.3} -> refreshed q {:.3} (retrained {:.3}); \
+         {:.1} ms vs retrain {:.1} ms, bit-identical: {}",
+        refresh.stale_q,
+        refresh.refreshed_q,
+        refresh.retrained_q,
+        refresh.refresh_time.as_secs_f64() * 1e3,
+        refresh.retrain_time.as_secs_f64() * 1e3,
+        refresh.refresh_matches_retrain
+    );
+
+    if smoke {
+        println!("CARDBENCH_FAST=1: smoke only, skipping BENCH_sketch.json");
+        return;
+    }
+
+    // --- Model size against every other kind (standard scale). ---
+    let mut sizes = Vec::new();
+    for kind in EstimatorKind::ALL {
+        let built = build_estimator(kind, &db, &train, &settings);
+        println!("model size {:>12}: {:>10} B", kind.name(), built.model_size);
+        sizes.push((kind, built.model_size));
+    }
+    let sketch_bytes = sizes
+        .iter()
+        .find(|(k, _)| *k == EstimatorKind::Sketch)
+        .map_or(0, |&(_, b)| b);
+    // The learned methods of paper Table 3 (query- and data-driven).
+    let learned = [
+        EstimatorKind::Mscn,
+        EstimatorKind::LwXgb,
+        EstimatorKind::LwNn,
+        EstimatorKind::UaeQ,
+        EstimatorKind::NeuroCardE,
+        EstimatorKind::BayesCard,
+        EstimatorKind::DeepDb,
+        EstimatorKind::Flat,
+        EstimatorKind::Uae,
+    ];
+    let smallest_learned = sizes
+        .iter()
+        .filter(|(k, _)| learned.contains(k))
+        .map(|&(_, b)| b)
+        .min()
+        .unwrap_or(1)
+        .max(1);
+    let ratio = sketch_bytes as f64 / smallest_learned as f64;
+    println!(
+        "sketch model {sketch_bytes} B vs smallest learned {smallest_learned} B \
+         (ratio {ratio:.2})"
+    );
+
+    let summary = Json::object([
+        ("bench", Json::String("sketch".to_string())),
+        (
+            "config",
+            Json::String(format!(
+                "STATS default scale ({total_rows} rows, 8 tables); sketch: HLL p={}, \
+                 count-min depth={} width={} (key width {}); build best-of-{reps}; \
+                 latency over {subplans} connected sub-plans x {lat_reps} reps",
+                sketch_cfg.hll_precision,
+                sketch_cfg.cm_depth,
+                sketch_cfg.cm_width,
+                sketch_cfg.key_cm_width
+            )),
+        ),
+        ("host_cores", Json::Number(cores as f64)),
+        (
+            "notes",
+            Json::String(format!(
+                "every sharded build is asserted bit-identical to the sequential scan \
+                 (merge-closed integer state); on a {cores}-core host OS-thread sharding \
+                 {}; model-size target: the sketch state is fixed KBs (registers + \
+                 counters), {ratio:.2}x the smallest learned model here (LW-NN-class) \
+                 and orders of magnitude under the MB-class data-driven models — the \
+                 literal sub-1%-of-smallest-learned bar is unreachable for any \
+                 functioning sketch set at this schema width, so the ratio is recorded \
+                 instead; refresh-in-place streams the temporal delta O(1)/row and is \
+                 asserted to land on the exact retrained state",
+                if cores == 1 {
+                    "cannot exceed 1.0x (speedups recorded for completeness; see the \
+                     same caveat in BENCH_harness.json)"
+                        .to_string()
+                } else {
+                    format!("targets >=1.5x at 4 shards (measured {speedup4:.2}x)")
+                }
+            )),
+        ),
+        (
+            "headline",
+            Json::object([
+                ("build_speedup_4_shards", Json::Number(speedup4)),
+                ("one_core_host", Json::Bool(cores == 1)),
+                ("sharded_build_bit_identical", Json::Bool(true)),
+                ("sketch_model_bytes", Json::Number(sketch_bytes as f64)),
+                (
+                    "smallest_learned_model_bytes",
+                    Json::Number(smallest_learned as f64),
+                ),
+                ("model_ratio_vs_smallest_learned", Json::Number(ratio)),
+                ("estimate_p50_us", Json::Number(p50 as f64 / 1e3)),
+                ("estimate_p99_us", Json::Number(p99 as f64 / 1e3)),
+                (
+                    "refresh_matches_retrain",
+                    Json::Bool(refresh.refresh_matches_retrain),
+                ),
+                (
+                    "refresh_speedup_vs_retrain",
+                    Json::Number(
+                        refresh.retrain_time.as_secs_f64()
+                            / refresh.refresh_time.as_secs_f64().max(1e-9),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "build",
+            Json::Array(
+                build
+                    .iter()
+                    .map(|p| {
+                        Json::object([
+                            ("shards", Json::Number(p.shards as f64)),
+                            ("seconds", Json::Number(p.secs)),
+                            ("rows_per_sec", Json::Number(p.rows_per_sec)),
+                            ("speedup_vs_sequential", Json::Number(p.speedup)),
+                            ("digest_matches", Json::Bool(p.digest_matches)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "estimate_latency_ns",
+            Json::object([
+                (
+                    "sketch",
+                    Json::object([
+                        ("p50", Json::Number(p50 as f64)),
+                        ("p99", Json::Number(p99 as f64)),
+                    ]),
+                ),
+                (
+                    "postgres",
+                    Json::object([
+                        ("p50", Json::Number(pg_p50 as f64)),
+                        ("p99", Json::Number(pg_p99 as f64)),
+                    ]),
+                ),
+            ]),
+        ),
+        ("refresh", refresh_json(&refresh)),
+        (
+            "model_sizes",
+            Json::Array(
+                sizes
+                    .iter()
+                    .map(|&(k, b)| {
+                        Json::object([
+                            ("kind", Json::String(k.name().to_string())),
+                            ("bytes", Json::Number(b as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sketch.json");
+    std::fs::write(&path, summary.pretty()).expect("write BENCH_sketch.json");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,152 @@
+//! Sketch-estimator smoke test: the differential contracts that make the
+//! sketch path safe to parallelize and stream into, sized for CI.
+//!
+//! Asserts, on a generated STATS catalog:
+//!
+//! - the 4-shard parallel build is bit-identical to the sequential scan
+//!   (and to the auto-resolved shard count);
+//! - `estimate_batch` is bit-identical to one-at-a-time `estimate` over
+//!   every connected sub-plan of a workload;
+//! - streaming the temporal-split insert delta into the stale model
+//!   lands on exactly the from-scratch rebuild (refresh-in-place);
+//! - a churn delete stream is absorbed (counts reverse, saturate at
+//!   zero) and estimates stay finite under poisonous regions.
+//!
+//! Exits non-zero on any violation, so CI can gate on it. `--trace`
+//! records the `sketch_build` span and the `cardbench_sketch_*` metric
+//! families validated by `validate_trace`.
+
+use cardbench_bench::config_from_env;
+use cardbench_datagen::stats::{churn_sample, temporal_split, SPLIT_DAY};
+use cardbench_engine::Database;
+use cardbench_estimators::CardEst;
+use cardbench_query::{connected_subsets, JoinQuery, Region, SubPlanQuery, TableMask};
+use cardbench_sketch::SketchEst;
+use cardbench_storage::TableId;
+use cardbench_workload::stats_ceb;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("[sketch-smoke] FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let _trace = cardbench_bench::init_tracing();
+    let _run_sp = cardbench_obs::span_with("run", "run", || "sketch-smoke".to_string());
+    let cfg = config_from_env();
+    let sketch_cfg = &cfg.settings.sketch;
+
+    eprintln!(
+        "[sketch-smoke] building STATS dataset + workload (seed {})...",
+        cfg.settings.seed
+    );
+    let db = Database::new(cardbench_datagen::stats_catalog(&cfg.stats));
+    let wl = stats_ceb(&db, &cfg.stats_workload);
+    assert!(!wl.queries.is_empty(), "sketch smoke workload is empty");
+
+    // Sharded build bit-identity: sequential, 4-shard, auto.
+    let sequential = SketchEst::fit_sharded(&db, sketch_cfg, 1);
+    let sharded = SketchEst::fit_sharded(&db, sketch_cfg, 4);
+    let auto = SketchEst::fit(&db, sketch_cfg);
+    if sequential.state_digest() != sharded.state_digest() {
+        fail("4-shard build diverged from the sequential scan");
+    }
+    if sequential.state_digest() != auto.state_digest() {
+        fail("auto-shard build diverged from the sequential scan");
+    }
+    eprintln!(
+        "[sketch-smoke] sharded build bit-identical ({} B model)",
+        sequential.model_size_bytes()
+    );
+
+    // Batch/sequential estimate bit-identity over every sub-plan.
+    let subs: Vec<SubPlanQuery> = wl
+        .queries
+        .iter()
+        .flat_map(|wq| {
+            connected_subsets(&wq.query)
+                .into_iter()
+                .map(|mask| SubPlanQuery::project(&wq.query, mask))
+        })
+        .collect();
+    let batched = sequential.estimate_batch(&db, &subs);
+    if batched.len() != subs.len() {
+        fail("estimate_batch returned the wrong arity");
+    }
+    for (sub, b) in subs.iter().zip(&batched) {
+        let single = sequential.estimate(&db, sub);
+        if single.to_bits() != b.to_bits() {
+            fail(&format!(
+                "batch {b} vs single {single} on {:?}",
+                sub.query.tables
+            ));
+        }
+    }
+    eprintln!(
+        "[sketch-smoke] estimate_batch bit-identical over {} sub-plans",
+        subs.len()
+    );
+
+    // Refresh-in-place lands on the exact rebuild.
+    let full = cardbench_datagen::stats_catalog(&cfg.stats);
+    let (stale_cat, inserts) = temporal_split(&full, SPLIT_DAY);
+    let stale_db = Database::new(stale_cat);
+    let mut refreshed = SketchEst::fit(&stale_db, sketch_cfg);
+    let mut shifted = stale_db;
+    for (t, d) in inserts.iter().enumerate() {
+        shifted
+            .catalog_mut()
+            .table_mut(TableId(t))
+            .append_rows(d)
+            .expect("aligned schemas");
+    }
+    shifted.refresh();
+    refreshed.apply_inserts(&shifted, &inserts);
+    let rebuilt = SketchEst::fit_sharded(&shifted, sketch_cfg, 1);
+    if refreshed.state_digest() != rebuilt.state_digest() {
+        fail("insert-stream refresh diverged from the full rebuild");
+    }
+    let delta_rows: usize = inserts.iter().map(|t| t.row_count()).sum();
+    eprintln!("[sketch-smoke] refresh of {delta_rows} streamed rows matches the rebuild");
+
+    // Delete stream: absorbed, state changes, estimates stay sane.
+    let mut churned = sequential.clone();
+    let churn = churn_sample(db.catalog(), 0.25, cfg.settings.seed);
+    if churn.iter().all(|t| t.row_count() == 0) {
+        fail("churn sample is empty — delete path unexercised");
+    }
+    let before = churned.state_digest();
+    churned.apply_deletes(&churn);
+    if churned.state_digest() == before {
+        fail("delete stream did not change the sketch state");
+    }
+
+    // Poison grid: hostile regions on a key and a filterable column.
+    let extremes = [i64::MIN, -1, 0, 1, i64::MAX];
+    for est in [&sequential, &churned] {
+        for lo in extremes {
+            for hi in extremes {
+                for column in ["Id", "Reputation"] {
+                    let sub = SubPlanQuery {
+                        mask: TableMask::single(0),
+                        query: JoinQuery::single(
+                            "users",
+                            vec![cardbench_query::Predicate {
+                                table: 0,
+                                column: column.to_string(),
+                                region: Region::Range { lo, hi },
+                            }],
+                        ),
+                    };
+                    let e = est.estimate(&db, &sub);
+                    if !e.is_finite() || e < 0.0 {
+                        fail(&format!("poison region [{lo}, {hi}] on {column}: {e}"));
+                    }
+                }
+            }
+        }
+    }
+    eprintln!("[sketch-smoke] delete stream + poison grid: finite and non-negative");
+
+    println!("sketch smoke OK");
+}

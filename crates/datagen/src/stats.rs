@@ -519,6 +519,25 @@ pub fn temporal_split(catalog: &Catalog, cutoff: i64) -> (Catalog, Vec<Table>) {
     (stale, inserts)
 }
 
+/// Samples a delete stream for churn experiments: roughly `frac` of each
+/// table's rows, chosen per-row by seeded coin flip, packaged as one
+/// delta [`Table`] per catalog table (the same shape
+/// [`temporal_split`]'s insert stream uses). Deterministic in `seed`.
+pub fn churn_sample(catalog: &Catalog, frac: f64, seed: u64) -> Vec<Table> {
+    let frac = frac.clamp(0.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc4u64.rotate_left(32));
+    catalog
+        .tables()
+        .iter()
+        .map(|table| {
+            let rows: Vec<usize> = (0..table.row_count())
+                .filter(|_| rng.gen_bool(frac))
+                .collect();
+            table.take_rows(&rows)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -526,6 +545,36 @@ mod tests {
 
     fn tiny() -> Catalog {
         stats_catalog(&StatsConfig::tiny(1))
+    }
+
+    #[test]
+    fn churn_sample_is_deterministic_and_proportional() {
+        let cat = tiny();
+        let a = churn_sample(&cat, 0.2, 7);
+        let b = churn_sample(&cat, 0.2, 7);
+        assert_eq!(a.len(), cat.table_count());
+        for (t, (da, db)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(da.row_count(), db.row_count(), "table {t}");
+            let n = cat.tables()[t].row_count();
+            assert!(da.row_count() <= n);
+            if n >= 100 {
+                let frac = da.row_count() as f64 / n as f64;
+                assert!((0.05..0.5).contains(&frac), "table {t}: frac {frac}");
+            }
+        }
+        // Different seed, different sample.
+        let c = churn_sample(&cat, 0.2, 8);
+        assert!(a
+            .iter()
+            .zip(&c)
+            .any(|(x, y)| x.row_count() != y.row_count()));
+        // Degenerate fractions are total / empty.
+        assert!(churn_sample(&cat, 0.0, 7)
+            .iter()
+            .all(|t| t.row_count() == 0));
+        for (t, d) in churn_sample(&cat, 1.0, 7).iter().enumerate() {
+            assert_eq!(d.row_count(), cat.tables()[t].row_count());
+        }
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The fifteen cardinality estimators of the paper's evaluation.
+//! The fifteen cardinality estimators of the paper's evaluation, plus
+//! the sketch-backed extension.
 //!
 //! | class | estimators |
 //! |---|---|
@@ -7,6 +8,7 @@
 //! | query-driven | [`mscn::Mscn`], [`lw::LwXgb`], [`lw::LwNn`], [`uae::UaeQ`] |
 //! | data-driven | [`neurocard::NeuroCardE`], [`bayescard::BayesCard`], [`deepdb::DeepDb`], [`flat::Flat`] |
 //! | query+data | [`uae::Uae`] |
+//! | sketch | `SketchEst` (`crates/sketch`): mergeable HLL++/count-min synopses, sharded parallel build, O(1) streaming updates |
 //!
 //! Shared infrastructure: [`common`] (per-table coders: discretized
 //! attributes plus *fanout columns* toward every schema join edge),
@@ -137,6 +139,12 @@ pub enum EstimatorKind {
     Flat,
     /// Unified query+data autoregressive (UAE).
     Uae,
+    /// Sketch-backed synopses: per-attribute HyperLogLog++ distinct
+    /// counts plus count-min frequency sketches, combined through the
+    /// distinct-count/containment join formula. Mergeable (sharded
+    /// parallel build) and updatable in O(1) per streamed row; the model
+    /// is kilobytes. Implemented by `SketchEst` in `crates/sketch`.
+    Sketch,
     /// Execution-feedback wrapper: any inner estimator plus a cache of
     /// observed true sub-plan cardinalities that overrides (exact hit) or
     /// corrects (structural-sibling hit) the inner estimates. Not part of
@@ -146,8 +154,9 @@ pub enum EstimatorKind {
 }
 
 impl EstimatorKind {
-    /// All kinds in the display order of paper Table 3.
-    pub const ALL: [EstimatorKind; 15] = [
+    /// All evaluated kinds: the fifteen methods of paper Table 3 in its
+    /// display order, plus the sketch-backed extension.
+    pub const ALL: [EstimatorKind; 16] = [
         EstimatorKind::Postgres,
         EstimatorKind::TrueCard,
         EstimatorKind::MultiHist,
@@ -163,6 +172,7 @@ impl EstimatorKind {
         EstimatorKind::DeepDb,
         EstimatorKind::Flat,
         EstimatorKind::Uae,
+        EstimatorKind::Sketch,
     ];
 
     /// Display name.
@@ -183,6 +193,7 @@ impl EstimatorKind {
             EstimatorKind::DeepDb => "DeepDB",
             EstimatorKind::Flat => "FLAT",
             EstimatorKind::Uae => "UAE",
+            EstimatorKind::Sketch => "Sketch",
             EstimatorKind::Feedback => "Feedback",
         }
     }
@@ -204,6 +215,7 @@ impl EstimatorKind {
             | EstimatorKind::DeepDb
             | EstimatorKind::Flat => "Data-driven",
             EstimatorKind::Uae => "Query+Data",
+            EstimatorKind::Sketch => "Sketch",
             EstimatorKind::Feedback => "Adaptive",
         }
     }

@@ -8,6 +8,7 @@ use cardbench_estimators::neurocard::NeuroCardConfig;
 use cardbench_estimators::uae::UaeConfig;
 use cardbench_ml::autoreg::ArConfig;
 use cardbench_ml::gbdt::GbdtConfig;
+use cardbench_sketch::SketchConfig;
 use cardbench_workload::{job_light, stats_ceb, training_workload, Workload, WorkloadConfig};
 
 use cardbench_estimators::lw::LwNnConfig;
@@ -33,6 +34,9 @@ pub struct EstimatorSettings {
     pub uae: UaeConfig,
     /// NeuroCard hyper-parameters.
     pub neurocard: NeuroCardConfig,
+    /// Sketch-estimator hyper-parameters (HLL precision, count-min
+    /// shape, build shards).
+    pub sketch: SketchConfig,
 }
 
 impl EstimatorSettings {
@@ -67,6 +71,7 @@ impl EstimatorSettings {
                 },
                 ..NeuroCardConfig::default()
             },
+            sketch: SketchConfig::with_seed(seed),
         }
     }
 
@@ -106,6 +111,7 @@ impl EstimatorSettings {
                 },
                 seed,
             },
+            sketch: SketchConfig::with_seed(seed),
         }
     }
 }

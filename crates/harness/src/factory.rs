@@ -19,6 +19,7 @@ use cardbench_estimators::unisample::UniSample;
 use cardbench_estimators::wjsample::WjSample;
 use cardbench_estimators::{CardEst, EstimatorKind};
 use cardbench_feedback::{FeedbackEst, FeedbackStore};
+use cardbench_sketch::SketchEst;
 
 use crate::config::EstimatorSettings;
 
@@ -57,6 +58,10 @@ pub fn build_estimator(
         EstimatorKind::DeepDb => Box::new(DeepDb::fit(db, s.max_bins, s.seed)),
         EstimatorKind::Flat => Box::new(Flat::fit(db, s.max_bins, s.seed)),
         EstimatorKind::Uae => Box::new(Uae::fit(db, train, &s.uae)),
+        // Sharded mergeable build: shard count from `s.sketch.shards`
+        // (0 = the `--threads`/env auto-resolution), bit-identical to a
+        // sequential scan for any value.
+        EstimatorKind::Sketch => Box::new(SketchEst::fit(db, &s.sketch)),
         // Bare `Feedback` wraps the PostgreSQL baseline with a fresh
         // store; use [`build_feedback_estimator`] to pick the inner kind
         // and share a store across runs/sessions.

@@ -50,3 +50,7 @@ pub use fault::{
 };
 pub use observations::{check_observations, render_checks, ObservationCheck};
 pub use results::{MethodSummary, QueryRecord, RunResults};
+pub use update_exp::{
+    run_refresh_experiment, run_update_experiment, RefreshExperiment, UpdateResult, UpdateRow,
+    UPDATABLE,
+};

@@ -1,0 +1,188 @@
+//! Differential guarantees of the sketch estimator, checked on the
+//! generated STATS catalog: the sharded parallel build, the streaming
+//! refresh, and the batched estimate path must all be *bit-identical* to
+//! their sequential / from-scratch counterparts, and estimates must stay
+//! finite under poisonous inputs.
+
+use cardbench_datagen::stats::{churn_sample, temporal_split, SPLIT_DAY};
+use cardbench_datagen::{stats_catalog, StatsConfig};
+use cardbench_engine::Database;
+use cardbench_estimators::CardEst;
+use cardbench_query::{connected_subsets, JoinQuery, Predicate, Region, SubPlanQuery, TableMask};
+use cardbench_sketch::{SketchConfig, SketchEst};
+use cardbench_storage::TableId;
+use cardbench_workload::{stats_ceb, WorkloadConfig};
+
+fn tiny_db(seed: u64) -> Database {
+    Database::new(stats_catalog(&StatsConfig::tiny(seed)))
+}
+
+/// The sharded merge-tree build lands on exactly the sequential state,
+/// for any shard count — merges are commutative/associative over integer
+/// state, and the harness relies on this to parallelize freely.
+#[test]
+fn sharded_build_is_bit_identical_to_sequential() {
+    let db = tiny_db(21);
+    let cfg = SketchConfig::with_seed(21);
+    let sequential = SketchEst::fit_sharded(&db, &cfg, 1);
+    for shards in [2, 3, 4, 8, 13] {
+        let sharded = SketchEst::fit_sharded(&db, &cfg, shards);
+        assert_eq!(
+            sequential.state_digest(),
+            sharded.state_digest(),
+            "{shards} shards"
+        );
+    }
+    // The auto-resolved default (shards = 0) is covered too.
+    let auto = SketchEst::fit(&db, &cfg);
+    assert_eq!(sequential.state_digest(), auto.state_digest());
+}
+
+/// Streaming the temporal-split delta into the stale model lands on
+/// exactly the state a from-scratch rebuild produces: refresh-in-place
+/// is a rebuild, minus the scan.
+#[test]
+fn insert_stream_refresh_matches_full_rebuild() {
+    let full = stats_catalog(&StatsConfig::tiny(22));
+    let (stale_cat, inserts) = temporal_split(&full, SPLIT_DAY);
+    assert!(inserts.iter().any(|t| t.row_count() > 0));
+
+    let stale_db = Database::new(stale_cat);
+    let cfg = SketchConfig::with_seed(22);
+    let mut refreshed = SketchEst::fit(&stale_db, &cfg);
+
+    let mut shifted = stale_db;
+    for (t, d) in inserts.iter().enumerate() {
+        shifted
+            .catalog_mut()
+            .table_mut(TableId(t))
+            .append_rows(d)
+            .unwrap();
+    }
+    shifted.refresh();
+    refreshed.apply_inserts(&shifted, &inserts);
+
+    let rebuilt = SketchEst::fit_sharded(&shifted, &cfg, 1);
+    assert_eq!(refreshed.state_digest(), rebuilt.state_digest());
+}
+
+/// Batched estimation is bit-identical to one-at-a-time estimation over
+/// every connected sub-plan of a generated workload — the memo only
+/// caches pure functions of the same inputs.
+#[test]
+fn estimate_batch_is_bit_identical_to_estimate() {
+    let db = tiny_db(23);
+    let wl = stats_ceb(
+        &db,
+        &WorkloadConfig {
+            templates: 10,
+            queries: 14,
+            max_tables: 4,
+            ..WorkloadConfig::stats_ceb(23)
+        },
+    );
+    let est = SketchEst::fit(&db, &SketchConfig::with_seed(23));
+    let subs: Vec<SubPlanQuery> = wl
+        .queries
+        .iter()
+        .flat_map(|wq| {
+            connected_subsets(&wq.query)
+                .into_iter()
+                .map(|mask| SubPlanQuery::project(&wq.query, mask))
+        })
+        .collect();
+    assert!(subs.len() > 20, "workload too small: {}", subs.len());
+    let batched = est.estimate_batch(&db, &subs);
+    assert_eq!(batched.len(), subs.len());
+    for (sub, b) in subs.iter().zip(&batched) {
+        let single = est.estimate(&db, sub);
+        assert!(
+            single.to_bits() == b.to_bits(),
+            "batch {} vs single {} on {:?}",
+            b,
+            single,
+            sub.query.tables
+        );
+    }
+}
+
+/// Delete streams are absorbed without panicking, reverse the row/mass
+/// counts they touch, and a full churn delete of the insert delta is
+/// still safe (counts saturate at zero rather than wrapping).
+#[test]
+fn delete_stream_is_safe_and_reversing() {
+    let db = tiny_db(24);
+    let cfg = SketchConfig::with_seed(24);
+    let mut est = SketchEst::fit(&db, &cfg);
+    let before = est.state_digest();
+
+    let churn = churn_sample(db.catalog(), 0.3, 24);
+    assert!(churn.iter().any(|t| t.row_count() > 0));
+    est.apply_deletes(&churn);
+    assert_ne!(est.state_digest(), before, "deletes must change state");
+
+    // Estimates stay finite and non-negative after heavy churn …
+    let sub = SubPlanQuery {
+        mask: TableMask::single(0),
+        query: JoinQuery::single("users", vec![]),
+    };
+    let e = est.estimate(&db, &sub);
+    assert!(e.is_finite() && e >= 0.0, "{e}");
+
+    // … even after deleting far more than remains (saturation).
+    let everything = churn_sample(db.catalog(), 1.0, 24);
+    est.apply_deletes(&everything);
+    est.apply_deletes(&everything);
+    let e = est.estimate(&db, &sub);
+    assert!(e.is_finite() && e >= 0.0, "{e}");
+    assert_eq!(e, 0.0, "all rows deleted twice over");
+}
+
+/// ChaosEst-style poison hardening: whatever region shapes a predicate
+/// carries — inverted, saturating, duplicated, far outside the data
+/// domain — the sketch never returns NaN, infinity, or a negative.
+#[test]
+fn poisonous_workload_estimates_stay_finite() {
+    let db = tiny_db(25);
+    let est = SketchEst::fit(&db, &SketchConfig::with_seed(25));
+    let extremes = [i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX];
+    let mut regions = vec![Region::In(vec![]), Region::In(extremes.to_vec())];
+    for lo in extremes {
+        for hi in extremes {
+            regions.push(Region::Range { lo, hi });
+        }
+        regions.push(Region::le(lo));
+        regions.push(Region::ge(lo));
+    }
+    let wl = stats_ceb(
+        &db,
+        &WorkloadConfig {
+            templates: 6,
+            queries: 8,
+            max_tables: 3,
+            ..WorkloadConfig::stats_ceb(25)
+        },
+    );
+    for wq in &wl.queries {
+        for region in &regions {
+            let mut q = wq.query.clone();
+            // Poison every predicate with the hostile region.
+            for p in &mut q.predicates {
+                p.region = region.clone();
+            }
+            // And add one targeting a key column (every STATS table's
+            // first column is its `Id` primary key).
+            q.predicates.push(Predicate {
+                table: 0,
+                column: "Id".to_string(),
+                region: region.clone(),
+            });
+            let sub = SubPlanQuery {
+                mask: TableMask::full(q.table_count()),
+                query: q,
+            };
+            let e = est.estimate(&db, &sub);
+            assert!(e.is_finite() && e >= 0.0, "Q{} with {region:?}: {e}", wq.id);
+        }
+    }
+}

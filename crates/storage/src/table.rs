@@ -130,6 +130,29 @@ impl Table {
         self.columns.iter().map(|c| c.get(r)).collect()
     }
 
+    /// Splits the row index space into up to `shards` contiguous,
+    /// near-equal ranges covering `0..row_count()` exactly once — the
+    /// parallel-scan hook (mergeable-sketch builds, sharded statistics
+    /// collection). Returns fewer ranges when there are fewer rows than
+    /// shards, and none for an empty table.
+    pub fn shard_ranges(&self, shards: usize) -> Vec<std::ops::Range<usize>> {
+        let n = self.row_count();
+        if n == 0 {
+            return Vec::new();
+        }
+        let shards = shards.clamp(1, n);
+        let base = n / shards;
+        let rem = n % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0;
+        for s in 0..shards {
+            let len = base + usize::from(s < rem);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        ranges
+    }
+
     /// Approximate heap size in bytes.
     pub fn heap_size(&self) -> usize {
         self.columns.iter().map(Column::heap_size).sum()
@@ -186,6 +209,27 @@ mod tests {
         assert_eq!(sub.row_count(), 2);
         assert_eq!(sub.row(0), vec![Some(4), Some(40)]);
         assert_eq!(sub.row(1), vec![Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        let mut t = Table::empty(schema2());
+        for i in 0..103 {
+            t.append_row(&[Some(i), Some(i)]).unwrap();
+        }
+        for shards in [1, 2, 3, 7, 103, 500] {
+            let ranges = t.shard_ranges(shards);
+            assert!(ranges.len() <= shards.max(1));
+            // Contiguous, disjoint, covering 0..n in order.
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                assert!(r.end > r.start);
+                next = r.end;
+            }
+            assert_eq!(next, 103, "shards={shards}");
+        }
+        assert!(Table::empty(schema2()).shard_ranges(4).is_empty());
     }
 
     #[test]

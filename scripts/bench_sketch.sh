@@ -1,0 +1,13 @@
+#!/bin/sh
+# Measures the sketch estimator: build throughput at 1/2/4/8 shards
+# (every sharded build asserted bit-identical to the sequential scan),
+# per-estimate latency percentiles against the traditional baseline,
+# refresh-in-place vs retrain on the temporal split (asserted to land on
+# the exact retrained state), and the model-size comparison against all
+# fifteen other estimator kinds. Leaves a machine-readable summary in
+# BENCH_sketch.json at the repo root. Run on an otherwise idle machine.
+set -e
+cd "$(dirname "$0")/.."
+cargo bench -p cardbench-bench --bench sketch
+echo "--- BENCH_sketch.json ---"
+cat BENCH_sketch.json

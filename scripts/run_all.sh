@@ -22,4 +22,5 @@ sh scripts/bench_subplan.sh  > results/bench_subplan.txt  2>&1
 sh scripts/bench_planning.sh > results/bench_planning.txt 2>&1
 sh scripts/bench_serve.sh    > results/bench_serve.txt    2>&1
 sh scripts/bench_adaptive.sh > results/bench_adaptive.txt 2>&1
+sh scripts/bench_sketch.sh   > results/bench_sketch.txt   2>&1
 echo "all runs complete (per-run logs under results/)"

@@ -4,7 +4,8 @@
 //! Comprehensive Benchmark Evaluation"* (VLDB 2021): synthetic STATS /
 //! STATS-CEB-style data and workloads, an in-memory query engine with a
 //! PostgreSQL-shaped cost model and a pluggable-cardinality optimizer,
-//! fifteen cardinality estimators, and the Q-Error / P-Error metric suite.
+//! sixteen cardinality estimators (the paper's fifteen plus a
+//! sketch-backed extension), and the Q-Error / P-Error metric suite.
 //!
 //! This facade crate re-exports every workspace crate under a stable path.
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
@@ -16,6 +17,7 @@ pub use cardbench_harness as harness;
 pub use cardbench_metrics as metrics;
 pub use cardbench_ml as ml;
 pub use cardbench_query as query;
+pub use cardbench_sketch as sketch;
 pub use cardbench_storage as storage;
 pub use cardbench_workload as workload;
 

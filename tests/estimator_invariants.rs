@@ -50,6 +50,7 @@ fn unfiltered_single_table_near_row_count() {
         EstimatorKind::BayesCard,
         EstimatorKind::DeepDb,
         EstimatorKind::Flat,
+        EstimatorKind::Sketch,
     ] {
         let built = build_estimator(kind, db, &b.stats_train, &b.config.settings);
         for name in ["users", "posts", "comments"] {
@@ -127,6 +128,7 @@ fn updatable_estimators_survive_inserts() {
         EstimatorKind::BayesCard,
         EstimatorKind::DeepDb,
         EstimatorKind::Flat,
+        EstimatorKind::Sketch,
     ] {
         let stale_db = Database::new(stale.clone());
         let mut built = build_estimator(kind, &stale_db, &b_train, &settings);
